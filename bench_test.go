@@ -1,0 +1,254 @@
+// Benchmarks regenerating the paper's evaluation artifacts (§6):
+//
+//   - BenchmarkFig3* — query completion time for the Best-Path query under
+//     the three variants (Figure 3); ns/op is the completion time, and
+//     derivations/op shows the work performed.
+//   - BenchmarkFig4* — the same runs reporting bandwidth (Figure 4) as
+//     wire_MB/op and messages/op.
+//   - BenchmarkAblation* — the design-space ablations called out in
+//     DESIGN.md: the says-implementation spectrum (§2.2), the provenance
+//     modes (§4.1/§4.4), store sampling (§5).
+//   - BenchmarkProvQuery* / BenchmarkMoonwalk — querying cost: local vs
+//     distributed provenance, full traceback vs random moonwalk (§5).
+//
+// The full-scale sweep (N to 100, 10-run averages) is cmd/bestpath; these
+// benches use smaller N so `go test -bench=.` stays minutes-scale.
+package provnet_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"provnet"
+	"provnet/internal/auth"
+	"provnet/internal/core"
+	"provnet/internal/data"
+	"provnet/internal/provenance"
+	"provnet/internal/topo"
+)
+
+var benchSizes = []int{10, 20}
+
+func buildNet(b *testing.B, cfg provnet.Config, n int, seed int64) *provnet.Network {
+	b.Helper()
+	g := provnet.RandomGraph(provnet.TopoOptions{N: n, AvgOutDegree: 3, MaxCost: 10, Seed: seed})
+	cfg.Graph = g
+	cfg.Seed = seed
+	net, err := provnet.NewNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return net
+}
+
+// benchVariant runs Best-Path to fixpoint once per iteration, with
+// network construction (including key generation) excluded from the
+// timing, mirroring the paper's measurement of query completion time.
+func benchVariant(b *testing.B, v provnet.Variant, n int, reportBandwidth bool) {
+	b.Helper()
+	var totalBytes, totalMsgs, totalDerivs int64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		net := buildNet(b, provnet.VariantConfig(v, provnet.BestPath), n, int64(n*100+i))
+		b.StartTimer()
+		rep, err := net.Run(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalBytes += rep.Bytes
+		totalMsgs += rep.Messages
+		totalDerivs += rep.Derivations
+	}
+	if reportBandwidth {
+		b.ReportMetric(float64(totalBytes)/float64(b.N)/(1<<20), "wire_MB/op")
+		b.ReportMetric(float64(totalMsgs)/float64(b.N), "messages/op")
+	} else {
+		b.ReportMetric(float64(totalDerivs)/float64(b.N), "derivations/op")
+	}
+}
+
+// BenchmarkFig3 regenerates Figure 3: query completion time vs N for the
+// three variants.
+func BenchmarkFig3(b *testing.B) {
+	for _, v := range []provnet.Variant{provnet.VariantNDlog, provnet.VariantSeNDlog, provnet.VariantSeNDlogProv} {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/N=%d", v, n), func(b *testing.B) {
+				benchVariant(b, v, n, false)
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: bandwidth vs N for the three
+// variants (read wire_MB/op).
+func BenchmarkFig4(b *testing.B) {
+	for _, v := range []provnet.Variant{provnet.VariantNDlog, provnet.VariantSeNDlog, provnet.VariantSeNDlogProv} {
+		for _, n := range benchSizes {
+			b.Run(fmt.Sprintf("%s/N=%d", v, n), func(b *testing.B) {
+				benchVariant(b, v, n, true)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSays compares the says-implementation spectrum of
+// §2.2: cleartext header, HMAC, RSA.
+func BenchmarkAblationSays(b *testing.B) {
+	schemes := []struct {
+		name   string
+		scheme provnet.AuthScheme
+	}{
+		{"none", auth.SchemeNone},
+		{"hmac", auth.SchemeHMAC},
+		{"rsa", auth.SchemeRSA},
+	}
+	for _, s := range schemes {
+		b.Run(s.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := provnet.Config{Source: provnet.BestPath, Auth: s.scheme}
+				net := buildNet(b, cfg, 15, int64(i))
+				b.StartTimer()
+				if _, err := net.Run(0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationProvMode compares the provenance taxonomy modes
+// (§4.1/§4.4) with authentication off, isolating provenance cost.
+func BenchmarkAblationProvMode(b *testing.B) {
+	modes := []provnet.ProvMode{provenance.ModeNone, provenance.ModeLocal, provenance.ModeDistributed, provenance.ModeCondensed}
+	for _, m := range modes {
+		b.Run(m.String(), func(b *testing.B) {
+			var totalBytes int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := provnet.Config{Source: provnet.BestPath, Prov: m}
+				net := buildNet(b, cfg, 15, int64(i))
+				b.StartTimer()
+				rep, err := net.Run(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				totalBytes += rep.Bytes
+			}
+			b.ReportMetric(float64(totalBytes)/float64(b.N)/(1<<20), "wire_MB/op")
+		})
+	}
+}
+
+// BenchmarkAblationSampling measures how store sampling (§5) cuts
+// distributed-provenance storage.
+func BenchmarkAblationSampling(b *testing.B) {
+	for _, k := range []int{1, 10, 100} {
+		b.Run(fmt.Sprintf("every=%d", k), func(b *testing.B) {
+			var entries int64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := provnet.Config{Source: provnet.BestPath, Prov: provenance.ModeDistributed, SampleEvery: k}
+				net := buildNet(b, cfg, 15, int64(i))
+				b.StartTimer()
+				if _, err := net.Run(0); err != nil {
+					b.Fatal(err)
+				}
+				for _, name := range net.Nodes() {
+					entries += int64(net.Node(name).Store.OnlineCount())
+				}
+			}
+			b.ReportMetric(float64(entries)/float64(b.N), "store_entries/op")
+		})
+	}
+}
+
+// queryFixture builds one network with the given provenance mode and
+// returns a stored reachable tuple to query.
+func queryFixture(b *testing.B, mode provnet.ProvMode) (*provnet.Network, provnet.Tuple) {
+	b.Helper()
+	g := topo.RandomConnected(topo.Options{N: 12, AvgOutDegree: 3, Seed: 5})
+	net, err := provnet.NewNetwork(provnet.Config{
+		Source: core.ReachableNDlog, Graph: g, LinkNoCost: true, Prov: mode,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := net.Run(0); err != nil {
+		b.Fatal(err)
+	}
+	src := g.Nodes[0]
+	ts := net.Tuples(src, "reachable")
+	if len(ts) == 0 {
+		b.Fatal("no reachable tuples")
+	}
+	// Pick the last (typically deepest) tuple.
+	return net, ts[len(ts)-1]
+}
+
+// BenchmarkProvQueryLocal reads provenance shipped with the tuple (§4.1:
+// "provenance querying is cheap").
+func BenchmarkProvQueryLocal(b *testing.B) {
+	net, target := queryFixture(b, provenance.ModeLocal)
+	src := net.Nodes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := net.DerivationTree(src, target, provnet.ProvQueryOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProvQueryDistributed reconstructs provenance with the
+// distributed traceback (§4.1: "expensive cost of querying").
+func BenchmarkProvQueryDistributed(b *testing.B) {
+	net, target := queryFixture(b, provenance.ModeDistributed)
+	src := net.Nodes()[0]
+	var msgs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := net.DerivationTree(src, target, provnet.ProvQueryOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += int64(stats.Messages)
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "query_messages/op")
+}
+
+// BenchmarkMoonwalk samples a single backward path (§5) instead of the
+// full reconstruction.
+func BenchmarkMoonwalk(b *testing.B) {
+	net, target := queryFixture(b, provenance.ModeDistributed)
+	src := net.Nodes()[0]
+	rng := rand.New(rand.NewSource(1))
+	var msgs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, stats, err := net.DerivationTree(src, target, provnet.ProvQueryOpts{Moonwalk: true, Rng: rng})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs += int64(stats.Messages)
+	}
+	b.ReportMetric(float64(msgs)/float64(b.N), "query_messages/op")
+}
+
+// BenchmarkEnvelopeEncode measures the wire layer with RSA signing (the
+// per-tuple cost the paper attributes to authenticated communication).
+func BenchmarkEnvelopeEncode(b *testing.B) {
+	dir := auth.NewDeterministicDirectory(1)
+	if err := dir.AddPrincipal("a", 1); err != nil {
+		b.Fatal(err)
+	}
+	signer := auth.NewRSASigner(dir)
+	tu := data.NewTuple("path", data.Str("a"), data.Str("c"), data.Strings("a", "b", "c"), data.Int(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := &core.Envelope{From: "a", Tuple: tu, Scheme: auth.SchemeRSA}
+		if _, err := env.Encode(signer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

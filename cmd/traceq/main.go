@@ -1,0 +1,137 @@
+// Command traceq runs a program to fixpoint and then executes provenance
+// traceback queries against it: full distributed reconstruction, random
+// moonwalks, and offline (post-expiry) forensics.
+//
+//	traceq -program worm.ndl -topo line:4 -node victim -tuple 'infected(victim, slammer)'
+//	traceq ... -advance 60 -offline       # forensic query after expiry
+//	traceq ... -moonwalk -walks 5         # sampled backward walks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"provnet"
+	"provnet/internal/core"
+)
+
+func main() {
+	programPath := flag.String("program", "", "path to the program (required)")
+	topoSpec := flag.String("topo", "none", "topology spec (see cmd/provnet)")
+	noCost := flag.Bool("nocost", false, "link facts without cost column")
+	node := flag.String("node", "", "node to start the traceback at (required)")
+	tupleText := flag.String("tuple", "", "tuple to trace, e.g. 'reachable(a, c)' (required)")
+	advance := flag.Float64("advance", 0, "advance logical time by this many seconds before querying")
+	offline := flag.Bool("offline", false, "consult offline provenance stores")
+	moonwalk := flag.Bool("moonwalk", false, "random moonwalk instead of full reconstruction")
+	walks := flag.Int("walks", 3, "number of moonwalks")
+	seed := flag.Int64("seed", 1, "moonwalk rng seed")
+	extraNodes := flag.String("extranodes", "", "comma-separated node names not mentioned in any fact placement")
+	flag.Parse()
+
+	if *programPath == "" || *node == "" || *tupleText == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		fatal(err)
+	}
+	target, err := core.ParseTuple(*tupleText)
+	if err != nil {
+		fatal(err)
+	}
+
+	off := -1.0
+	cfg := provnet.Config{
+		Source:     string(src),
+		LinkNoCost: *noCost,
+		Prov:       provnet.ProvDistributed,
+		Offline:    &off,
+	}
+	if cfg.Graph, err = parseTopo(*topoSpec); err != nil {
+		fatal(err)
+	}
+	if *extraNodes != "" {
+		for _, nm := range strings.Split(*extraNodes, ",") {
+			cfg.ExtraNodes = append(cfg.ExtraNodes, strings.TrimSpace(nm))
+		}
+	}
+	n, err := provnet.NewNetwork(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := n.Run(0); err != nil {
+		fatal(err)
+	}
+	if *advance > 0 {
+		n.Advance(*advance)
+		fmt.Printf("advanced logical time to %gs; soft state expired\n", n.Clock())
+	}
+
+	if *moonwalk {
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *walks; i++ {
+			tree, stats, err := n.DerivationTree(*node, target, provnet.ProvQueryOpts{
+				Moonwalk: true, Rng: rng, Offline: *offline,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nmoonwalk %d (%d hops, %d entries):\n", i+1, stats.Messages, stats.Entries)
+			fmt.Print(tree.Render(nil))
+		}
+		return
+	}
+
+	tree, stats, err := n.DerivationTree(*node, target, provnet.ProvQueryOpts{Offline: *offline})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("derivation tree of %s at %s:\n", target, *node)
+	fmt.Print(tree.Render(nil))
+	fmt.Printf("\nquery cost: %d inter-node messages, ~%d bytes, %d nodes visited, %d entries\n",
+		stats.Messages, stats.Bytes, stats.NodesVisited, stats.Entries)
+	fmt.Println("base tuples:")
+	for _, l := range tree.Leaves() {
+		fmt.Printf("  %s\n", l)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "traceq:", err)
+	os.Exit(1)
+}
+
+func parseTopo(spec string) (*provnet.Graph, error) {
+	if spec == "none" || spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	num := func(i, def int) int {
+		if i < len(parts) {
+			if v, err := strconv.Atoi(parts[i]); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	switch parts[0] {
+	case "random":
+		return provnet.RandomGraph(provnet.TopoOptions{
+			N: num(1, 10), AvgOutDegree: num(2, 3), MaxCost: int64(num(3, 1)), Seed: int64(num(4, 1)),
+		}), nil
+	case "line":
+		return provnet.LineGraph(num(1, 4)), nil
+	case "ring":
+		return provnet.RingGraph(num(1, 4)), nil
+	case "star":
+		return provnet.StarGraph(num(1, 4)), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", spec)
+	}
+}

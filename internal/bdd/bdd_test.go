@@ -1,0 +1,483 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTerminals(t *testing.T) {
+	m := New()
+	if m.Not(True) != False || m.Not(False) != True {
+		t.Fatal("Not on terminals")
+	}
+	if m.And() != True || m.Or() != False {
+		t.Fatal("empty And/Or identities")
+	}
+	if m.And(True, False) != False || m.Or(True, False) != True {
+		t.Fatal("And/Or terminals")
+	}
+}
+
+func TestVarIdempotent(t *testing.T) {
+	m := New()
+	a1 := m.Var("a")
+	a2 := m.Var("a")
+	if a1 != a2 {
+		t.Fatal("Var must be hash-consed")
+	}
+	if m.NumVars() != 1 {
+		t.Fatalf("NumVars = %d", m.NumVars())
+	}
+}
+
+func TestBasicLaws(t *testing.T) {
+	m := New()
+	a, b := m.Var("a"), m.Var("b")
+	if m.And(a, a) != a {
+		t.Error("idempotence of And")
+	}
+	if m.Or(a, a) != a {
+		t.Error("idempotence of Or")
+	}
+	if m.And(a, m.Not(a)) != False {
+		t.Error("contradiction")
+	}
+	if m.Or(a, m.Not(a)) != True {
+		t.Error("excluded middle")
+	}
+	if m.And(a, b) != m.And(b, a) {
+		t.Error("commutativity of And")
+	}
+	if m.Or(a, b) != m.Or(b, a) {
+		t.Error("commutativity of Or")
+	}
+	if m.Not(m.Not(a)) != a {
+		t.Error("double negation")
+	}
+}
+
+// TestAbsorption checks the paper's §4.4 condensation example: the
+// provenance expression a + a*b for reachable(a,c) condenses to just a.
+func TestAbsorption(t *testing.T) {
+	m := New()
+	a, b := m.Var("a"), m.Var("b")
+	expr := m.Or(a, m.And(a, b))
+	if expr != a {
+		t.Fatalf("a + a*b should reduce to a; Expr = %s", m.Expr(expr))
+	}
+	if got := m.Expr(expr); got != "a" {
+		t.Fatalf("Expr = %q, want %q", got, "a")
+	}
+}
+
+func TestExprRendering(t *testing.T) {
+	m := New()
+	a, b, c := m.Var("a"), m.Var("b"), m.Var("c")
+	cases := []struct {
+		n    Node
+		want string
+	}{
+		{True, "1"},
+		{False, "0"},
+		{a, "a"},
+		{m.And(a, b), "a*b"},
+		{m.Or(m.And(a, b), c), "c + a*b"},
+		{m.Or(a, m.And(b, c)), "a + b*c"},
+	}
+	for _, cse := range cases {
+		if got := m.Expr(cse.n); got != cse.want {
+			t.Errorf("Expr = %q, want %q", got, cse.want)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	m := New()
+	a, b, c := m.Var("a"), m.Var("b"), m.Var("c")
+	f := m.Or(m.And(a, b), m.And(m.Not(a), c))
+	cases := []struct {
+		assign map[string]bool
+		want   bool
+	}{
+		{map[string]bool{"a": true, "b": true}, true},
+		{map[string]bool{"a": true, "b": false}, false},
+		{map[string]bool{"a": false, "c": true}, true},
+		{map[string]bool{"a": false, "c": false}, false},
+		{map[string]bool{}, false},
+	}
+	for i, cse := range cases {
+		if got := m.Eval(f, cse.assign); got != cse.want {
+			t.Errorf("case %d: Eval = %v", i, got)
+		}
+	}
+}
+
+func TestRestrictAndExists(t *testing.T) {
+	m := New()
+	a, b := m.Var("a"), m.Var("b")
+	f := m.And(a, b)
+	if m.Restrict(f, "a", true) != b {
+		t.Error("restrict a=1 of a*b should be b")
+	}
+	if m.Restrict(f, "a", false) != False {
+		t.Error("restrict a=0 of a*b should be 0")
+	}
+	if m.Restrict(f, "zz", true) != f {
+		t.Error("restrict of unknown var should be identity")
+	}
+	if m.Exists(f, "a") != b {
+		t.Error("∃a. a*b should be b")
+	}
+	g := m.Or(a, b)
+	if m.Exists(g, "a") != True {
+		t.Error("∃a. a+b should be 1")
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New()
+	a, b, c := m.Var("a"), m.Var("b"), m.Var("c")
+	f := m.Or(m.And(a, b), m.And(a, c))
+	got := m.Support(f)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("Support = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Support = %v, want %v", got, want)
+		}
+	}
+	// a + a*b has support {a} only after reduction.
+	g := m.Or(a, m.And(a, b))
+	if s := m.Support(g); len(s) != 1 || s[0] != "a" {
+		t.Fatalf("Support(a+a*b) = %v", s)
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	m := New()
+	a, b, c := m.Var("a"), m.Var("b"), m.Var("c")
+	if got := m.SatCount(True); got != 8 {
+		t.Errorf("SatCount(True) = %v, want 8", got)
+	}
+	if got := m.SatCount(False); got != 0 {
+		t.Errorf("SatCount(False) = %v", got)
+	}
+	if got := m.SatCount(a); got != 4 {
+		t.Errorf("SatCount(a) = %v, want 4", got)
+	}
+	if got := m.SatCount(m.And(a, b)); got != 2 {
+		t.Errorf("SatCount(a*b) = %v, want 2", got)
+	}
+	if got := m.SatCount(m.Or(m.And(a, b), c)); got != 5 {
+		t.Errorf("SatCount(a*b+c) = %v, want 5", got)
+	}
+}
+
+func TestCubesMonotone(t *testing.T) {
+	m := New()
+	a, b, c := m.Var("a"), m.Var("b"), m.Var("c")
+	f := m.Or(m.And(a, b), c)
+	cubes := m.Cubes(f)
+	if len(cubes) != 2 {
+		t.Fatalf("Cubes = %v", cubes)
+	}
+	// Sorted by length: [c] then [a b].
+	if len(cubes[0]) != 1 || cubes[0][0] != "c" {
+		t.Errorf("cube 0 = %v", cubes[0])
+	}
+	if len(cubes[1]) != 2 || cubes[1][0] != "a" || cubes[1][1] != "b" {
+		t.Errorf("cube 1 = %v", cubes[1])
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	m := New()
+	a, b := m.Var("a"), m.Var("b")
+	if m.NodeCount(True) != 0 {
+		t.Error("terminal has no internal nodes")
+	}
+	if m.NodeCount(a) != 1 {
+		t.Error("single variable has one node")
+	}
+	f := m.And(a, b)
+	if m.NodeCount(f) != 2 {
+		t.Errorf("NodeCount(a*b) = %d", m.NodeCount(f))
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m := New()
+	a, b, c := m.Var("a"), m.Var("b"), m.Var("c")
+	fns := []Node{True, False, a, m.And(a, b), m.Or(m.And(a, b), m.And(m.Not(a), c)), m.Xor(b, c)}
+	for _, f := range fns {
+		enc := m.Serialize(f)
+		m2 := New()
+		g, err := m2.Deserialize(enc)
+		if err != nil {
+			t.Fatalf("Deserialize: %v", err)
+		}
+		// Compare by truth table over the support vars.
+		assertSameFunction(t, m, f, m2, g, []string{"a", "b", "c"})
+	}
+}
+
+func TestSerializeAcrossDifferentOrders(t *testing.T) {
+	m := New()
+	m.DeclareOrder("a", "b", "c")
+	f := m.Or(m.And(m.Var("a"), m.Var("b")), m.Var("c"))
+
+	m2 := New()
+	m2.DeclareOrder("c", "b", "a") // reversed order
+	g, err := m2.Deserialize(m.Serialize(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameFunction(t, m, f, m2, g, []string{"a", "b", "c"})
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	m := New()
+	if _, err := m.Deserialize(nil); err == nil {
+		t.Error("nil input should fail")
+	}
+	if _, err := m.Deserialize([]byte{5}); err == nil {
+		t.Error("count with no nodes should fail")
+	}
+	f := m.And(m.Var("a"), m.Var("b"))
+	enc := m.Serialize(f)
+	if _, err := m.Deserialize(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated input should fail")
+	}
+	if _, err := m.Deserialize(append(enc, 0)); err == nil {
+		t.Error("trailing garbage should fail")
+	}
+}
+
+func assertSameFunction(t *testing.T, m1 *Manager, f Node, m2 *Manager, g Node, vars []string) {
+	t.Helper()
+	n := len(vars)
+	for mask := 0; mask < 1<<n; mask++ {
+		assign := make(map[string]bool)
+		for i, v := range vars {
+			assign[v] = mask&(1<<i) != 0
+		}
+		if m1.Eval(f, assign) != m2.Eval(g, assign) {
+			t.Fatalf("functions differ under %v", assign)
+		}
+	}
+}
+
+// --- randomized properties ---
+
+// expr is a random boolean expression evaluated both directly and via BDD.
+type expr struct {
+	op       byte // 'v', '&', '|', '!', '^'
+	v        int
+	lhs, rhs *expr
+}
+
+func randExpr(r *rand.Rand, depth, nvars int) *expr {
+	if depth == 0 || r.Intn(3) == 0 {
+		return &expr{op: 'v', v: r.Intn(nvars)}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return &expr{op: '&', lhs: randExpr(r, depth-1, nvars), rhs: randExpr(r, depth-1, nvars)}
+	case 1:
+		return &expr{op: '|', lhs: randExpr(r, depth-1, nvars), rhs: randExpr(r, depth-1, nvars)}
+	case 2:
+		return &expr{op: '^', lhs: randExpr(r, depth-1, nvars), rhs: randExpr(r, depth-1, nvars)}
+	default:
+		return &expr{op: '!', lhs: randExpr(r, depth-1, nvars)}
+	}
+}
+
+func (e *expr) eval(assign []bool) bool {
+	switch e.op {
+	case 'v':
+		return assign[e.v]
+	case '&':
+		return e.lhs.eval(assign) && e.rhs.eval(assign)
+	case '|':
+		return e.lhs.eval(assign) || e.rhs.eval(assign)
+	case '^':
+		return e.lhs.eval(assign) != e.rhs.eval(assign)
+	default:
+		return !e.lhs.eval(assign)
+	}
+}
+
+func (e *expr) build(m *Manager, vars []string) Node {
+	switch e.op {
+	case 'v':
+		return m.Var(vars[e.v])
+	case '&':
+		return m.And(e.lhs.build(m, vars), e.rhs.build(m, vars))
+	case '|':
+		return m.Or(e.lhs.build(m, vars), e.rhs.build(m, vars))
+	case '^':
+		return m.Xor(e.lhs.build(m, vars), e.rhs.build(m, vars))
+	default:
+		return m.Not(e.lhs.build(m, vars))
+	}
+}
+
+var testVars = []string{"v0", "v1", "v2", "v3", "v4"}
+
+func TestQuickBDDMatchesTruthTable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 5, len(testVars))
+		m := New()
+		m.DeclareOrder(testVars...)
+		n := e.build(m, testVars)
+		for mask := 0; mask < 1<<len(testVars); mask++ {
+			assign := make([]bool, len(testVars))
+			am := make(map[string]bool)
+			for i := range testVars {
+				assign[i] = mask&(1<<i) != 0
+				am[testVars[i]] = assign[i]
+			}
+			if e.eval(assign) != m.Eval(n, am) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCanonicity(t *testing.T) {
+	// Two structurally different but equivalent expressions must produce
+	// the identical node (canonicity of ROBDDs).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 4, 3)
+		m := New()
+		m.DeclareOrder(testVars[:3]...)
+		n1 := e.build(m, testVars[:3])
+		// Rebuild the same expression: must be the same node.
+		n2 := e.build(m, testVars[:3])
+		// De Morgan on a conjunction wrapper: !(!e1 | !e2) == e1 & e2.
+		n3 := m.Not(m.Or(m.Not(n1), m.Not(n1)))
+		return n1 == n2 && n3 == n1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randExpr(r, 5, len(testVars))
+		m := New()
+		m.DeclareOrder(testVars...)
+		n := e.build(m, testVars)
+		m2 := New()
+		// Random variable order on the receiving side.
+		perm := r.Perm(len(testVars))
+		for _, i := range perm {
+			m2.Var(testVars[i])
+		}
+		g, err := m2.Deserialize(m.Serialize(n))
+		if err != nil {
+			return false
+		}
+		for mask := 0; mask < 1<<len(testVars); mask++ {
+			am := make(map[string]bool)
+			for i := range testVars {
+				am[testVars[i]] = mask&(1<<i) != 0
+			}
+			if m.Eval(n, am) != m2.Eval(g, am) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCubesEquivalentForMonotone(t *testing.T) {
+	// For negation-free expressions, the DNF from Cubes must evaluate to
+	// the same function.
+	var mono func(r *rand.Rand, depth int) *expr
+	mono = func(r *rand.Rand, depth int) *expr {
+		if depth == 0 || r.Intn(3) == 0 {
+			return &expr{op: 'v', v: r.Intn(len(testVars))}
+		}
+		if r.Intn(2) == 0 {
+			return &expr{op: '&', lhs: mono(r, depth-1), rhs: mono(r, depth-1)}
+		}
+		return &expr{op: '|', lhs: mono(r, depth-1), rhs: mono(r, depth-1)}
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := mono(r, 5)
+		m := New()
+		m.DeclareOrder(testVars...)
+		n := e.build(m, testVars)
+		cubes := m.Cubes(n)
+		for mask := 0; mask < 1<<len(testVars); mask++ {
+			am := make(map[string]bool)
+			for i := range testVars {
+				am[testVars[i]] = mask&(1<<i) != 0
+			}
+			dnf := false
+			for _, cube := range cubes {
+				all := true
+				for _, v := range cube {
+					if !am[v] {
+						all = false
+						break
+					}
+				}
+				if all {
+					dnf = true
+					break
+				}
+			}
+			if dnf != m.Eval(n, am) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAnd(b *testing.B) {
+	m := New()
+	vars := make([]Node, 16)
+	for i := range vars {
+		vars[i] = m.Var(string(rune('a' + i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := True
+		for _, v := range vars {
+			f = m.And(f, v)
+		}
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	m := New()
+	f := False
+	for i := 0; i < 12; i++ {
+		f = m.Or(f, m.And(m.Var(string(rune('a'+i))), m.Var(string(rune('a'+(i+1)%12)))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Serialize(f)
+	}
+}

@@ -1,0 +1,175 @@
+// Package bloom implements Bloom filters as used by ForNet-style network
+// forensics (paper §3, §5): routers keep compact digests of the tuples or
+// packets that passed through them, trading accuracy for storage, and
+// offline traceback queries test digest membership hop by hop.
+package bloom
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// Filter is a Bloom filter using the standard double-hashing scheme
+// (Kirsch–Mitzenmacher): k indexes derived from two independent 64-bit
+// hashes of the element.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    uint32 // number of hash functions
+	n    uint64 // elements added
+}
+
+// New creates a filter with m bits (rounded up to a multiple of 64, minimum
+// 64) and k hash functions (minimum 1).
+func New(m uint64, k uint32) *Filter {
+	if m < 64 {
+		m = 64
+	}
+	m = (m + 63) / 64 * 64
+	if k < 1 {
+		k = 1
+	}
+	return &Filter{bits: make([]uint64, m/64), m: m, k: k}
+}
+
+// NewWithEstimates creates a filter sized for n expected elements at the
+// given target false-positive probability p.
+func NewWithEstimates(n uint64, p float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := uint32(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// hash2 returns two independent 64-bit hashes of p, taken from disjoint
+// halves of a SHA-256 digest. SHA-256 is stable across processes (digests
+// can be persisted) and distributes far better than multiplicative hashes,
+// which matters for hitting the configured false-positive rate.
+func hash2(p []byte) (uint64, uint64) {
+	sum := sha256.Sum256(p)
+	h1 := binary.LittleEndian.Uint64(sum[0:8])
+	h2 := binary.LittleEndian.Uint64(sum[8:16])
+	if h2 == 0 { // ensure stride is non-zero
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+// Add inserts p into the filter.
+func (f *Filter) Add(p []byte) {
+	h1, h2 := hash2(p)
+	for i := uint32(0); i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) % f.m
+		f.bits[idx/64] |= 1 << (idx % 64)
+	}
+	f.n++
+}
+
+// AddString inserts the string s.
+func (f *Filter) AddString(s string) { f.Add([]byte(s)) }
+
+// Contains reports whether p may have been added. False positives occur
+// with the configured probability; false negatives never.
+func (f *Filter) Contains(p []byte) bool {
+	h1, h2 := hash2(p)
+	for i := uint32(0); i < f.k; i++ {
+		idx := (h1 + uint64(i)*h2) % f.m
+		if f.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainsString reports membership of the string s.
+func (f *Filter) ContainsString(s string) bool { return f.Contains([]byte(s)) }
+
+// Count returns the number of Add calls.
+func (f *Filter) Count() uint64 { return f.n }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// SizeBytes returns the storage footprint of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// FillRatio returns the fraction of bits set.
+func (f *Filter) FillRatio() float64 {
+	ones := 0
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			ones++
+		}
+	}
+	return float64(ones) / float64(f.m)
+}
+
+// EstimatedFPP returns the expected false-positive probability given the
+// current fill ratio.
+func (f *Filter) EstimatedFPP() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.n = 0
+}
+
+// Union merges other into f. Both filters must have identical geometry.
+func (f *Filter) Union(other *Filter) error {
+	if f.m != other.m || f.k != other.k {
+		return errors.New("bloom: incompatible filter geometry")
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.n += other.n
+	return nil
+}
+
+// Marshal serializes the filter.
+func (f *Filter) Marshal() []byte {
+	out := make([]byte, 0, 20+len(f.bits)*8)
+	out = binary.LittleEndian.AppendUint64(out, f.m)
+	out = binary.LittleEndian.AppendUint32(out, f.k)
+	out = binary.LittleEndian.AppendUint64(out, f.n)
+	for _, w := range f.bits {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	return out
+}
+
+// Unmarshal reconstructs a filter serialized by Marshal.
+func Unmarshal(b []byte) (*Filter, error) {
+	if len(b) < 20 {
+		return nil, errors.New("bloom: short buffer")
+	}
+	m := binary.LittleEndian.Uint64(b)
+	k := binary.LittleEndian.Uint32(b[8:])
+	n := binary.LittleEndian.Uint64(b[12:])
+	if m == 0 || m%64 != 0 || m/64 > uint64(len(b)) {
+		return nil, errors.New("bloom: corrupt header")
+	}
+	words := int(m / 64)
+	if len(b) != 20+words*8 {
+		return nil, errors.New("bloom: wrong payload length")
+	}
+	f := &Filter{bits: make([]uint64, words), m: m, k: k, n: n}
+	for i := 0; i < words; i++ {
+		f.bits[i] = binary.LittleEndian.Uint64(b[20+i*8:])
+	}
+	return f, nil
+}

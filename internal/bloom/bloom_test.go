@@ -1,0 +1,161 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("elem-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.ContainsString(fmt.Sprintf("elem-%d", i)) {
+			t.Fatalf("false negative for elem-%d", i)
+		}
+	}
+	if f.Count() != 1000 {
+		t.Errorf("Count = %d", f.Count())
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("in-%d", i))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.ContainsString(fmt.Sprintf("out-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Errorf("false positive rate %.4f too high for target 0.01", rate)
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	f := New(256, 3)
+	if f.ContainsString("anything") {
+		t.Error("empty filter must contain nothing")
+	}
+	if f.FillRatio() != 0 {
+		t.Error("empty fill ratio")
+	}
+	if f.EstimatedFPP() != 0 {
+		t.Error("empty FPP")
+	}
+}
+
+func TestGeometryClamping(t *testing.T) {
+	f := New(1, 0)
+	if f.Bits() != 64 || f.k != 1 {
+		t.Errorf("clamped geometry: m=%d k=%d", f.Bits(), f.k)
+	}
+	f2 := New(65, 2)
+	if f2.Bits() != 128 {
+		t.Errorf("rounded bits = %d", f2.Bits())
+	}
+	if NewWithEstimates(0, -1) == nil {
+		t.Error("degenerate estimates must still build")
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := New(256, 3)
+	f.AddString("x")
+	f.Reset()
+	if f.ContainsString("x") || f.Count() != 0 {
+		t.Error("reset must clear")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a, b := New(256, 3), New(256, 3)
+	a.AddString("left")
+	b.AddString("right")
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.ContainsString("left") || !a.ContainsString("right") {
+		t.Error("union must contain both")
+	}
+	c := New(512, 3)
+	if err := a.Union(c); err == nil {
+		t.Error("incompatible union must fail")
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := New(256, 4)
+	for i := 0; i < 50; i++ {
+		f.AddString(fmt.Sprintf("k%d", i))
+	}
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.Count() != f.Count() {
+		t.Error("geometry mismatch after round trip")
+	}
+	for i := 0; i < 50; i++ {
+		if !g.ContainsString(fmt.Sprintf("k%d", i)) {
+			t.Fatalf("lost element k%d", i)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil should fail")
+	}
+	if _, err := Unmarshal(make([]byte, 19)); err == nil {
+		t.Error("short should fail")
+	}
+	f := New(128, 2)
+	b := f.Marshal()
+	if _, err := Unmarshal(b[:len(b)-1]); err == nil {
+		t.Error("truncated should fail")
+	}
+	b[0] = 1 // corrupt m to a non-multiple of 64
+	if _, err := Unmarshal(b); err == nil {
+		t.Error("corrupt header should fail")
+	}
+}
+
+func TestQuickNoFalseNegatives(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		fl := New(uint64(64+r.Intn(1024)), uint32(1+r.Intn(6)))
+		var keys []string
+		for i := 0; i < 1+r.Intn(100); i++ {
+			k := fmt.Sprintf("key-%d-%d", seed, r.Int63())
+			keys = append(keys, k)
+			fl.AddString(k)
+		}
+		for _, k := range keys {
+			if !fl.ContainsString(k) {
+				return false
+			}
+		}
+		g, err := Unmarshal(fl.Marshal())
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			if !g.ContainsString(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,531 @@
+// Package core assembles the full provenance-aware secure network: it
+// instantiates one query engine per node over the simulated transport,
+// wires in the configured says implementation and provenance mode, drives
+// the distributed computation to a fixpoint, and exposes the provenance
+// query interface. The three configurations evaluated by the paper —
+// NDlog, SeNDlog, SeNDlogProv (§6) — are presets over this package.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"provnet/internal/auth"
+	"provnet/internal/data"
+	"provnet/internal/datalog"
+	"provnet/internal/engine"
+	"provnet/internal/netsim"
+	"provnet/internal/provenance"
+	"provnet/internal/semiring"
+	"provnet/internal/topo"
+)
+
+// Variant names the paper's three evaluated configurations.
+type Variant uint8
+
+// The §6 experiment variants.
+const (
+	// VariantNDlog: no authentication, no provenance.
+	VariantNDlog Variant = iota
+	// VariantSeNDlog: RSA-authenticated communication, no provenance.
+	VariantSeNDlog
+	// VariantSeNDlogProv: RSA authentication plus condensed (BDD)
+	// provenance shipped with every tuple.
+	VariantSeNDlogProv
+)
+
+// String names the variant as the paper does.
+func (v Variant) String() string {
+	switch v {
+	case VariantNDlog:
+		return "NDlog"
+	case VariantSeNDlog:
+		return "SeNDlog"
+	case VariantSeNDlogProv:
+		return "SeNDlogProv"
+	default:
+		return fmt.Sprintf("variant(%d)", uint8(v))
+	}
+}
+
+// Config assembles a network.
+type Config struct {
+	// Source is the NDlog/SeNDlog program text; alternatively Program
+	// supplies a parsed one.
+	Source  string
+	Program *datalog.Program
+	// Graph optionally supplies the topology; its links are inserted as
+	// link(@from, to, cost) facts (or link(@from, to) when LinkNoCost).
+	Graph *topo.Graph
+	// LinkNoCost drops the cost column from generated link facts.
+	LinkNoCost bool
+	// ExtraNodes registers nodes that appear in no link or fact.
+	ExtraNodes []string
+
+	// Auth selects the says implementation for inter-node messages.
+	Auth auth.Scheme
+	// KeyBits sizes RSA keys (default auth.DefaultRSABits).
+	KeyBits int
+	// Prov selects the provenance mode.
+	Prov provenance.Mode
+	// AuthProv signs every provenance tree node (ModeLocal only): the
+	// authenticated provenance of §4.3.
+	AuthProv bool
+	// Offline enables the offline provenance store with the given
+	// maximum age (<0 keeps forever); nil disables it.
+	Offline *float64
+	// SampleEvery records only every k-th derivation into stores (§5).
+	SampleEvery int
+
+	// Levels assigns security levels to principals (default 1 each).
+	Levels map[string]int64
+	// Seed drives deterministic key generation.
+	Seed int64
+
+	// ImportFilter, when set with ModeCondensed, is consulted for every
+	// imported tuple with its provenance polynomial; rejected tuples are
+	// dropped and counted (Orchestra-style trust gating, §3).
+	ImportFilter func(self string, t data.Tuple, p semiring.Poly) bool
+}
+
+// Node bundles one simulated node's components.
+type Node struct {
+	Name    string
+	Engine  *engine.Engine
+	Tracker *provenance.Tracker
+	Store   *provenance.Store
+}
+
+// Network is a fully assembled provenance-aware secure network.
+type Network struct {
+	cfg     Config
+	prog    *datalog.Program
+	net     *netsim.Network
+	nodes   map[string]*Node
+	order   []string
+	dir     *auth.Directory
+	signer  auth.Signer
+	clock   float64
+	signed  int64
+	checked int64
+	// Rejected counts imports dropped by signature failure or the trust
+	// filter.
+	rejectedSig    int64
+	rejectedFilter int64
+}
+
+// ErrNoFixpoint is returned when Run exceeds its round budget.
+var ErrNoFixpoint = errors.New("core: no distributed fixpoint within round budget")
+
+// NewNetwork builds and initializes a network: parses and localizes the
+// program, provisions principals and keys, instantiates engines and
+// provenance trackers, and inserts the base facts (program facts plus
+// topology links).
+func NewNetwork(cfg Config) (*Network, error) {
+	prog := cfg.Program
+	if prog == nil {
+		p, err := datalog.Parse(cfg.Source)
+		if err != nil {
+			return nil, err
+		}
+		prog = p
+	}
+	if err := datalog.Validate(prog); err != nil {
+		return nil, err
+	}
+	localized, err := datalog.Localize(prog)
+	if err != nil {
+		return nil, err
+	}
+
+	// Says-semantics is on when the program uses SeNDlog contexts.
+	saysSemantics := false
+	for _, r := range localized.Rules {
+		if r.IsSeNDlog() {
+			saysSemantics = true
+			break
+		}
+	}
+
+	n := &Network{
+		cfg:   cfg,
+		prog:  localized,
+		net:   netsim.New(),
+		nodes: make(map[string]*Node),
+		dir:   auth.NewDeterministicDirectory(cfg.Seed),
+	}
+	bits := cfg.KeyBits
+	if bits == 0 {
+		bits = auth.DefaultRSABits
+	}
+	n.dir.SetKeyBits(bits)
+
+	switch cfg.Auth {
+	case auth.SchemeNone:
+		n.signer = auth.NoneSigner{}
+	case auth.SchemeHMAC:
+		n.signer = auth.NewHMACSigner([]byte(fmt.Sprintf("provnet-master-%d", cfg.Seed)))
+	case auth.SchemeRSA:
+		n.signer = auth.NewRSASigner(n.dir)
+	default:
+		return nil, fmt.Errorf("core: unknown auth scheme %v", cfg.Auth)
+	}
+
+	// Collect the node set: topology nodes, fact placements, extras.
+	var names []string
+	seen := map[string]bool{}
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	if cfg.Graph != nil {
+		for _, nm := range cfg.Graph.Nodes {
+			add(nm)
+		}
+	}
+	for _, f := range localized.Facts {
+		add(f.Node)
+	}
+	for _, nm := range cfg.ExtraNodes {
+		add(nm)
+	}
+	if len(names) == 0 {
+		return nil, errors.New("core: no nodes (no topology, facts, or extra nodes)")
+	}
+
+	for _, name := range names {
+		level := int64(1)
+		if l, ok := cfg.Levels[name]; ok {
+			level = l
+		}
+		if err := n.dir.AddPrincipal(name, level); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, name := range names {
+		if err := n.addNode(name, saysSemantics); err != nil {
+			return nil, err
+		}
+	}
+
+	// Base facts: program facts, then topology links.
+	for _, f := range localized.Facts {
+		node, ok := n.nodes[f.Node]
+		if !ok {
+			return nil, fmt.Errorf("core: fact %s placed at unknown node %q", f.Tuple, f.Node)
+		}
+		node.Engine.InsertFact(f.Tuple)
+	}
+	if cfg.Graph != nil {
+		for _, l := range cfg.Graph.Links {
+			tu := data.NewTuple("link", data.Str(l.From), data.Str(l.To), data.Int(l.Cost))
+			if cfg.LinkNoCost {
+				tu = data.NewTuple("link", data.Str(l.From), data.Str(l.To))
+			}
+			n.nodes[l.From].Engine.InsertFact(tu)
+		}
+	}
+	return n, nil
+}
+
+func (n *Network) addNode(name string, saysSemantics bool) error {
+	store := provenance.NewStore(name)
+	if n.cfg.Offline != nil {
+		store.EnableOffline(*n.cfg.Offline)
+	}
+	self := name
+	tcfg := provenance.TrackerConfig{
+		Mode:        n.cfg.Prov,
+		Self:        self,
+		Store:       store,
+		Clock:       func() float64 { return n.clock },
+		SampleEvery: n.cfg.SampleEvery,
+	}
+	if n.cfg.AuthProv {
+		if n.cfg.Prov != provenance.ModeLocal {
+			return errors.New("core: AuthProv requires ModeLocal provenance")
+		}
+		tcfg.Signer = n.signer
+	}
+	tracker := provenance.NewTracker(tcfg)
+	eng := engine.New(engine.Config{
+		Self:          name,
+		Authenticated: saysSemantics,
+		Hook:          tracker,
+	})
+	if err := eng.LoadProgram(n.prog); err != nil {
+		return err
+	}
+	n.nodes[name] = &Node{Name: name, Engine: eng, Tracker: tracker, Store: store}
+	n.order = append(n.order, name)
+	n.net.AddNode(name)
+	return nil
+}
+
+// Report summarizes one Run.
+type Report struct {
+	// CompletionTime is the wall-clock time to the distributed fixpoint
+	// (the paper's "query completion time").
+	CompletionTime time.Duration
+	// Rounds is the number of scheduler rounds.
+	Rounds int
+	// Messages and Bytes are the transport totals ("bandwidth usage").
+	Messages int64
+	Bytes    int64
+	// Signed and Verified count signature operations.
+	Signed   int64
+	Verified int64
+	// RejectedSig counts envelopes dropped for bad signatures;
+	// RejectedFilter counts tuples dropped by the trust filter.
+	RejectedSig    int64
+	RejectedFilter int64
+	// Derivations and TuplesStored aggregate engine activity.
+	Derivations  int64
+	TuplesStored int64
+}
+
+// Run drives the network to a distributed fixpoint: every node evaluates
+// to a local fixpoint, exports are shipped, and the loop ends when no
+// exports or queued work remain. maxRounds bounds the loop (0 = 1e6).
+func (n *Network) Run(maxRounds int) (*Report, error) {
+	if maxRounds <= 0 {
+		maxRounds = 1000000
+	}
+	start := time.Now()
+	rounds := 0
+	for {
+		rounds++
+		if rounds > maxRounds {
+			return n.report(start, rounds), ErrNoFixpoint
+		}
+		progress := false
+		for _, name := range n.order {
+			node := n.nodes[name]
+			for _, ex := range node.Engine.RunToFixpoint() {
+				payload, err := n.seal(name, ex)
+				if err != nil {
+					return nil, err
+				}
+				if err := n.net.Send(name, ex.Dest, payload); err != nil {
+					return nil, err
+				}
+				progress = true
+			}
+		}
+		for _, name := range n.order {
+			for _, msg := range n.net.Drain(name) {
+				if err := n.receive(name, msg); err != nil {
+					return nil, err
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	return n.report(start, rounds), nil
+}
+
+// seal wraps an engine export into a signed envelope.
+func (n *Network) seal(from string, ex engine.Export) ([]byte, error) {
+	node := n.nodes[from]
+	env := &Envelope{
+		From:     from,
+		Tuple:    ex.Tuple,
+		ProvMode: n.cfg.Prov,
+		Prov:     node.Tracker.Export(ex.Tuple, ex.Ann),
+		Scheme:   n.cfg.Auth,
+	}
+	b, err := env.Encode(n.signer)
+	if err != nil {
+		return nil, err
+	}
+	if n.cfg.Auth != auth.SchemeNone {
+		n.signed++
+	}
+	return b, nil
+}
+
+// receive verifies, filters, and imports one message at node name.
+func (n *Network) receive(name string, msg netsim.Message) error {
+	env, err := DecodeEnvelope(msg.Payload)
+	if err != nil {
+		return err
+	}
+	if n.cfg.Auth != auth.SchemeNone {
+		n.checked++
+		if err := env.Verify(n.signer); err != nil {
+			n.rejectedSig++
+			return nil // drop silently, as a router drops unverifiable input
+		}
+	}
+	node := n.nodes[name]
+	if n.cfg.ImportFilter != nil && n.cfg.Prov == provenance.ModeCondensed {
+		ann, err := node.Tracker.Import(env.Tuple, env.Prov)
+		if err != nil {
+			return err
+		}
+		if !n.cfg.ImportFilter(name, env.Tuple, node.Tracker.PolyOf(ann)) {
+			n.rejectedFilter++
+			return nil
+		}
+	}
+	return node.Engine.InsertImported(env.Tuple, env.Prov)
+}
+
+func (n *Network) report(start time.Time, rounds int) *Report {
+	r := &Report{
+		CompletionTime: time.Since(start),
+		Rounds:         rounds,
+		Messages:       n.net.Stats().Messages,
+		Bytes:          n.net.Stats().Bytes,
+		Signed:         n.signed,
+		Verified:       n.checked,
+		RejectedSig:    n.rejectedSig,
+		RejectedFilter: n.rejectedFilter,
+	}
+	for _, node := range n.nodes {
+		r.Derivations += node.Engine.Stats.Derivations
+		r.TuplesStored += node.Engine.Stats.TuplesStored
+	}
+	return r
+}
+
+// --- runtime interaction ---
+
+// Node returns a node's components.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Nodes returns node names in scheduler order.
+func (n *Network) Nodes() []string {
+	out := make([]string, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// Directory exposes the principal directory.
+func (n *Network) Directory() *auth.Directory { return n.dir }
+
+// Tuples returns the live tuples of a predicate at a node.
+func (n *Network) Tuples(node, pred string) []data.Tuple {
+	nd, ok := n.nodes[node]
+	if !ok {
+		return nil
+	}
+	return nd.Engine.Tuples(pred)
+}
+
+// InsertFact inserts a base tuple at a node at the current logical time
+// (run Run afterwards to propagate).
+func (n *Network) InsertFact(node string, t data.Tuple) error {
+	nd, ok := n.nodes[node]
+	if !ok {
+		return fmt.Errorf("core: unknown node %q", node)
+	}
+	nd.Engine.InsertFact(t)
+	return nil
+}
+
+// Clock returns the logical time (seconds).
+func (n *Network) Clock() float64 { return n.clock }
+
+// Advance moves logical time forward by dt seconds, expiring soft state
+// everywhere, dropping the online provenance of expired tuples (offline
+// copies persist, §4.2), and aging out offline provenance.
+func (n *Network) Advance(dt float64) {
+	n.clock += dt
+	for _, name := range n.order {
+		nd := n.nodes[name]
+		nd.Engine.Expire(n.clock)
+		// Online provenance follows its tuples: expired state loses its
+		// online entries; the offline tier keeps them for forensics.
+		for _, key := range nd.Store.Keys() {
+			if e := nd.Store.Get(key); e != nil && !nd.Engine.Has(e.Tuple) {
+				nd.Store.Forget(key)
+			}
+		}
+		nd.Store.AgeOut(n.clock)
+	}
+}
+
+// Resolver exposes all stores to the distributed provenance traceback.
+func (n *Network) Resolver() provenance.Resolver {
+	return provenance.ResolverFunc(func(name string) *provenance.Store {
+		if nd, ok := n.nodes[name]; ok {
+			return nd.Store
+		}
+		return nil
+	})
+}
+
+// DerivationTree returns the derivation tree of a stored tuple. For
+// ModeLocal it is read off the tuple's annotation; for ModeDistributed it
+// is reconstructed by the traceback query; ModeCondensed keeps no trees.
+func (n *Network) DerivationTree(node string, t data.Tuple, opts provenance.QueryOpts) (*provenance.Tree, *provenance.QueryStats, error) {
+	nd, ok := n.nodes[node]
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown node %q", node)
+	}
+	switch n.cfg.Prov {
+	case provenance.ModeLocal:
+		ann := nd.Engine.AnnotationOf(t)
+		tree, ok := ann.(*provenance.Tree)
+		if !ok || tree == nil {
+			return nil, nil, fmt.Errorf("core: no local provenance for %s at %s", t, node)
+		}
+		return tree, &provenance.QueryStats{}, nil
+	case provenance.ModeDistributed:
+		return provenance.Trace(n.Resolver(), node, provenance.KeyOf(t), opts)
+	default:
+		return nil, nil, fmt.Errorf("core: mode %v keeps no derivation trees", n.cfg.Prov)
+	}
+}
+
+// CondensedExpr returns the paper-style <...> condensed provenance
+// annotation of a stored tuple (ModeCondensed).
+func (n *Network) CondensedExpr(node string, t data.Tuple) string {
+	nd, ok := n.nodes[node]
+	if !ok {
+		return ""
+	}
+	return nd.Tracker.ExprOf(nd.Engine.AnnotationOf(t))
+}
+
+// Poly returns the provenance polynomial of a stored tuple
+// (ModeCondensed), for quantifiable-trust evaluation.
+func (n *Network) Poly(node string, t data.Tuple) semiring.Poly {
+	nd, ok := n.nodes[node]
+	if !ok {
+		return semiring.Zero()
+	}
+	return nd.Tracker.PolyOf(nd.Engine.AnnotationOf(t))
+}
+
+// FactPoly returns the provenance polynomial of a logical fact at a node,
+// combining (+) the annotations of every stored assertion of the fact
+// regardless of asserting principal. This produces exactly the paper's
+// Figure 2 annotation for reachable(a,c): node a holds "a says
+// reachable(a,c)" with <a> and "b says reachable(a,c)" with <a*b>, and
+// their union is <a + a*b>, condensing to <a>.
+func (n *Network) FactPoly(node string, t data.Tuple) semiring.Poly {
+	nd, ok := n.nodes[node]
+	if !ok {
+		return semiring.Zero()
+	}
+	sum := semiring.Zero()
+	for _, stored := range nd.Engine.Tuples(t.Pred) {
+		if !stored.WithoutAsserter().Equal(t.WithoutAsserter()) {
+			continue
+		}
+		sum = sum.Add(nd.Tracker.PolyOf(nd.Engine.AnnotationOf(stored)))
+	}
+	return sum
+}
+
+// Transport exposes the simulated network (for traffic inspection).
+func (n *Network) Transport() *netsim.Network { return n.net }

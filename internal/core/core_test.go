@@ -1,0 +1,415 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"provnet/internal/auth"
+	"provnet/internal/data"
+	"provnet/internal/provenance"
+	"provnet/internal/semiring"
+	"provnet/internal/topo"
+)
+
+// paperGraph is the 3-node example of §4: link(a,b), link(a,c), link(b,c).
+func paperGraph() *topo.Graph {
+	return topo.Custom([]topo.Link{
+		{From: "a", To: "b", Cost: 1},
+		{From: "a", To: "c", Cost: 1},
+		{From: "b", To: "c", Cost: 1},
+	})
+}
+
+func mustRun(t *testing.T, cfg Config) (*Network, *Report) {
+	t.Helper()
+	if cfg.KeyBits == 0 {
+		cfg.KeyBits = 512 // small keys keep unit tests fast
+	}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, rep
+}
+
+func TestReachableNDlogPaperTopology(t *testing.T) {
+	n, rep := mustRun(t, Config{Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true})
+	got := n.Tuples("a", "reachable")
+	if len(got) != 2 {
+		t.Fatalf("a reachable = %v", got)
+	}
+	if rep.Messages == 0 || rep.Bytes == 0 {
+		t.Error("distributed run must exchange messages")
+	}
+	if n.Tuples("c", "reachable") != nil {
+		t.Error("c reaches nothing")
+	}
+}
+
+func TestReachableMatchesOracleOnRandomGraphs(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g := topo.RandomConnected(topo.Options{N: 12, AvgOutDegree: 3, Seed: seed})
+		n, _ := mustRun(t, Config{Source: ReachableNDlog, Graph: g, LinkNoCost: true})
+		for _, src := range g.Nodes {
+			want := g.Reachable(src)
+			got := n.Tuples(src, "reachable")
+			if len(got) != len(want) {
+				t.Fatalf("seed %d node %s: reachable %d tuples, oracle %d", seed, src, len(got), len(want))
+			}
+			for _, tu := range got {
+				if !want[tu.Args[1].Str] {
+					t.Fatalf("seed %d: spurious %v", seed, tu)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure1DerivationTree(t *testing.T) {
+	// Figure 1: the NDlog derivation tree for reachable(a,c), with local
+	// provenance so node a holds the complete tree.
+	n, _ := mustRun(t, Config{
+		Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true,
+		Prov: provenance.ModeLocal,
+	})
+	target := data.NewTuple("reachable", data.Str("a"), data.Str("c"))
+	tree, _, err := n.DerivationTree("a", target, provenance.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two alternative derivations: r1 from link(a,c) and (via the
+	// localization rewrite of r2) from link(a,b) ⋈ reachable(b,c).
+	if len(tree.Derivs) != 2 {
+		t.Fatalf("derivations = %d\n%s", len(tree.Derivs), tree.Render(nil))
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != 3 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+	for _, l := range leaves {
+		if l.Pred != "link" {
+			t.Errorf("leaf %v should be a base link", l)
+		}
+	}
+	rendered := tree.Render(nil)
+	if !strings.Contains(rendered, "union") {
+		t.Errorf("figure 1 tree should show a union:\n%s", rendered)
+	}
+}
+
+func TestFigure2CondensedProvenance(t *testing.T) {
+	// Figure 2: the SeNDlog derivation of reachable(a,c) carries the
+	// condensed annotation <a+a*b> → <a>.
+	n, _ := mustRun(t, Config{
+		Source: ReachableSeNDlog, Graph: paperGraph(), LinkNoCost: true,
+		Auth: auth.SchemeRSA, Prov: provenance.ModeCondensed,
+	})
+	target := data.NewTuple("reachable", data.Str("a"), data.Str("c")).Says("a")
+	if got := n.CondensedExpr("a", target); got != "<a>" {
+		t.Fatalf("condensed provenance = %q, want <a>", got)
+	}
+	// The same fact as asserted by b (derived at b via s3 from a's linkD
+	// and b's own reachable) carries the product <a*b>.
+	viaB := data.NewTuple("reachable", data.Str("a"), data.Str("c")).Says("b")
+	if got := n.CondensedExpr("a", viaB); got != "<a*b>" {
+		t.Fatalf("b-asserted condensed provenance = %q, want <a*b>", got)
+	}
+	// Unioning both assertions of the fact yields the paper's uncondensed
+	// annotation a + a*b, which condenses to a.
+	union := n.FactPoly("a", target.WithoutAsserter())
+	if got := union.String(); got != "a + a*b" {
+		t.Fatalf("fact poly = %q, want a + a*b", got)
+	}
+	// Quantifiable provenance (§4.5): with level(a)=2 the trust is 2.
+	p := n.Poly("a", target)
+	levels := map[string]int64{"a": 2, "b": 1}
+	trust := semiring.Eval[int64](p, semiring.Trust{}, func(v string) int64 { return levels[v] })
+	if trust != 2 {
+		t.Errorf("trust = %d, want 2", trust)
+	}
+}
+
+func TestBestPathMatchesDijkstra(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := topo.RandomConnected(topo.Options{N: 10, AvgOutDegree: 3, MaxCost: 10, Seed: seed})
+		n, _ := mustRun(t, Config{Source: BestPath, Graph: g})
+		for _, src := range g.Nodes {
+			want := g.Dijkstra(src)
+			got := map[string]int64{}
+			for _, bp := range n.Tuples(src, "bestPath") {
+				got[bp.Args[1].Str] = bp.Args[3].AsInt()
+			}
+			for dst, cost := range want {
+				if dst == src {
+					continue
+				}
+				if got[dst] != cost {
+					t.Fatalf("seed %d: bestPath(%s,%s) = %d, oracle %d", seed, src, dst, got[dst], cost)
+				}
+			}
+		}
+	}
+}
+
+func TestBestPathPathsAreValid(t *testing.T) {
+	g := topo.RandomConnected(topo.Options{N: 8, AvgOutDegree: 3, MaxCost: 5, Seed: 9})
+	n, _ := mustRun(t, Config{Source: BestPath, Graph: g})
+	adj := g.Adjacency()
+	for _, src := range g.Nodes {
+		for _, bp := range n.Tuples(src, "bestPath") {
+			path := bp.Args[2].List
+			cost := bp.Args[3].AsInt()
+			if path[0].Str != src || path[len(path)-1].Str != bp.Args[1].Str {
+				t.Fatalf("path endpoints wrong: %v", bp)
+			}
+			var sum int64
+			for i := 0; i+1 < len(path); i++ {
+				c, ok := adj[path[i].Str][path[i+1].Str]
+				if !ok {
+					t.Fatalf("path uses missing link %s->%s: %v", path[i].Str, path[i+1].Str, bp)
+				}
+				sum += c
+			}
+			if sum != cost {
+				t.Fatalf("path cost %d != claimed %d: %v", sum, cost, bp)
+			}
+		}
+	}
+}
+
+func TestVariantsAgreeOnResults(t *testing.T) {
+	g := topo.RandomConnected(topo.Options{N: 8, AvgOutDegree: 3, MaxCost: 10, Seed: 3})
+	costs := make([]map[string]int64, 3)
+	bytes := make([]int64, 3)
+	for i, v := range []Variant{VariantNDlog, VariantSeNDlog, VariantSeNDlogProv} {
+		cfg := VariantConfig(v, BestPath)
+		cfg.Graph = g
+		n, rep := mustRun(t, cfg)
+		bytes[i] = rep.Bytes
+		costs[i] = map[string]int64{}
+		for _, src := range g.Nodes {
+			for _, bp := range n.Tuples(src, "bestPath") {
+				costs[i][src+">"+bp.Args[1].Str] = bp.Args[3].AsInt()
+			}
+		}
+		if v != VariantNDlog && rep.Signed == 0 {
+			t.Errorf("%v must sign messages", v)
+		}
+		if v == VariantNDlog && rep.Signed != 0 {
+			t.Error("NDlog must not sign")
+		}
+	}
+	// All three compute identical best paths.
+	for k, c := range costs[0] {
+		if costs[1][k] != c || costs[2][k] != c {
+			t.Fatalf("variant disagreement on %s: %d/%d/%d", k, c, costs[1][k], costs[2][k])
+		}
+	}
+	// The paper's bandwidth ordering: NDlog < SeNDlog < SeNDlogProv.
+	if !(bytes[0] < bytes[1] && bytes[1] < bytes[2]) {
+		t.Errorf("bandwidth ordering violated: %v", bytes)
+	}
+}
+
+func TestTamperedEnvelopeRejected(t *testing.T) {
+	cfg := Config{Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true,
+		Auth: auth.SchemeRSA, KeyBits: 512}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forge a message: correct format, wrong signature.
+	env := &Envelope{
+		From:   "b",
+		Tuple:  data.NewTuple("reachable", data.Str("a"), data.Str("zz")),
+		Scheme: auth.SchemeRSA,
+	}
+	forged, err := env.Encode(auth.NoneSigner{}) // empty signature
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Transport().Send("b", "a", forged); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RejectedSig != 1 {
+		t.Errorf("rejected = %d, want 1", rep.RejectedSig)
+	}
+	for _, tu := range n.Tuples("a", "reachable") {
+		if tu.Args[1].Str == "zz" {
+			t.Fatal("forged tuple accepted")
+		}
+	}
+}
+
+func TestDistributedTraceThroughCore(t *testing.T) {
+	n, _ := mustRun(t, Config{
+		Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true,
+		Prov: provenance.ModeDistributed,
+	})
+	target := data.NewTuple("reachable", data.Str("a"), data.Str("c"))
+	tree, stats, err := n.DerivationTree("a", target, provenance.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Leaves()) == 0 {
+		t.Fatalf("empty trace:\n%s", tree.Render(nil))
+	}
+	if stats.Messages == 0 {
+		t.Error("distributed trace must cross nodes")
+	}
+}
+
+func TestImportFilterTrustGate(t *testing.T) {
+	// Orchestra-style gating: node a refuses tuples derivable only via
+	// the distrusted principal c.
+	levels := map[string]int64{"a": 2, "b": 2, "c": 0}
+	rejected := 0
+	cfg := Config{
+		Source: ReachableSeNDlog, Graph: paperGraph(), LinkNoCost: true,
+		Auth: auth.SchemeRSA, Prov: provenance.ModeCondensed, KeyBits: 512,
+		Levels: levels,
+		ImportFilter: func(self string, tu data.Tuple, p semiring.Poly) bool {
+			trust := semiring.Eval[int64](p, semiring.Trust{}, func(v string) int64 { return levels[v] })
+			if trust < 1 {
+				rejected++
+				return false
+			}
+			return true
+		},
+	}
+	n, rep := mustRun(t, cfg)
+	_ = n
+	if rep.RejectedFilter != int64(rejected) {
+		t.Errorf("filter count mismatch: %d vs %d", rep.RejectedFilter, rejected)
+	}
+}
+
+func TestSoftStateAcrossNetwork(t *testing.T) {
+	src := `
+materialize(link, 10, infinity, keys(1,2)).
+r1 reachable(@S,D) :- link(@S,D).
+`
+	n, _ := mustRun(t, Config{Source: src, Graph: paperGraph(), LinkNoCost: true})
+	if len(n.Tuples("a", "link")) != 2 {
+		t.Fatal("links live")
+	}
+	n.Advance(20)
+	if len(n.Tuples("a", "link")) != 0 {
+		t.Fatal("links must expire")
+	}
+}
+
+func TestInsertFactAndRerun(t *testing.T) {
+	n, _ := mustRun(t, Config{Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true})
+	// A new link c->a appears at runtime.
+	if err := n.InsertFact("c", data.NewTuple("link", data.Str("c"), data.Str("a"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Now the graph is cyclic: c reaches everything.
+	if got := len(n.Tuples("c", "reachable")); got != 3 {
+		t.Fatalf("c reachable = %d, want 3", got)
+	}
+	if err := n.InsertFact("ghost", data.NewTuple("link", data.Str("g"), data.Str("h"))); err == nil {
+		t.Error("unknown node must fail")
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	if _, err := NewNetwork(Config{Source: "syntax error ..."}); err == nil {
+		t.Error("bad program must fail")
+	}
+	if _, err := NewNetwork(Config{Source: ReachableNDlog}); err == nil {
+		t.Error("no nodes must fail")
+	}
+	if _, err := NewNetwork(Config{Source: ReachableNDlog, ExtraNodes: []string{"a"},
+		AuthProv: true, Prov: provenance.ModeCondensed}); err == nil {
+		t.Error("AuthProv without ModeLocal must fail")
+	}
+	bad := Config{Source: `r1 p(@S,X) :- q(@S,D).`, ExtraNodes: []string{"a"}}
+	if _, err := NewNetwork(bad); err == nil {
+		t.Error("unsafe program must fail")
+	}
+}
+
+func TestAuthenticatedProvenanceEndToEnd(t *testing.T) {
+	// §4.3 through the whole stack: every provenance tree node is signed
+	// by its asserting principal and verified on import.
+	n, rep := mustRun(t, Config{
+		Source: ReachableSeNDlog, Graph: paperGraph(), LinkNoCost: true,
+		Auth: auth.SchemeRSA, Prov: provenance.ModeLocal, AuthProv: true,
+	})
+	if rep.RejectedSig != 0 {
+		t.Fatalf("unexpected rejections: %d", rep.RejectedSig)
+	}
+	// The imported tuple at a ("b says reachable(a,c)") carries a signed
+	// tree whose nodes all verified.
+	target := data.NewTuple("reachable", data.Str("a"), data.Str("c")).Says("b")
+	tree, _, err := n.DerivationTree("a", target, provenance.QueryOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unsigned int
+	var walk func(tr *provenance.Tree)
+	walk = func(tr *provenance.Tree) {
+		if len(tr.Sig) == 0 {
+			unsigned++
+		}
+		for _, d := range tr.Derivs {
+			for _, c := range d.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(tree)
+	if unsigned != 0 {
+		t.Errorf("%d unsigned provenance nodes:\n%s", unsigned, tree.Render(nil))
+	}
+	// The tree's polynomial matches the SeNDlog derivation (a*b for the
+	// b-asserted copy: a's linkD joined with b's own tuple).
+	if got := provenance.TreePoly(tree, "a").String(); got != "a*b" {
+		t.Errorf("tree poly = %q, want a*b", got)
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	_, rep := mustRun(t, Config{Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true})
+	if rep.Rounds <= 0 || rep.CompletionTime <= 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.Derivations == 0 || rep.TuplesStored == 0 {
+		t.Errorf("engine stats missing: %+v", rep)
+	}
+}
+
+func TestVariantStrings(t *testing.T) {
+	if VariantNDlog.String() != "NDlog" || VariantSeNDlog.String() != "SeNDlog" ||
+		VariantSeNDlogProv.String() != "SeNDlogProv" {
+		t.Error("variant names")
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant renders")
+	}
+}
+
+func TestHMACVariant(t *testing.T) {
+	// The cheaper "says" of §2.2: HMAC instead of RSA.
+	cfg := Config{Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true, Auth: auth.SchemeHMAC}
+	n, rep := mustRun(t, cfg)
+	if rep.Signed == 0 || rep.Verified == 0 {
+		t.Error("HMAC messages must be authenticated")
+	}
+	if len(n.Tuples("a", "reachable")) != 2 {
+		t.Error("results unchanged under HMAC")
+	}
+}

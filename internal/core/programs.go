@@ -1,0 +1,93 @@
+package core
+
+import (
+	"provnet/internal/auth"
+	"provnet/internal/provenance"
+)
+
+// Canonical programs from the paper.
+
+// ReachableNDlog is the all-pairs reachability query of §2.1.
+const ReachableNDlog = `
+r1 reachable(@S,D) :- link(@S,D).
+r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+`
+
+// ReachableSeNDlog is the secure variant of §2.2, with Binder-style
+// contexts and says.
+const ReachableSeNDlog = `
+At S:
+  s1 reachable(S,D) :- link(S,D).
+  s2 linkD(D,S)@D :- link(S,D).
+  s3 reachable(Z,Y)@Z :- Z says linkD(S,Z), W says reachable(S,Y).
+`
+
+// BestPath is the evaluation workload of §6: the recursive Best-Path
+// query computing the shortest paths between all pairs of nodes, derived
+// from the all-pairs reachability query with predicates for the actual
+// path, its cost, and rules for selecting the best paths. The
+// aggSelection pragma is the standard aggregate-selection optimization
+// (only paths improving the current minimum propagate).
+const BestPath = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(path, infinity, infinity, keys(1,2,3,4)).
+materialize(spCost, infinity, infinity, keys(1,2)).
+materialize(bestPath, infinity, infinity, keys(1,2)).
+aggSelection(path, keys(1,2), min, 5).
+
+sp1 path(@S,D,D,P,C) :- link(@S,D,C), P = f_init(S,D).
+sp2 path(@S,D,Z,P,C) :- link(@S,Z,C1), path(@Z,D,W,P2,C2), C = C1 + C2,
+    f_member(P2,S) == 0, P = f_concat(S,P2).
+sp3 spCost(@S,D,min<C>) :- path(@S,D,Z,P,C).
+sp4 bestPath(@S,D,P,C) :- spCost(@S,D,C), path(@S,D,Z,P,C).
+`
+
+// DistanceVector is the classic distance-vector routing protocol as an
+// NDlog program (the paper notes traditional routing protocols are "a few
+// lines" in NDlog, §2): each node advertises its best known costs to its
+// neighbours; dvCost converges to the all-pairs shortest path costs.
+const DistanceVector = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(dv, infinity, infinity, keys(1,2,3)).
+materialize(dvCost, infinity, infinity, keys(1,2)).
+aggSelection(dv, keys(1,2), min, 4).
+
+dv1 dv(@S,D,D,C) :- link(@S,D,C).
+dv2 dv(@S,D,Z,C) :- link(@S,Z,C1), dvCost(@Z,D,C2), C = C1 + C2.
+dv3 dvCost(@S,D,min<C>) :- dv(@S,D,Z,C).
+`
+
+// PathVector is the path-vector protocol of BGP (§3 "Trust Management"):
+// route advertisements carry the entire AS path, enabling policy
+// enforcement on the path itself — the protocol the paper cites as
+// provenance avant la lettre. Loops are suppressed with f_member.
+const PathVector = `
+materialize(link, infinity, infinity, keys(1,2)).
+materialize(route, infinity, infinity, keys(1,2,3)).
+materialize(bestRoute, infinity, infinity, keys(1,2)).
+aggSelection(route, keys(1,2), min, 4).
+
+pv1 route(@S,D,P,C) :- link(@S,D,C), P = f_init(S,D).
+pv2 route(@S,D,P,C) :- link(@S,Z,C1), bestRoute(@Z,D,P2,C2),
+    f_member(P2,S) == 0, C = C1 + C2, P = f_concat(S,P2).
+pv3 rCost(@S,D,min<C>) :- route(@S,D,P,C).
+pv4 bestRoute(@S,D,P,C) :- rCost(@S,D,C), route(@S,D,P,C).
+`
+
+// VariantConfig returns the §6 experiment configuration for one of the
+// paper's three system variants, over the given program source.
+func VariantConfig(v Variant, source string) Config {
+	cfg := Config{Source: source}
+	switch v {
+	case VariantNDlog:
+		cfg.Auth = auth.SchemeNone
+		cfg.Prov = provenance.ModeNone
+	case VariantSeNDlog:
+		cfg.Auth = auth.SchemeRSA
+		cfg.Prov = provenance.ModeNone
+	case VariantSeNDlogProv:
+		cfg.Auth = auth.SchemeRSA
+		cfg.Prov = provenance.ModeCondensed
+	}
+	return cfg
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"provnet/internal/data"
+)
+
+func TestParseTuple(t *testing.T) {
+	cases := []struct {
+		in   string
+		want data.Tuple
+	}{
+		{"reachable(a, c)", data.NewTuple("reachable", data.Str("a"), data.Str("c"))},
+		{"link(a,b,3)", data.NewTuple("link", data.Str("a"), data.Str("b"), data.Int(3))},
+		{"metric(n1, 2.5)", data.NewTuple("metric", data.Str("n1"), data.Float(2.5))},
+		{`label(n1, "hello, world")`, data.NewTuple("label", data.Str("n1"), data.Str("hello, world"))},
+		{"path(a, c, [a,b,c], 2)", data.NewTuple("path", data.Str("a"), data.Str("c"), data.Strings("a", "b", "c"), data.Int(2))},
+		{"b says reachable(a, c)", data.NewTuple("reachable", data.Str("a"), data.Str("c")).Says("b")},
+		{"empty()", data.NewTuple("empty")},
+		{"flags(true, false)", data.NewTuple("flags", data.Bool(true), data.Bool(false))},
+		{"nested(p, [[a,b],c])", data.NewTuple("nested", data.Str("p"), data.List(data.Strings("a", "b"), data.Str("c")))},
+	}
+	for _, c := range cases {
+		got, err := ParseTuple(c.in)
+		if err != nil {
+			t.Errorf("ParseTuple(%q): %v", c.in, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseTuple(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseTupleErrors(t *testing.T) {
+	for _, in := range []string{"", "nope", "p(a", "p(a))", `p("unterminated)`, "p([a)"} {
+		if _, err := ParseTuple(in); err == nil {
+			t.Errorf("ParseTuple(%q) should fail", in)
+		}
+	}
+}
+
+func TestParseTupleRoundTripsWithString(t *testing.T) {
+	orig := data.NewTuple("path", data.Str("a"), data.Str("c"), data.Strings("a", "b"), data.Int(7)).Says("x")
+	got, err := ParseTuple(orig.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(orig) {
+		t.Errorf("round trip: %v != %v", got, orig)
+	}
+}

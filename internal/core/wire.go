@@ -1,0 +1,115 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"provnet/internal/auth"
+	"provnet/internal/data"
+	"provnet/internal/provenance"
+)
+
+// Envelope is the on-the-wire unit: one derived tuple shipped to another
+// node, with its provenance payload and the sender's signature. Its
+// encoded size is what the bandwidth metrics charge, so the envelope
+// carries exactly what the paper's modified P2 shipped: the tuple, the
+// (optional) condensed or full provenance, and the (optional) RSA
+// signature.
+type Envelope struct {
+	// From is the sending node / principal.
+	From string
+	// Tuple is the shipped fact.
+	Tuple data.Tuple
+	// ProvMode tags the provenance payload encoding.
+	ProvMode provenance.Mode
+	// Prov is the mode-specific provenance payload (may be empty).
+	Prov []byte
+	// Scheme identifies the says implementation used.
+	Scheme auth.Scheme
+	// Sig authenticates everything before it, signed by From.
+	Sig []byte
+}
+
+const wireVersion = 1
+
+// Errors from envelope decoding and verification.
+var (
+	ErrBadEnvelope = errors.New("core: bad envelope")
+)
+
+// signedPrefix encodes the authenticated portion of the envelope.
+func (e *Envelope) signedPrefix() []byte {
+	b := []byte{wireVersion}
+	b = data.AppendString(b, e.From)
+	b = data.AppendTuple(b, e.Tuple)
+	b = append(b, byte(e.ProvMode))
+	b = data.AppendBytes(b, e.Prov)
+	b = append(b, byte(e.Scheme))
+	return b
+}
+
+// Encode serializes the envelope, signing it with signer when the scheme
+// requires it.
+func (e *Envelope) Encode(signer auth.Signer) ([]byte, error) {
+	prefix := e.signedPrefix()
+	sig, err := signer.Sign(e.From, prefix)
+	if err != nil {
+		return nil, fmt.Errorf("core: signing envelope from %s: %w", e.From, err)
+	}
+	e.Sig = sig
+	return data.AppendBytes(prefix, sig), nil
+}
+
+// DecodeEnvelope parses an envelope without verifying it.
+func DecodeEnvelope(b []byte) (*Envelope, error) {
+	if len(b) < 2 || b[0] != wireVersion {
+		return nil, fmt.Errorf("%w: version", ErrBadEnvelope)
+	}
+	n := 1
+	from, m, err := data.DecodeString(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: from: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	tu, m, err := data.DecodeTuple(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: tuple: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	if n >= len(b) {
+		return nil, fmt.Errorf("%w: truncated", ErrBadEnvelope)
+	}
+	mode := provenance.Mode(b[n])
+	n++
+	prov, m, err := data.DecodeBytes(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: provenance: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	if n >= len(b) {
+		return nil, fmt.Errorf("%w: truncated scheme", ErrBadEnvelope)
+	}
+	scheme := auth.Scheme(b[n])
+	n++
+	sig, m, err := data.DecodeBytes(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: sig: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	if n != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEnvelope, len(b)-n)
+	}
+	env := &Envelope{From: from, Tuple: tu, ProvMode: mode, Scheme: scheme}
+	if len(prov) > 0 {
+		env.Prov = append([]byte{}, prov...)
+	}
+	if len(sig) > 0 {
+		env.Sig = append([]byte{}, sig...)
+	}
+	return env, nil
+}
+
+// Verify checks the envelope signature against the sender's identity.
+func (e *Envelope) Verify(verifier auth.Signer) error {
+	return verifier.Verify(e.From, e.signedPrefix(), e.Sig)
+}

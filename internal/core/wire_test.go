@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"provnet/internal/auth"
+	"provnet/internal/data"
+	"provnet/internal/provenance"
+)
+
+func testSigner(t *testing.T) auth.Signer {
+	t.Helper()
+	dir := auth.NewDeterministicDirectory(11)
+	dir.SetKeyBits(512)
+	for _, p := range []string{"a", "b"} {
+		if err := dir.AddPrincipal(p, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return auth.NewRSASigner(dir)
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	signer := testSigner(t)
+	env := &Envelope{
+		From:     "a",
+		Tuple:    data.NewTuple("path", data.Str("a"), data.Str("c"), data.Strings("a", "b", "c"), data.Int(2)).Says("a"),
+		ProvMode: provenance.ModeCondensed,
+		Prov:     []byte{9, 8, 7},
+		Scheme:   auth.SchemeRSA,
+	}
+	b, err := env.Encode(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "a" || !got.Tuple.Equal(env.Tuple) || got.ProvMode != provenance.ModeCondensed {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if string(got.Prov) != string(env.Prov) {
+		t.Error("prov payload mismatch")
+	}
+	if err := got.Verify(signer); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestEnvelopeNoneSchemeRoundTrip(t *testing.T) {
+	env := &Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeNone}
+	b, err := env.Encode(auth.NoneSigner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sig) != 0 {
+		t.Error("none scheme has no signature")
+	}
+	if err := got.Verify(auth.NoneSigner{}); err != nil {
+		t.Error("none verify must pass")
+	}
+}
+
+func TestEnvelopeTamperDetection(t *testing.T) {
+	signer := testSigner(t)
+	env := &Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeRSA}
+	b, err := env.Encode(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := DecodeEnvelope(b)
+
+	// Wrong claimed sender.
+	got.From = "b"
+	if err := got.Verify(signer); err == nil {
+		t.Error("sender substitution must fail verification")
+	}
+	// Tampered tuple.
+	got2, _ := DecodeEnvelope(b)
+	got2.Tuple = data.NewTuple("p", data.Int(2))
+	if err := got2.Verify(signer); err == nil {
+		t.Error("tuple tampering must fail verification")
+	}
+	// Tampered provenance payload.
+	got3, _ := DecodeEnvelope(b)
+	got3.Prov = []byte{1}
+	if err := got3.Verify(signer); err == nil {
+		t.Error("provenance tampering must fail verification")
+	}
+}
+
+func TestDecodeEnvelopeErrors(t *testing.T) {
+	if _, err := DecodeEnvelope(nil); err == nil {
+		t.Error("nil must fail")
+	}
+	if _, err := DecodeEnvelope([]byte{99, 0}); err == nil {
+		t.Error("bad version must fail")
+	}
+	signer := testSigner(t)
+	env := &Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeRSA}
+	b, _ := env.Encode(signer)
+	if _, err := DecodeEnvelope(b[:len(b)-1]); err == nil {
+		t.Error("truncation must fail")
+	}
+	if _, err := DecodeEnvelope(append(b, 0)); err == nil {
+		t.Error("trailing bytes must fail")
+	}
+}

@@ -1,0 +1,163 @@
+package data
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Tuple is a fact: a predicate name applied to a list of values. In a
+// SeNDlog network every tuple is asserted by a security principal (the
+// "says" operator); Asserter records that principal, or is empty in plain
+// NDlog mode.
+type Tuple struct {
+	// Pred is the predicate (relation) name, e.g. "link" or "reachable".
+	Pred string
+	// Args are the attribute values.
+	Args []Value
+	// Asserter is the principal that says this tuple ("" when
+	// authentication is disabled).
+	Asserter string
+}
+
+// NewTuple builds a tuple from a predicate name and values.
+func NewTuple(pred string, args ...Value) Tuple {
+	return Tuple{Pred: pred, Args: args}
+}
+
+// Arity returns the number of attributes.
+func (t Tuple) Arity() int { return len(t.Args) }
+
+// Says returns a copy of t asserted by the given principal.
+func (t Tuple) Says(principal string) Tuple {
+	t2 := t
+	t2.Asserter = principal
+	return t2
+}
+
+// WithoutAsserter returns a copy of t with the asserter cleared.
+func (t Tuple) WithoutAsserter() Tuple {
+	t2 := t
+	t2.Asserter = ""
+	return t2
+}
+
+// Equal reports whether two tuples have the same predicate, asserter and
+// pairwise-equal arguments.
+func (t Tuple) Equal(o Tuple) bool {
+	if t.Pred != o.Pred || t.Asserter != o.Asserter || len(t.Args) != len(o.Args) {
+		return false
+	}
+	for i := range t.Args {
+		if !t.Args[i].Equal(o.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical injective string encoding of the tuple, suitable
+// for use as a map key. Tuples are Equal iff their keys are equal.
+func (t Tuple) Key() string {
+	b := make([]byte, 0, 16+8*len(t.Args))
+	b = appendKeyString(b, t.Pred)
+	b = appendKeyString(b, t.Asserter)
+	for _, v := range t.Args {
+		b = v.appendKey(b)
+	}
+	return string(b)
+}
+
+// ValueKey returns a key covering only the projected columns cols, prefixed
+// with the predicate name. It is used for group-by and primary keys.
+func (t Tuple) ValueKey(cols []int) string {
+	b := make([]byte, 0, 16+8*len(cols))
+	b = appendKeyString(b, t.Pred)
+	b = appendKeyString(b, t.Asserter)
+	for _, c := range cols {
+		b = t.Args[c].appendKey(b)
+	}
+	return string(b)
+}
+
+func appendKeyString(b []byte, s string) []byte {
+	b = strconv.AppendInt(b, int64(len(s)), 10)
+	b = append(b, '|')
+	b = append(b, s...)
+	return b
+}
+
+// String renders the tuple as NDlog syntax, prefixed with "P says" when an
+// asserter is present, e.g. `b says reachable(b, c)`.
+func (t Tuple) String() string {
+	var sb strings.Builder
+	if t.Asserter != "" {
+		sb.WriteString(t.Asserter)
+		sb.WriteString(" says ")
+	}
+	sb.WriteString(t.Pred)
+	sb.WriteByte('(')
+	for i, a := range t.Args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(a.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Clone returns a deep copy of the tuple (argument slice and nested lists
+// are copied).
+func (t Tuple) Clone() Tuple {
+	t2 := t
+	t2.Args = cloneValues(t.Args)
+	return t2
+}
+
+func cloneValues(vs []Value) []Value {
+	if vs == nil {
+		return nil
+	}
+	out := make([]Value, len(vs))
+	for i, v := range vs {
+		out[i] = v
+		if v.Kind == KindList {
+			out[i].List = cloneValues(v.List)
+		}
+	}
+	return out
+}
+
+// SortTuples orders tuples by predicate, asserter, then argument order. It
+// is used to produce deterministic output in tools and tests.
+func SortTuples(ts []Tuple) {
+	less := func(a, b Tuple) bool {
+		if a.Pred != b.Pred {
+			return a.Pred < b.Pred
+		}
+		if a.Asserter != b.Asserter {
+			return a.Asserter < b.Asserter
+		}
+		n := len(a.Args)
+		if len(b.Args) < n {
+			n = len(b.Args)
+		}
+		for i := 0; i < n; i++ {
+			if c := a.Args[i].Compare(b.Args[i]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a.Args) < len(b.Args)
+	}
+	insertionSortTuples(ts, less)
+}
+
+func insertionSortTuples(ts []Tuple, less func(a, b Tuple) bool) {
+	// Tuple slices in tools/tests are small; a simple stable sort avoids
+	// pulling in reflection-based sorting for a hot path type.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && less(ts[j], ts[j-1]); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}

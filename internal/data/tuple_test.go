@@ -1,0 +1,101 @@
+package data
+
+import (
+	"testing"
+)
+
+func TestTupleBasics(t *testing.T) {
+	tu := NewTuple("link", Str("a"), Str("b"), Int(1))
+	if tu.Pred != "link" || tu.Arity() != 3 {
+		t.Fatalf("NewTuple = %#v", tu)
+	}
+	if got := tu.String(); got != "link(a, b, 1)" {
+		t.Errorf("String = %q", got)
+	}
+	said := tu.Says("a")
+	if said.Asserter != "a" || tu.Asserter != "" {
+		t.Errorf("Says should not mutate receiver: %#v / %#v", said, tu)
+	}
+	if got := said.String(); got != "a says link(a, b, 1)" {
+		t.Errorf("said String = %q", got)
+	}
+	if said.WithoutAsserter().Asserter != "" {
+		t.Error("WithoutAsserter")
+	}
+}
+
+func TestTupleEqualAndKey(t *testing.T) {
+	a := NewTuple("p", Int(1), Str("x"))
+	b := NewTuple("p", Int(1), Str("x"))
+	c := NewTuple("p", Int(1), Str("y"))
+	d := NewTuple("q", Int(1), Str("x"))
+	e := a.Says("alice")
+
+	if !a.Equal(b) || a.Key() != b.Key() {
+		t.Error("identical tuples must be equal with equal keys")
+	}
+	for _, o := range []Tuple{c, d, e} {
+		if a.Equal(o) {
+			t.Errorf("a should differ from %v", o)
+		}
+		if a.Key() == o.Key() {
+			t.Errorf("key collision between %v and %v", a, o)
+		}
+	}
+}
+
+func TestTupleKeyInjectiveAcrossArity(t *testing.T) {
+	// "p"("ab") vs "pa"("b")-style confusions must not collide.
+	pairs := [][2]Tuple{
+		{NewTuple("p", Str("ab")), NewTuple("pa", Str("b"))},
+		{NewTuple("p", Str("a"), Str("b")), NewTuple("p", Str("ab"))},
+		{NewTuple("p"), NewTuple("p", Str(""))},
+		{NewTuple("p", List(Int(1), Int(2))), NewTuple("p", Int(1), Int(2))},
+	}
+	for _, pr := range pairs {
+		if pr[0].Key() == pr[1].Key() {
+			t.Errorf("key collision: %v vs %v", pr[0], pr[1])
+		}
+	}
+}
+
+func TestValueKeySubset(t *testing.T) {
+	a := NewTuple("path", Str("s"), Str("d"), Int(5))
+	b := NewTuple("path", Str("s"), Str("d"), Int(9))
+	if a.ValueKey([]int{0, 1}) != b.ValueKey([]int{0, 1}) {
+		t.Error("ValueKey over group columns should match")
+	}
+	if a.ValueKey([]int{0, 1, 2}) == b.ValueKey([]int{0, 1, 2}) {
+		t.Error("ValueKey over all columns should differ")
+	}
+}
+
+func TestTupleClone(t *testing.T) {
+	orig := NewTuple("p", List(Str("a"), Str("b")), Int(3))
+	cp := orig.Clone()
+	cp.Args[0].List[0] = Str("zz")
+	cp.Args[1] = Int(99)
+	if orig.Args[0].List[0].Str != "a" {
+		t.Error("Clone must deep-copy nested lists")
+	}
+	if orig.Args[1].Int != 3 {
+		t.Error("Clone must copy args")
+	}
+}
+
+func TestSortTuples(t *testing.T) {
+	ts := []Tuple{
+		NewTuple("b", Int(2)),
+		NewTuple("a", Int(9)),
+		NewTuple("b", Int(1)),
+		NewTuple("a", Int(1), Int(0)),
+		NewTuple("a", Int(1)),
+	}
+	SortTuples(ts)
+	want := []string{"a(1)", "a(1, 0)", "a(9)", "b(1)", "b(2)"}
+	for i, w := range want {
+		if ts[i].String() != w {
+			t.Fatalf("sorted[%d] = %s, want %s", i, ts[i], w)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructors(t *testing.T) {
+	if v := Int(42); v.Kind != KindInt || v.Int != 42 {
+		t.Fatalf("Int(42) = %#v", v)
+	}
+	if v := Str("abc"); v.Kind != KindString || v.Str != "abc" {
+		t.Fatalf("Str = %#v", v)
+	}
+	if v := Float(1.5); v.Kind != KindFloat || v.Float != 1.5 {
+		t.Fatalf("Float = %#v", v)
+	}
+	if v := Bool(true); v.Kind != KindBool || v.Int != 1 {
+		t.Fatalf("Bool(true) = %#v", v)
+	}
+	if v := Bool(false); v.Kind != KindBool || v.Int != 0 {
+		t.Fatalf("Bool(false) = %#v", v)
+	}
+	if v := List(Int(1), Str("x")); v.Kind != KindList || len(v.List) != 2 {
+		t.Fatalf("List = %#v", v)
+	}
+	if v := Strings("a", "b"); v.Kind != KindList || v.List[1].Str != "b" {
+		t.Fatalf("Strings = %#v", v)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(2), Float(2.0), true},
+		{Float(2.5), Int(2), false},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Str("1"), Int(1), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Int(1), false},
+		{List(Int(1), Int(2)), List(Int(1), Int(2)), true},
+		{List(Int(1)), List(Int(1), Int(2)), false},
+		{List(), List(), true},
+		{List(List(Str("x"))), List(List(Str("x"))), true},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: %v.Equal(%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := c.b.Equal(c.a); got != c.want {
+			t.Errorf("case %d (sym): %v.Equal(%v) = %v, want %v", i, c.b, c.a, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	ordered := []Value{
+		Int(-3), Float(-1.5), Int(0), Float(0.5), Int(7),
+		Str("a"), Str("b"), Str("ba"),
+		List(), List(Int(1)), List(Int(1), Int(0)), List(Int(2)),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueIsTrue(t *testing.T) {
+	truthy := []Value{Int(1), Int(-1), Float(0.1), Str("x"), Bool(true), List(Int(0))}
+	falsy := []Value{Int(0), Float(0), Str(""), Bool(false), List()}
+	for _, v := range truthy {
+		if !v.IsTrue() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.IsTrue() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(5), "5"},
+		{Int(-5), "-5"},
+		{Float(2.5), "2.5"},
+		{Str("node1"), "node1"},
+		{Str("Has Space"), `"Has Space"`},
+		{Str(""), `""`},
+		{Bool(true), "true"},
+		{List(Str("a"), Str("b")), "[a,b]"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	vals := []Value{
+		Int(1), Int(2), Int(12), Str("1"), Str("12"), Str(""),
+		Float(1.5), Bool(true), Bool(false),
+		List(), List(Int(1), Int(2)), List(Int(12)), List(Str("ab")), List(Str("a"), Str("b")),
+		List(List(Int(1)), Int(2)), List(List(Int(1), Int(2))),
+	}
+	for i := range vals {
+		for j := range vals {
+			ka, kb := vals[i].Key(), vals[j].Key()
+			if (ka == kb) != vals[i].Equal(vals[j]) {
+				t.Errorf("key collision/divergence: %v vs %v (keys %q, %q)", vals[i], vals[j], ka, kb)
+			}
+		}
+	}
+}
+
+func TestIntFloatKeyAgreement(t *testing.T) {
+	// Equal numeric values must share keys regardless of representation.
+	if Int(7).Key() != Float(7).Key() {
+		t.Errorf("Int(7) and Float(7) keys differ: %q vs %q", Int(7).Key(), Float(7).Key())
+	}
+	if Int(7).Key() == Float(7.5).Key() {
+		t.Errorf("Int(7) and Float(7.5) keys collide")
+	}
+}
+
+func TestAsFloatAsInt(t *testing.T) {
+	if Int(3).AsFloat() != 3.0 {
+		t.Error("Int(3).AsFloat()")
+	}
+	if Float(3.7).AsInt() != 3 {
+		t.Error("Float(3.7).AsInt()")
+	}
+	if !math.IsNaN(Str("x").AsFloat()) {
+		t.Error("Str.AsFloat should be NaN")
+	}
+	if Str("x").AsInt() != 0 {
+		t.Error("Str.AsInt should be 0")
+	}
+	if Bool(true).AsInt() != 1 {
+		t.Error("Bool(true).AsInt()")
+	}
+}
+
+// randomValue generates an arbitrary value with bounded depth for property
+// tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(5)
+	if depth <= 0 && k == 3 {
+		k = 0
+	}
+	switch k {
+	case 0:
+		return Int(r.Int63n(1<<40) - 1<<39)
+	case 1:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return Str(string(b))
+	case 2:
+		return Float(r.NormFloat64() * 100)
+	case 3:
+		n := r.Intn(4)
+		vs := make([]Value, n)
+		for i := range vs {
+			vs[i] = randomValue(r, depth-1)
+		}
+		return List(vs...)
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+func TestQuickCompareConsistentWithEqual(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomValue(rr, 3), randomValue(rr, 3)
+		_ = r
+		return (a.Compare(b) == 0) == a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rr := rand.New(rand.NewSource(seed))
+		a, b := randomValue(rr, 3), randomValue(rr, 3)
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVariable
+	tokNumber
+	tokString
+	tokPunct // one of the punctuation/operator spellings
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	// numeric payload for tokNumber
+	isFloat  bool
+	intVal   int64
+	floatVal float64
+	line     int
+	col      int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return strconv.Quote(t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("datalog: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+// peekRune decodes the rune at the current position, returning size 0 at
+// end of input.
+func (lx *lexer) peekRune() (rune, int) {
+	if lx.pos >= len(lx.src) {
+		return 0, 0
+	}
+	return utf8.DecodeRuneInString(lx.src[lx.pos:])
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and comments (// line and /* block */).
+func (lx *lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '%': // P2-style % comments
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			startLine, startCol := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos+1 < len(lx.src) {
+				if lx.peekByte() == '*' && lx.src[lx.pos+1] == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &SyntaxError{Line: startLine, Col: startCol, Msg: "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// punctuation spellings, longest first so the scanner is greedy.
+var puncts = []string{
+	":-", "==", "!=", "<=", ">=", "&&", "||", ":=",
+	"(", ")", ",", ".", "@", "=", "<", ">", "+", "-", "*", "/", ":", "!", "[", "]",
+}
+
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return token{}, err
+	}
+	startLine, startCol := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: startLine, col: startCol}, nil
+	}
+	c := lx.peekByte()
+
+	// String literal.
+	if c == '"' {
+		lx.advance()
+		var sb strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: "unterminated string"}
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if lx.pos >= len(lx.src) {
+					return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: "unterminated escape"}
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(esc)
+				default:
+					return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: fmt.Sprintf("bad escape \\%c", esc)}
+				}
+				continue
+			}
+			sb.WriteByte(ch)
+		}
+		return token{kind: tokString, text: sb.String(), line: startLine, col: startCol}, nil
+	}
+
+	// Number.
+	if c >= '0' && c <= '9' {
+		start := lx.pos
+		isFloat := false
+		for lx.pos < len(lx.src) {
+			ch := lx.peekByte()
+			if ch >= '0' && ch <= '9' {
+				lx.advance()
+				continue
+			}
+			if ch == '.' && !isFloat && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+				isFloat = true
+				lx.advance()
+				continue
+			}
+			break
+		}
+		text := lx.src[start:lx.pos]
+		tok := token{kind: tokNumber, text: text, isFloat: isFloat, line: startLine, col: startCol}
+		if isFloat {
+			f, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: "bad number " + text}
+			}
+			tok.floatVal = f
+		} else {
+			i, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return token{}, &SyntaxError{Line: startLine, Col: startCol, Msg: "bad number " + text}
+			}
+			tok.intVal = i
+		}
+		return tok, nil
+	}
+
+	// Identifier or variable (full UTF-8 identifiers supported).
+	if r, _ := lx.peekRune(); isIdentStart(r) {
+		start := lx.pos
+		first := r
+		for {
+			r, sz := lx.peekRune()
+			if sz == 0 || !isIdentCont(r) {
+				break
+			}
+			for i := 0; i < sz; i++ {
+				lx.advance()
+			}
+		}
+		text := lx.src[start:lx.pos]
+		kind := tokIdent
+		if text == "_" || unicode.IsUpper(first) {
+			kind = tokVariable
+		}
+		return token{kind: kind, text: text, line: startLine, col: startCol}, nil
+	}
+
+	// Punctuation.
+	for _, p := range puncts {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			for range p {
+				lx.advance()
+			}
+			return token{kind: tokPunct, text: p, line: startLine, col: startCol}, nil
+		}
+	}
+	return token{}, lx.errorf("unexpected character %q", string(c))
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// lexAll tokenizes the whole input (used by the parser and by tests).
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var out []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

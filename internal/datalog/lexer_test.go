@@ -1,0 +1,111 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lexAll(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexerTokenKinds(t *testing.T) {
+	toks := kinds(t, `r1 reachable(@S, D) :- link(@S, "x y"), C = 3 + 4.5, _.`)
+	var got []tokenKind
+	for _, tk := range toks {
+		got = append(got, tk.kind)
+	}
+	want := []tokenKind{
+		tokIdent, tokIdent, tokPunct, tokPunct, tokVariable, tokPunct, tokVariable, tokPunct,
+		tokPunct, tokIdent, tokPunct, tokPunct, tokVariable, tokPunct, tokString, tokPunct, tokPunct,
+		tokVariable, tokPunct, tokNumber, tokPunct, tokNumber, tokPunct, tokVariable, tokPunct,
+		tokEOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d (%s) kind = %d, want %d", i, toks[i], got[i], want[i])
+		}
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	toks := kinds(t, "42 3.75 0 10.0")
+	if toks[0].intVal != 42 || toks[0].isFloat {
+		t.Error("42")
+	}
+	if !toks[1].isFloat || toks[1].floatVal != 3.75 {
+		t.Error("3.75")
+	}
+	if toks[3].floatVal != 10.0 || !toks[3].isFloat {
+		t.Error("10.0")
+	}
+	// A trailing period after digits is clause punctuation, not a float.
+	toks = kinds(t, "p(1).")
+	if toks[2].kind != tokNumber || toks[2].isFloat {
+		t.Errorf("1 should be int: %v", toks[2])
+	}
+	if toks[4].kind != tokPunct || toks[4].text != "." {
+		t.Errorf("expected period, got %v", toks[4])
+	}
+}
+
+func TestLexerStringEscapes(t *testing.T) {
+	toks := kinds(t, `"a\nb\t\"c\\"`)
+	if toks[0].text != "a\nb\t\"c\\" {
+		t.Errorf("escapes = %q", toks[0].text)
+	}
+	if _, err := lexAll(`"bad \q escape"`); err == nil {
+		t.Error("bad escape must fail")
+	}
+	if _, err := lexAll(`"unterminated \`); err == nil {
+		t.Error("unterminated escape must fail")
+	}
+}
+
+func TestLexerGreedyPunct(t *testing.T) {
+	toks := kinds(t, ":- == != <= >= && || := < = :")
+	want := []string{":-", "==", "!=", "<=", ">=", "&&", "||", ":=", "<", "=", ":"}
+	for i, w := range want {
+		if toks[i].text != w {
+			t.Errorf("punct %d = %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestLexerCommentsAndPositions(t *testing.T) {
+	toks := kinds(t, "// c1\n% c2\n/* c3\nc4 */ abc")
+	if toks[0].kind != tokIdent || toks[0].text != "abc" {
+		t.Fatalf("token = %v", toks[0])
+	}
+	if toks[0].line != 4 {
+		t.Errorf("line = %d, want 4", toks[0].line)
+	}
+	if _, err := lexAll("@@@ \x01"); err == nil {
+		t.Error("control char must fail")
+	}
+}
+
+func TestLexerUnicodeIdentifiers(t *testing.T) {
+	toks := kinds(t, "réseau Ŝource")
+	if toks[0].kind != tokIdent {
+		t.Errorf("lowercase unicode ident: %v", toks[0])
+	}
+	if toks[1].kind != tokVariable {
+		t.Errorf("uppercase unicode variable: %v", toks[1])
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	err := &SyntaxError{Line: 3, Col: 7, Msg: "boom"}
+	if !strings.Contains(err.Error(), "3:7") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error = %q", err.Error())
+	}
+}

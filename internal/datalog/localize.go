@@ -1,0 +1,200 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// Localize applies the localization rewrite of declarative networking (Loo
+// et al., SIGMOD 2006; paper §2.2) to NDlog rules whose bodies span more
+// than one location. The result is an equivalent program in which every
+// rule body is evaluated at a single node, with intermediate "shipping"
+// predicates carrying bindings between locations.
+//
+// The canonical example is the transitive-closure rule
+//
+//	r2 reachable(@S,D) :- link(@S,Z), reachable(@Z,D).
+//
+// whose body spans S and Z. It rewrites to
+//
+//	r2_l1 reachable_r2_tmp1(@Z,S) :- link(@S,Z).
+//	r2    reachable(@S,D) :- reachable_r2_tmp1(@Z,S), reachable(@Z,D).
+//
+// where the first rule ships link bindings to Z and the second evaluates
+// entirely at Z, exporting its head back to S.
+//
+// SeNDlog rules are localized by construction (bodies have no location
+// specifiers) and pass through unchanged.
+func Localize(prog *Program) (*Program, error) {
+	out := &Program{
+		Facts:       prog.Facts,
+		Materialize: prog.Materialize,
+		Prunes:      prog.Prunes,
+	}
+	for _, r := range prog.Rules {
+		rules, err := localizeRule(r)
+		if err != nil {
+			return nil, err
+		}
+		out.Rules = append(out.Rules, rules...)
+	}
+	return out, nil
+}
+
+// locGroup is a run of body atoms sharing one location term.
+type locGroup struct {
+	key   string // canonical spelling of the location term
+	term  Term
+	atoms []*BodyAtom
+}
+
+func localizeRule(r *Rule) ([]*Rule, error) {
+	if r.IsSeNDlog() {
+		return []*Rule{r}, nil
+	}
+	var atoms []*BodyAtom
+	var rest []Literal // assignments and conditions, kept in order
+	for _, l := range r.Body {
+		if l.Kind == LitAtom {
+			atoms = append(atoms, l.Atom)
+		} else {
+			rest = append(rest, l)
+		}
+	}
+	// Group atoms by location term, preserving first-appearance order.
+	var groups []*locGroup
+	byKey := map[string]*locGroup{}
+	for _, a := range atoms {
+		lt := a.Args[a.LocIdx]
+		key := lt.String()
+		g, ok := byKey[key]
+		if !ok {
+			g = &locGroup{key: key, term: lt}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		g.atoms = append(g.atoms, a)
+	}
+	if len(groups) <= 1 {
+		return []*Rule{r}, nil
+	}
+
+	// Variables needed by groups i.. plus the rule tail and head.
+	neededFrom := make([]map[string]bool, len(groups)+1)
+	neededFrom[len(groups)] = map[string]bool{}
+	for _, l := range rest {
+		for _, v := range exprVars(l.Expr) {
+			neededFrom[len(groups)][v] = true
+		}
+	}
+	for _, v := range headVars(&r.Head) {
+		neededFrom[len(groups)][v] = true
+	}
+	if v, ok := r.Head.Args[r.Head.LocIdx].(Variable); ok {
+		neededFrom[len(groups)][v.Name] = true
+	}
+	for i := len(groups) - 1; i >= 0; i-- {
+		m := map[string]bool{}
+		for k := range neededFrom[i+1] {
+			m[k] = true
+		}
+		for _, a := range groups[i].atoms {
+			for _, v := range atomVars(a) {
+				m[v] = true
+			}
+		}
+		neededFrom[i] = m
+	}
+
+	var outRules []*Rule
+	cur := groups[0].atoms
+	accVars := []string{}
+	accSet := map[string]bool{}
+	addVars := func(vs []string) {
+		for _, v := range vs {
+			if !accSet[v] {
+				accSet[v] = true
+				accVars = append(accVars, v)
+			}
+		}
+	}
+	for _, a := range cur {
+		addVars(atomVars(a))
+	}
+
+	for i := 1; i < len(groups); i++ {
+		g := groups[i]
+		// The shipping destination must be derivable from current
+		// bindings.
+		if v, ok := g.term.(Variable); ok && !accSet[v.Name] {
+			return nil, fmt.Errorf("datalog: line %d: rule %s: cannot localize: location %s is not bound before it is needed", r.Line, ruleName(r), v.Name)
+		}
+		// Project the accumulated variables still needed downstream.
+		var proj []string
+		for _, v := range accVars {
+			if neededFrom[i][v] {
+				proj = append(proj, v)
+			}
+		}
+		tmpPred := fmt.Sprintf("%s_%s_tmp%d", r.Head.Pred, ruleTag(r), i)
+		// Shipping rule: tmp(@Dest, proj...) :- current atoms.
+		tmpHeadArgs := make([]Term, 0, len(proj)+1)
+		tmpHeadArgs = append(tmpHeadArgs, g.term)
+		for _, v := range proj {
+			tmpHeadArgs = append(tmpHeadArgs, Variable{Name: v})
+		}
+		ship := &Rule{
+			Label: fmt.Sprintf("%s_l%d", ruleTag(r), i),
+			Head:  Atom{Pred: tmpPred, Args: tmpHeadArgs, LocIdx: 0, AggIdx: -1},
+			Line:  r.Line,
+		}
+		for _, a := range cur {
+			ship.Body = append(ship.Body, Literal{Kind: LitAtom, Atom: a})
+		}
+		outRules = append(outRules, ship)
+
+		// Continue with the shipped predicate joined against this group.
+		tmpAtom := &BodyAtom{Pred: tmpPred, Args: tmpHeadArgs, LocIdx: 0}
+		cur = append([]*BodyAtom{tmpAtom}, g.atoms...)
+		addVars(proj)
+		for _, a := range g.atoms {
+			addVars(atomVars(a))
+		}
+	}
+
+	final := &Rule{
+		Label: r.Label,
+		Head:  r.Head,
+		Line:  r.Line,
+	}
+	for _, a := range cur {
+		final.Body = append(final.Body, Literal{Kind: LitAtom, Atom: a})
+	}
+	final.Body = append(final.Body, rest...)
+	outRules = append(outRules, final)
+	return outRules, nil
+}
+
+func ruleTag(r *Rule) string {
+	if r.Label != "" {
+		return r.Label
+	}
+	return fmt.Sprintf("line%d", r.Line)
+}
+
+// BodyLocations returns the distinct location-term spellings in a rule
+// body (for tests and diagnostics).
+func BodyLocations(r *Rule) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range r.Body {
+		if l.Kind != LitAtom || l.Atom.LocIdx < 0 {
+			continue
+		}
+		k := l.Atom.Args[l.Atom.LocIdx].String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}

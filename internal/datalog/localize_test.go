@@ -1,0 +1,148 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLocalizeSingleLocationUnchanged(t *testing.T) {
+	prog := MustParse(`r1 reachable(@S,D) :- link(@S,D).`)
+	out, err := Localize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rules) != 1 || out.Rules[0] != prog.Rules[0] {
+		t.Errorf("single-location rule should pass through unchanged")
+	}
+}
+
+func TestLocalizeTransitiveClosure(t *testing.T) {
+	prog := MustParse(reachableNDlog)
+	out, err := Localize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// r1 unchanged; r2 splits into a shipping rule plus a local rule.
+	if len(out.Rules) != 3 {
+		t.Fatalf("rules after localize = %d:\n%s", len(out.Rules), out)
+	}
+	ship := out.Rules[1]
+	local := out.Rules[2]
+	// The shipping rule sends link bindings to Z.
+	if ship.Head.LocIdx != 0 {
+		t.Errorf("ship head loc = %d", ship.Head.LocIdx)
+	}
+	if v, ok := ship.Head.Args[0].(Variable); !ok || v.Name != "Z" {
+		t.Errorf("ship destination = %v", ship.Head.Args[0])
+	}
+	if len(ship.Body) != 1 || ship.Body[0].Atom.Pred != "link" {
+		t.Errorf("ship body = %v", ship.Body)
+	}
+	// The local rule evaluates at Z only.
+	locs := BodyLocations(local)
+	if len(locs) != 1 || locs[0] != "Z" {
+		t.Errorf("local rule locations = %v\n%s", locs, local)
+	}
+	if local.Head.Pred != "reachable" {
+		t.Errorf("local head = %s", local.Head.Pred)
+	}
+	// Both derived rules must be safe.
+	if err := Validate(out); err != nil {
+		t.Errorf("Validate after localize: %v", err)
+	}
+}
+
+func TestLocalizeKeepsAssignsAndConds(t *testing.T) {
+	prog := MustParse(`
+sp2 path(@S,D,Z,P,C) :- link(@S,Z,C1), path(@Z,D,W,P2,C2), C = C1 + C2,
+    f_member(P2,S) == 0, P = f_concat(S,P2).
+`)
+	out, err := Localize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rules) != 2 {
+		t.Fatalf("rules = %d", len(out.Rules))
+	}
+	final := out.Rules[1]
+	var kinds []LiteralKind
+	for _, l := range final.Body {
+		kinds = append(kinds, l.Kind)
+	}
+	// tmp atom + path atom + assign + cond + assign.
+	want := []LiteralKind{LitAtom, LitAtom, LitAssign, LitCond, LitAssign}
+	if len(kinds) != len(want) {
+		t.Fatalf("final body = %v", final.Body)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("final body[%d] = %s (kind %d, want %d)", i, final.Body[i], kinds[i], want[i])
+		}
+	}
+	// The shipping rule must carry C1 (needed by the assignment) and S.
+	ship := out.Rules[0]
+	shipStr := ship.String()
+	for _, v := range []string{"C1", "S"} {
+		if !strings.Contains(shipStr, v) {
+			t.Errorf("shipping rule %s must carry %s", shipStr, v)
+		}
+	}
+	if err := Validate(out); err != nil {
+		t.Errorf("Validate after localize: %v", err)
+	}
+}
+
+func TestLocalizeThreeLocations(t *testing.T) {
+	prog := MustParse(`r t(@X,W) :- a(@X,Y), b(@Y,Z), c(@Z,W).`)
+	out, err := Localize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rules) != 3 {
+		t.Fatalf("rules = %d:\n%s", len(out.Rules), out)
+	}
+	for i, r := range out.Rules {
+		if locs := BodyLocations(r); len(locs) != 1 {
+			t.Errorf("rule %d body spans %v", i, locs)
+		}
+	}
+	if err := Validate(out); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestLocalizeUnreachableLocationFails(t *testing.T) {
+	// Y's location never appears in the first group's bindings.
+	prog := MustParse(`r t(@X,W) :- a(@X,X2), b(@Y,W).`)
+	_, err := Localize(prog)
+	if err == nil || !strings.Contains(err.Error(), "cannot localize") {
+		t.Fatalf("expected localization failure, got %v", err)
+	}
+}
+
+func TestLocalizeSeNDlogPassThrough(t *testing.T) {
+	prog := MustParse(reachableSeNDlog)
+	out, err := Localize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rules) != len(prog.Rules) {
+		t.Errorf("SeNDlog rules must pass through unchanged")
+	}
+}
+
+func TestLocalizePreservesDecls(t *testing.T) {
+	prog := MustParse(`
+materialize(link, infinity, infinity, keys(1,2)).
+aggSelection(path, keys(1,2), min, 5).
+link(@a,b).
+r1 reachable(@S,D) :- link(@S,D).
+`)
+	out, err := Localize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Materialize["link"] == nil || len(out.Prunes) != 1 || len(out.Facts) != 1 {
+		t.Error("Localize must preserve declarations and facts")
+	}
+}

@@ -1,0 +1,747 @@
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"provnet/internal/data"
+)
+
+// Parse parses an NDlog/SeNDlog program from source text.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{Materialize: make(map[string]*MaterializeDecl)}
+	for !p.at(tokEOF) {
+		if err := p.clause(prog); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error; for tests and embedded
+// programs.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	// ctx is the current SeNDlog At-context (nil outside At blocks).
+	ctx Term
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) peek() token {
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) at(kind tokenKind) bool { return p.cur().kind == kind }
+
+func (p *parser) atPunct(text string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == text
+}
+
+func (p *parser) advance() token {
+	t := p.cur()
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) acceptPunct(text string) bool {
+	if p.atPunct(text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	t := p.cur()
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectPunct(text string) error {
+	if !p.acceptPunct(text) {
+		return p.errorf("expected %q, found %s", text, p.cur())
+	}
+	return nil
+}
+
+// clause parses one top-level construct.
+func (p *parser) clause(prog *Program) error {
+	t := p.cur()
+	// At <term> : — context switch.
+	if t.kind == tokVariable && t.text == "At" || t.kind == tokIdent && t.text == "at" {
+		return p.atBlock()
+	}
+	if t.kind == tokIdent {
+		switch t.text {
+		case "materialize":
+			return p.materialize(prog)
+		case "aggSelection":
+			return p.aggSelection(prog)
+		}
+	}
+	return p.ruleOrFact(prog)
+}
+
+// atBlock parses "At S:" and switches the parser context.
+func (p *parser) atBlock() error {
+	p.advance() // At
+	term, err := p.term()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return err
+	}
+	p.ctx = term
+	return nil
+}
+
+// materialize parses materialize(pred, ttl, maxSize, keys(...)).
+func (p *parser) materialize(prog *Program) error {
+	p.advance() // materialize
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	if !p.at(tokIdent) {
+		return p.errorf("expected predicate name, found %s", p.cur())
+	}
+	pred := p.advance().text
+	if err := p.expectPunct(","); err != nil {
+		return err
+	}
+	ttl, err := p.ttlValue()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return err
+	}
+	size, err := p.sizeValue()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return err
+	}
+	cols, err := p.keysClause()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("."); err != nil {
+		return err
+	}
+	prog.Materialize[pred] = &MaterializeDecl{Pred: pred, TTLSeconds: ttl, MaxSize: size, KeyCols: cols}
+	return nil
+}
+
+func (p *parser) ttlValue() (float64, error) {
+	t := p.cur()
+	if t.kind == tokIdent && t.text == "infinity" {
+		p.advance()
+		return -1, nil
+	}
+	if t.kind == tokNumber {
+		p.advance()
+		if t.isFloat {
+			return t.floatVal, nil
+		}
+		return float64(t.intVal), nil
+	}
+	return 0, p.errorf("expected ttl (number or infinity), found %s", t)
+}
+
+func (p *parser) sizeValue() (int, error) {
+	t := p.cur()
+	if t.kind == tokIdent && t.text == "infinity" {
+		p.advance()
+		return -1, nil
+	}
+	if t.kind == tokNumber && !t.isFloat {
+		p.advance()
+		return int(t.intVal), nil
+	}
+	return 0, p.errorf("expected size (integer or infinity), found %s", t)
+}
+
+// keysClause parses keys(1,2,...).
+func (p *parser) keysClause() ([]int, error) {
+	if !(p.at(tokIdent) && p.cur().text == "keys") {
+		return nil, p.errorf("expected keys(...), found %s", p.cur())
+	}
+	p.advance()
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []int
+	for !p.atPunct(")") {
+		t := p.cur()
+		if t.kind != tokNumber || t.isFloat || t.intVal < 1 {
+			return nil, p.errorf("expected positive column index, found %s", t)
+		}
+		p.advance()
+		cols = append(cols, int(t.intVal))
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return cols, nil
+}
+
+// aggSelection parses aggSelection(pred, keys(...), min, col).
+func (p *parser) aggSelection(prog *Program) error {
+	p.advance() // aggSelection
+	if err := p.expectPunct("("); err != nil {
+		return err
+	}
+	if !p.at(tokIdent) {
+		return p.errorf("expected predicate name, found %s", p.cur())
+	}
+	pred := p.advance().text
+	if err := p.expectPunct(","); err != nil {
+		return err
+	}
+	cols, err := p.keysClause()
+	if err != nil {
+		return err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return err
+	}
+	if !p.at(tokIdent) {
+		return p.errorf("expected aggregate name, found %s", p.cur())
+	}
+	var fn AggFunc
+	switch p.cur().text {
+	case "min":
+		fn = AggMin
+	case "max":
+		fn = AggMax
+	default:
+		return p.errorf("aggSelection supports min/max, found %q", p.cur().text)
+	}
+	p.advance()
+	if err := p.expectPunct(","); err != nil {
+		return err
+	}
+	t := p.cur()
+	if t.kind != tokNumber || t.isFloat || t.intVal < 1 {
+		return p.errorf("expected value column index, found %s", t)
+	}
+	p.advance()
+	if err := p.expectPunct(")"); err != nil {
+		return err
+	}
+	if err := p.expectPunct("."); err != nil {
+		return err
+	}
+	prog.Prunes = append(prog.Prunes, &PruneDecl{Pred: pred, KeyCols: cols, Func: fn, Col: int(t.intVal)})
+	return nil
+}
+
+// ruleOrFact parses either "label head :- body." / "head :- body." or a
+// ground fact "pred(args)."
+func (p *parser) ruleOrFact(prog *Program) error {
+	line := p.cur().line
+	label := ""
+	// A label is an identifier immediately followed by another identifier
+	// (the head predicate).
+	if p.at(tokIdent) && p.peek().kind == tokIdent {
+		label = p.advance().text
+	}
+	head, err := p.headAtom()
+	if err != nil {
+		return err
+	}
+	if p.atPunct(".") {
+		p.advance()
+		// A fact.
+		if label != "" {
+			return p.errorf("facts cannot carry rule labels")
+		}
+		return p.addFact(prog, head, line)
+	}
+	if err := p.expectPunct(":-"); err != nil {
+		return err
+	}
+	var body []Literal
+	for {
+		lit, err := p.literal()
+		if err != nil {
+			return err
+		}
+		body = append(body, lit)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct("."); err != nil {
+		return err
+	}
+	prog.Rules = append(prog.Rules, &Rule{
+		Label:   label,
+		Context: p.ctx,
+		Head:    head,
+		Body:    body,
+		Line:    line,
+	})
+	return nil
+}
+
+func (p *parser) addFact(prog *Program, head Atom, line int) error {
+	if head.HasAgg() {
+		return p.errorf("facts cannot contain aggregates")
+	}
+	args := make([]data.Value, len(head.Args))
+	for i, t := range head.Args {
+		c, ok := t.(Constant)
+		if !ok {
+			return p.errorf("fact arguments must be constants, found %s", t)
+		}
+		args[i] = c.Value
+	}
+	node := ""
+	switch {
+	case head.LocIdx >= 0:
+		if args[head.LocIdx].Kind != data.KindString {
+			return p.errorf("fact location specifier must be a node name")
+		}
+		node = args[head.LocIdx].Str
+	case head.Dest != nil:
+		c, ok := head.Dest.(Constant)
+		if !ok || c.Value.Kind != data.KindString {
+			return p.errorf("fact destination must be a node name")
+		}
+		node = c.Value.Str
+	case p.ctx != nil:
+		c, ok := p.ctx.(Constant)
+		if !ok {
+			return p.errorf("facts inside a variable At-context need an explicit location")
+		}
+		node = c.Value.Str
+	default:
+		return p.errorf("fact needs a location specifier (@node)")
+	}
+	prog.Facts = append(prog.Facts, Fact{
+		Node:  node,
+		Tuple: data.Tuple{Pred: head.Pred, Args: args},
+		Line:  line,
+	})
+	return nil
+}
+
+// headAtom parses pred(args...)[@Dest] with optional @ location and one
+// optional aggregate argument.
+func (p *parser) headAtom() (Atom, error) {
+	if !p.at(tokIdent) {
+		return Atom{}, p.errorf("expected predicate name, found %s", p.cur())
+	}
+	a := Atom{Pred: p.advance().text, LocIdx: -1, AggIdx: -1}
+	if err := p.expectPunct("("); err != nil {
+		return Atom{}, err
+	}
+	for !p.atPunct(")") {
+		loc := p.acceptPunct("@")
+		// Aggregate argument: min/max/count/sum '<' var '>' .
+		if p.at(tokIdent) && isAggName(p.cur().text) && p.peek().kind == tokPunct && p.peek().text == "<" {
+			if a.AggIdx >= 0 {
+				return Atom{}, p.errorf("at most one aggregate per head")
+			}
+			fn := aggByName(p.cur().text)
+			p.advance() // agg name
+			p.advance() // <
+			var v Term
+			if p.atPunct("*") {
+				p.advance()
+				v = Variable{Name: "*"}
+			} else {
+				t, err := p.term()
+				if err != nil {
+					return Atom{}, err
+				}
+				v = t
+			}
+			if err := p.expectPunct(">"); err != nil {
+				return Atom{}, err
+			}
+			a.AggIdx = len(a.Args)
+			a.AggFunc = fn
+			a.Args = append(a.Args, v)
+		} else {
+			t, err := p.term()
+			if err != nil {
+				return Atom{}, err
+			}
+			a.Args = append(a.Args, t)
+		}
+		if loc {
+			if a.LocIdx >= 0 {
+				return Atom{}, p.errorf("duplicate location specifier")
+			}
+			a.LocIdx = len(a.Args) - 1
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return Atom{}, err
+	}
+	if p.acceptPunct("@") {
+		d, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Dest = d
+	}
+	return a, nil
+}
+
+func isAggName(s string) bool {
+	switch s {
+	case "min", "max", "count", "sum":
+		return true
+	}
+	return false
+}
+
+func aggByName(s string) AggFunc {
+	switch s {
+	case "min":
+		return AggMin
+	case "max":
+		return AggMax
+	case "count":
+		return AggCount
+	case "sum":
+		return AggSum
+	}
+	return AggNone
+}
+
+// literal parses one body literal: an atom (optionally "P says"), an
+// assignment Var = expr, or a boolean condition.
+func (p *parser) literal() (Literal, error) {
+	t := p.cur()
+	// "term says pred(...)": variable-or-ident followed by the keyword.
+	if (t.kind == tokVariable || t.kind == tokIdent) && p.peek().kind == tokIdent && p.peek().text == "says" {
+		var says Term
+		if t.kind == tokVariable {
+			says = Variable{Name: t.text}
+		} else {
+			says = Constant{Value: data.Str(t.text)}
+		}
+		p.advance() // principal
+		p.advance() // says
+		atom, err := p.bodyAtom()
+		if err != nil {
+			return Literal{}, err
+		}
+		atom.Says = says
+		return Literal{Kind: LitAtom, Atom: atom}, nil
+	}
+	// Plain atom: identifier followed by "(" — unless it is a builtin
+	// function (f_-prefixed), which starts a condition expression.
+	if t.kind == tokIdent && p.peek().kind == tokPunct && p.peek().text == "(" && !strings.HasPrefix(t.text, "f_") {
+		atom, err := p.bodyAtom()
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitAtom, Atom: atom}, nil
+	}
+	// Assignment: Variable = expr or Variable := expr.
+	if t.kind == tokVariable && p.peek().kind == tokPunct && (p.peek().text == "=" || p.peek().text == ":=") {
+		name := p.advance().text
+		p.advance() // = or :=
+		e, err := p.expr()
+		if err != nil {
+			return Literal{}, err
+		}
+		return Literal{Kind: LitAssign, AssignVar: name, Expr: e}, nil
+	}
+	// Otherwise a boolean condition expression.
+	e, err := p.expr()
+	if err != nil {
+		return Literal{}, err
+	}
+	return Literal{Kind: LitCond, Expr: e}, nil
+}
+
+// bodyAtom parses pred(args...) with optional @ markers.
+func (p *parser) bodyAtom() (*BodyAtom, error) {
+	if !p.at(tokIdent) {
+		return nil, p.errorf("expected predicate name, found %s", p.cur())
+	}
+	a := &BodyAtom{Pred: p.advance().text, LocIdx: -1}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !p.atPunct(")") {
+		loc := p.acceptPunct("@")
+		t, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		a.Args = append(a.Args, t)
+		if loc {
+			if a.LocIdx >= 0 {
+				return nil, p.errorf("duplicate location specifier")
+			}
+			a.LocIdx = len(a.Args) - 1
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// term parses a variable or constant.
+func (p *parser) term() (Term, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokVariable:
+		p.advance()
+		return Variable{Name: t.text}, nil
+	case t.kind == tokIdent:
+		// Lowercase identifiers denote symbolic string constants (node
+		// names, principals), as in the paper's examples link(a,b).
+		p.advance()
+		return Constant{Value: data.Str(t.text)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return Constant{Value: data.Str(t.text)}, nil
+	case t.kind == tokNumber:
+		p.advance()
+		if t.isFloat {
+			return Constant{Value: data.Float(t.floatVal)}, nil
+		}
+		return Constant{Value: data.Int(t.intVal)}, nil
+	case t.kind == tokPunct && t.text == "-" && p.peek().kind == tokNumber:
+		p.advance()
+		n := p.advance()
+		if n.isFloat {
+			return Constant{Value: data.Float(-n.floatVal)}, nil
+		}
+		return Constant{Value: data.Int(-n.intVal)}, nil
+	case t.kind == tokPunct && t.text == "[":
+		v, err := p.listConst()
+		if err != nil {
+			return nil, err
+		}
+		return Constant{Value: v}, nil
+	default:
+		return nil, p.errorf("expected term, found %s", t)
+	}
+}
+
+// listConst parses a constant list literal [e1, e2, ...].
+func (p *parser) listConst() (data.Value, error) {
+	if err := p.expectPunct("["); err != nil {
+		return data.Value{}, err
+	}
+	var elems []data.Value
+	for !p.atPunct("]") {
+		t, err := p.term()
+		if err != nil {
+			return data.Value{}, err
+		}
+		c, ok := t.(Constant)
+		if !ok {
+			return data.Value{}, p.errorf("list literals must be constant")
+		}
+		elems = append(elems, c.Value)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return data.Value{}, err
+	}
+	return data.List(elems...), nil
+}
+
+// --- expressions ---
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("||") {
+		p.advance()
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "||", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("&&") {
+		p.advance()
+		r, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "&&", L: l, R: r}
+	}
+	return l, nil
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true, "=": true}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokPunct && cmpOps[p.cur().text] {
+		op := p.advance().text
+		if op == "=" {
+			op = "==" // tolerate single = in conditions
+		}
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return BinExpr{Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		op := p.advance().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atPunct("*") || p.atPunct("/") {
+		op := p.advance().text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.atPunct("-") || p.atPunct("!") {
+		op := p.advance().text
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if t.isFloat {
+			return ConstExpr{Value: data.Float(t.floatVal)}, nil
+		}
+		return ConstExpr{Value: data.Int(t.intVal)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return ConstExpr{Value: data.Str(t.text)}, nil
+	case t.kind == tokVariable:
+		p.advance()
+		return VarExpr{Name: t.text}, nil
+	case t.kind == tokIdent && p.peek().kind == tokPunct && p.peek().text == "(":
+		name := p.advance().text
+		p.advance() // (
+		var args []Expr
+		for !p.atPunct(")") {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return CallExpr{Name: name, Args: args}, nil
+	case t.kind == tokIdent:
+		// Symbolic constant.
+		p.advance()
+		return ConstExpr{Value: data.Str(t.text)}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokPunct && t.text == "[":
+		v, err := p.listConst()
+		if err != nil {
+			return nil, err
+		}
+		return ConstExpr{Value: v}, nil
+	default:
+		return nil, p.errorf("expected expression, found %s", t)
+	}
+}

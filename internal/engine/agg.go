@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"strings"
+
+	"provnet/internal/data"
+	"provnet/internal/datalog"
+)
+
+// Aggregate evaluation. A rule with an aggregate head such as
+//
+//	sp3 spCost(@S,D,min<C>) :- path(@S,D,Z,P,C).
+//
+// is evaluated incrementally: each body firing contributes the aggregated
+// value to its group (deduplicated by the body-tuple combination), and
+// whenever a group's result changes the head tuple is (re)emitted with
+// primary-key replacement on the group columns. Aggregates over soft-state
+// tables behave as sliding windows: Expire triggers a full recomputation so
+// counts shrink as contributing tuples age out (paper §2.1).
+
+// aggGroupState holds one aggregate rule's groups.
+type aggGroupState struct {
+	rule   *compiledRule
+	groups map[string]*aggGroup
+}
+
+type aggGroup struct {
+	groupArgs []data.Value
+	seen      map[string]bool
+	count     int64
+	sum       float64
+	sumIsInt  bool
+	sumInt    int64
+	min, max  data.Value
+	hasMinMax bool
+	// Aggregate provenance: min/max heads derive from the bodies that
+	// witness the current extremum; count/sum heads derive from every
+	// contribution. The emitted head's annotation is computed from these
+	// when the aggregate changes.
+	witnessBodies []AnnTuple
+	allBodies     []AnnTuple
+	emitted       bool
+	current       data.Value
+}
+
+func (e *Engine) aggStateFor(r *compiledRule) *aggGroupState {
+	st, ok := e.aggState[r.label]
+	if !ok {
+		st = &aggGroupState{rule: r, groups: make(map[string]*aggGroup)}
+		e.aggState[r.label] = st
+		// Head tables of aggregate rules are keyed by the group columns
+		// so a changed aggregate replaces the old row.
+		e.SetTableKeys(r.headPred, append([]int{}, r.agg.groupIdx...))
+	}
+	return st
+}
+
+// aggContribute processes one firing of an aggregate rule.
+func (e *Engine) aggContribute(r *compiledRule, head data.Tuple, body []AnnTuple) {
+	st := e.aggStateFor(r)
+	spec := r.agg
+
+	gk := head.ValueKey(spec.groupIdx)
+	g, ok := st.groups[gk]
+	if !ok {
+		groupArgs := make([]data.Value, len(head.Args))
+		copy(groupArgs, head.Args)
+		g = &aggGroup{groupArgs: groupArgs, seen: make(map[string]bool)}
+		st.groups[gk] = g
+	}
+
+	// Deduplicate by the contributing body combination.
+	var sb strings.Builder
+	for _, b := range body {
+		sb.WriteString(b.Tuple.Key())
+		sb.WriteByte('\x00')
+	}
+	comboKey := sb.String()
+	if g.seen[comboKey] {
+		return
+	}
+	g.seen[comboKey] = true
+
+	val := head.Args[spec.argIdx]
+	switch spec.fn {
+	case datalog.AggCount:
+		g.count++
+		g.allBodies = append(g.allBodies, body...)
+	case datalog.AggSum:
+		if val.Kind == data.KindInt {
+			g.sumInt += val.Int
+			g.sumIsInt = true
+		} else {
+			g.sum += val.AsFloat()
+		}
+		g.allBodies = append(g.allBodies, body...)
+	case datalog.AggMin:
+		if !g.hasMinMax || val.Compare(g.min) < 0 {
+			g.min = val
+			g.hasMinMax = true
+			g.witnessBodies = append([]AnnTuple{}, body...)
+		}
+	case datalog.AggMax:
+		if !g.hasMinMax || val.Compare(g.max) > 0 {
+			g.max = val
+			g.hasMinMax = true
+			g.witnessBodies = append([]AnnTuple{}, body...)
+		}
+	}
+	if !e.suppressAggEmit {
+		e.maybeEmitAgg(st, g)
+	}
+}
+
+// aggResult returns the group's current aggregate value.
+func (st *aggGroupState) aggResult(g *aggGroup) data.Value {
+	switch st.rule.agg.fn {
+	case datalog.AggCount:
+		return data.Int(g.count)
+	case datalog.AggSum:
+		if g.sumIsInt && g.sum == 0 {
+			return data.Int(g.sumInt)
+		}
+		return data.Float(g.sum + float64(g.sumInt))
+	case datalog.AggMin:
+		return g.min
+	case datalog.AggMax:
+		return g.max
+	default:
+		return data.Value{}
+	}
+}
+
+// maybeEmitAgg emits the head tuple when the group's aggregate changed.
+// The head's provenance derives from the witnessing bodies (min/max) or
+// all contributions (count/sum).
+func (e *Engine) maybeEmitAgg(st *aggGroupState, g *aggGroup) {
+	val := st.aggResult(g)
+	if g.emitted && g.current.Equal(val) {
+		return
+	}
+	g.emitted = true
+	g.current = val
+	args := make([]data.Value, len(g.groupArgs))
+	copy(args, g.groupArgs)
+	args[st.rule.agg.argIdx] = val
+	head := data.Tuple{Pred: st.rule.headPred, Args: args}
+	if e.authenticated {
+		head.Asserter = e.self
+	}
+	bodies := g.witnessBodies
+	if st.rule.agg.fn == datalog.AggCount || st.rule.agg.fn == datalog.AggSum {
+		bodies = g.allBodies
+	}
+	ann := e.hook.Derive(st.rule.label, e.self, head, bodies)
+	e.insert(head, ann)
+}
+
+// recomputeAggregates rebuilds every aggregate from the live tables after
+// soft-state expiry: groups whose support vanished are deleted, counts and
+// sums shrink, and changed heads are re-emitted.
+func (e *Engine) recomputeAggregates() {
+	for _, r := range e.rules {
+		if r.agg == nil {
+			continue
+		}
+		st := e.aggStateFor(r)
+		old := st.groups
+		st.groups = make(map[string]*aggGroup)
+
+		// Re-derive all contributions from live state. Contributions feed
+		// the fresh group map; emission is deferred until the diff below.
+		saved := e.suppressAggEmit
+		e.suppressAggEmit = true
+		e.evalFull(r)
+		e.suppressAggEmit = saved
+
+		tbl := e.table(r.headPred)
+		// Delete heads for groups that vanished.
+		for gk, g := range old {
+			if _, still := st.groups[gk]; !still && g.emitted {
+				args := make([]data.Value, len(g.groupArgs))
+				copy(args, g.groupArgs)
+				args[r.agg.argIdx] = g.current
+				dead := data.Tuple{Pred: r.headPred, Args: args}
+				if e.authenticated {
+					dead.Asserter = e.self
+				}
+				tbl.Delete(dead)
+			}
+		}
+		// Emit fresh or changed groups.
+		for gk, g := range st.groups {
+			val := st.aggResult(g)
+			if prev, ok := old[gk]; ok && prev.emitted && prev.current.Equal(val) {
+				g.emitted = true
+				g.current = val
+				continue
+			}
+			e.maybeEmitAgg(st, g)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"provnet/internal/data"
+	"provnet/internal/datalog"
+)
+
+// Errors produced by expression evaluation. A failing expression kills the
+// current rule branch rather than the engine.
+var (
+	errUnboundVar = errors.New("engine: unbound variable in expression")
+	errBadOperand = errors.New("engine: bad operand type")
+)
+
+// evalExpr evaluates a datalog expression under the rule's environment.
+func evalExpr(ex datalog.Expr, r *compiledRule, env *env) (data.Value, error) {
+	switch x := ex.(type) {
+	case datalog.ConstExpr:
+		return x.Value, nil
+	case datalog.VarExpr:
+		slot, ok := r.varSlots[x.Name]
+		if !ok || !env.bound[slot] {
+			return data.Value{}, fmt.Errorf("%w: %s", errUnboundVar, x.Name)
+		}
+		return env.vals[slot], nil
+	case datalog.UnaryExpr:
+		v, err := evalExpr(x.X, r, env)
+		if err != nil {
+			return data.Value{}, err
+		}
+		switch x.Op {
+		case "-":
+			switch v.Kind {
+			case data.KindInt:
+				return data.Int(-v.Int), nil
+			case data.KindFloat:
+				return data.Float(-v.Float), nil
+			default:
+				return data.Value{}, errBadOperand
+			}
+		case "!":
+			return data.Bool(!v.IsTrue()), nil
+		default:
+			return data.Value{}, fmt.Errorf("engine: unknown unary op %q", x.Op)
+		}
+	case datalog.BinExpr:
+		// Short-circuit logical operators.
+		switch x.Op {
+		case "&&":
+			l, err := evalExpr(x.L, r, env)
+			if err != nil {
+				return data.Value{}, err
+			}
+			if !l.IsTrue() {
+				return data.Bool(false), nil
+			}
+			rr, err := evalExpr(x.R, r, env)
+			if err != nil {
+				return data.Value{}, err
+			}
+			return data.Bool(rr.IsTrue()), nil
+		case "||":
+			l, err := evalExpr(x.L, r, env)
+			if err != nil {
+				return data.Value{}, err
+			}
+			if l.IsTrue() {
+				return data.Bool(true), nil
+			}
+			rr, err := evalExpr(x.R, r, env)
+			if err != nil {
+				return data.Value{}, err
+			}
+			return data.Bool(rr.IsTrue()), nil
+		}
+		l, err := evalExpr(x.L, r, env)
+		if err != nil {
+			return data.Value{}, err
+		}
+		rv, err := evalExpr(x.R, r, env)
+		if err != nil {
+			return data.Value{}, err
+		}
+		return applyBinOp(x.Op, l, rv)
+	case datalog.CallExpr:
+		fn, ok := Builtins[x.Name]
+		if !ok {
+			return data.Value{}, fmt.Errorf("engine: unknown function %q", x.Name)
+		}
+		args := make([]data.Value, len(x.Args))
+		for i, a := range x.Args {
+			v, err := evalExpr(a, r, env)
+			if err != nil {
+				return data.Value{}, err
+			}
+			args[i] = v
+		}
+		return fn(args)
+	default:
+		return data.Value{}, fmt.Errorf("engine: unknown expression %T", ex)
+	}
+}
+
+func applyBinOp(op string, l, r data.Value) (data.Value, error) {
+	switch op {
+	case "==":
+		return data.Bool(l.Equal(r)), nil
+	case "!=":
+		return data.Bool(!l.Equal(r)), nil
+	case "<", "<=", ">", ">=":
+		c := l.Compare(r)
+		switch op {
+		case "<":
+			return data.Bool(c < 0), nil
+		case "<=":
+			return data.Bool(c <= 0), nil
+		case ">":
+			return data.Bool(c > 0), nil
+		default:
+			return data.Bool(c >= 0), nil
+		}
+	case "+":
+		if l.Kind == data.KindString && r.Kind == data.KindString {
+			return data.Str(l.Str + r.Str), nil
+		}
+		return numericOp(op, l, r)
+	case "-", "*", "/":
+		return numericOp(op, l, r)
+	default:
+		return data.Value{}, fmt.Errorf("engine: unknown operator %q", op)
+	}
+}
+
+func numericOp(op string, l, r data.Value) (data.Value, error) {
+	numeric := func(v data.Value) bool { return v.Kind == data.KindInt || v.Kind == data.KindFloat }
+	if !numeric(l) || !numeric(r) {
+		return data.Value{}, errBadOperand
+	}
+	if l.Kind == data.KindInt && r.Kind == data.KindInt {
+		a, b := l.Int, r.Int
+		switch op {
+		case "+":
+			return data.Int(a + b), nil
+		case "-":
+			return data.Int(a - b), nil
+		case "*":
+			return data.Int(a * b), nil
+		case "/":
+			if b == 0 {
+				return data.Value{}, errors.New("engine: division by zero")
+			}
+			return data.Int(a / b), nil
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case "+":
+		return data.Float(a + b), nil
+	case "-":
+		return data.Float(a - b), nil
+	case "*":
+		return data.Float(a * b), nil
+	case "/":
+		if b == 0 {
+			return data.Value{}, errors.New("engine: division by zero")
+		}
+		return data.Float(a / b), nil
+	}
+	return data.Value{}, fmt.Errorf("engine: unknown operator %q", op)
+}
+
+// BuiltinFunc is the signature of NDlog builtin functions (f_*).
+type BuiltinFunc func(args []data.Value) (data.Value, error)
+
+// Builtins is the registry of NDlog builtin functions, the list-and-path
+// helpers used by declarative routing programs. Additional functions may
+// be registered before engines are created.
+var Builtins = map[string]BuiltinFunc{
+	"f_init":   fInit,
+	"f_concat": fConcat,
+	"f_append": fAppend,
+	"f_member": fMember,
+	"f_size":   fSize,
+	"f_first":  fFirst,
+	"f_last":   fLast,
+	"f_min":    fMin2,
+	"f_max":    fMax2,
+	"f_abs":    fAbs,
+	"f_mod":    fMod,
+}
+
+func arity(args []data.Value, n int, name string) error {
+	if len(args) != n {
+		return fmt.Errorf("engine: %s expects %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+// fInit builds the initial path list [S, D].
+func fInit(args []data.Value) (data.Value, error) {
+	if err := arity(args, 2, "f_init"); err != nil {
+		return data.Value{}, err
+	}
+	return data.List(args[0], args[1]), nil
+}
+
+// fConcat prepends an element to a list: f_concat(S, P) = [S | P].
+func fConcat(args []data.Value) (data.Value, error) {
+	if err := arity(args, 2, "f_concat"); err != nil {
+		return data.Value{}, err
+	}
+	if args[1].Kind != data.KindList {
+		return data.Value{}, errBadOperand
+	}
+	out := make([]data.Value, 0, len(args[1].List)+1)
+	out = append(out, args[0])
+	out = append(out, args[1].List...)
+	return data.List(out...), nil
+}
+
+// fAppend appends an element to a list.
+func fAppend(args []data.Value) (data.Value, error) {
+	if err := arity(args, 2, "f_append"); err != nil {
+		return data.Value{}, err
+	}
+	if args[0].Kind != data.KindList {
+		return data.Value{}, errBadOperand
+	}
+	out := make([]data.Value, 0, len(args[0].List)+1)
+	out = append(out, args[0].List...)
+	out = append(out, args[1])
+	return data.List(out...), nil
+}
+
+// fMember returns 1 if the element occurs in the list, else 0.
+func fMember(args []data.Value) (data.Value, error) {
+	if err := arity(args, 2, "f_member"); err != nil {
+		return data.Value{}, err
+	}
+	if args[0].Kind != data.KindList {
+		return data.Value{}, errBadOperand
+	}
+	for _, e := range args[0].List {
+		if e.Equal(args[1]) {
+			return data.Int(1), nil
+		}
+	}
+	return data.Int(0), nil
+}
+
+// fSize returns the length of a list.
+func fSize(args []data.Value) (data.Value, error) {
+	if err := arity(args, 1, "f_size"); err != nil {
+		return data.Value{}, err
+	}
+	if args[0].Kind != data.KindList {
+		return data.Value{}, errBadOperand
+	}
+	return data.Int(int64(len(args[0].List))), nil
+}
+
+// fFirst returns the first element of a non-empty list.
+func fFirst(args []data.Value) (data.Value, error) {
+	if err := arity(args, 1, "f_first"); err != nil {
+		return data.Value{}, err
+	}
+	if args[0].Kind != data.KindList || len(args[0].List) == 0 {
+		return data.Value{}, errBadOperand
+	}
+	return args[0].List[0], nil
+}
+
+// fLast returns the last element of a non-empty list.
+func fLast(args []data.Value) (data.Value, error) {
+	if err := arity(args, 1, "f_last"); err != nil {
+		return data.Value{}, err
+	}
+	if args[0].Kind != data.KindList || len(args[0].List) == 0 {
+		return data.Value{}, errBadOperand
+	}
+	return args[0].List[len(args[0].List)-1], nil
+}
+
+// fMin2 returns the smaller of two values.
+func fMin2(args []data.Value) (data.Value, error) {
+	if err := arity(args, 2, "f_min"); err != nil {
+		return data.Value{}, err
+	}
+	if args[0].Compare(args[1]) <= 0 {
+		return args[0], nil
+	}
+	return args[1], nil
+}
+
+// fMax2 returns the larger of two values.
+func fMax2(args []data.Value) (data.Value, error) {
+	if err := arity(args, 2, "f_max"); err != nil {
+		return data.Value{}, err
+	}
+	if args[0].Compare(args[1]) >= 0 {
+		return args[0], nil
+	}
+	return args[1], nil
+}
+
+// fAbs returns the absolute value of a number.
+func fAbs(args []data.Value) (data.Value, error) {
+	if err := arity(args, 1, "f_abs"); err != nil {
+		return data.Value{}, err
+	}
+	switch args[0].Kind {
+	case data.KindInt:
+		if args[0].Int < 0 {
+			return data.Int(-args[0].Int), nil
+		}
+		return args[0], nil
+	case data.KindFloat:
+		if args[0].Float < 0 {
+			return data.Float(-args[0].Float), nil
+		}
+		return args[0], nil
+	default:
+		return data.Value{}, errBadOperand
+	}
+}
+
+// fMod returns a % b for integers.
+func fMod(args []data.Value) (data.Value, error) {
+	if err := arity(args, 2, "f_mod"); err != nil {
+		return data.Value{}, err
+	}
+	if args[0].Kind != data.KindInt || args[1].Kind != data.KindInt || args[1].Int == 0 {
+		return data.Value{}, errBadOperand
+	}
+	return data.Int(args[0].Int % args[1].Int), nil
+}

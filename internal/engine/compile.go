@@ -1,0 +1,242 @@
+package engine
+
+import (
+	"fmt"
+
+	"provnet/internal/data"
+	"provnet/internal/datalog"
+)
+
+// pattern is a compiled term: a constant to check or a variable slot to
+// bind. slot -1 is the wildcard (blank variable).
+type pattern struct {
+	isConst  bool
+	constVal data.Value
+	slot     int
+}
+
+// atomSpec is a compiled body atom.
+type atomSpec struct {
+	pred string
+	args []pattern
+	// says is the asserter pattern of "P says pred(...)"; nil restricts
+	// matches to locally asserted tuples.
+	says *pattern
+}
+
+// stepKind discriminates plan steps.
+type stepKind uint8
+
+const (
+	stepAtom stepKind = iota
+	stepAssign
+	stepCond
+)
+
+// step is one element of the rule's evaluation plan, in body order.
+type step struct {
+	kind       stepKind
+	atom       int // for stepAtom: index into atoms
+	assignSlot int // for stepAssign
+	expr       datalog.Expr
+}
+
+// aggSpec describes an aggregate head.
+type aggSpec struct {
+	fn        datalog.AggFunc
+	argIdx    int   // head arg holding the aggregate result
+	groupIdx  []int // head arg positions forming the group
+	countStar bool
+}
+
+// compiledRule is an executable rule.
+type compiledRule struct {
+	label string
+
+	// ctxConst restricts the rule to one principal; ctxSlot pre-binds the
+	// context variable to the local principal (-1 if unused).
+	ctxConst string
+	ctxSlot  int
+	// locConst / locSlot handle the single body location of localized
+	// NDlog rules the same way.
+	locConst string
+	locSlot  int
+
+	headPred    string
+	headArgs    []pattern
+	headLocIdx  int // NDlog destination argument (-1 for SeNDlog rules)
+	headDest    pattern
+	headDestSet bool
+	agg         *aggSpec
+
+	atoms []atomSpec
+	steps []step
+
+	nvars    int
+	varNames []string
+	varSlots map[string]int
+}
+
+// compileRule translates a validated, localized rule into executable form.
+func compileRule(r *datalog.Rule) (*compiledRule, error) {
+	cr := &compiledRule{
+		label:      r.Label,
+		ctxSlot:    -1,
+		locSlot:    -1,
+		headLocIdx: -1,
+		varSlots:   map[string]int{},
+	}
+	if cr.label == "" {
+		cr.label = r.Head.Pred
+	}
+
+	slotOf := func(name string) int {
+		if s, ok := cr.varSlots[name]; ok {
+			return s
+		}
+		s := cr.nvars
+		cr.nvars++
+		cr.varSlots[name] = s
+		cr.varNames = append(cr.varNames, name)
+		return s
+	}
+	pat := func(t datalog.Term) pattern {
+		switch x := t.(type) {
+		case datalog.Variable:
+			if x.Blank() {
+				return pattern{slot: -1}
+			}
+			return pattern{slot: slotOf(x.Name)}
+		case datalog.Constant:
+			return pattern{isConst: true, constVal: x.Value}
+		default:
+			return pattern{slot: -1}
+		}
+	}
+
+	// Context (SeNDlog).
+	if r.Context != nil {
+		switch x := r.Context.(type) {
+		case datalog.Variable:
+			cr.ctxSlot = slotOf(x.Name)
+		case datalog.Constant:
+			cr.ctxConst = x.Value.Str
+		}
+	}
+
+	// Body.
+	locSeen := false
+	for _, l := range r.Body {
+		switch l.Kind {
+		case datalog.LitAtom:
+			a := l.Atom
+			spec := atomSpec{pred: a.Pred}
+			for _, t := range a.Args {
+				spec.args = append(spec.args, pat(t))
+			}
+			if a.LocIdx >= 0 {
+				// Localized NDlog: record the (single) body location.
+				switch x := a.Args[a.LocIdx].(type) {
+				case datalog.Variable:
+					s := slotOf(x.Name)
+					if locSeen && cr.locSlot != s {
+						return nil, fmt.Errorf("engine: rule %s: multiple body locations", cr.label)
+					}
+					cr.locSlot = s
+				case datalog.Constant:
+					if locSeen && cr.locConst != x.Value.Str {
+						return nil, fmt.Errorf("engine: rule %s: multiple body locations", cr.label)
+					}
+					cr.locConst = x.Value.Str
+				}
+				locSeen = true
+			}
+			if a.Says != nil {
+				p := pat(a.Says)
+				spec.says = &p
+			}
+			cr.steps = append(cr.steps, step{kind: stepAtom, atom: len(cr.atoms)})
+			cr.atoms = append(cr.atoms, spec)
+		case datalog.LitAssign:
+			cr.steps = append(cr.steps, step{
+				kind:       stepAssign,
+				assignSlot: slotOf(l.AssignVar),
+				expr:       l.Expr,
+			})
+		case datalog.LitCond:
+			cr.steps = append(cr.steps, step{kind: stepCond, expr: l.Expr})
+		}
+	}
+
+	// Head.
+	h := &r.Head
+	cr.headPred = h.Pred
+	cr.headLocIdx = h.LocIdx
+	for i, t := range h.Args {
+		if i == h.AggIdx {
+			if v, ok := t.(datalog.Variable); ok && v.Name == "*" {
+				cr.headArgs = append(cr.headArgs, pattern{isConst: true, constVal: data.Int(1)})
+				continue
+			}
+		}
+		cr.headArgs = append(cr.headArgs, pat(t))
+	}
+	if h.Dest != nil {
+		cr.headDest = pat(h.Dest)
+		cr.headDestSet = true
+	}
+	if h.HasAgg() {
+		spec := &aggSpec{fn: h.AggFunc, argIdx: h.AggIdx}
+		if v, ok := h.Args[h.AggIdx].(datalog.Variable); ok && v.Name == "*" {
+			spec.countStar = true
+		}
+		for i := range h.Args {
+			if i != h.AggIdx {
+				spec.groupIdx = append(spec.groupIdx, i)
+			}
+		}
+		cr.agg = spec
+	}
+	return cr, nil
+}
+
+// env is a variable binding frame during evaluation.
+type env struct {
+	vals  []data.Value
+	bound []bool
+}
+
+func newEnv(n int) *env {
+	return &env{vals: make([]data.Value, n), bound: make([]bool, n)}
+}
+
+// bindOrCheck binds an unbound slot or verifies equality for a bound one;
+// it records new bindings on the trail.
+func (e *env) bindOrCheck(slot int, v data.Value, trail *[]int) bool {
+	if slot < 0 {
+		return true
+	}
+	if e.bound[slot] {
+		return e.vals[slot].Equal(v)
+	}
+	e.vals[slot] = v
+	e.bound[slot] = true
+	*trail = append(*trail, slot)
+	return true
+}
+
+// undo unbinds slots recorded after mark.
+func (e *env) undo(trail *[]int, mark int) {
+	for i := len(*trail) - 1; i >= mark; i-- {
+		e.bound[(*trail)[i]] = false
+	}
+	*trail = (*trail)[:mark]
+}
+
+// matchPattern matches one pattern against a value.
+func (e *env) matchPattern(p pattern, v data.Value, trail *[]int) bool {
+	if p.isConst {
+		return p.constVal.Equal(v)
+	}
+	return e.bindOrCheck(p.slot, v, trail)
+}

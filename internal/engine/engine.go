@@ -1,0 +1,410 @@
+// Package engine implements the per-node distributed query processor: the
+// P2-style dataflow runtime that executes localized NDlog/SeNDlog rules
+// over soft-state tables (paper §2, §6).
+//
+// Each node of the simulated network runs one Engine. The engine holds the
+// node's materialized tables (with TTLs and primary keys), evaluates rules
+// semi-naively as tuples arrive, maintains head aggregates (min/max/
+// count/sum), applies the aggregate-selection optimization, and produces
+// Export records for derived tuples whose head location is another node.
+// Provenance is captured through a pluggable ProvHook so the same engine
+// serves every provenance mode in the paper's taxonomy (§4).
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"provnet/internal/data"
+	"provnet/internal/datalog"
+)
+
+// Annotation is an opaque per-tuple provenance annotation managed by the
+// configured ProvHook. The engine never inspects it.
+type Annotation any
+
+// AnnTuple pairs a tuple with its annotation, as presented to ProvHook
+// callbacks for rule derivations.
+type AnnTuple struct {
+	Tuple data.Tuple
+	Ann   Annotation
+}
+
+// ProvHook is the provenance capture interface (paper §4). The engine
+// calls it at every point where provenance is created, combined, or
+// serialized. Implementations for the taxonomy's modes live in
+// internal/provenance.
+type ProvHook interface {
+	// Base annotates a locally inserted base tuple.
+	Base(t data.Tuple) Annotation
+	// Import reconstructs the annotation of a tuple received from the
+	// network together with its provenance payload (may be nil).
+	Import(t data.Tuple, payload []byte) (Annotation, error)
+	// Derive combines body annotations when rule fires at this node
+	// producing head.
+	Derive(rule, node string, head data.Tuple, body []AnnTuple) Annotation
+	// Merge combines an alternative derivation into an existing
+	// annotation; it returns the merged annotation and whether it changed
+	// (a change re-propagates the tuple).
+	Merge(existing, incoming Annotation) (Annotation, bool)
+	// Export serializes the annotation for shipment with the tuple (nil
+	// for modes that ship nothing).
+	Export(t data.Tuple, ann Annotation) []byte
+}
+
+// NoProv is the null provenance hook: no annotations, no payloads, no
+// re-propagation. It is the NDlog/SeNDlog (non-Prov) configuration of the
+// paper's evaluation.
+type NoProv struct{}
+
+// Base returns nil.
+func (NoProv) Base(data.Tuple) Annotation { return nil }
+
+// Import returns nil.
+func (NoProv) Import(data.Tuple, []byte) (Annotation, error) { return nil, nil }
+
+// Derive returns nil.
+func (NoProv) Derive(string, string, data.Tuple, []AnnTuple) Annotation { return nil }
+
+// Merge reports no change.
+func (NoProv) Merge(existing, incoming Annotation) (Annotation, bool) { return existing, false }
+
+// Export ships nothing.
+func (NoProv) Export(data.Tuple, Annotation) []byte { return nil }
+
+// Export is a derived tuple addressed to another node, produced by
+// RunToFixpoint. The core layer signs and serializes it onto the simulated
+// network.
+type Export struct {
+	Dest  string
+	Tuple data.Tuple
+	Ann   Annotation
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Self is this node's identifier, doubling as its security principal
+	// name in SeNDlog mode.
+	Self string
+	// Authenticated marks derived tuples with Self as asserter, modelling
+	// the SeNDlog world where every exported tuple is said by its
+	// deriving principal.
+	Authenticated bool
+	// Hook captures provenance; nil means NoProv.
+	Hook ProvHook
+}
+
+// Engine is a single node's query processor. It is not safe for concurrent
+// use; the network simulator drives all nodes from one goroutine, which
+// keeps runs deterministic.
+type Engine struct {
+	self          string
+	authenticated bool
+	hook          ProvHook
+
+	tables map[string]*Table
+	decls  map[string]*datalog.MaterializeDecl
+	prunes map[string]*pruneSpec
+
+	rules    []*compiledRule
+	byPred   map[string][]atomRef
+	aggState map[string]*aggGroupState // keyed by rule label + group key
+
+	queue   []*Entry
+	exports []Export
+
+	// suppressAggEmit defers aggregate head emission during full
+	// recomputation, so the diff against the previous groups decides what
+	// to emit.
+	suppressAggEmit bool
+
+	now float64
+
+	// Stats counts engine activity for the metrics report.
+	Stats Stats
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Derivations   int64 // rule firings
+	TuplesStored  int64
+	TuplesDropped int64 // rejected by aggregate selection
+	Merges        int64 // alternative derivations merged into existing tuples
+	Expired       int64
+}
+
+// atomRef locates a body atom within a compiled rule.
+type atomRef struct {
+	rule *compiledRule
+	atom int // index into rule.atoms
+}
+
+type pruneSpec struct {
+	keyCols []int
+	col     int
+	min     bool
+	best    map[string]data.Value
+}
+
+// New creates an engine for node self.
+func New(cfg Config) *Engine {
+	hook := cfg.Hook
+	if hook == nil {
+		hook = NoProv{}
+	}
+	return &Engine{
+		self:          cfg.Self,
+		authenticated: cfg.Authenticated,
+		hook:          hook,
+		tables:        make(map[string]*Table),
+		decls:         make(map[string]*datalog.MaterializeDecl),
+		prunes:        make(map[string]*pruneSpec),
+		byPred:        make(map[string][]atomRef),
+		aggState:      make(map[string]*aggGroupState),
+	}
+}
+
+// Self returns the node identifier.
+func (e *Engine) Self() string { return e.self }
+
+// SetNow advances the engine's logical clock (seconds).
+func (e *Engine) SetNow(now float64) { e.now = now }
+
+// Now returns the logical clock.
+func (e *Engine) Now() float64 { return e.now }
+
+// LoadProgram compiles a localized, validated program into the engine.
+// Rules spanning multiple locations are rejected; run datalog.Localize
+// first.
+func (e *Engine) LoadProgram(prog *datalog.Program) error {
+	if err := datalog.Validate(prog); err != nil {
+		return err
+	}
+	for pred, d := range prog.Materialize {
+		e.decls[pred] = d
+	}
+	for _, pr := range prog.Prunes {
+		cols := make([]int, len(pr.KeyCols))
+		for i, c := range pr.KeyCols {
+			cols[i] = c - 1
+		}
+		e.prunes[pr.Pred] = &pruneSpec{
+			keyCols: cols,
+			col:     pr.Col - 1,
+			min:     pr.Func == datalog.AggMin,
+			best:    make(map[string]data.Value),
+		}
+	}
+	for _, r := range prog.Rules {
+		if locs := datalog.BodyLocations(r); len(locs) > 1 {
+			return fmt.Errorf("engine: rule %s spans locations %v; localize the program first", r.Label, locs)
+		}
+		cr, err := compileRule(r)
+		if err != nil {
+			return err
+		}
+		e.rules = append(e.rules, cr)
+		for i, a := range cr.atoms {
+			e.byPred[a.pred] = append(e.byPred[a.pred], atomRef{rule: cr, atom: i})
+		}
+	}
+	return nil
+}
+
+// table returns (creating if needed) the table for pred, configured from
+// its materialize declaration.
+func (e *Engine) table(pred string) *Table {
+	t, ok := e.tables[pred]
+	if ok {
+		return t
+	}
+	var keyCols []int
+	ttl := -1.0
+	maxSize := -1
+	if d, ok := e.decls[pred]; ok {
+		for _, c := range d.KeyCols {
+			keyCols = append(keyCols, c-1)
+		}
+		ttl = d.TTLSeconds
+		maxSize = d.MaxSize
+	}
+	t = NewTable(pred, keyCols, ttl, maxSize)
+	e.tables[pred] = t
+	return t
+}
+
+// SetTableKeys overrides the primary key columns of a predicate's table
+// (0-based). It must be called before tuples are inserted.
+func (e *Engine) SetTableKeys(pred string, cols []int) {
+	t := e.table(pred)
+	t.keyCols = cols
+}
+
+// InsertFact inserts a base tuple at this node with its declared TTL. In
+// authenticated mode the fact is asserted by this node unless it already
+// carries an asserter.
+func (e *Engine) InsertFact(t data.Tuple) {
+	if e.authenticated && t.Asserter == "" {
+		t.Asserter = e.self
+	}
+	e.insert(t, e.hook.Base(t))
+}
+
+// InsertImported inserts a tuple received from the network together with
+// its provenance payload. Signature verification happens in the transport
+// layer before this call.
+func (e *Engine) InsertImported(t data.Tuple, provPayload []byte) error {
+	ann, err := e.hook.Import(t, provPayload)
+	if err != nil {
+		return err
+	}
+	e.insert(t, ann)
+	return nil
+}
+
+// insert stores a tuple and queues it for semi-naive processing. It
+// applies the aggregate-selection prune and primary-key replacement.
+func (e *Engine) insert(t data.Tuple, ann Annotation) {
+	// Aggregate selection: drop tuples that do not improve their group.
+	if ps, ok := e.prunes[t.Pred]; ok {
+		gk := t.ValueKey(ps.keyCols)
+		val := t.Args[ps.col]
+		if best, ok := ps.best[gk]; ok {
+			c := val.Compare(best)
+			if (ps.min && c >= 0) || (!ps.min && c <= 0) {
+				e.Stats.TuplesDropped++
+				return
+			}
+		}
+		ps.best[gk] = val
+	}
+
+	tbl := e.table(t.Pred)
+	entry, status := tbl.Insert(t, ann, e.now)
+	switch status {
+	case InsertNew, InsertReplaced:
+		e.Stats.TuplesStored++
+		e.queue = append(e.queue, entry)
+	case InsertDuplicate:
+		merged, changed := e.hook.Merge(entry.Ann, ann)
+		entry.Ann = merged
+		if changed {
+			e.Stats.Merges++
+			e.queue = append(e.queue, entry)
+		}
+	}
+}
+
+// RunToFixpoint processes queued tuples until this node has no more local
+// work, returning (and clearing) the exports destined to other nodes.
+func (e *Engine) RunToFixpoint() []Export {
+	for len(e.queue) > 0 {
+		entry := e.queue[0]
+		e.queue = e.queue[1:]
+		if entry.Dead {
+			continue
+		}
+		for _, ref := range e.byPred[entry.Tuple.Pred] {
+			e.evalDelta(ref.rule, ref.atom, entry)
+		}
+	}
+	out := e.exports
+	e.exports = nil
+	return out
+}
+
+// Pending reports whether the engine has queued work.
+func (e *Engine) Pending() bool { return len(e.queue) > 0 }
+
+// emit routes a derived head tuple: local heads are inserted, remote heads
+// become exports. Aggregate heads go through contribution accounting
+// (their provenance is derived when the aggregate value is emitted, not
+// per contribution).
+func (e *Engine) emit(r *compiledRule, head data.Tuple, dest string, body []AnnTuple) {
+	e.Stats.Derivations++
+	if e.authenticated {
+		head.Asserter = e.self
+	}
+	if r.agg != nil {
+		// Aggregates are computed where the tuples live; a remote
+		// aggregate head would need re-aggregation at the destination,
+		// which the paper's programs never use.
+		e.aggContribute(r, head, body)
+		return
+	}
+	ann := e.hook.Derive(r.label, e.self, head, body)
+	if dest == e.self {
+		e.insert(head, ann)
+		return
+	}
+	e.exports = append(e.exports, Export{Dest: dest, Tuple: head, Ann: ann})
+}
+
+// Tuples returns the live tuples of a predicate, sorted for determinism.
+func (e *Engine) Tuples(pred string) []data.Tuple {
+	tbl, ok := e.tables[pred]
+	if !ok {
+		return nil
+	}
+	out := tbl.Live(e.now)
+	data.SortTuples(out)
+	return out
+}
+
+// Count returns the number of live tuples of a predicate.
+func (e *Engine) Count(pred string) int {
+	tbl, ok := e.tables[pred]
+	if !ok {
+		return 0
+	}
+	return len(tbl.Live(e.now))
+}
+
+// Has reports whether the exact tuple is currently stored and live.
+func (e *Engine) Has(t data.Tuple) bool {
+	tbl, ok := e.tables[t.Pred]
+	if !ok {
+		return false
+	}
+	en := tbl.Get(t)
+	return en != nil && !en.Dead && !en.expired(e.now)
+}
+
+// AnnotationOf returns the annotation of a stored tuple, or nil.
+func (e *Engine) AnnotationOf(t data.Tuple) Annotation {
+	tbl, ok := e.tables[t.Pred]
+	if !ok {
+		return nil
+	}
+	if entry := tbl.Get(t); entry != nil && !entry.Dead {
+		return entry.Ann
+	}
+	return nil
+}
+
+// Predicates returns the names of all tables with live tuples.
+func (e *Engine) Predicates() []string {
+	var out []string
+	for name, tbl := range e.tables {
+		if len(tbl.Live(e.now)) > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Expire advances the clock and removes expired soft-state, then
+// recomputes aggregates from scratch (sliding-window semantics for
+// aggregates over soft-state tables, §2.1).
+func (e *Engine) Expire(now float64) {
+	e.now = now
+	expired := 0
+	for _, tbl := range e.tables {
+		expired += tbl.Expire(now)
+	}
+	e.Stats.Expired += int64(expired)
+	if expired > 0 {
+		e.recomputeAggregates()
+	}
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"fmt"
+
+	"provnet/internal/data"
+)
+
+// evalDelta runs rule r with the delta entry bound at body atom atomIdx,
+// joining the remaining atoms against the stored tables (semi-naive
+// evaluation).
+func (e *Engine) evalDelta(r *compiledRule, atomIdx int, delta *Entry) {
+	if !e.ruleActive(r) {
+		return
+	}
+	env := newEnv(r.nvars)
+	var trail []int
+	if r.ctxSlot >= 0 && !env.bindOrCheck(r.ctxSlot, data.Str(e.self), &trail) {
+		return
+	}
+	if r.locSlot >= 0 && !env.bindOrCheck(r.locSlot, data.Str(e.self), &trail) {
+		return
+	}
+	if !e.matchAtom(&r.atoms[atomIdx], delta, env, &trail) {
+		return
+	}
+	body := make([]AnnTuple, len(r.atoms))
+	body[atomIdx] = AnnTuple{Tuple: delta.Tuple, Ann: delta.Ann}
+	e.evalSteps(r, 0, atomIdx, env, body, &trail)
+}
+
+// evalFull evaluates rule r from scratch over the stored tables (used for
+// aggregate recomputation).
+func (e *Engine) evalFull(r *compiledRule) {
+	if !e.ruleActive(r) {
+		return
+	}
+	env := newEnv(r.nvars)
+	var trail []int
+	if r.ctxSlot >= 0 && !env.bindOrCheck(r.ctxSlot, data.Str(e.self), &trail) {
+		return
+	}
+	if r.locSlot >= 0 && !env.bindOrCheck(r.locSlot, data.Str(e.self), &trail) {
+		return
+	}
+	body := make([]AnnTuple, len(r.atoms))
+	e.evalSteps(r, 0, -1, env, body, &trail)
+}
+
+// ruleActive reports whether the rule applies at this node at all.
+func (e *Engine) ruleActive(r *compiledRule) bool {
+	if r.ctxConst != "" && r.ctxConst != e.self {
+		return false
+	}
+	if r.locConst != "" && r.locConst != e.self {
+		return false
+	}
+	return true
+}
+
+// evalSteps walks the rule plan from step si; atom skipAtom is already
+// bound (the delta), -1 for full evaluation.
+func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []AnnTuple, trail *[]int) {
+	if si == len(r.steps) {
+		e.fire(r, env, body)
+		return
+	}
+	st := r.steps[si]
+	switch st.kind {
+	case stepAtom:
+		if st.atom == skipAtom {
+			e.evalSteps(r, si+1, skipAtom, env, body, trail)
+			return
+		}
+		spec := &r.atoms[st.atom]
+		tbl := e.table(spec.pred)
+		// Probe the index on the columns already bound.
+		var cols []int
+		var vals []data.Value
+		for i, p := range spec.args {
+			switch {
+			case p.isConst:
+				cols = append(cols, i)
+				vals = append(vals, p.constVal)
+			case p.slot >= 0 && env.bound[p.slot]:
+				cols = append(cols, i)
+				vals = append(vals, env.vals[p.slot])
+			}
+		}
+		for _, en := range tbl.Lookup(cols, vals, e.now) {
+			mark := len(*trail)
+			if e.matchAtom(spec, en, env, trail) {
+				body[st.atom] = AnnTuple{Tuple: en.Tuple, Ann: en.Ann}
+				e.evalSteps(r, si+1, skipAtom, env, body, trail)
+			}
+			env.undo(trail, mark)
+		}
+	case stepAssign:
+		v, err := evalExpr(st.expr, r, env)
+		if err != nil {
+			return // expression failure kills this branch
+		}
+		mark := len(*trail)
+		if env.bindOrCheck(st.assignSlot, v, trail) {
+			e.evalSteps(r, si+1, skipAtom, env, body, trail)
+		}
+		env.undo(trail, mark)
+	case stepCond:
+		v, err := evalExpr(st.expr, r, env)
+		if err != nil || !v.IsTrue() {
+			return
+		}
+		e.evalSteps(r, si+1, skipAtom, env, body, trail)
+	}
+}
+
+// matchAtom matches a stored entry against an atom spec, binding
+// variables. The asserter is matched against the says pattern; atoms
+// without says accept only tuples asserted locally (or unattributed).
+func (e *Engine) matchAtom(spec *atomSpec, en *Entry, env *env, trail *[]int) bool {
+	tu := en.Tuple
+	if tu.Pred != spec.pred || len(tu.Args) != len(spec.args) {
+		return false
+	}
+	if spec.says == nil {
+		if tu.Asserter != "" && tu.Asserter != e.self {
+			return false
+		}
+	} else {
+		if tu.Asserter == "" {
+			return false
+		}
+		if !env.matchPattern(*spec.says, data.Str(tu.Asserter), trail) {
+			return false
+		}
+	}
+	for i, p := range spec.args {
+		if !env.matchPattern(p, tu.Args[i], trail) {
+			return false
+		}
+	}
+	return true
+}
+
+// fire constructs the head tuple from the environment and routes it.
+func (e *Engine) fire(r *compiledRule, env *env, body []AnnTuple) {
+	args := make([]data.Value, len(r.headArgs))
+	for i, p := range r.headArgs {
+		switch {
+		case p.isConst:
+			args[i] = p.constVal
+		case p.slot >= 0 && env.bound[p.slot]:
+			args[i] = env.vals[p.slot]
+		default:
+			return // unbound head variable; Validate prevents this
+		}
+	}
+	head := data.Tuple{Pred: r.headPred, Args: args}
+
+	dest := e.self
+	switch {
+	case r.headLocIdx >= 0:
+		if args[r.headLocIdx].Kind != data.KindString {
+			return
+		}
+		dest = args[r.headLocIdx].Str
+	case r.headDestSet:
+		var v data.Value
+		if r.headDest.isConst {
+			v = r.headDest.constVal
+		} else if r.headDest.slot >= 0 && env.bound[r.headDest.slot] {
+			v = env.vals[r.headDest.slot]
+		} else {
+			return
+		}
+		if v.Kind != data.KindString {
+			return
+		}
+		dest = v.Str
+	}
+
+	// Copy the body annotation slice: it is reused across branches.
+	bodyCopy := make([]AnnTuple, 0, len(body))
+	for _, b := range body {
+		if b.Tuple.Pred != "" {
+			bodyCopy = append(bodyCopy, b)
+		}
+	}
+	e.emit(r, head, dest, bodyCopy)
+}
+
+// String renders a compiled rule briefly (for debugging and error text).
+func (r *compiledRule) String() string {
+	return fmt.Sprintf("rule %s => %s/%d", r.label, r.headPred, len(r.headArgs))
+}

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"strconv"
+	"strings"
+
+	"provnet/internal/data"
+)
+
+// Entry is one stored tuple with its soft-state metadata and provenance
+// annotation.
+type Entry struct {
+	Tuple   data.Tuple
+	Ann     Annotation
+	Created float64
+	// TTL is the lifetime in seconds; <0 means infinite (hard state).
+	TTL float64
+	// Dead marks entries that were replaced or expired; indexes are
+	// cleaned lazily.
+	Dead bool
+}
+
+// ExpiresAt returns the expiry time, or +inf-like behaviour via ok=false
+// for hard state.
+func (en *Entry) ExpiresAt() (float64, bool) {
+	if en.TTL < 0 {
+		return 0, false
+	}
+	return en.Created + en.TTL, true
+}
+
+// InsertStatus describes the outcome of a Table.Insert.
+type InsertStatus uint8
+
+// Insert outcomes.
+const (
+	// InsertNew: the tuple was not present; stored.
+	InsertNew InsertStatus = iota
+	// InsertDuplicate: an identical tuple exists; the caller merges
+	// annotations.
+	InsertDuplicate
+	// InsertReplaced: a different tuple shared the primary key and was
+	// replaced (update semantics of keyed tables).
+	InsertReplaced
+)
+
+// Table is a materialized soft-state relation: rows keyed by a primary key
+// (a subset of columns, default all columns plus the asserter), with lazy
+// secondary hash indexes for join lookups, per-row TTLs, and an optional
+// size bound evicting the oldest rows (P2's materialize maxSize).
+type Table struct {
+	name    string
+	keyCols []int // nil = whole tuple (including asserter)
+	ttl     float64
+	maxSize int
+
+	rows map[string]*Entry
+	// order tracks insertion order for maxSize eviction.
+	order []*Entry
+	// indexes: signature ("2,4") → value key → entries.
+	indexes map[string]map[string][]*Entry
+}
+
+// NewTable creates a table. keyCols are 0-based primary key columns (nil
+// means identity key); ttl<0 means hard state; maxSize<0 means unbounded.
+func NewTable(name string, keyCols []int, ttl float64, maxSize int) *Table {
+	return &Table{
+		name:    name,
+		keyCols: keyCols,
+		ttl:     ttl,
+		maxSize: maxSize,
+		rows:    make(map[string]*Entry),
+		indexes: make(map[string]map[string][]*Entry),
+	}
+}
+
+// Name returns the predicate name.
+func (t *Table) Name() string { return t.name }
+
+// TTL returns the declared soft-state lifetime (<0 = infinite).
+func (t *Table) TTL() float64 { return t.ttl }
+
+func (t *Table) pkey(tu data.Tuple) string {
+	if t.keyCols == nil {
+		return tu.Key()
+	}
+	return tu.ValueKey(t.keyCols)
+}
+
+// Insert stores tu. If an identical tuple exists, it returns the existing
+// entry with InsertDuplicate. If a different tuple shares the primary key,
+// the old row is replaced (InsertReplaced).
+func (t *Table) Insert(tu data.Tuple, ann Annotation, now float64) (*Entry, InsertStatus) {
+	pk := t.pkey(tu)
+	if old, ok := t.rows[pk]; ok && !old.Dead {
+		if old.Tuple.Equal(tu) {
+			// Refresh soft state: a re-inserted tuple restarts its TTL.
+			old.Created = now
+			return old, InsertDuplicate
+		}
+		old.Dead = true
+		entry := &Entry{Tuple: tu, Ann: ann, Created: now, TTL: t.ttl}
+		t.rows[pk] = entry
+		t.order = append(t.order, entry)
+		t.indexInsert(entry)
+		return entry, InsertReplaced
+	}
+	entry := &Entry{Tuple: tu, Ann: ann, Created: now, TTL: t.ttl}
+	t.rows[pk] = entry
+	t.order = append(t.order, entry)
+	t.indexInsert(entry)
+	t.evict()
+	return entry, InsertNew
+}
+
+// evict enforces maxSize by killing the oldest live rows.
+func (t *Table) evict() {
+	if t.maxSize < 0 {
+		return
+	}
+	live := 0
+	for _, en := range t.order {
+		if !en.Dead {
+			live++
+		}
+	}
+	for i := 0; live > t.maxSize && i < len(t.order); i++ {
+		en := t.order[i]
+		if en.Dead {
+			continue
+		}
+		en.Dead = true
+		delete(t.rows, t.pkey(en.Tuple))
+		live--
+	}
+}
+
+// Get returns the entry identical to tu, or nil.
+func (t *Table) Get(tu data.Tuple) *Entry {
+	if en, ok := t.rows[t.pkey(tu)]; ok && !en.Dead && en.Tuple.Equal(tu) {
+		return en
+	}
+	return nil
+}
+
+// Delete removes the row identical to tu, reporting whether it existed.
+func (t *Table) Delete(tu data.Tuple) bool {
+	pk := t.pkey(tu)
+	if en, ok := t.rows[pk]; ok && !en.Dead && en.Tuple.Equal(tu) {
+		en.Dead = true
+		delete(t.rows, pk)
+		return true
+	}
+	return false
+}
+
+// Live returns copies of all live, unexpired tuples.
+func (t *Table) Live(now float64) []data.Tuple {
+	var out []data.Tuple
+	for _, en := range t.rows {
+		if en.Dead || en.expired(now) {
+			continue
+		}
+		out = append(out, en.Tuple)
+	}
+	return out
+}
+
+// Entries returns the live entries (unsorted).
+func (t *Table) Entries(now float64) []*Entry {
+	var out []*Entry
+	for _, en := range t.rows {
+		if en.Dead || en.expired(now) {
+			continue
+		}
+		out = append(out, en)
+	}
+	return out
+}
+
+func (en *Entry) expired(now float64) bool {
+	exp, ok := en.ExpiresAt()
+	return ok && now >= exp
+}
+
+// Expire kills expired rows, returning how many.
+func (t *Table) Expire(now float64) int {
+	n := 0
+	for pk, en := range t.rows {
+		if en.Dead {
+			continue
+		}
+		if en.expired(now) {
+			en.Dead = true
+			delete(t.rows, pk)
+			n++
+		}
+	}
+	if n > 0 {
+		t.compact()
+	}
+	return n
+}
+
+// compact rebuilds indexes and the order slice, dropping dead entries.
+// Called after expiry sweeps to keep lookups tight.
+func (t *Table) compact() {
+	liveOrder := t.order[:0]
+	for _, en := range t.order {
+		if !en.Dead {
+			liveOrder = append(liveOrder, en)
+		}
+	}
+	t.order = liveOrder
+	for sig := range t.indexes {
+		delete(t.indexes, sig)
+	}
+}
+
+// Lookup returns the live entries whose columns cols equal vals, using a
+// lazily built hash index. An empty cols scans the whole table.
+func (t *Table) Lookup(cols []int, vals []data.Value, now float64) []*Entry {
+	if len(cols) == 0 {
+		return t.Entries(now)
+	}
+	sig := colSig(cols)
+	idx, ok := t.indexes[sig]
+	if !ok {
+		idx = make(map[string][]*Entry)
+		for _, en := range t.rows {
+			if en.Dead {
+				continue
+			}
+			idx[valKey(en.Tuple, cols)] = append(idx[valKey(en.Tuple, cols)], en)
+		}
+		t.indexes[sig] = idx
+	}
+	probe := probeKey(vals)
+	bucket := idx[probe]
+	out := make([]*Entry, 0, len(bucket))
+	for _, en := range bucket {
+		if en.Dead || en.expired(now) {
+			continue
+		}
+		out = append(out, en)
+	}
+	return out
+}
+
+// indexInsert adds a new entry to every existing index.
+func (t *Table) indexInsert(en *Entry) {
+	for sig, idx := range t.indexes {
+		cols := parseSig(sig)
+		k := valKey(en.Tuple, cols)
+		idx[k] = append(idx[k], en)
+	}
+}
+
+// Size returns the number of live rows.
+func (t *Table) Size() int {
+	n := 0
+	for _, en := range t.rows {
+		if !en.Dead {
+			n++
+		}
+	}
+	return n
+}
+
+func colSig(cols []int) string {
+	var sb strings.Builder
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(c))
+	}
+	return sb.String()
+}
+
+func parseSig(sig string) []int {
+	parts := strings.Split(sig, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		out[i], _ = strconv.Atoi(p)
+	}
+	return out
+}
+
+// valKey builds the index key from specific columns of a stored tuple.
+func valKey(tu data.Tuple, cols []int) string {
+	var b []byte
+	for _, c := range cols {
+		b = appendValueKey(b, tu.Args[c])
+	}
+	return string(b)
+}
+
+// probeKey builds the index key from probe values.
+func probeKey(vals []data.Value) string {
+	var b []byte
+	for _, v := range vals {
+		b = appendValueKey(b, v)
+	}
+	return string(b)
+}
+
+func appendValueKey(b []byte, v data.Value) []byte {
+	b = append(b, v.Key()...)
+	b = append(b, 0)
+	return b
+}

@@ -1,0 +1,151 @@
+// Package netsim is the simulated network substrate. The paper's
+// evaluation ran up to 100 P2 processes on one machine exchanging signed
+// tuples; here the same dataflow runs as engines connected by an in-memory
+// message fabric with exact byte accounting — the source of the bandwidth
+// numbers in Figure 4.
+//
+// Delivery is deterministic: messages are queued per destination in send
+// order and drained by the round-driven scheduler in internal/core. Every
+// message is charged its payload size plus a fixed header overhead
+// (modelling IP+UDP framing, as P2 used UDP).
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HeaderOverhead is the per-message framing charge in bytes (IPv4 + UDP
+// headers).
+const HeaderOverhead = 28
+
+// Message is one transport datagram.
+type Message struct {
+	From, To string
+	Payload  []byte
+}
+
+// Size returns the charged size of the message.
+func (m Message) Size() int { return len(m.Payload) + HeaderOverhead }
+
+// Stats aggregates transport activity.
+type Stats struct {
+	Messages   int64
+	Bytes      int64 // includes header overhead
+	DroppedMsg int64 // sends to unknown nodes
+}
+
+// Network is the in-memory fabric connecting named nodes.
+type Network struct {
+	queues map[string][]Message
+	order  []string // node registration order (scheduler determinism)
+	// linkBytes tracks per-directed-pair traffic for granularity
+	// experiments (§5): key "from->to".
+	linkBytes map[string]int64
+	stats     Stats
+}
+
+// New creates an empty network.
+func New() *Network {
+	return &Network{
+		queues:    make(map[string][]Message),
+		linkBytes: make(map[string]int64),
+	}
+}
+
+// AddNode registers a node. Registration order defines the scheduler's
+// round order.
+func (n *Network) AddNode(name string) {
+	if _, ok := n.queues[name]; ok {
+		return
+	}
+	n.queues[name] = nil
+	n.order = append(n.order, name)
+}
+
+// Nodes returns the registered node names in registration order.
+func (n *Network) Nodes() []string {
+	out := make([]string, len(n.order))
+	copy(out, n.order)
+	return out
+}
+
+// HasNode reports whether name is registered.
+func (n *Network) HasNode(name string) bool {
+	_, ok := n.queues[name]
+	return ok
+}
+
+// Send enqueues a message, charging its bytes. Sends to unregistered
+// nodes are counted as drops and return an error.
+func (n *Network) Send(from, to string, payload []byte) error {
+	if _, ok := n.queues[to]; !ok {
+		n.stats.DroppedMsg++
+		return fmt.Errorf("netsim: send to unknown node %q", to)
+	}
+	msg := Message{From: from, To: to, Payload: payload}
+	n.queues[to] = append(n.queues[to], msg)
+	n.stats.Messages++
+	n.stats.Bytes += int64(msg.Size())
+	n.linkBytes[from+"->"+to] += int64(msg.Size())
+	return nil
+}
+
+// Drain removes and returns all messages queued for node to.
+func (n *Network) Drain(to string) []Message {
+	msgs := n.queues[to]
+	n.queues[to] = nil
+	return msgs
+}
+
+// PendingCount returns the number of undelivered messages.
+func (n *Network) PendingCount() int {
+	total := 0
+	for _, q := range n.queues {
+		total += len(q)
+	}
+	return total
+}
+
+// Stats returns a copy of the transport counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the counters (per-experiment runs).
+func (n *Network) ResetStats() {
+	n.stats = Stats{}
+	n.linkBytes = make(map[string]int64)
+}
+
+// LinkTraffic describes bytes carried on one directed pair.
+type LinkTraffic struct {
+	From, To string
+	Bytes    int64
+}
+
+// TopTalkers returns the k busiest directed pairs, descending by bytes.
+func (n *Network) TopTalkers(k int) []LinkTraffic {
+	out := make([]LinkTraffic, 0, len(n.linkBytes))
+	for key, b := range n.linkBytes {
+		var from, to string
+		for i := 0; i+1 < len(key); i++ {
+			if key[i] == '-' && key[i+1] == '>' {
+				from, to = key[:i], key[i+2:]
+				break
+			}
+		}
+		out = append(out, LinkTraffic{From: from, To: to, Bytes: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	if k >= 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"testing"
+)
+
+func TestSendAndDrain(t *testing.T) {
+	n := New()
+	n.AddNode("a")
+	n.AddNode("b")
+	if err := n.Send("a", "b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "b", []byte("world!")); err != nil {
+		t.Fatal(err)
+	}
+	msgs := n.Drain("b")
+	if len(msgs) != 2 || string(msgs[0].Payload) != "hello" || string(msgs[1].Payload) != "world!" {
+		t.Fatalf("drain = %v", msgs)
+	}
+	if len(n.Drain("b")) != 0 {
+		t.Error("drain must clear the queue")
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	n := New()
+	n.AddNode("a")
+	n.AddNode("b")
+	n.Send("a", "b", make([]byte, 100))
+	n.Send("b", "a", make([]byte, 50))
+	st := n.Stats()
+	if st.Messages != 2 {
+		t.Errorf("messages = %d", st.Messages)
+	}
+	want := int64(100 + 50 + 2*HeaderOverhead)
+	if st.Bytes != want {
+		t.Errorf("bytes = %d, want %d", st.Bytes, want)
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	n := New()
+	n.AddNode("a")
+	if err := n.Send("a", "ghost", []byte("x")); err == nil {
+		t.Fatal("send to unknown node must fail")
+	}
+	if n.Stats().DroppedMsg != 1 {
+		t.Error("drop must be counted")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	n := New()
+	n.AddNode("a")
+	n.AddNode("b")
+	if n.PendingCount() != 0 {
+		t.Error("fresh network has no pending messages")
+	}
+	n.Send("a", "b", []byte("x"))
+	if n.PendingCount() != 1 {
+		t.Error("pending = 1")
+	}
+	n.Drain("b")
+	if n.PendingCount() != 0 {
+		t.Error("drained")
+	}
+}
+
+func TestNodesOrderAndHasNode(t *testing.T) {
+	n := New()
+	for _, name := range []string{"c", "a", "b"} {
+		n.AddNode(name)
+	}
+	n.AddNode("a") // duplicate: ignored
+	nodes := n.Nodes()
+	if len(nodes) != 3 || nodes[0] != "c" || nodes[1] != "a" || nodes[2] != "b" {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	if !n.HasNode("a") || n.HasNode("zzz") {
+		t.Error("HasNode")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	n := New()
+	n.AddNode("a")
+	n.AddNode("b")
+	n.Send("a", "b", []byte("x"))
+	n.ResetStats()
+	if st := n.Stats(); st.Messages != 0 || st.Bytes != 0 {
+		t.Error("ResetStats must zero counters")
+	}
+}
+
+func TestTopTalkers(t *testing.T) {
+	n := New()
+	for _, name := range []string{"a", "b", "c"} {
+		n.AddNode(name)
+	}
+	n.Send("a", "b", make([]byte, 100))
+	n.Send("a", "b", make([]byte, 100))
+	n.Send("b", "c", make([]byte, 10))
+	top := n.TopTalkers(1)
+	if len(top) != 1 || top[0].From != "a" || top[0].To != "b" {
+		t.Fatalf("TopTalkers = %v", top)
+	}
+	all := n.TopTalkers(-1)
+	if len(all) != 2 {
+		t.Fatalf("all talkers = %v", all)
+	}
+	if all[0].Bytes < all[1].Bytes {
+		t.Error("descending order")
+	}
+}

@@ -1,0 +1,287 @@
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"sync"
+
+	"provnet/internal/data"
+)
+
+// KeyOf returns the compact provenance key of a tuple: a truncated hash
+// of its canonical encoding. Distributed provenance ships (node, key)
+// pointers with every tuple, so the key is fixed-size to keep the
+// paper's "no extra communication overhead" property of the mode.
+func KeyOf(t data.Tuple) string {
+	sum := sha256.Sum256([]byte(t.Key()))
+	return hex.EncodeToString(sum[:12])
+}
+
+// Ref points to a tuple's provenance at a node: the pointer of distributed
+// provenance (§4.1). Instead of shipping derivation trees, each node keeps
+// its own derivations and remote children are chased on demand during a
+// traceback query — the analogy the paper draws to IP traceback state kept
+// at routers.
+type Ref struct {
+	Node string
+	Key  string
+}
+
+// Derivation is one locally recorded rule firing.
+type Derivation struct {
+	Rule string
+	Loc  string
+	// Children reference the body tuples; remote children carry the node
+	// that shipped them.
+	Children []Ref
+	// At is the logical time of the firing.
+	At float64
+}
+
+func (d Derivation) sig() string {
+	s := d.Rule + "@" + d.Loc
+	for _, c := range d.Children {
+		s += "|" + c.Node + "/" + c.Key
+	}
+	return s
+}
+
+// Entry is a tuple's locally known provenance.
+type Entry struct {
+	Key   string
+	Tuple data.Tuple
+	// Derivs are local rule firings that produced the tuple.
+	Derivs []Derivation
+	// Origins are remote nodes that shipped the tuple here (each with the
+	// key to continue the traceback at that node).
+	Origins []Ref
+	// Pinned entries survive age-out (marked to persist after a network
+	// anomaly, §5).
+	Pinned bool
+	// At is the first time the tuple's provenance was recorded.
+	At float64
+}
+
+func (e *Entry) addDeriv(d Derivation) bool {
+	sig := d.sig()
+	for _, x := range e.Derivs {
+		if x.sig() == sig {
+			return false
+		}
+	}
+	e.Derivs = append(e.Derivs, d)
+	return true
+}
+
+func (e *Entry) addOrigin(r Ref) bool {
+	for _, x := range e.Origins {
+		if x == r {
+			return false
+		}
+	}
+	e.Origins = append(e.Origins, r)
+	return true
+}
+
+// clone returns a deep-enough copy for offline archival.
+func (e *Entry) clone() *Entry {
+	cp := &Entry{Key: e.Key, Tuple: e.Tuple, Pinned: e.Pinned, At: e.At}
+	cp.Derivs = append([]Derivation{}, e.Derivs...)
+	cp.Origins = append([]Ref{}, e.Origins...)
+	return cp
+}
+
+// Store is one node's provenance state, split into the online store
+// (provenance of currently valid tuples) and an optional offline store
+// retaining provenance past expiry for forensics and accountability
+// (§4.2). It is safe for concurrent readers and writers, since traceback
+// queries may run while the network executes.
+type Store struct {
+	mu     sync.RWMutex
+	self   string
+	online map[string]*Entry
+
+	offline        map[string]*Entry
+	offlineEnabled bool
+	offlineMaxAge  float64 // <0: keep forever
+}
+
+// NewStore creates a store for node self with the offline tier disabled.
+func NewStore(self string) *Store {
+	return &Store{
+		self:          self,
+		online:        make(map[string]*Entry),
+		offline:       make(map[string]*Entry),
+		offlineMaxAge: -1,
+	}
+}
+
+// EnableOffline turns on the offline tier; maxAge < 0 keeps entries
+// forever, otherwise AgeOut(now) drops unpinned entries older than maxAge.
+func (s *Store) EnableOffline(maxAge float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.offlineEnabled = true
+	s.offlineMaxAge = maxAge
+}
+
+// Self returns the owning node.
+func (s *Store) Self() string { return s.self }
+
+func (s *Store) entryLocked(key string, t data.Tuple, at float64) *Entry {
+	e, ok := s.online[key]
+	if !ok {
+		e = &Entry{Key: key, Tuple: t, At: at}
+		s.online[key] = e
+	}
+	return e
+}
+
+// RecordBase notes a base tuple inserted at this node.
+func (s *Store) RecordBase(t data.Tuple, at float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entryLocked(KeyOf(t), t, at)
+	s.mirrorOffline(e)
+}
+
+// RecordDeriv notes a local rule firing.
+func (s *Store) RecordDeriv(head data.Tuple, rule string, children []Ref, at float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entryLocked(KeyOf(head), head, at)
+	changed := e.addDeriv(Derivation{Rule: rule, Loc: s.self, Children: children, At: at})
+	// Mirror even when unchanged: the offline tier may have been enabled
+	// after the first recording.
+	s.mirrorOffline(e)
+	return changed
+}
+
+// RecordOrigin notes that a tuple arrived from a remote node.
+func (s *Store) RecordOrigin(t data.Tuple, from Ref, at float64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entryLocked(KeyOf(t), t, at)
+	changed := e.addOrigin(from)
+	s.mirrorOffline(e)
+	return changed
+}
+
+// mirrorOffline merges an entry into the offline tier (caller holds
+// lock). Merging rather than replacing preserves history across tuple
+// expiry and re-derivation: the offline store accumulates everything ever
+// known about the tuple.
+func (s *Store) mirrorOffline(e *Entry) {
+	if !s.offlineEnabled {
+		return
+	}
+	off, ok := s.offline[e.Key]
+	if !ok {
+		s.offline[e.Key] = e.clone()
+		return
+	}
+	for _, d := range e.Derivs {
+		off.addDeriv(d)
+	}
+	for _, o := range e.Origins {
+		off.addOrigin(o)
+	}
+	off.Pinned = off.Pinned || e.Pinned
+}
+
+// Get returns the online entry for a tuple key, or nil.
+func (s *Store) Get(key string) *Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.online[key]
+}
+
+// GetOffline returns the offline entry for a tuple key, or nil. Offline
+// entries survive Forget (tuple expiry).
+func (s *Store) GetOffline(key string) *Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.offline[key]
+}
+
+// GetAny prefers the online entry and falls back to offline (the paper's
+// "in practice, [forensics] would be used in conjunction with online
+// provenance").
+func (s *Store) GetAny(key string) *Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if e, ok := s.online[key]; ok {
+		return e
+	}
+	return s.offline[key]
+}
+
+// Forget drops a tuple's online provenance (called when its soft state
+// expires). The offline copy, if enabled, remains.
+func (s *Store) Forget(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.online, key)
+}
+
+// Pin marks a tuple's provenance to persist through age-out (e.g. flagged
+// during an anomaly for later forensics, §5).
+func (s *Store) Pin(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.online[key]; ok {
+		e.Pinned = true
+	}
+	if e, ok := s.offline[key]; ok {
+		e.Pinned = true
+	}
+}
+
+// AgeOut drops unpinned offline entries recorded before now-maxAge,
+// returning how many were dropped.
+func (s *Store) AgeOut(now float64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.offlineEnabled || s.offlineMaxAge < 0 {
+		return 0
+	}
+	n := 0
+	for k, e := range s.offline {
+		if !e.Pinned && now-e.At > s.offlineMaxAge {
+			delete(s.offline, k)
+			n++
+		}
+	}
+	return n
+}
+
+// OnlineCount and OfflineCount report store sizes.
+func (s *Store) OnlineCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.online)
+}
+
+// OfflineCount reports the offline tier size.
+func (s *Store) OfflineCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.offline)
+}
+
+// Keys returns the online keys sorted (for deterministic iteration in
+// tools).
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.online))
+	for k := range s.online {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FindByTuple returns the online entry whose tuple equals t, or nil.
+func (s *Store) FindByTuple(t data.Tuple) *Entry { return s.Get(KeyOf(t)) }

@@ -1,0 +1,128 @@
+package provenance
+
+import (
+	"testing"
+
+	"provnet/internal/data"
+)
+
+func TestStoreRecordAndGet(t *testing.T) {
+	s := NewStore("a")
+	tu := data.NewTuple("link", data.Str("a"), data.Str("b"))
+	s.RecordBase(tu, 1)
+	e := s.Get(KeyOf(tu))
+	if e == nil || !e.Tuple.Equal(tu) || len(e.Derivs) != 0 {
+		t.Fatalf("entry = %+v", e)
+	}
+	head := data.NewTuple("reachable", data.Str("a"), data.Str("b"))
+	if !s.RecordDeriv(head, "r1", []Ref{{Node: "a", Key: KeyOf(tu)}}, 2) {
+		t.Fatal("first deriv must register")
+	}
+	// Duplicate derivation dedups.
+	if s.RecordDeriv(head, "r1", []Ref{{Node: "a", Key: KeyOf(tu)}}, 3) {
+		t.Fatal("duplicate deriv must not register")
+	}
+	if got := s.Get(KeyOf(head)); len(got.Derivs) != 1 {
+		t.Fatalf("derivs = %d", len(got.Derivs))
+	}
+	if s.OnlineCount() != 2 {
+		t.Errorf("online count = %d", s.OnlineCount())
+	}
+}
+
+func TestStoreOrigins(t *testing.T) {
+	s := NewStore("b")
+	tu := data.NewTuple("reachable", data.Str("a"), data.Str("c"))
+	ref := Ref{Node: "a", Key: KeyOf(tu)}
+	if !s.RecordOrigin(tu, ref, 1) {
+		t.Fatal("origin must register")
+	}
+	if s.RecordOrigin(tu, ref, 2) {
+		t.Fatal("duplicate origin dedups")
+	}
+	if e := s.Get(KeyOf(tu)); len(e.Origins) != 1 || e.Origins[0] != ref {
+		t.Fatalf("origins = %v", e.Origins)
+	}
+}
+
+func TestOfflineSurvivesForget(t *testing.T) {
+	s := NewStore("a")
+	s.EnableOffline(-1)
+	tu := data.NewTuple("event", data.Str("a"), data.Int(1))
+	s.RecordBase(tu, 5)
+	s.Forget(KeyOf(tu))
+	if s.Get(KeyOf(tu)) != nil {
+		t.Fatal("online entry must be gone")
+	}
+	if s.GetOffline(KeyOf(tu)) == nil {
+		t.Fatal("offline entry must survive")
+	}
+	if s.GetAny(KeyOf(tu)) == nil {
+		t.Fatal("GetAny must fall back to offline")
+	}
+}
+
+func TestOfflineDisabledByDefault(t *testing.T) {
+	s := NewStore("a")
+	tu := data.NewTuple("event", data.Str("a"), data.Int(1))
+	s.RecordBase(tu, 5)
+	s.Forget(KeyOf(tu))
+	if s.GetAny(KeyOf(tu)) != nil {
+		t.Fatal("no offline tier: entry should be gone")
+	}
+}
+
+func TestAgeOutAndPin(t *testing.T) {
+	s := NewStore("a")
+	s.EnableOffline(10)
+	t1 := data.NewTuple("event", data.Str("a"), data.Int(1))
+	t2 := data.NewTuple("event", data.Str("a"), data.Int(2))
+	s.RecordBase(t1, 0)
+	s.RecordBase(t2, 0)
+	s.Pin(KeyOf(t2))
+	if n := s.AgeOut(5); n != 0 {
+		t.Fatalf("premature age-out: %d", n)
+	}
+	if n := s.AgeOut(20); n != 1 {
+		t.Fatalf("aged = %d, want 1 (pinned survives)", n)
+	}
+	if s.GetOffline(KeyOf(t1)) != nil {
+		t.Error("t1 must be aged out")
+	}
+	if s.GetOffline(KeyOf(t2)) == nil {
+		t.Error("pinned t2 must survive")
+	}
+	if s.OfflineCount() != 1 {
+		t.Errorf("offline count = %d", s.OfflineCount())
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore("a")
+	s.RecordBase(data.NewTuple("b", data.Int(1)), 0)
+	s.RecordBase(data.NewTuple("a", data.Int(1)), 0)
+	ks := s.Keys()
+	if len(ks) != 2 || ks[0] > ks[1] {
+		t.Errorf("keys = %v", ks)
+	}
+}
+
+func TestOfflineSnapshotIsolation(t *testing.T) {
+	// The offline copy must not alias online mutations after Forget.
+	s := NewStore("a")
+	s.EnableOffline(-1)
+	head := data.NewTuple("p", data.Int(1))
+	s.RecordDeriv(head, "r1", nil, 0)
+	off := s.GetOffline(KeyOf(head))
+	nDerivs := len(off.Derivs)
+	s.RecordDeriv(head, "r2", nil, 1) // mirrors again
+	if got := s.GetOffline(KeyOf(head)); len(got.Derivs) != nDerivs+1 {
+		t.Fatalf("offline should track while online lives: %d", len(got.Derivs))
+	}
+	s.Forget(KeyOf(head))
+	// Mutating a fresh online entry must not disturb the offline copy.
+	s.RecordDeriv(head, "r3", nil, 2)
+	if got := s.GetOffline(KeyOf(head)); len(got.Derivs) != nDerivs+2 {
+		t.Fatalf("offline entry re-mirrored after forget: %d derivs", len(got.Derivs))
+	}
+}

@@ -1,0 +1,379 @@
+package provenance
+
+import (
+	"fmt"
+
+	"provnet/internal/auth"
+	"provnet/internal/bdd"
+	"provnet/internal/data"
+	"provnet/internal/engine"
+	"provnet/internal/semiring"
+)
+
+// Mode selects the provenance representation of the taxonomy (§4.1, §4.4).
+type Mode uint8
+
+// Provenance modes.
+const (
+	// ModeNone records nothing (the NDlog / SeNDlog baselines).
+	ModeNone Mode = iota
+	// ModeLocal ships the full derivation tree with every tuple: cheap
+	// querying and local trust enforcement, expensive communication.
+	ModeLocal
+	// ModeDistributed ships nothing and stores per-node derivation
+	// pointers; provenance is reconstructed on demand by a distributed
+	// traceback query.
+	ModeDistributed
+	// ModeCondensed ships a BDD-encoded provenance-semiring expression
+	// over asserting principals — the paper's SeNDlogProv configuration.
+	ModeCondensed
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeLocal:
+		return "local"
+	case ModeDistributed:
+		return "distributed"
+	case ModeCondensed:
+		return "condensed"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// TrackerConfig configures a node's provenance tracker.
+type TrackerConfig struct {
+	Mode Mode
+	// Self is the node / principal name.
+	Self string
+	// Store receives derivation records for distributed provenance and
+	// the online/offline tiers; required for ModeDistributed, optional
+	// (recommended) for other modes.
+	Store *Store
+	// Clock supplies logical timestamps for store records.
+	Clock func() float64
+	// Signer, when set with ModeLocal, signs every tree node it creates
+	// and verifies imported trees (authenticated provenance, §4.3).
+	Signer auth.Signer
+	// SampleEvery records only every k-th derivation into the Store (the
+	// IP-traceback-style sampling optimization of §5). 0 or 1 records
+	// everything.
+	SampleEvery int
+}
+
+// Tracker implements engine.ProvHook for one node in one mode.
+type Tracker struct {
+	cfg TrackerConfig
+	// mgr is the node's BDD manager for condensed provenance.
+	mgr *bdd.Manager
+	// derivCounter drives sampling.
+	derivCounter int
+}
+
+var _ engine.ProvHook = (*Tracker)(nil)
+
+// NewTracker builds a tracker. ModeNone trackers are valid and record
+// nothing.
+func NewTracker(cfg TrackerConfig) *Tracker {
+	t := &Tracker{cfg: cfg}
+	if cfg.Mode == ModeCondensed {
+		t.mgr = bdd.New()
+	}
+	return t
+}
+
+// Manager exposes the node's BDD manager (condensed mode).
+func (tr *Tracker) Manager() *bdd.Manager { return tr.mgr }
+
+// Mode returns the tracker's mode.
+func (tr *Tracker) Mode() Mode { return tr.cfg.Mode }
+
+func (tr *Tracker) now() float64 {
+	if tr.cfg.Clock != nil {
+		return tr.cfg.Clock()
+	}
+	return 0
+}
+
+// sampled reports whether this derivation should be recorded under the
+// sampling optimization.
+func (tr *Tracker) sampled() bool {
+	if tr.cfg.SampleEvery <= 1 {
+		return true
+	}
+	tr.derivCounter++
+	return tr.derivCounter%tr.cfg.SampleEvery == 0
+}
+
+// principalVar names the semiring variable of a base tuple: its asserting
+// principal in SeNDlog mode (matching Figure 2's <a>, <b> annotations), or
+// the tuple key itself in unauthenticated runs (base-tuple provenance).
+func principalVar(t data.Tuple, self string) string {
+	if t.Asserter != "" {
+		return t.Asserter
+	}
+	if self != "" {
+		return self
+	}
+	return t.Key()
+}
+
+// --- engine.ProvHook ---
+
+// Base annotates a locally inserted base tuple.
+func (tr *Tracker) Base(t data.Tuple) engine.Annotation {
+	if tr.cfg.Store != nil && tr.cfg.Mode != ModeNone {
+		tr.cfg.Store.RecordBase(t, tr.now())
+	}
+	switch tr.cfg.Mode {
+	case ModeLocal:
+		leaf := NewLeaf(t)
+		tr.sign(leaf)
+		return leaf
+	case ModeDistributed:
+		return Ref{Node: tr.cfg.Self, Key: KeyOf(t)}
+	case ModeCondensed:
+		return tr.mgr.Var(principalVar(t, tr.cfg.Self))
+	default:
+		return nil
+	}
+}
+
+// Import reconstructs the annotation of a tuple received from the network.
+func (tr *Tracker) Import(t data.Tuple, payload []byte) (engine.Annotation, error) {
+	switch tr.cfg.Mode {
+	case ModeLocal:
+		if len(payload) == 0 {
+			// Sender had no provenance for it; treat as opaque leaf.
+			return NewLeaf(t), nil
+		}
+		tree, err := UnmarshalTree(payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := tr.verify(tree); err != nil {
+			return nil, err
+		}
+		return tree, nil
+	case ModeDistributed:
+		// Payload is the sender's pointer: node + key.
+		if len(payload) == 0 {
+			return Ref{Node: tr.cfg.Self, Key: KeyOf(t)}, nil
+		}
+		node, n, err := data.DecodeString(payload)
+		if err != nil {
+			return nil, err
+		}
+		key, _, err := data.DecodeString(payload[n:])
+		if err != nil {
+			return nil, err
+		}
+		ref := Ref{Node: node, Key: key}
+		if tr.cfg.Store != nil {
+			tr.cfg.Store.RecordOrigin(t, ref, tr.now())
+		}
+		return ref, nil
+	case ModeCondensed:
+		if len(payload) == 0 {
+			return tr.mgr.Var(principalVar(t, "")), nil
+		}
+		node, err := tr.mgr.Deserialize(payload)
+		if err != nil {
+			return nil, err
+		}
+		return node, nil
+	default:
+		return nil, nil
+	}
+}
+
+// Derive combines body annotations for a rule firing.
+func (tr *Tracker) Derive(rule, node string, head data.Tuple, body []engine.AnnTuple) engine.Annotation {
+	if tr.cfg.Mode != ModeNone && tr.cfg.Store != nil && tr.sampled() {
+		children := make([]Ref, 0, len(body))
+		for _, b := range body {
+			if r, ok := b.Ann.(Ref); ok {
+				children = append(children, r)
+			} else {
+				children = append(children, Ref{Node: tr.cfg.Self, Key: KeyOf(b.Tuple)})
+			}
+		}
+		tr.cfg.Store.RecordDeriv(head, rule, children, tr.now())
+	}
+	switch tr.cfg.Mode {
+	case ModeLocal:
+		children := make([]*Tree, 0, len(body))
+		for _, b := range body {
+			if t, ok := b.Ann.(*Tree); ok && t != nil {
+				children = append(children, t)
+			} else {
+				children = append(children, NewLeaf(b.Tuple))
+			}
+		}
+		t := NewDerived(head, rule, node, children)
+		tr.sign(t)
+		return t
+	case ModeDistributed:
+		return Ref{Node: tr.cfg.Self, Key: KeyOf(head)}
+	case ModeCondensed:
+		acc := bdd.True
+		for _, b := range body {
+			if n, ok := b.Ann.(bdd.Node); ok {
+				acc = tr.mgr.And(acc, n)
+			} else {
+				acc = tr.mgr.And(acc, tr.mgr.Var(principalVar(b.Tuple, tr.cfg.Self)))
+			}
+		}
+		return acc
+	default:
+		return nil
+	}
+}
+
+// Merge combines an alternative derivation into an existing annotation.
+func (tr *Tracker) Merge(existing, incoming engine.Annotation) (engine.Annotation, bool) {
+	switch tr.cfg.Mode {
+	case ModeLocal:
+		et, ok1 := existing.(*Tree)
+		it, ok2 := incoming.(*Tree)
+		if !ok1 || !ok2 {
+			return existing, false
+		}
+		changed := et.Merge(it)
+		return et, changed
+	case ModeDistributed:
+		// Alternative derivations were already recorded in the store by
+		// Derive/Import; nothing is shipped, so nothing re-propagates.
+		// This is the paper's trade-off: no communication overhead, more
+		// expensive querying.
+		return existing, false
+	case ModeCondensed:
+		en, ok1 := existing.(bdd.Node)
+		in, ok2 := incoming.(bdd.Node)
+		if !ok1 || !ok2 {
+			return existing, false
+		}
+		merged := tr.mgr.Or(en, in)
+		return merged, merged != en
+	default:
+		return existing, false
+	}
+}
+
+// Export serializes the annotation for shipment with its tuple.
+func (tr *Tracker) Export(t data.Tuple, ann engine.Annotation) []byte {
+	switch tr.cfg.Mode {
+	case ModeLocal:
+		if tree, ok := ann.(*Tree); ok && tree != nil {
+			return tree.Marshal()
+		}
+		return nil
+	case ModeDistributed:
+		// Ship only the pointer (no communication overhead beyond it).
+		ref, ok := ann.(Ref)
+		if !ok {
+			ref = Ref{Node: tr.cfg.Self, Key: KeyOf(t)}
+		}
+		var b []byte
+		b = data.AppendString(b, ref.Node)
+		b = data.AppendString(b, ref.Key)
+		return b
+	case ModeCondensed:
+		if n, ok := ann.(bdd.Node); ok {
+			return tr.mgr.Serialize(n)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// --- authenticated provenance (§4.3) ---
+
+// sign attaches the asserting principal's signature to a tree node (its
+// immediate tuple only; children carry their own signatures).
+func (tr *Tracker) sign(t *Tree) {
+	if tr.cfg.Signer == nil {
+		return
+	}
+	principal := t.Tuple.Asserter
+	if principal == "" {
+		principal = tr.cfg.Self
+	}
+	sig, err := tr.cfg.Signer.Sign(principal, data.EncodeTuple(t.Tuple))
+	if err == nil {
+		t.Sig = sig
+	}
+}
+
+// verify checks every signed node of an imported tree. Unsigned nodes are
+// rejected when a signer is configured: in an untrusted environment every
+// provenance node must validate (§4.3).
+func (tr *Tracker) verify(t *Tree) error {
+	if tr.cfg.Signer == nil {
+		return nil
+	}
+	var rec func(*Tree) error
+	rec = func(n *Tree) error {
+		principal := n.Tuple.Asserter
+		if principal == "" {
+			principal = tr.cfg.Self
+		}
+		if err := tr.cfg.Signer.Verify(principal, data.EncodeTuple(n.Tuple), n.Sig); err != nil {
+			return fmt.Errorf("provenance: node %s: %w", n.Tuple, err)
+		}
+		for _, d := range n.Derivs {
+			for _, c := range d.Children {
+				if err := rec(c); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return rec(t)
+}
+
+// --- quantifiable provenance (§4.5) ---
+
+// PolyOf converts a condensed annotation back into a provenance
+// polynomial over principals (B[X] form), for evaluation under other
+// semirings.
+func (tr *Tracker) PolyOf(ann engine.Annotation) semiring.Poly {
+	n, ok := ann.(bdd.Node)
+	if !ok || tr.mgr == nil {
+		return semiring.Zero()
+	}
+	return semiring.FromCubes(tr.mgr.Cubes(n))
+}
+
+// ExprOf renders a condensed annotation in the paper's <...> style.
+func (tr *Tracker) ExprOf(ann engine.Annotation) string {
+	n, ok := ann.(bdd.Node)
+	if !ok || tr.mgr == nil {
+		return ""
+	}
+	return "<" + tr.mgr.Expr(n) + ">"
+}
+
+// TreePoly computes the provenance polynomial of a derivation tree
+// (ModeLocal), attributing leaves to their asserting principals; it
+// produces the uncondensed expressions of Figure 2 such as a + a*b.
+func TreePoly(t *Tree, self string) semiring.Poly {
+	if len(t.Derivs) == 0 {
+		return semiring.Var(principalVar(t.Tuple, self))
+	}
+	sum := semiring.Zero()
+	for _, d := range t.Derivs {
+		prod := semiring.One()
+		for _, c := range d.Children {
+			prod = prod.Mul(TreePoly(c, self))
+		}
+		sum = sum.Add(prod)
+	}
+	return sum
+}

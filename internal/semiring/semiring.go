@@ -1,0 +1,164 @@
+// Package semiring implements provenance semirings (Green, Karvounarakis,
+// Tannen, PODS 2007) as used by the paper for condensed and quantifiable
+// provenance (§4.4, §4.5).
+//
+// Derivations are recorded as provenance polynomials in N[X]: variables are
+// the identities of base-tuple assertions (in SeNDlog, the principals that
+// said them), + is alternative derivation (union), and · is joint use in one
+// rule body (join). Evaluating a polynomial under different semirings
+// yields the paper's quantifiable notions of trust:
+//
+//   - the boolean semiring answers "is the tuple derivable from trusted
+//     inputs?";
+//   - the counting semiring counts the number of distinct derivations;
+//   - the trust (max/min) semiring computes the paper's security-level
+//     example max(2, min(2,1)) = 2;
+//   - the tropical (min/+) semiring computes a minimal-cost derivation.
+package semiring
+
+import "math"
+
+// Semiring is a commutative semiring over T: (T, Add, Zero) is a
+// commutative monoid, (T, Mul, One) is a commutative monoid, Mul distributes
+// over Add, and Zero annihilates Mul.
+type Semiring[T any] interface {
+	Zero() T
+	One() T
+	Add(a, b T) T
+	Mul(a, b T) T
+}
+
+// Bool is the boolean semiring ({false,true}, ∨, ∧): a polynomial evaluates
+// to true iff the tuple is derivable from the variables assigned true.
+type Bool struct{}
+
+// Zero returns false.
+func (Bool) Zero() bool { return false }
+
+// One returns true.
+func (Bool) One() bool { return true }
+
+// Add is logical or.
+func (Bool) Add(a, b bool) bool { return a || b }
+
+// Mul is logical and.
+func (Bool) Mul(a, b bool) bool { return a && b }
+
+// Count is the counting semiring (ℕ, +, ×): a polynomial evaluates to the
+// number of distinct derivations, the "count" notion of §4.5 (from
+// Gupta/Mumick/Subrahmanian view maintenance).
+type Count struct{}
+
+// Zero returns 0.
+func (Count) Zero() int64 { return 0 }
+
+// One returns 1.
+func (Count) One() int64 { return 1 }
+
+// Add is addition.
+func (Count) Add(a, b int64) int64 { return a + b }
+
+// Mul is multiplication.
+func (Count) Mul(a, b int64) int64 { return a * b }
+
+// Trust levels for the Trust semiring. Higher is more trusted.
+const (
+	// TrustZero is the additive identity: an underivable tuple.
+	TrustZero = math.MinInt64
+	// TrustOne is the multiplicative identity: an axiomatically trusted
+	// input.
+	TrustOne = math.MaxInt64
+)
+
+// Trust is the security-level semiring (levels ∪ {±∞}, max, min) of §4.5:
+// the trust of a derivation is the minimum level among the facts it joins,
+// and the trust of a tuple is the maximum over its alternative derivations.
+type Trust struct{}
+
+// Zero returns TrustZero (no derivation).
+func (Trust) Zero() int64 { return TrustZero }
+
+// One returns TrustOne (fully trusted).
+func (Trust) One() int64 { return TrustOne }
+
+// Add is max: alternative derivations take the more trusted one.
+func (Trust) Add(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mul is min: a joint derivation is only as trusted as its weakest input.
+func (Trust) Mul(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Tropical is the (min, +) semiring over costs: a polynomial evaluates to
+// the cost of the cheapest derivation when each variable is assigned the
+// cost of using its base tuple.
+type Tropical struct{}
+
+// Zero returns +Inf (no derivation).
+func (Tropical) Zero() float64 { return math.Inf(1) }
+
+// One returns 0 (a free derivation step).
+func (Tropical) One() float64 { return 0 }
+
+// Add is min.
+func (Tropical) Add(a, b float64) float64 { return math.Min(a, b) }
+
+// Mul is addition of costs.
+func (Tropical) Mul(a, b float64) float64 { return a + b }
+
+// Fuzzy is the Viterbi-style ([0,1], max, ×) semiring: a polynomial
+// evaluates to the confidence of the most credible derivation.
+type Fuzzy struct{}
+
+// Zero returns 0.
+func (Fuzzy) Zero() float64 { return 0 }
+
+// One returns 1.
+func (Fuzzy) One() float64 { return 1 }
+
+// Add is max.
+func (Fuzzy) Add(a, b float64) float64 { return math.Max(a, b) }
+
+// Mul is product.
+func (Fuzzy) Mul(a, b float64) float64 { return a * b }
+
+// AddN returns a added to itself n times under s. It is used to apply a
+// polynomial coefficient. Idempotent semirings (Bool, Trust, Tropical,
+// Fuzzy) short-circuit to a single term.
+func AddN[T any](s Semiring[T], a T, n int64) T {
+	if n <= 0 {
+		return s.Zero()
+	}
+	switch any(s).(type) {
+	case Bool, Trust, Tropical, Fuzzy:
+		return a
+	}
+	// Double-and-add to stay cheap for large counts.
+	acc := s.Zero()
+	base := a
+	for n > 0 {
+		if n&1 == 1 {
+			acc = s.Add(acc, base)
+		}
+		base = s.Add(base, base)
+		n >>= 1
+	}
+	return acc
+}
+
+// Pow returns a multiplied by itself n times under s (a^0 = One).
+func Pow[T any](s Semiring[T], a T, n int) T {
+	r := s.One()
+	for i := 0; i < n; i++ {
+		r = s.Mul(r, a)
+	}
+	return r
+}

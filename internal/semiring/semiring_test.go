@@ -1,0 +1,128 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkLaws verifies the commutative-semiring axioms for s over the sample
+// values gen produces.
+func checkLaws[T comparable](t *testing.T, name string, s Semiring[T], gen func(r *rand.Rand) T) {
+	t.Helper()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := gen(r), gen(r), gen(r)
+		// Additive commutative monoid.
+		if s.Add(a, b) != s.Add(b, a) {
+			return false
+		}
+		if s.Add(s.Add(a, b), c) != s.Add(a, s.Add(b, c)) {
+			return false
+		}
+		if s.Add(a, s.Zero()) != a {
+			return false
+		}
+		// Multiplicative commutative monoid.
+		if s.Mul(a, b) != s.Mul(b, a) {
+			return false
+		}
+		if s.Mul(s.Mul(a, b), c) != s.Mul(a, s.Mul(b, c)) {
+			return false
+		}
+		if s.Mul(a, s.One()) != a {
+			return false
+		}
+		// Distributivity and annihilation.
+		if s.Mul(a, s.Add(b, c)) != s.Add(s.Mul(a, b), s.Mul(a, c)) {
+			return false
+		}
+		if s.Mul(a, s.Zero()) != s.Zero() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Errorf("%s semiring laws: %v", name, err)
+	}
+}
+
+func TestBoolLaws(t *testing.T) {
+	checkLaws[bool](t, "Bool", Bool{}, func(r *rand.Rand) bool { return r.Intn(2) == 0 })
+}
+
+func TestCountLaws(t *testing.T) {
+	checkLaws[int64](t, "Count", Count{}, func(r *rand.Rand) int64 { return r.Int63n(100) })
+}
+
+func TestTrustLaws(t *testing.T) {
+	checkLaws[int64](t, "Trust", Trust{}, func(r *rand.Rand) int64 {
+		switch r.Intn(5) {
+		case 0:
+			return TrustZero
+		case 1:
+			return TrustOne
+		default:
+			return r.Int63n(10)
+		}
+	})
+}
+
+func TestTropicalLaws(t *testing.T) {
+	checkLaws[float64](t, "Tropical", Tropical{}, func(r *rand.Rand) float64 {
+		if r.Intn(5) == 0 {
+			return math.Inf(1)
+		}
+		return float64(r.Intn(50))
+	})
+}
+
+func TestFuzzyLaws(t *testing.T) {
+	// Restrict to a small set of exact dyadic values so floating point
+	// products are exact and associativity holds exactly.
+	vals := []float64{0, 0.25, 0.5, 1}
+	checkLaws[float64](t, "Fuzzy", Fuzzy{}, func(r *rand.Rand) float64 { return vals[r.Intn(len(vals))] })
+}
+
+func TestAddN(t *testing.T) {
+	if got := AddN[int64](Count{}, 3, 4); got != 12 {
+		t.Errorf("AddN count = %d, want 12", got)
+	}
+	if got := AddN[int64](Count{}, 3, 0); got != 0 {
+		t.Errorf("AddN count 0 times = %d", got)
+	}
+	if got := AddN[int64](Count{}, 1, 1000000); got != 1000000 {
+		t.Errorf("AddN large = %d", got)
+	}
+	// Idempotent semirings ignore the multiplicity.
+	if got := AddN[int64](Trust{}, 5, 100); got != 5 {
+		t.Errorf("AddN trust = %d, want 5", got)
+	}
+	if got := AddN[bool](Bool{}, true, 7); got != true {
+		t.Errorf("AddN bool = %v", got)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if got := Pow[int64](Count{}, 2, 10); got != 1024 {
+		t.Errorf("Pow = %d", got)
+	}
+	if got := Pow[int64](Count{}, 2, 0); got != 1 {
+		t.Errorf("Pow^0 = %d", got)
+	}
+	if got := Pow[int64](Trust{}, 3, 5); got != 3 {
+		t.Errorf("Trust Pow = %d", got)
+	}
+}
+
+func TestTrustPaperExample(t *testing.T) {
+	// §4.5: <a + a*b> with level(a)=2, level(b)=1 evaluates to
+	// max(2, min(2,1)) = 2.
+	s := Trust{}
+	la, lb := int64(2), int64(1)
+	got := s.Add(la, s.Mul(la, lb))
+	if got != 2 {
+		t.Fatalf("trust(a + a*b) = %d, want 2", got)
+	}
+}

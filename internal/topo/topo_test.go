@@ -1,0 +1,172 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandomConnectedProperties(t *testing.T) {
+	g := RandomConnected(Options{N: 50, AvgOutDegree: 3, MaxCost: 10, Seed: 42})
+	if len(g.Nodes) != 50 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	if !g.StronglyConnected() {
+		t.Fatal("generated graph must be strongly connected")
+	}
+	avg := g.AvgOutDegree()
+	if avg < 2.5 || avg > 3.5 {
+		t.Errorf("avg out-degree = %.2f, want ~3", avg)
+	}
+	for _, l := range g.Links {
+		if l.Cost < 1 || l.Cost > 10 {
+			t.Errorf("cost out of range: %+v", l)
+		}
+		if l.From == l.To {
+			t.Errorf("self loop: %+v", l)
+		}
+	}
+	// No duplicate directed edges.
+	seen := map[string]bool{}
+	for _, l := range g.Links {
+		k := l.From + ">" + l.To
+		if seen[k] {
+			t.Errorf("duplicate edge %s", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestRandomConnectedReproducible(t *testing.T) {
+	g1 := RandomConnected(Options{N: 20, AvgOutDegree: 3, MaxCost: 5, Seed: 7})
+	g2 := RandomConnected(Options{N: 20, AvgOutDegree: 3, MaxCost: 5, Seed: 7})
+	if len(g1.Links) != len(g2.Links) {
+		t.Fatal("same seed must give same graph")
+	}
+	for i := range g1.Links {
+		if g1.Links[i] != g2.Links[i] {
+			t.Fatalf("links differ at %d: %+v vs %+v", i, g1.Links[i], g2.Links[i])
+		}
+	}
+	g3 := RandomConnected(Options{N: 20, AvgOutDegree: 3, MaxCost: 5, Seed: 8})
+	same := len(g1.Links) == len(g3.Links)
+	if same {
+		identical := true
+		for i := range g1.Links {
+			if g1.Links[i] != g3.Links[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds should give different graphs")
+		}
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	g := RandomConnected(Options{N: 0, AvgOutDegree: 0, Seed: 1})
+	if len(g.Nodes) != 2 {
+		t.Errorf("clamped to 2 nodes, got %d", len(g.Nodes))
+	}
+	if !g.StronglyConnected() {
+		t.Error("tiny graph must still be connected")
+	}
+}
+
+func TestLineRingStar(t *testing.T) {
+	l := Line(4)
+	if len(l.Links) != 6 {
+		t.Errorf("line links = %d", len(l.Links))
+	}
+	if !l.StronglyConnected() {
+		t.Error("line (bidirectional) is strongly connected")
+	}
+	r := Ring(5)
+	if len(r.Links) != 5 || !r.StronglyConnected() {
+		t.Error("ring")
+	}
+	s := Star(4)
+	if len(s.Links) != 6 || !s.StronglyConnected() {
+		t.Error("star")
+	}
+}
+
+func TestCustom(t *testing.T) {
+	g := Custom([]Link{{From: "x", To: "y", Cost: 2}, {From: "y", To: "x", Cost: 2}})
+	if len(g.Nodes) != 2 || !g.StronglyConnected() {
+		t.Errorf("custom graph: %+v", g)
+	}
+}
+
+func TestDijkstraSmall(t *testing.T) {
+	g := Custom([]Link{
+		{From: "a", To: "b", Cost: 1},
+		{From: "b", To: "c", Cost: 1},
+		{From: "a", To: "c", Cost: 5},
+	})
+	d := g.Dijkstra("a")
+	if d["b"] != 1 || d["c"] != 2 || d["a"] != 0 {
+		t.Errorf("dijkstra = %v", d)
+	}
+	if _, ok := g.Dijkstra("c")["a"]; ok {
+		t.Error("a unreachable from c")
+	}
+}
+
+func TestReachableOracle(t *testing.T) {
+	g := Custom([]Link{
+		{From: "a", To: "b", Cost: 1},
+		{From: "a", To: "c", Cost: 1},
+		{From: "b", To: "c", Cost: 1},
+	})
+	ra := g.Reachable("a")
+	if len(ra) != 2 || !ra["b"] || !ra["c"] {
+		t.Errorf("Reachable(a) = %v", ra)
+	}
+	if len(g.Reachable("c")) != 0 {
+		t.Error("c reaches nothing")
+	}
+	// Cycle: everything reaches everything including itself.
+	cyc := Ring(3)
+	if r := cyc.Reachable("n0"); len(r) != 3 || !r["n0"] {
+		t.Errorf("cycle reachability = %v", r)
+	}
+}
+
+func TestQuickGeneratedGraphsConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(40)
+		g := RandomConnected(Options{N: n, AvgOutDegree: 1 + r.Intn(4), MaxCost: 1 + r.Int63n(10), Seed: seed})
+		return g.StronglyConnected() && len(g.Nodes) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDijkstraTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		g := RandomConnected(Options{N: 15, AvgOutDegree: 3, MaxCost: 10, Seed: seed})
+		adj := g.Adjacency()
+		for _, src := range g.Nodes {
+			d := g.Dijkstra(src)
+			for from, tos := range adj {
+				df, ok := d[from]
+				if !ok {
+					continue
+				}
+				for to, c := range tos {
+					if dt, ok := d[to]; ok && dt > df+c {
+						return false // relaxation violated
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

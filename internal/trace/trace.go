@@ -1,0 +1,163 @@
+// Package trace implements packet-level traceback substrates referenced by
+// the paper (§3 "Forensics", §5 "Sampling"):
+//
+//   - probabilistic packet marking in the style of Savage et al.'s IP
+//     traceback (each router marks a passing packet with small
+//     probability; the victim reconstructs the attack path from the marks
+//     of many packets);
+//   - ForNet-style router digests (each router keeps a Bloom filter of
+//     the traffic it forwarded; an offline traceback walks the digests
+//     backwards from the victim).
+//
+// Both trade accuracy for storage/overhead, complementing the exact
+// tuple-level provenance of internal/provenance.
+package trace
+
+import (
+	"math/rand"
+	"sort"
+
+	"provnet/internal/bloom"
+)
+
+// --- probabilistic packet marking ---
+
+// Mark is the single marking field carried by a packet (node sampling):
+// the last router that chose to mark, and how many hops ago it did.
+type Mark struct {
+	Router   string
+	Distance int
+}
+
+// Marker simulates probabilistic packet marking with marking probability
+// P at every router.
+type Marker struct {
+	// P is the per-router marking probability (IP traceback's classic
+	// value is 1/20000 for edge marking; node sampling typically uses
+	// larger values such as 0.04).
+	P   float64
+	Rng *rand.Rand
+}
+
+// Traverse simulates one packet travelling through path (attacker first,
+// victim last, routers in between) and returns the mark the victim
+// observes, if any.
+func (m *Marker) Traverse(path []string) (Mark, bool) {
+	var mark Mark
+	have := false
+	for _, router := range path {
+		if m.Rng.Float64() < m.P {
+			mark = Mark{Router: router, Distance: 0}
+			have = true
+		} else if have {
+			mark.Distance++
+		}
+	}
+	return mark, have
+}
+
+// Collect runs n packets over path and returns the observed marks.
+func (m *Marker) Collect(path []string, n int) []Mark {
+	var out []Mark
+	for i := 0; i < n; i++ {
+		if mk, ok := m.Traverse(path); ok {
+			out = append(out, mk)
+		}
+	}
+	return out
+}
+
+// ReconstructPath orders the marked routers by their minimum observed
+// distance from the victim, the standard node-sampling reconstruction.
+// With enough packets this recovers the traversed path (victim-nearest
+// first).
+func ReconstructPath(marks []Mark) []string {
+	minDist := map[string]int{}
+	for _, mk := range marks {
+		if d, ok := minDist[mk.Router]; !ok || mk.Distance < d {
+			minDist[mk.Router] = mk.Distance
+		}
+	}
+	type rd struct {
+		router string
+		dist   int
+	}
+	rds := make([]rd, 0, len(minDist))
+	for r, d := range minDist {
+		rds = append(rds, rd{r, d})
+	}
+	sort.Slice(rds, func(i, j int) bool {
+		if rds[i].dist != rds[j].dist {
+			return rds[i].dist < rds[j].dist
+		}
+		return rds[i].router < rds[j].router
+	})
+	out := make([]string, len(rds))
+	for i, x := range rds {
+		out[i] = x.router
+	}
+	return out
+}
+
+// --- ForNet-style router digests ---
+
+// Digest is one router's Bloom-filter summary of forwarded traffic.
+type Digest struct {
+	Node   string
+	filter *bloom.Filter
+}
+
+// NewDigest creates a digest sized for n expected items at false-positive
+// rate p.
+func NewDigest(node string, n uint64, p float64) *Digest {
+	return &Digest{Node: node, filter: bloom.NewWithEstimates(n, p)}
+}
+
+// Record notes that traffic identified by key passed through this router.
+func (d *Digest) Record(key string) { d.filter.AddString(key) }
+
+// Seen reports whether traffic with this key may have passed through.
+func (d *Digest) Seen(key string) bool { return d.filter.ContainsString(key) }
+
+// SizeBytes returns the digest's storage footprint.
+func (d *Digest) SizeBytes() int { return d.filter.SizeBytes() }
+
+// TracebackResult is the outcome of a digest walk.
+type TracebackResult struct {
+	// Nodes lists the routers implicated, in BFS order from the victim.
+	Nodes []string
+	// Probes counts digest membership tests performed.
+	Probes int
+}
+
+// TracebackDigests walks backwards from victim along the reversed
+// topology, following routers whose digests contain key. reverseAdj maps
+// each node to the nodes with links INTO it (upstream neighbours).
+func TracebackDigests(reverseAdj map[string][]string, digests map[string]*Digest, victim, key string) TracebackResult {
+	res := TracebackResult{}
+	seen := map[string]bool{victim: true}
+	queue := []string{victim}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Deterministic exploration order.
+		ups := append([]string{}, reverseAdj[cur]...)
+		sort.Strings(ups)
+		for _, up := range ups {
+			if seen[up] {
+				continue
+			}
+			d, ok := digests[up]
+			if !ok {
+				continue
+			}
+			res.Probes++
+			if d.Seen(key) {
+				seen[up] = true
+				res.Nodes = append(res.Nodes, up)
+				queue = append(queue, up)
+			}
+		}
+	}
+	return res
+}

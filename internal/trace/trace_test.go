@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMarkerTraverse(t *testing.T) {
+	// With P=1 every router marks; the last router on the path wins with
+	// distance counted from it to the victim end.
+	m := &Marker{P: 1, Rng: rand.New(rand.NewSource(1))}
+	mark, ok := m.Traverse([]string{"r1", "r2", "r3"})
+	if !ok || mark.Router != "r3" || mark.Distance != 0 {
+		t.Fatalf("mark = %+v ok=%v", mark, ok)
+	}
+	// With P=0 no packet is ever marked.
+	m0 := &Marker{P: 0, Rng: rand.New(rand.NewSource(1))}
+	if _, ok := m0.Traverse([]string{"r1", "r2"}); ok {
+		t.Fatal("P=0 must not mark")
+	}
+}
+
+func TestReconstructPathConverges(t *testing.T) {
+	// Node sampling with p=0.2 over a 5-router path; enough packets
+	// recover the full path in order (victim-nearest first).
+	path := []string{"attacker", "r1", "r2", "r3", "victimEdge"}
+	m := &Marker{P: 0.2, Rng: rand.New(rand.NewSource(42))}
+	marks := m.Collect(path, 20000)
+	got := ReconstructPath(marks)
+	if len(got) != len(path) {
+		t.Fatalf("reconstructed %v", got)
+	}
+	// Distance ordering: victimEdge (closest) first, attacker last.
+	for i, want := range []string{"victimEdge", "r3", "r2", "r1", "attacker"} {
+		if got[i] != want {
+			t.Fatalf("reconstructed order = %v", got)
+		}
+	}
+}
+
+func TestReconstructEmpty(t *testing.T) {
+	if got := ReconstructPath(nil); len(got) != 0 {
+		t.Errorf("empty marks = %v", got)
+	}
+}
+
+func TestSamplingRateControlsOverhead(t *testing.T) {
+	// The classic IP-traceback sampling rate 1/20000 marks almost
+	// nothing per packet — the storage/accuracy trade-off of §5.
+	path := []string{"r1", "r2", "r3"}
+	m := &Marker{P: 1.0 / 20000, Rng: rand.New(rand.NewSource(7))}
+	marks := m.Collect(path, 10000)
+	if len(marks) > 50 {
+		t.Errorf("marks = %d, expected very few at 1/20000", len(marks))
+	}
+}
+
+func TestDigestTraceback(t *testing.T) {
+	// Topology: attacker -> r1 -> r2 -> victim, with a side branch
+	// r3 -> r2 that did NOT carry the attack traffic.
+	reverse := map[string][]string{
+		"victim": {"r2"},
+		"r2":     {"r1", "r3"},
+		"r1":     {"attacker"},
+	}
+	digests := map[string]*Digest{
+		"r1":       NewDigest("r1", 1000, 0.001),
+		"r2":       NewDigest("r2", 1000, 0.001),
+		"r3":       NewDigest("r3", 1000, 0.001),
+		"attacker": NewDigest("attacker", 1000, 0.001),
+	}
+	key := "attack-flow-xyz"
+	for _, r := range []string{"attacker", "r1", "r2"} {
+		digests[r].Record(key)
+	}
+	// r3 carried unrelated traffic.
+	digests["r3"].Record("benign-flow")
+
+	res := TracebackDigests(reverse, digests, "victim", key)
+	if len(res.Nodes) != 3 {
+		t.Fatalf("implicated = %v", res.Nodes)
+	}
+	want := []string{"r2", "r1", "attacker"}
+	for i := range want {
+		if res.Nodes[i] != want[i] {
+			t.Fatalf("implicated order = %v, want %v", res.Nodes, want)
+		}
+	}
+	if res.Probes < 3 {
+		t.Errorf("probes = %d", res.Probes)
+	}
+}
+
+func TestDigestTracebackMissingDigest(t *testing.T) {
+	reverse := map[string][]string{"victim": {"r1"}}
+	res := TracebackDigests(reverse, map[string]*Digest{}, "victim", "k")
+	if len(res.Nodes) != 0 {
+		t.Errorf("no digests: %v", res.Nodes)
+	}
+}
+
+func TestDigestSize(t *testing.T) {
+	d := NewDigest("r", 10000, 0.01)
+	if d.SizeBytes() <= 0 || d.SizeBytes() > 64*1024 {
+		t.Errorf("digest size = %d", d.SizeBytes())
+	}
+	d.Record("x")
+	if !d.Seen("x") {
+		t.Error("recorded key must be seen")
+	}
+	if d.Seen("never-recorded-key-123456") {
+		t.Log("false positive (acceptable at configured rate)")
+	}
+}

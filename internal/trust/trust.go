@@ -1,0 +1,268 @@
+// Package trust implements trust-management policies over network
+// provenance (paper §3 "Trust Management", §4.5): a node examines the
+// provenance of an incoming update and accepts or rejects it based on the
+// principals it derives from — the Orchestra-style use of provenance. The
+// policies operate on condensed provenance (provenance polynomials over
+// principals), so they can be enforced locally from what arrives with each
+// tuple.
+package trust
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"provnet/internal/bdd"
+	"provnet/internal/semiring"
+)
+
+// Levels maps principals to their security levels (higher = more
+// trusted). Unknown principals default to 0.
+type Levels func(principal string) int64
+
+// LevelMap adapts a map to Levels.
+func LevelMap(m map[string]int64) Levels {
+	return func(p string) int64 { return m[p] }
+}
+
+// Decision is the outcome of a policy evaluation.
+type Decision struct {
+	Accept bool
+	// Reason explains the outcome for audit logs.
+	Reason string
+	// Trust is the max/min trust level of the provenance, when the
+	// policy computed it.
+	Trust int64
+	// Votes is the number of independent minimal derivations, when the
+	// policy computed it.
+	Votes int
+}
+
+// Policy decides whether a tuple with the given provenance polynomial is
+// acceptable.
+type Policy interface {
+	// Name identifies the policy in audit output.
+	Name() string
+	// Evaluate inspects the provenance polynomial. The manager provides
+	// BDD condensation for vote counting and witness extraction.
+	Evaluate(p semiring.Poly, m *bdd.Manager, levels Levels) Decision
+}
+
+// MinLevel accepts updates whose provenance trust — the maximum over
+// alternative derivations of the minimum principal level within each —
+// meets a threshold. This is the paper's §4.5 quantifiable provenance:
+// <a+a*b> with level(a)=2, level(b)=1 has trust max(2, min(2,1)) = 2.
+type MinLevel struct {
+	Threshold int64
+}
+
+// Name returns the policy name.
+func (p MinLevel) Name() string { return fmt.Sprintf("minlevel(%d)", p.Threshold) }
+
+// Evaluate computes the trust level under the Trust semiring.
+func (p MinLevel) Evaluate(poly semiring.Poly, m *bdd.Manager, levels Levels) Decision {
+	tr := semiring.Eval[int64](poly, semiring.Trust{}, func(v string) int64 { return levels(v) })
+	d := Decision{Trust: tr}
+	if poly.IsZero() {
+		d.Reason = "no derivation"
+		return d
+	}
+	if tr >= p.Threshold {
+		d.Accept = true
+		d.Reason = fmt.Sprintf("trust %d >= %d", tr, p.Threshold)
+	} else {
+		d.Reason = fmt.Sprintf("trust %d < %d", tr, p.Threshold)
+	}
+	return d
+}
+
+// KVotes accepts updates asserted through at least K independent minimal
+// derivations ("accepting an update only if over K principals assert the
+// update", §3).
+type KVotes struct {
+	K int
+}
+
+// Name returns the policy name.
+func (p KVotes) Name() string { return fmt.Sprintf("kvotes(%d)", p.K) }
+
+// Evaluate counts the minimal cubes of the condensed provenance.
+func (p KVotes) Evaluate(poly semiring.Poly, m *bdd.Manager, _ Levels) Decision {
+	votes := poly.Votes(m)
+	d := Decision{Votes: votes}
+	if votes >= p.K {
+		d.Accept = true
+		d.Reason = fmt.Sprintf("%d votes >= %d", votes, p.K)
+	} else {
+		d.Reason = fmt.Sprintf("%d votes < %d", votes, p.K)
+	}
+	return d
+}
+
+// Whitelist accepts an update only if some derivation uses exclusively
+// whitelisted principals.
+type Whitelist struct {
+	Allowed map[string]bool
+}
+
+// Name returns the policy name.
+func (p Whitelist) Name() string { return "whitelist" }
+
+// Evaluate scans the minimal cubes for one fully whitelisted derivation.
+func (p Whitelist) Evaluate(poly semiring.Poly, m *bdd.Manager, _ Levels) Decision {
+	cubes := m.Cubes(poly.ToBDD(m))
+	for _, cube := range cubes {
+		ok := true
+		for _, v := range cube {
+			if !p.Allowed[v] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return Decision{Accept: true, Reason: "derivation via " + strings.Join(cube, ",")}
+		}
+	}
+	return Decision{Reason: "no fully whitelisted derivation"}
+}
+
+// Blacklist rejects an update whose every derivation involves a
+// blacklisted principal. A single clean derivation suffices to accept —
+// this is exactly what condensation preserves: whether the tuple is
+// derivable without the distrusted principals.
+type Blacklist struct {
+	Banned map[string]bool
+}
+
+// Name returns the policy name.
+func (p Blacklist) Name() string { return "blacklist" }
+
+// Evaluate restricts the condensed provenance by setting banned
+// principals to false and checks satisfiability.
+func (p Blacklist) Evaluate(poly semiring.Poly, m *bdd.Manager, _ Levels) Decision {
+	n := poly.ToBDD(m)
+	for b := range p.Banned {
+		n = m.Restrict(n, b, false)
+	}
+	if n != bdd.False {
+		return Decision{Accept: true, Reason: "derivable without banned principals"}
+	}
+	return Decision{Reason: "all derivations involve banned principals"}
+}
+
+// All accepts only if every sub-policy accepts.
+type All []Policy
+
+// Name returns the policy name.
+func (p All) Name() string {
+	names := make([]string, len(p))
+	for i, q := range p {
+		names[i] = q.Name()
+	}
+	return "all(" + strings.Join(names, ",") + ")"
+}
+
+// Evaluate evaluates conjunctively.
+func (p All) Evaluate(poly semiring.Poly, m *bdd.Manager, levels Levels) Decision {
+	agg := Decision{Accept: true, Reason: "all passed"}
+	for _, q := range p {
+		d := q.Evaluate(poly, m, levels)
+		if d.Trust != 0 {
+			agg.Trust = d.Trust
+		}
+		if d.Votes != 0 {
+			agg.Votes = d.Votes
+		}
+		if !d.Accept {
+			return Decision{Reason: q.Name() + ": " + d.Reason, Trust: agg.Trust, Votes: agg.Votes}
+		}
+	}
+	return agg
+}
+
+// Any accepts if some sub-policy accepts.
+type Any []Policy
+
+// Name returns the policy name.
+func (p Any) Name() string {
+	names := make([]string, len(p))
+	for i, q := range p {
+		names[i] = q.Name()
+	}
+	return "any(" + strings.Join(names, ",") + ")"
+}
+
+// Evaluate evaluates disjunctively.
+func (p Any) Evaluate(poly semiring.Poly, m *bdd.Manager, levels Levels) Decision {
+	var reasons []string
+	for _, q := range p {
+		d := q.Evaluate(poly, m, levels)
+		if d.Accept {
+			d.Reason = q.Name() + ": " + d.Reason
+			return d
+		}
+		reasons = append(reasons, q.Name()+": "+d.Reason)
+	}
+	return Decision{Reason: strings.Join(reasons, "; ")}
+}
+
+// Gate audits a stream of updates against one policy — the building block
+// of the Orchestra-style update filter. It is not safe for concurrent
+// use.
+type Gate struct {
+	policy Policy
+	mgr    *bdd.Manager
+	levels Levels
+
+	accepted, rejected int
+	log                []AuditRecord
+	logLimit           int
+}
+
+// AuditRecord is one gate decision.
+type AuditRecord struct {
+	Update   string
+	Decision Decision
+}
+
+// NewGate builds a gate with an audit log bounded at limit records
+// (<=0: 1024).
+func NewGate(policy Policy, levels Levels, limit int) *Gate {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &Gate{policy: policy, mgr: bdd.New(), levels: levels, logLimit: limit}
+}
+
+// Consider evaluates an update's provenance, records the decision, and
+// returns it.
+func (g *Gate) Consider(update string, p semiring.Poly) Decision {
+	d := g.policy.Evaluate(p, g.mgr, g.levels)
+	if d.Accept {
+		g.accepted++
+	} else {
+		g.rejected++
+	}
+	if len(g.log) < g.logLimit {
+		g.log = append(g.log, AuditRecord{Update: update, Decision: d})
+	}
+	return d
+}
+
+// Counts returns the accept/reject tallies.
+func (g *Gate) Counts() (accepted, rejected int) { return g.accepted, g.rejected }
+
+// Audit returns the recorded decisions.
+func (g *Gate) Audit() []AuditRecord {
+	out := make([]AuditRecord, len(g.log))
+	copy(out, g.log)
+	return out
+}
+
+// Principals returns the sorted principals named by a polynomial (for
+// audit display).
+func Principals(p semiring.Poly) []string {
+	s := p.Support()
+	sort.Strings(s)
+	return s
+}

@@ -1,0 +1,142 @@
+package trust
+
+import (
+	"strings"
+	"testing"
+
+	"provnet/internal/bdd"
+	"provnet/internal/semiring"
+)
+
+var paperPoly = semiring.Var("a").Add(semiring.Var("a").Mul(semiring.Var("b")))
+
+func levels(m map[string]int64) Levels { return LevelMap(m) }
+
+func TestMinLevelPaperExample(t *testing.T) {
+	m := bdd.New()
+	lv := levels(map[string]int64{"a": 2, "b": 1})
+	d := MinLevel{Threshold: 2}.Evaluate(paperPoly, m, lv)
+	if !d.Accept || d.Trust != 2 {
+		t.Fatalf("decision = %+v", d)
+	}
+	d = MinLevel{Threshold: 3}.Evaluate(paperPoly, m, lv)
+	if d.Accept {
+		t.Fatalf("threshold 3 must reject: %+v", d)
+	}
+	// Zero polynomial (no derivation) always rejects.
+	d = MinLevel{Threshold: -100}.Evaluate(semiring.Zero(), m, lv)
+	if d.Accept {
+		t.Fatal("zero provenance must reject")
+	}
+}
+
+func TestKVotes(t *testing.T) {
+	m := bdd.New()
+	// a + b*c has two independent minimal derivations.
+	p := semiring.Var("a").Add(semiring.Var("b").Mul(semiring.Var("c")))
+	if d := (KVotes{K: 2}).Evaluate(p, m, nil); !d.Accept || d.Votes != 2 {
+		t.Fatalf("decision = %+v", d)
+	}
+	if d := (KVotes{K: 3}).Evaluate(p, m, nil); d.Accept {
+		t.Fatalf("3 votes must reject: %+v", d)
+	}
+	// a + a*b has only one minimal derivation (absorption).
+	if d := (KVotes{K: 2}).Evaluate(paperPoly, m, nil); d.Accept || d.Votes != 1 {
+		t.Fatalf("paper poly votes = %+v", d)
+	}
+}
+
+func TestWhitelist(t *testing.T) {
+	m := bdd.New()
+	p := semiring.Var("a").Mul(semiring.Var("b")).Add(semiring.Var("c"))
+	wl := Whitelist{Allowed: map[string]bool{"a": true, "b": true}}
+	if d := wl.Evaluate(p, m, nil); !d.Accept {
+		t.Fatalf("a*b derivation is whitelisted: %+v", d)
+	}
+	wl2 := Whitelist{Allowed: map[string]bool{"a": true}}
+	if d := wl2.Evaluate(p, m, nil); d.Accept {
+		t.Fatalf("no derivation uses only a: %+v", d)
+	}
+}
+
+func TestBlacklist(t *testing.T) {
+	m := bdd.New()
+	p := semiring.Var("a").Mul(semiring.Var("b")).Add(semiring.Var("c"))
+	// Banning c still leaves a*b.
+	if d := (Blacklist{Banned: map[string]bool{"c": true}}).Evaluate(p, m, nil); !d.Accept {
+		t.Fatalf("decision = %+v", d)
+	}
+	// Banning a and c kills every derivation.
+	if d := (Blacklist{Banned: map[string]bool{"a": true, "c": true}}).Evaluate(p, m, nil); d.Accept {
+		t.Fatalf("decision = %+v", d)
+	}
+	// The paper's condensation insight: <a+a*b> condenses to <a>, so
+	// banning b is inconsequential given a.
+	if d := (Blacklist{Banned: map[string]bool{"b": true}}).Evaluate(paperPoly, m, nil); !d.Accept {
+		t.Fatalf("banning b must not matter: %+v", d)
+	}
+}
+
+func TestAllAny(t *testing.T) {
+	m := bdd.New()
+	lv := levels(map[string]int64{"a": 2, "b": 1})
+	both := All{MinLevel{Threshold: 2}, KVotes{K: 1}}
+	if d := both.Evaluate(paperPoly, m, lv); !d.Accept {
+		t.Fatalf("all: %+v", d)
+	}
+	strict := All{MinLevel{Threshold: 2}, KVotes{K: 5}}
+	if d := strict.Evaluate(paperPoly, m, lv); d.Accept || !strings.Contains(d.Reason, "kvotes") {
+		t.Fatalf("all strict: %+v", d)
+	}
+	either := Any{MinLevel{Threshold: 99}, KVotes{K: 1}}
+	if d := either.Evaluate(paperPoly, m, lv); !d.Accept {
+		t.Fatalf("any: %+v", d)
+	}
+	neither := Any{MinLevel{Threshold: 99}, KVotes{K: 9}}
+	if d := neither.Evaluate(paperPoly, m, lv); d.Accept {
+		t.Fatalf("any neither: %+v", d)
+	}
+	if (All{}).Name() == "" || (Any{}).Name() == "" {
+		t.Error("names")
+	}
+}
+
+func TestGateAuditing(t *testing.T) {
+	g := NewGate(MinLevel{Threshold: 2}, levels(map[string]int64{"a": 2, "b": 1}), 10)
+	if d := g.Consider("update1", paperPoly); !d.Accept {
+		t.Fatal("update1 accepted")
+	}
+	weak := semiring.Var("b")
+	if d := g.Consider("update2", weak); d.Accept {
+		t.Fatal("update2 rejected")
+	}
+	acc, rej := g.Counts()
+	if acc != 1 || rej != 1 {
+		t.Errorf("counts = %d/%d", acc, rej)
+	}
+	audit := g.Audit()
+	if len(audit) != 2 || audit[0].Update != "update1" || !audit[0].Decision.Accept {
+		t.Errorf("audit = %+v", audit)
+	}
+}
+
+func TestGateLogLimit(t *testing.T) {
+	g := NewGate(KVotes{K: 1}, nil, 2)
+	for i := 0; i < 5; i++ {
+		g.Consider("u", semiring.Var("a"))
+	}
+	if len(g.Audit()) != 2 {
+		t.Errorf("audit len = %d, want 2", len(g.Audit()))
+	}
+	acc, _ := g.Counts()
+	if acc != 5 {
+		t.Errorf("accepted = %d", acc)
+	}
+}
+
+func TestPrincipals(t *testing.T) {
+	ps := Principals(paperPoly)
+	if len(ps) != 2 || ps[0] != "a" || ps[1] != "b" {
+		t.Errorf("principals = %v", ps)
+	}
+}

@@ -1,0 +1,194 @@
+// Package provnet is a Go implementation of "Provenance-aware Secure
+// Networks" (Zhou, Cronin, Loo — ICDE 2008 workshops): a declarative
+// networking system (NDlog / SeNDlog) with authenticated communication and
+// network provenance.
+//
+// A network is assembled from an NDlog or SeNDlog program, a topology, an
+// authentication scheme for the "says" operator (none, HMAC, or per-tuple
+// RSA signatures), and a provenance mode from the paper's taxonomy (none,
+// local derivation trees, distributed pointers, or condensed BDD-encoded
+// semiring provenance). Running the network executes the program as a
+// distributed stream computation to a fixpoint, after which results and
+// provenance can be queried:
+//
+//	g := provnet.RandomGraph(provnet.TopoOptions{N: 20, AvgOutDegree: 3, MaxCost: 10, Seed: 1})
+//	cfg := provnet.VariantConfig(provnet.VariantSeNDlogProv, provnet.BestPath)
+//	cfg.Graph = g
+//	n, err := provnet.NewNetwork(cfg)
+//	...
+//	report, err := n.Run(0)
+//	best := n.Tuples("n0", "bestPath")
+//	expr := n.CondensedExpr("n0", best[0]) // e.g. "<n0*n3>"
+//
+// The package re-exports the supported surface of the internal packages;
+// see the README for an architectural overview and the examples directory
+// for complete programs.
+package provnet
+
+import (
+	"provnet/internal/auth"
+	"provnet/internal/core"
+	"provnet/internal/data"
+	"provnet/internal/datalog"
+	"provnet/internal/provenance"
+	"provnet/internal/semiring"
+	"provnet/internal/topo"
+	"provnet/internal/trust"
+)
+
+// Core network assembly and execution.
+type (
+	// Config assembles a network; see core.Config.
+	Config = core.Config
+	// Network is a running provenance-aware secure network.
+	Network = core.Network
+	// Node bundles one node's engine, tracker and store.
+	Node = core.Node
+	// Report summarizes one run (completion time, bandwidth, signatures).
+	Report = core.Report
+	// Variant names the paper's three evaluated configurations.
+	Variant = core.Variant
+	// Envelope is the signed wire unit.
+	Envelope = core.Envelope
+)
+
+// The paper's §6 variants.
+const (
+	VariantNDlog       = core.VariantNDlog
+	VariantSeNDlog     = core.VariantSeNDlog
+	VariantSeNDlogProv = core.VariantSeNDlogProv
+)
+
+// Canonical programs from the paper.
+const (
+	// ReachableNDlog is the all-pairs reachability query of §2.1.
+	ReachableNDlog = core.ReachableNDlog
+	// ReachableSeNDlog is the secure variant of §2.2.
+	ReachableSeNDlog = core.ReachableSeNDlog
+	// BestPath is the evaluation workload of §6.
+	BestPath = core.BestPath
+)
+
+// NewNetwork builds and initializes a network.
+func NewNetwork(cfg Config) (*Network, error) { return core.NewNetwork(cfg) }
+
+// VariantConfig returns the experiment configuration for a paper variant.
+func VariantConfig(v Variant, source string) Config { return core.VariantConfig(v, source) }
+
+// Data model.
+type (
+	// Tuple is a fact; Value a typed constant.
+	Tuple = data.Tuple
+	Value = data.Value
+)
+
+// Value constructors.
+var (
+	Int     = data.Int
+	Str     = data.Str
+	Float   = data.Float
+	Bool    = data.Bool
+	List    = data.List
+	Strings = data.Strings
+	// NewTuple builds a tuple from a predicate and values.
+	NewTuple = data.NewTuple
+)
+
+// Language.
+type (
+	// Program is a parsed NDlog/SeNDlog program.
+	Program = datalog.Program
+)
+
+// ParseProgram parses NDlog/SeNDlog source.
+func ParseProgram(src string) (*Program, error) { return datalog.Parse(src) }
+
+// Authentication (the says operator).
+type (
+	// AuthScheme selects the says implementation.
+	AuthScheme = auth.Scheme
+	// Directory holds principals, levels, and keys.
+	Directory = auth.Directory
+)
+
+// Says implementations, from benign-world to hostile-world.
+const (
+	AuthNone = auth.SchemeNone
+	AuthHMAC = auth.SchemeHMAC
+	AuthRSA  = auth.SchemeRSA
+)
+
+// Provenance.
+type (
+	// ProvMode selects the taxonomy mode.
+	ProvMode = provenance.Mode
+	// DerivationTree is the tree representation of Figures 1–2.
+	DerivationTree = provenance.Tree
+	// ProvQueryOpts configures traceback queries.
+	ProvQueryOpts = provenance.QueryOpts
+	// ProvQueryStats meters traceback cost.
+	ProvQueryStats = provenance.QueryStats
+	// ProvStore is a node's online/offline provenance store.
+	ProvStore = provenance.Store
+	// Poly is a provenance polynomial (N[X]) over principals.
+	Poly = semiring.Poly
+)
+
+// Provenance modes (§4).
+const (
+	ProvNone        = provenance.ModeNone
+	ProvLocal       = provenance.ModeLocal
+	ProvDistributed = provenance.ModeDistributed
+	ProvCondensed   = provenance.ModeCondensed
+)
+
+// Topologies.
+type (
+	// Graph is a directed topology with link costs.
+	Graph = topo.Graph
+	// GraphLink is one directed edge.
+	GraphLink = topo.Link
+	// TopoOptions configures random generation.
+	TopoOptions = topo.Options
+)
+
+// Topology constructors.
+var (
+	// RandomGraph generates the paper's workload topology: strongly
+	// connected, average out-degree as configured.
+	RandomGraph = topo.RandomConnected
+	LineGraph   = topo.Line
+	RingGraph   = topo.Ring
+	StarGraph   = topo.Star
+	CustomGraph = topo.Custom
+)
+
+// Trust management.
+type (
+	// TrustPolicy decides on updates from their provenance.
+	TrustPolicy = trust.Policy
+	// TrustDecision is a policy outcome.
+	TrustDecision = trust.Decision
+	// TrustGate audits an update stream against a policy.
+	TrustGate = trust.Gate
+	// TrustLevels maps principals to security levels.
+	TrustLevels = trust.Levels
+)
+
+// Trust policies (§3, §4.5).
+type (
+	MinLevelPolicy  = trust.MinLevel
+	KVotesPolicy    = trust.KVotes
+	WhitelistPolicy = trust.Whitelist
+	BlacklistPolicy = trust.Blacklist
+	AllPolicies     = trust.All
+	AnyPolicy       = trust.Any
+)
+
+// NewTrustGate builds a policy gate with an audit log.
+func NewTrustGate(p TrustPolicy, levels TrustLevels, limit int) *TrustGate {
+	return trust.NewGate(p, levels, limit)
+}
+
+// TrustLevelMap adapts a map to TrustLevels.
+var TrustLevelMap = trust.LevelMap
