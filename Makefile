@@ -1,0 +1,37 @@
+# Targets mirror .github/workflows/ci.yml: `make ci` is exactly what CI runs.
+
+GO ?= go
+
+.PHONY: all build fmt fmt-check vet test race bench bench-smoke ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run (minutes-scale); see bench_test.go for the figure map.
+bench:
+	$(GO) test -run '^$$' -bench . ./...
+
+# One iteration per benchmark: checks the harness wiring, not the numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: fmt-check vet build race bench-smoke

@@ -45,6 +45,9 @@ func main() {
 		"calibration: simulated per-derivation processing cost in microseconds, "+
 			"added to completion time. 0 reports pure measurements; ~1000 approximates "+
 			"the per-tuple cost of the paper's 2008 P2 substrate (see EXPERIMENTS.md)")
+	sequential := flag.Bool("sequential", false, "run nodes sequentially within each round (A/B baseline)")
+	unbatched := flag.Bool("unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
+	workers := flag.Int("workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var sizes []int
@@ -70,7 +73,9 @@ func main() {
 		results[n] = map[provnet.Variant]cell{}
 		fmt.Printf("%-6d", n)
 		for _, v := range variants {
-			c := runPoint(v, n, *runs, *keyBits, *maxCost, *tupleCost)
+			c := runPoint(v, n, *runs, *keyBits, *maxCost, *tupleCost, runOpts{
+				sequential: *sequential, unbatched: *unbatched, workers: *workers,
+			})
 			results[n][v] = c
 			fmt.Printf(" | %-12.3f %-10.3f", c.seconds, c.mb)
 		}
@@ -88,7 +93,14 @@ func main() {
 	}
 }
 
-func runPoint(v provnet.Variant, n, runs, keyBits int, maxCost int64, tupleCostMicros float64) cell {
+// runOpts carries the scheduler and wire-format knobs into each run.
+type runOpts struct {
+	sequential bool
+	unbatched  bool
+	workers    int
+}
+
+func runPoint(v provnet.Variant, n, runs, keyBits int, maxCost int64, tupleCostMicros float64, opts runOpts) cell {
 	var totalSec, totalMB float64
 	for r := 0; r < runs; r++ {
 		seed := int64(n*1000 + r)
@@ -99,6 +111,9 @@ func runPoint(v provnet.Variant, n, runs, keyBits int, maxCost int64, tupleCostM
 		cfg.Graph = g
 		cfg.Seed = seed
 		cfg.KeyBits = keyBits
+		cfg.Sequential = opts.sequential
+		cfg.Unbatched = opts.unbatched
+		cfg.Workers = opts.workers
 		net, err := provnet.NewNetwork(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -31,6 +31,9 @@ func main() {
 	keyBits := flag.Int("keybits", 1024, "RSA modulus size")
 	annotate := flag.Bool("annotate", false, "print condensed provenance annotations")
 	extraNodes := flag.String("extranodes", "", "comma-separated node names not mentioned in any fact placement")
+	sequential := flag.Bool("sequential", false, "run nodes sequentially within each round (A/B baseline)")
+	unbatched := flag.Bool("unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
+	workers := flag.Int("workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *programPath == "" {
@@ -45,6 +48,9 @@ func main() {
 		Source:     string(src),
 		LinkNoCost: *noCost,
 		KeyBits:    *keyBits,
+		Sequential: *sequential,
+		Unbatched:  *unbatched,
+		Workers:    *workers,
 	}
 	if cfg.Graph, err = parseTopo(*topoSpec); err != nil {
 		fatal(err)

@@ -1,0 +1,3 @@
+module provnet
+
+go 1.24

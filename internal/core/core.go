@@ -9,6 +9,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"provnet/internal/auth"
@@ -83,9 +86,24 @@ type Config struct {
 	// Seed drives deterministic key generation.
 	Seed int64
 
+	// Sequential disables the parallel round scheduler and runs nodes one
+	// after another within each round, as the seed implementation did.
+	// Results (tables, rounds, transport stats) are identical either way;
+	// the knob exists for A/B measurement and debugging.
+	Sequential bool
+	// Workers caps the scheduler's worker goroutines per phase
+	// (0 = GOMAXPROCS). Ignored when Sequential is set.
+	Workers int
+	// Unbatched ships one signed envelope per exported tuple, as the seed
+	// implementation did, instead of one batched envelope per (src,dst)
+	// pair per round. A/B knob for the Figure 4 bandwidth experiments.
+	Unbatched bool
+
 	// ImportFilter, when set with ModeCondensed, is consulted for every
 	// imported tuple with its provenance polynomial; rejected tuples are
-	// dropped and counted (Orchestra-style trust gating, §3).
+	// dropped and counted (Orchestra-style trust gating, §3). The parallel
+	// scheduler calls it concurrently from the import workers of different
+	// nodes, so stateful filters must synchronize (or set Sequential).
 	ImportFilter func(self string, t data.Tuple, p semiring.Poly) bool
 }
 
@@ -99,20 +117,22 @@ type Node struct {
 
 // Network is a fully assembled provenance-aware secure network.
 type Network struct {
-	cfg     Config
-	prog    *datalog.Program
-	net     *netsim.Network
-	nodes   map[string]*Node
-	order   []string
-	dir     *auth.Directory
-	signer  auth.Signer
-	clock   float64
-	signed  int64
-	checked int64
+	cfg    Config
+	prog   *datalog.Program
+	net    *netsim.Network
+	nodes  map[string]*Node
+	order  []string
+	dir    *auth.Directory
+	signer auth.Signer
+	clock  float64
+	// Signature and rejection counters are atomic: the parallel scheduler
+	// signs and verifies from many goroutines at once.
+	signed  atomic.Int64
+	checked atomic.Int64
 	// Rejected counts imports dropped by signature failure or the trust
 	// filter.
-	rejectedSig    int64
-	rejectedFilter int64
+	rejectedSig    atomic.Int64
+	rejectedFilter atomic.Int64
 }
 
 // ErrNoFixpoint is returned when Run exceeds its round budget.
@@ -291,6 +311,15 @@ type Report struct {
 // Run drives the network to a distributed fixpoint: every node evaluates
 // to a local fixpoint, exports are shipped, and the loop ends when no
 // exports or queued work remain. maxRounds bounds the loop (0 = 1e6).
+//
+// Each round has two phases separated by a barrier: every node runs to
+// its local fixpoint and ships its exports, then every node imports the
+// messages queued for it. By default both phases run all nodes
+// concurrently on a worker pool; cfg.Sequential runs them one after
+// another. The phase structure makes the two schedules produce identical
+// tables, rounds, and transport stats: within a phase nodes touch only
+// their own engine plus the concurrency-safe fabric, and the fabric
+// drains in deterministic order regardless of goroutine interleaving.
 func (n *Network) Run(maxRounds int) (*Report, error) {
 	if maxRounds <= 0 {
 		maxRounds = 1000000
@@ -302,27 +331,9 @@ func (n *Network) Run(maxRounds int) (*Report, error) {
 		if rounds > maxRounds {
 			return n.report(start, rounds), ErrNoFixpoint
 		}
-		progress := false
-		for _, name := range n.order {
-			node := n.nodes[name]
-			for _, ex := range node.Engine.RunToFixpoint() {
-				payload, err := n.seal(name, ex)
-				if err != nil {
-					return nil, err
-				}
-				if err := n.net.Send(name, ex.Dest, payload); err != nil {
-					return nil, err
-				}
-				progress = true
-			}
-		}
-		for _, name := range n.order {
-			for _, msg := range n.net.Drain(name) {
-				if err := n.receive(name, msg); err != nil {
-					return nil, err
-				}
-				progress = true
-			}
+		progress, err := n.runRound()
+		if err != nil {
+			return nil, err
 		}
 		if !progress {
 			break
@@ -331,7 +342,147 @@ func (n *Network) Run(maxRounds int) (*Report, error) {
 	return n.report(start, rounds), nil
 }
 
-// seal wraps an engine export into a signed envelope.
+// runRound executes one export phase and one import phase, reporting
+// whether any node made progress.
+func (n *Network) runRound() (bool, error) {
+	exported, err := n.forEachNode(func(name string, node *Node) (bool, error) {
+		exports := node.Engine.RunToFixpoint()
+		if len(exports) == 0 {
+			return false, nil
+		}
+		return true, n.sendExports(name, exports)
+	})
+	if err != nil {
+		return false, err
+	}
+	imported, err := n.forEachNode(func(name string, node *Node) (bool, error) {
+		msgs := n.net.Drain(name)
+		for _, msg := range msgs {
+			if err := n.receive(name, msg); err != nil {
+				return false, err
+			}
+		}
+		return len(msgs) > 0, nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return exported || imported, nil
+}
+
+// forEachNode applies f to every node, sequentially or on a worker pool
+// per the configuration. It returns the OR of the progress flags and the
+// first error in scheduler (node registration) order.
+func (n *Network) forEachNode(f func(name string, node *Node) (bool, error)) (bool, error) {
+	if n.cfg.Sequential || len(n.order) == 1 {
+		progress := false
+		for _, name := range n.order {
+			p, err := f(name, n.nodes[name])
+			if err != nil {
+				return false, err
+			}
+			progress = progress || p
+		}
+		return progress, nil
+	}
+	workers := n.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(n.order) {
+		workers = len(n.order)
+	}
+	prog := make([]bool, len(n.order))
+	errs := make([]error, len(n.order))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(n.order) || failed.Load() {
+					return
+				}
+				name := n.order[i]
+				prog[i], errs[i] = f(name, n.nodes[name])
+				if errs[i] != nil {
+					failed.Store(true) // fail fast: stop claiming more nodes
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	progress := false
+	for i := range n.order {
+		if errs[i] != nil {
+			return false, errs[i]
+		}
+		progress = progress || prog[i]
+	}
+	return progress, nil
+}
+
+// sendExports ships one node's round exports: by default one signed batch
+// envelope per destination (grouped in first-export order), or one signed
+// envelope per tuple when cfg.Unbatched is set.
+func (n *Network) sendExports(from string, exports []engine.Export) error {
+	if n.cfg.Unbatched {
+		for _, ex := range exports {
+			payload, err := n.seal(from, ex)
+			if err != nil {
+				return err
+			}
+			if err := n.net.Send(from, ex.Dest, payload); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	node := n.nodes[from]
+	groups := make(map[string][]engine.Export)
+	var dests []string // first-export order, for deterministic sends
+	for _, ex := range exports {
+		if _, ok := groups[ex.Dest]; !ok {
+			dests = append(dests, ex.Dest)
+		}
+		groups[ex.Dest] = append(groups[ex.Dest], ex)
+	}
+	for _, dest := range dests {
+		group := groups[dest]
+		var payload []byte
+		var err error
+		if len(group) == 1 {
+			// A one-tuple batch costs a byte more than the v1 envelope
+			// (the item-count varint); ship the cheaper format so batching
+			// is never worse than the baseline on sparse traffic.
+			payload, err = n.seal(from, group[0])
+		} else {
+			env := &BatchEnvelope{From: from, ProvMode: n.cfg.Prov, Scheme: n.cfg.Auth}
+			for _, ex := range group {
+				env.Items = append(env.Items, BatchItem{
+					Tuple: ex.Tuple,
+					Prov:  node.Tracker.Export(ex.Tuple, ex.Ann),
+				})
+			}
+			payload, err = env.Encode(n.signer)
+			if err == nil && n.cfg.Auth != auth.SchemeNone {
+				n.signed.Add(1)
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if err := n.net.Send(from, dest, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seal wraps an engine export into a signed single-tuple envelope.
 func (n *Network) seal(from string, ex engine.Export) ([]byte, error) {
 	node := n.nodes[from]
 	env := &Envelope{
@@ -346,36 +497,80 @@ func (n *Network) seal(from string, ex engine.Export) ([]byte, error) {
 		return nil, err
 	}
 	if n.cfg.Auth != auth.SchemeNone {
-		n.signed++
+		n.signed.Add(1)
 	}
 	return b, nil
 }
 
-// receive verifies, filters, and imports one message at node name.
+// receive verifies, filters, and imports one message at node name. Both
+// wire formats are accepted, distinguished by the version byte.
 func (n *Network) receive(name string, msg netsim.Message) error {
+	if len(msg.Payload) > 0 && msg.Payload[0] == wireVersionBatch {
+		env, err := DecodeBatchEnvelope(msg.Payload)
+		if err != nil {
+			return err
+		}
+		return n.receiveBatch(name, env)
+	}
 	env, err := DecodeEnvelope(msg.Payload)
 	if err != nil {
 		return err
 	}
 	if n.cfg.Auth != auth.SchemeNone {
-		n.checked++
+		n.checked.Add(1)
 		if err := env.Verify(n.signer); err != nil {
-			n.rejectedSig++
+			n.rejectedSig.Add(1)
 			return nil // drop silently, as a router drops unverifiable input
+		}
+	}
+	return n.importTuple(name, n.nodes[name], env.Tuple, env.Prov)
+}
+
+// receiveBatch verifies a batch envelope once, then inserts its delta:
+// one engine batch on the common path, or per-tuple trust gating when an
+// import filter is configured.
+func (n *Network) receiveBatch(name string, env *BatchEnvelope) error {
+	if n.cfg.Auth != auth.SchemeNone {
+		n.checked.Add(1)
+		if err := env.Verify(n.signer); err != nil {
+			n.rejectedSig.Add(1)
+			return nil // drop the whole batch: nothing in it is trustworthy
 		}
 	}
 	node := n.nodes[name]
 	if n.cfg.ImportFilter != nil && n.cfg.Prov == provenance.ModeCondensed {
-		ann, err := node.Tracker.Import(env.Tuple, env.Prov)
-		if err != nil {
-			return err
+		for _, it := range env.Items {
+			if err := n.importTuple(name, node, it.Tuple, it.Prov); err != nil {
+				return err
+			}
 		}
-		if !n.cfg.ImportFilter(name, env.Tuple, node.Tracker.PolyOf(ann)) {
-			n.rejectedFilter++
-			return nil
-		}
+		return nil
 	}
-	return node.Engine.InsertImported(env.Tuple, env.Prov)
+	delta := make([]engine.Imported, len(env.Items))
+	for i, it := range env.Items {
+		delta[i] = engine.Imported{Tuple: it.Tuple, Prov: it.Prov}
+	}
+	return node.Engine.InsertImportedBatch(delta)
+}
+
+// importTuple applies the trust gate (§3) and inserts one received
+// tuple. When the gate is active the annotation reconstructed for the
+// admission check is reused for the insert, so the provenance payload is
+// deserialized only once.
+func (n *Network) importTuple(name string, node *Node, t data.Tuple, prov []byte) error {
+	if n.cfg.ImportFilter == nil || n.cfg.Prov != provenance.ModeCondensed {
+		return node.Engine.InsertImported(t, prov)
+	}
+	ann, err := node.Tracker.Import(t, prov)
+	if err != nil {
+		return err
+	}
+	if !n.cfg.ImportFilter(name, t, node.Tracker.PolyOf(ann)) {
+		n.rejectedFilter.Add(1)
+		return nil
+	}
+	node.Engine.InsertImportedAnn(t, ann)
+	return nil
 }
 
 func (n *Network) report(start time.Time, rounds int) *Report {
@@ -384,10 +579,10 @@ func (n *Network) report(start time.Time, rounds int) *Report {
 		Rounds:         rounds,
 		Messages:       n.net.Stats().Messages,
 		Bytes:          n.net.Stats().Bytes,
-		Signed:         n.signed,
-		Verified:       n.checked,
-		RejectedSig:    n.rejectedSig,
-		RejectedFilter: n.rejectedFilter,
+		Signed:         n.signed.Load(),
+		Verified:       n.checked.Load(),
+		RejectedSig:    n.rejectedSig.Load(),
+		RejectedFilter: n.rejectedFilter.Load(),
 	}
 	for _, node := range n.nodes {
 		r.Derivations += node.Engine.Stats.Derivations

@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"provnet/internal/auth"
@@ -269,9 +270,10 @@ func TestDistributedTraceThroughCore(t *testing.T) {
 
 func TestImportFilterTrustGate(t *testing.T) {
 	// Orchestra-style gating: node a refuses tuples derivable only via
-	// the distrusted principal c.
+	// the distrusted principal c. The counter is atomic: the parallel
+	// scheduler calls the filter from concurrent import workers.
 	levels := map[string]int64{"a": 2, "b": 2, "c": 0}
-	rejected := 0
+	var rejected atomic.Int64
 	cfg := Config{
 		Source: ReachableSeNDlog, Graph: paperGraph(), LinkNoCost: true,
 		Auth: auth.SchemeRSA, Prov: provenance.ModeCondensed, KeyBits: 512,
@@ -279,7 +281,7 @@ func TestImportFilterTrustGate(t *testing.T) {
 		ImportFilter: func(self string, tu data.Tuple, p semiring.Poly) bool {
 			trust := semiring.Eval[int64](p, semiring.Trust{}, func(v string) int64 { return levels[v] })
 			if trust < 1 {
-				rejected++
+				rejected.Add(1)
 				return false
 			}
 			return true
@@ -287,8 +289,8 @@ func TestImportFilterTrustGate(t *testing.T) {
 	}
 	n, rep := mustRun(t, cfg)
 	_ = n
-	if rep.RejectedFilter != int64(rejected) {
-		t.Errorf("filter count mismatch: %d vs %d", rep.RejectedFilter, rejected)
+	if rep.RejectedFilter != rejected.Load() {
+		t.Errorf("filter count mismatch: %d vs %d", rep.RejectedFilter, rejected.Load())
 	}
 }
 

@@ -103,11 +103,148 @@ func TestDecodeEnvelopeErrors(t *testing.T) {
 	}
 	signer := testSigner(t)
 	env := &Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeRSA}
-	b, _ := env.Encode(signer)
+	b, err := env.Encode(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := DecodeEnvelope(b[:len(b)-1]); err == nil {
 		t.Error("truncation must fail")
 	}
 	if _, err := DecodeEnvelope(append(b, 0)); err == nil {
 		t.Error("trailing bytes must fail")
+	}
+}
+
+// TestDecodeNeverPanics truncates valid envelopes of both wire formats at
+// every prefix length: every cut must produce an error (or, for the full
+// length, a clean decode) — never a panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	signer := testSigner(t)
+	env := &Envelope{
+		From:     "a",
+		Tuple:    data.NewTuple("path", data.Str("a"), data.Strings("a", "b"), data.Int(2)),
+		ProvMode: provenance.ModeCondensed,
+		Prov:     []byte{1, 2, 3},
+		Scheme:   auth.SchemeRSA,
+	}
+	single, err := env.Encode(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := &BatchEnvelope{
+		From:     "a",
+		ProvMode: provenance.ModeCondensed,
+		Scheme:   auth.SchemeRSA,
+		Items: []BatchItem{
+			{Tuple: data.NewTuple("p", data.Int(1)), Prov: []byte{4}},
+			{Tuple: data.NewTuple("q", data.Str("x"))},
+		},
+	}
+	batched, err := batch.Encode(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]byte{single, batched} {
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := DecodeEnvelope(b[:cut]); err == nil {
+				t.Fatalf("single decode of %d/%d bytes must fail", cut, len(b))
+			}
+			if _, err := DecodeBatchEnvelope(b[:cut]); err == nil {
+				t.Fatalf("batch decode of %d/%d bytes must fail", cut, len(b))
+			}
+		}
+	}
+}
+
+func TestBatchEnvelopeRoundTrip(t *testing.T) {
+	signer := testSigner(t)
+	env := &BatchEnvelope{
+		From:     "a",
+		ProvMode: provenance.ModeCondensed,
+		Scheme:   auth.SchemeRSA,
+		Items: []BatchItem{
+			{Tuple: data.NewTuple("path", data.Str("a"), data.Str("c"), data.Int(2)).Says("a"), Prov: []byte{9, 8}},
+			{Tuple: data.NewTuple("path", data.Str("a"), data.Str("b"), data.Int(1)).Says("a")},
+		},
+	}
+	b, err := env.Encode(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBatchEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "a" || got.ProvMode != provenance.ModeCondensed || got.Scheme != auth.SchemeRSA {
+		t.Fatalf("decoded header = %+v", got)
+	}
+	if len(got.Items) != 2 || !got.Items[0].Tuple.Equal(env.Items[0].Tuple) ||
+		!got.Items[1].Tuple.Equal(env.Items[1].Tuple) {
+		t.Fatalf("decoded items = %+v", got.Items)
+	}
+	if string(got.Items[0].Prov) != string(env.Items[0].Prov) || len(got.Items[1].Prov) != 0 {
+		t.Error("prov payload mismatch")
+	}
+	if err := got.Verify(signer); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestBatchEnvelopeTamperDetection(t *testing.T) {
+	signer := testSigner(t)
+	env := &BatchEnvelope{
+		From:   "a",
+		Scheme: auth.SchemeRSA,
+		Items:  []BatchItem{{Tuple: data.NewTuple("p", data.Int(1))}},
+	}
+	b, err := env.Encode(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wrong claimed sender.
+	got, _ := DecodeBatchEnvelope(b)
+	got.From = "b"
+	if err := got.Verify(signer); err == nil {
+		t.Error("sender substitution must fail verification")
+	}
+	// Tampered item.
+	got2, _ := DecodeBatchEnvelope(b)
+	got2.Items[0].Tuple = data.NewTuple("p", data.Int(2))
+	if err := got2.Verify(signer); err == nil {
+		t.Error("item tampering must fail verification")
+	}
+	// Injected item.
+	got3, _ := DecodeBatchEnvelope(b)
+	got3.Items = append(got3.Items, BatchItem{Tuple: data.NewTuple("p", data.Int(3))})
+	if err := got3.Verify(signer); err == nil {
+		t.Error("item injection must fail verification")
+	}
+}
+
+// TestWireFormatsAreDistinct pins down backward compatibility: each
+// decoder accepts only its own version byte, so a receiver can dispatch
+// on the first byte and still read seed-era single-tuple datagrams.
+func TestWireFormatsAreDistinct(t *testing.T) {
+	signer := testSigner(t)
+	single, err := (&Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeRSA}).Encode(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := (&BatchEnvelope{From: "a", Scheme: auth.SchemeRSA,
+		Items: []BatchItem{{Tuple: data.NewTuple("p", data.Int(1))}}}).Encode(signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single[0] != wireVersion || batched[0] != wireVersionBatch {
+		t.Fatalf("version bytes = %d, %d", single[0], batched[0])
+	}
+	if _, err := DecodeEnvelope(batched); err == nil {
+		t.Error("single decoder must reject batch payloads")
+	}
+	if _, err := DecodeBatchEnvelope(single); err == nil {
+		t.Error("batch decoder must reject single payloads")
+	}
+	if _, err := DecodeEnvelope(single); err != nil {
+		t.Errorf("v1 decode: %v", err)
 	}
 }

@@ -262,6 +262,33 @@ func (e *Engine) InsertImported(t data.Tuple, provPayload []byte) error {
 	return nil
 }
 
+// InsertImportedAnn inserts a received tuple whose annotation was already
+// reconstructed by the provenance hook — the trust-gating path, which
+// needs the annotation before admission and should not pay a second
+// payload deserialization.
+func (e *Engine) InsertImportedAnn(t data.Tuple, ann Annotation) {
+	e.insert(t, ann)
+}
+
+// Imported pairs a received tuple with its provenance payload, for batch
+// insertion.
+type Imported struct {
+	Tuple data.Tuple
+	Prov  []byte
+}
+
+// InsertImportedBatch inserts a batch of received tuples, the unit the
+// transport layer hands over per verified batch envelope. The whole delta
+// is queued before the next RunToFixpoint processes it.
+func (e *Engine) InsertImportedBatch(items []Imported) error {
+	for _, it := range items {
+		if err := e.InsertImported(it.Tuple, it.Prov); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // insert stores a tuple and queues it for semi-naive processing. It
 // applies the aggregate-selection prune and primary-key replacement.
 func (e *Engine) insert(t data.Tuple, ann Annotation) {

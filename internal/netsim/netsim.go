@@ -4,8 +4,14 @@
 // message fabric with exact byte accounting — the source of the bandwidth
 // numbers in Figure 4.
 //
-// Delivery is deterministic: messages are queued per destination in send
-// order and drained by the round-driven scheduler in internal/core. Every
+// Delivery is deterministic: messages are queued per destination and
+// drained by the round-driven scheduler in internal/core in sender
+// registration order, then per-sender send order — regardless of which
+// goroutines enqueued them, provided each sender name sends from one
+// goroutine at a time (as the scheduler's one-worker-per-node phases
+// do). The fabric is safe for
+// concurrent Send and Drain (per-destination locks, atomic counters), so
+// the parallel scheduler can ship exports from all nodes at once. Every
 // message is charged its payload size plus a fixed header overhead
 // (modelling IP+UDP framing, as P2 used UDP).
 package netsim
@@ -13,6 +19,8 @@ package netsim
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // HeaderOverhead is the per-message framing charge in bytes (IPv4 + UDP
@@ -23,6 +31,10 @@ const HeaderOverhead = 28
 type Message struct {
 	From, To string
 	Payload  []byte
+	// srcIdx and seq order concurrent sends deterministically: sender
+	// registration order, then per-sender send order.
+	srcIdx int
+	seq    uint64
 }
 
 // Size returns the charged size of the message.
@@ -35,36 +47,61 @@ type Stats struct {
 	DroppedMsg int64 // sends to unknown nodes
 }
 
-// Network is the in-memory fabric connecting named nodes.
+// endpoint is one registered node's transport state.
+type endpoint struct {
+	idx int // registration order
+	seq atomic.Uint64
+
+	mu    sync.Mutex
+	queue []Message
+}
+
+// Network is the in-memory fabric connecting named nodes. Send and Drain
+// are safe for concurrent use; AddNode is not (register all nodes before
+// running traffic).
 type Network struct {
-	queues map[string][]Message
-	order  []string // node registration order (scheduler determinism)
+	mu    sync.RWMutex // guards nodes/order against AddNode
+	nodes map[string]*endpoint
+	order []string // node registration order (scheduler determinism)
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+	dropped  atomic.Int64
+
 	// linkBytes tracks per-directed-pair traffic for granularity
 	// experiments (§5): key "from->to".
+	linkMu    sync.Mutex
 	linkBytes map[string]int64
-	stats     Stats
+
+	// orphanSeq orders sends from unregistered senders (test traffic
+	// injected straight onto the fabric).
+	orphanSeq atomic.Uint64
 }
 
 // New creates an empty network.
 func New() *Network {
 	return &Network{
-		queues:    make(map[string][]Message),
+		nodes:     make(map[string]*endpoint),
 		linkBytes: make(map[string]int64),
 	}
 }
 
 // AddNode registers a node. Registration order defines the scheduler's
-// round order.
+// round order and the drain order among concurrent senders.
 func (n *Network) AddNode(name string) {
-	if _, ok := n.queues[name]; ok {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[name]; ok {
 		return
 	}
-	n.queues[name] = nil
+	n.nodes[name] = &endpoint{idx: len(n.order)}
 	n.order = append(n.order, name)
 }
 
 // Nodes returns the registered node names in registration order.
 func (n *Network) Nodes() []string {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]string, len(n.order))
 	copy(out, n.order)
 	return out
@@ -72,48 +109,103 @@ func (n *Network) Nodes() []string {
 
 // HasNode reports whether name is registered.
 func (n *Network) HasNode(name string) bool {
-	_, ok := n.queues[name]
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.nodes[name]
 	return ok
 }
 
 // Send enqueues a message, charging its bytes. Sends to unregistered
-// nodes are counted as drops and return an error.
+// nodes are counted as drops and return an error. Safe for concurrent
+// use; concurrent sends drain in (sender registration, send order), the
+// same order a sequential scheduler would produce.
 func (n *Network) Send(from, to string, payload []byte) error {
-	if _, ok := n.queues[to]; !ok {
-		n.stats.DroppedMsg++
+	n.mu.RLock()
+	dst, ok := n.nodes[to]
+	src := n.nodes[from]
+	n.mu.RUnlock()
+	if !ok {
+		n.dropped.Add(1)
 		return fmt.Errorf("netsim: send to unknown node %q", to)
 	}
 	msg := Message{From: from, To: to, Payload: payload}
-	n.queues[to] = append(n.queues[to], msg)
-	n.stats.Messages++
-	n.stats.Bytes += int64(msg.Size())
+	if src != nil {
+		msg.srcIdx = src.idx
+		msg.seq = src.seq.Add(1)
+	} else {
+		// Unregistered senders (test traffic injected straight onto the
+		// fabric) sort after every registered node, then by name — the
+		// shared counter only orders sends within one sender name.
+		msg.srcIdx = int(^uint(0) >> 1)
+		msg.seq = n.orphanSeq.Add(1)
+	}
+	n.messages.Add(1)
+	n.bytes.Add(int64(msg.Size()))
+	n.linkMu.Lock()
 	n.linkBytes[from+"->"+to] += int64(msg.Size())
+	n.linkMu.Unlock()
+	dst.mu.Lock()
+	dst.queue = append(dst.queue, msg)
+	dst.mu.Unlock()
 	return nil
 }
 
-// Drain removes and returns all messages queued for node to.
+// Drain removes and returns all messages queued for node to, ordered by
+// (sender registration order, per-sender send order) — the order a
+// sequential round scheduler produces, whatever goroutines enqueued them.
 func (n *Network) Drain(to string) []Message {
-	msgs := n.queues[to]
-	n.queues[to] = nil
+	n.mu.RLock()
+	dst := n.nodes[to]
+	n.mu.RUnlock()
+	if dst == nil {
+		return nil
+	}
+	dst.mu.Lock()
+	msgs := dst.queue
+	dst.queue = nil
+	dst.mu.Unlock()
+	sort.SliceStable(msgs, func(i, j int) bool {
+		if msgs[i].srcIdx != msgs[j].srcIdx {
+			return msgs[i].srcIdx < msgs[j].srcIdx
+		}
+		if msgs[i].From != msgs[j].From { // distinct unregistered senders
+			return msgs[i].From < msgs[j].From
+		}
+		return msgs[i].seq < msgs[j].seq
+	})
 	return msgs
 }
 
 // PendingCount returns the number of undelivered messages.
 func (n *Network) PendingCount() int {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	total := 0
-	for _, q := range n.queues {
-		total += len(q)
+	for _, ep := range n.nodes {
+		ep.mu.Lock()
+		total += len(ep.queue)
+		ep.mu.Unlock()
 	}
 	return total
 }
 
 // Stats returns a copy of the transport counters.
-func (n *Network) Stats() Stats { return n.stats }
+func (n *Network) Stats() Stats {
+	return Stats{
+		Messages:   n.messages.Load(),
+		Bytes:      n.bytes.Load(),
+		DroppedMsg: n.dropped.Load(),
+	}
+}
 
 // ResetStats zeroes the counters (per-experiment runs).
 func (n *Network) ResetStats() {
-	n.stats = Stats{}
+	n.messages.Store(0)
+	n.bytes.Store(0)
+	n.dropped.Store(0)
+	n.linkMu.Lock()
 	n.linkBytes = make(map[string]int64)
+	n.linkMu.Unlock()
 }
 
 // LinkTraffic describes bytes carried on one directed pair.
@@ -124,6 +216,7 @@ type LinkTraffic struct {
 
 // TopTalkers returns the k busiest directed pairs, descending by bytes.
 func (n *Network) TopTalkers(k int) []LinkTraffic {
+	n.linkMu.Lock()
 	out := make([]LinkTraffic, 0, len(n.linkBytes))
 	for key, b := range n.linkBytes {
 		var from, to string
@@ -135,6 +228,7 @@ func (n *Network) TopTalkers(k int) []LinkTraffic {
 		}
 		out = append(out, LinkTraffic{From: from, To: to, Bytes: b})
 	}
+	n.linkMu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Bytes != out[j].Bytes {
 			return out[i].Bytes > out[j].Bytes

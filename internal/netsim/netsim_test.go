@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -111,5 +113,74 @@ func TestTopTalkers(t *testing.T) {
 	}
 	if all[0].Bytes < all[1].Bytes {
 		t.Error("descending order")
+	}
+}
+
+// TestConcurrentSendsDrainDeterministically hammers the fabric from many
+// goroutines (run with -race) and checks that Drain returns exactly the
+// order a sequential scheduler would have produced: sender registration
+// order, then per-sender send order.
+func TestConcurrentSendsDrainDeterministically(t *testing.T) {
+	const senders, perSender = 8, 50
+	n := New()
+	n.AddNode("sink")
+	names := make([]string, senders)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%02d", i)
+		n.AddNode(names[i])
+	}
+	var wg sync.WaitGroup
+	for i, from := range names {
+		wg.Add(1)
+		go func(i int, from string) {
+			defer wg.Done()
+			for k := 0; k < perSender; k++ {
+				payload := fmt.Sprintf("%s/%03d", from, k)
+				if err := n.Send(from, "sink", []byte(payload)); err != nil {
+					t.Error(err)
+				}
+			}
+		}(i, from)
+	}
+	wg.Wait()
+	msgs := n.Drain("sink")
+	if len(msgs) != senders*perSender {
+		t.Fatalf("drained %d messages, want %d", len(msgs), senders*perSender)
+	}
+	for i, m := range msgs {
+		want := fmt.Sprintf("%s/%03d", names[i/perSender], i%perSender)
+		if string(m.Payload) != want {
+			t.Fatalf("msgs[%d] = %q, want %q", i, m.Payload, want)
+		}
+	}
+	if got := n.Stats().Messages; got != senders*perSender {
+		t.Errorf("messages = %d", got)
+	}
+}
+
+// TestConcurrentStatsAccounting checks byte totals survive concurrent
+// senders.
+func TestConcurrentStatsAccounting(t *testing.T) {
+	n := New()
+	n.AddNode("a")
+	n.AddNode("b")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				n.Send("a", "b", make([]byte, 10))
+			}
+		}()
+	}
+	wg.Wait()
+	st := n.Stats()
+	if st.Messages != 400 || st.Bytes != int64(400*(10+HeaderOverhead)) {
+		t.Errorf("stats = %+v", st)
+	}
+	tt := n.TopTalkers(1)
+	if len(tt) != 1 || tt[0].Bytes != st.Bytes {
+		t.Errorf("top talkers = %+v", tt)
 	}
 }

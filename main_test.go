@@ -1,0 +1,15 @@
+package provnet_test
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lifts crypto/rsa's 1024-bit minimum for the integration tests
+// and benchmarks in this package, which use 512- and 1024-bit keys: small
+// deterministic keys keep test runs fast, and 1024-bit keys match the
+// paper's 2008 evaluation setup.
+func TestMain(m *testing.M) {
+	os.Setenv("GODEBUG", "rsa1024min=0")
+	os.Exit(m.Run())
+}
