@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet test race bench bench-smoke ci
+.PHONY: all build fmt fmt-check vet test race bench bench-smoke bench-json examples ci
 
 all: build
 
@@ -34,4 +34,17 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: fmt-check vet build race bench-smoke
+# Transport-security benchmark matrix, recorded as a CI artifact.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
+
+# Format/vet gate over examples/ plus the documented quickstart as a
+# smoke test, so the entry point can't silently rot.
+examples:
+	@out=$$(gofmt -l examples); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+	$(GO) vet ./examples/...
+	$(GO) run ./examples/quickstart
+
+ci: fmt-check vet build race examples bench-smoke bench-json

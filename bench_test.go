@@ -22,6 +22,7 @@ import (
 
 	"provnet"
 	"provnet/internal/auth"
+	"provnet/internal/benchwork"
 	"provnet/internal/core"
 	"provnet/internal/data"
 	"provnet/internal/provenance"
@@ -166,6 +167,37 @@ func BenchmarkFig4Batching(b *testing.B) {
 				b.ReportMetric(float64(totalMsgs)/float64(b.N), "messages/op")
 			})
 		}
+	}
+}
+
+// BenchmarkSessionAuth compares the transport-security stack's cost
+// models on the §6 Best-Path workload under churn (20-node topology,
+// initial convergence + route-refresh cycles re-converging over the
+// established sessions; see internal/benchwork): per-tuple RSA (the
+// paper's scheme), per-batch RSA (PR 1's amortization), and the session
+// transport (one RSA handshake per link, HMAC per envelope) with and
+// without pipelined crypto. Read signatures/op — the session stack pays
+// RSA only at handshake time, so over the link lifetime it does ≥10×
+// fewer signature operations than even per-batch RSA — plus macs/op and
+// wire_MB/op.
+func BenchmarkSessionAuth(b *testing.B) {
+	for _, m := range benchwork.Modes() {
+		b.Run(m.Name, func(b *testing.B) {
+			var totalSigs, totalMACs, totalBytes, totalHS int64
+			for i := 0; i < b.N; i++ {
+				cfg := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
+				m.Mut(&cfg)
+				rep := benchwork.BestPathChurn(b.Fatal, cfg, 20, benchwork.DefaultCycles, 1024, int64(2000+i))
+				totalSigs += rep.Signed
+				totalMACs += rep.SealedMAC
+				totalBytes += rep.Bytes
+				totalHS += rep.HandshakeBytes
+			}
+			b.ReportMetric(float64(totalSigs)/float64(b.N), "signatures/op")
+			b.ReportMetric(float64(totalMACs)/float64(b.N), "macs/op")
+			b.ReportMetric(float64(totalBytes)/float64(b.N)/(1<<20), "wire_MB/op")
+			b.ReportMetric(float64(totalHS)/float64(b.N)/(1<<10), "handshake_KB/op")
+		})
 	}
 }
 
@@ -320,12 +352,12 @@ func BenchmarkEnvelopeEncode(b *testing.B) {
 	if err := dir.AddPrincipal("a", 1); err != nil {
 		b.Fatal(err)
 	}
-	signer := auth.NewRSASigner(dir)
+	sealer := auth.SignerSealer{S: auth.NewRSASigner(dir)}
 	tu := data.NewTuple("path", data.Str("a"), data.Str("c"), data.Strings("a", "b", "c"), data.Int(2))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		env := &core.Envelope{From: "a", Tuple: tu, Scheme: auth.SchemeRSA}
-		if _, err := env.Encode(signer); err != nil {
+		if _, err := env.Encode(sealer, "b"); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,103 @@
+// Command benchjson runs the transport-security benchmark matrix (the
+// BenchmarkSessionAuth workload: §6 Best-Path on a 20-node random
+// topology under churn, defined once in internal/benchwork) and records
+// the results as JSON — ns per run, bytes on wire, and signature/MAC
+// counts for the per-tuple RSA, per-batch RSA, and session-MAC
+// transports. CI runs it on every build and uploads the file as an
+// artifact, so the perf trajectory across PRs is tracked:
+//
+//	go run ./cmd/benchjson -out BENCH_pr2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"provnet"
+	"provnet/internal/benchwork"
+)
+
+// result is one benchmark matrix cell.
+type result struct {
+	Mode           string  `json:"mode"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	WireBytes      int64   `json:"wire_bytes"`
+	HandshakeBytes int64   `json:"handshake_bytes"`
+	Messages       int64   `json:"messages"`
+	Signatures     int64   `json:"signatures"`
+	Handshakes     int64   `json:"handshakes"`
+	MACs           int64   `json:"macs"`
+	WireMB         float64 `json:"wire_mb"`
+}
+
+type output struct {
+	Workload string   `json:"workload"`
+	Nodes    int      `json:"nodes"`
+	Cycles   int      `json:"cycles"`
+	Runs     int      `json:"runs"`
+	KeyBits  int      `json:"key_bits"`
+	Results  []result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pr2.json", "output path")
+	nodes := flag.Int("n", 20, "topology size")
+	cycles := flag.Int("cycles", benchwork.DefaultCycles, "route-refresh cycles after initial convergence")
+	runs := flag.Int("runs", 1, "averaging runs per mode")
+	keyBits := flag.Int("keybits", 1024, "RSA modulus size")
+	flag.Parse()
+
+	o := output{
+		Workload: "bestpath-churn",
+		Nodes:    *nodes,
+		Cycles:   *cycles,
+		Runs:     *runs,
+		KeyBits:  *keyBits,
+	}
+	for _, m := range benchwork.Modes() {
+		var r result
+		r.Mode = m.Name
+		for i := 0; i < *runs; i++ {
+			cfg := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
+			m.Mut(&cfg)
+			start := time.Now()
+			rep := benchwork.BestPathChurn(fatal, cfg, *nodes, *cycles, *keyBits, int64(2000+i))
+			r.NsPerOp += time.Since(start).Nanoseconds()
+			r.WireBytes += rep.Bytes
+			r.HandshakeBytes += rep.HandshakeBytes
+			r.Messages += rep.Messages
+			r.Signatures += rep.Signed
+			r.Handshakes += rep.Handshakes
+			r.MACs += rep.SealedMAC
+		}
+		k := int64(*runs)
+		r.NsPerOp /= k
+		r.WireBytes /= k
+		r.HandshakeBytes /= k
+		r.Messages /= k
+		r.Signatures /= k
+		r.Handshakes /= k
+		r.MACs /= k
+		r.WireMB = float64(r.WireBytes) / (1 << 20)
+		o.Results = append(o.Results, r)
+		fmt.Printf("%-22s %12dns %10d bytes %6d signatures %6d macs\n",
+			m.Name, r.NsPerOp, r.WireBytes, r.Signatures, r.MACs)
+	}
+
+	b, err := json.MarshalIndent(o, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"benchjson:"}, args...)...)
+	os.Exit(1)
+}

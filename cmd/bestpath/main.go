@@ -48,6 +48,9 @@ func main() {
 	sequential := flag.Bool("sequential", false, "run nodes sequentially within each round (A/B baseline)")
 	unbatched := flag.Bool("unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
 	workers := flag.Int("workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
+	session := flag.Bool("session", false, "session transport: one RSA handshake per link, then HMAC session MACs (wire v3)")
+	rekey := flag.Int("rekey", 0, "rotate session keys every N rounds (0 = never; needs -session)")
+	pipelined := flag.Bool("pipelined", false, "seal/verify on a crypto stage overlapping rule evaluation")
 	flag.Parse()
 
 	var sizes []int
@@ -75,6 +78,7 @@ func main() {
 		for _, v := range variants {
 			c := runPoint(v, n, *runs, *keyBits, *maxCost, *tupleCost, runOpts{
 				sequential: *sequential, unbatched: *unbatched, workers: *workers,
+				session: *session, rekey: *rekey, pipelined: *pipelined,
 			})
 			results[n][v] = c
 			fmt.Printf(" | %-12.3f %-10.3f", c.seconds, c.mb)
@@ -93,11 +97,15 @@ func main() {
 	}
 }
 
-// runOpts carries the scheduler and wire-format knobs into each run.
+// runOpts carries the scheduler, wire-format, and transport-security
+// knobs into each run.
 type runOpts struct {
 	sequential bool
 	unbatched  bool
 	workers    int
+	session    bool
+	rekey      int
+	pipelined  bool
 }
 
 func runPoint(v provnet.Variant, n, runs, keyBits int, maxCost int64, tupleCostMicros float64, opts runOpts) cell {
@@ -114,6 +122,9 @@ func runPoint(v provnet.Variant, n, runs, keyBits int, maxCost int64, tupleCostM
 		cfg.Sequential = opts.sequential
 		cfg.Unbatched = opts.unbatched
 		cfg.Workers = opts.workers
+		cfg.SessionAuth = opts.session
+		cfg.RekeyRounds = opts.rekey
+		cfg.PipelinedCrypto = opts.pipelined
 		net, err := provnet.NewNetwork(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -24,7 +24,7 @@ import (
 func main() {
 	programPath := flag.String("program", "", "path to the .ndl/.snd program (required)")
 	topoSpec := flag.String("topo", "none", "topology: random:N[:deg[:maxcost[:seed]]], line:N, ring:N, star:N, none")
-	authMode := flag.String("auth", "none", "says implementation: none, hmac, rsa")
+	authMode := flag.String("auth", "none", "says implementation: none, hmac, rsa, session (= rsa + -session)")
 	provMode := flag.String("prov", "none", "provenance: none, local, distributed, condensed")
 	noCost := flag.Bool("nocost", false, "generate link facts without a cost column")
 	show := flag.String("show", "", "comma-separated predicates to print (default: all)")
@@ -34,6 +34,9 @@ func main() {
 	sequential := flag.Bool("sequential", false, "run nodes sequentially within each round (A/B baseline)")
 	unbatched := flag.Bool("unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
 	workers := flag.Int("workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
+	session := flag.Bool("session", false, "session transport: one RSA handshake per link, then HMAC session MACs (wire v3)")
+	rekey := flag.Int("rekey", 0, "rotate session keys every N rounds (0 = never; needs -session)")
+	pipelined := flag.Bool("pipelined", false, "seal/verify on a crypto stage overlapping rule evaluation")
 	flag.Parse()
 
 	if *programPath == "" {
@@ -45,12 +48,15 @@ func main() {
 		fatal(err)
 	}
 	cfg := provnet.Config{
-		Source:     string(src),
-		LinkNoCost: *noCost,
-		KeyBits:    *keyBits,
-		Sequential: *sequential,
-		Unbatched:  *unbatched,
-		Workers:    *workers,
+		Source:          string(src),
+		LinkNoCost:      *noCost,
+		KeyBits:         *keyBits,
+		Sequential:      *sequential,
+		Unbatched:       *unbatched,
+		Workers:         *workers,
+		SessionAuth:     *session,
+		RekeyRounds:     *rekey,
+		PipelinedCrypto: *pipelined,
 	}
 	if cfg.Graph, err = parseTopo(*topoSpec); err != nil {
 		fatal(err)
@@ -78,6 +84,9 @@ func main() {
 	fmt.Printf("fixpoint in %v (%d rounds): %d messages, %d bytes", rep.CompletionTime, rep.Rounds, rep.Messages, rep.Bytes)
 	if rep.Signed > 0 {
 		fmt.Printf(", %d signatures", rep.Signed)
+	}
+	if rep.Handshakes > 0 {
+		fmt.Printf(", %d handshakes (%d bytes), %d session MACs", rep.Handshakes, rep.HandshakeBytes, rep.SealedMAC)
 	}
 	fmt.Println()
 
@@ -151,6 +160,8 @@ func parseAuth(s string) (provnet.AuthScheme, error) {
 		return auth.SchemeHMAC, nil
 	case "rsa":
 		return auth.SchemeRSA, nil
+	case "session":
+		return auth.SchemeSession, nil
 	default:
 		return 0, fmt.Errorf("unknown auth scheme %q", s)
 	}

@@ -5,6 +5,10 @@
 //	traceq -program worm.ndl -topo line:4 -node victim -tuple 'infected(victim, slammer)'
 //	traceq ... -advance 60 -offline       # forensic query after expiry
 //	traceq ... -moonwalk -walks 5         # sampled backward walks
+//
+// The scheduler and transport-security knobs of cmd/provnet are also
+// available: -auth, -keybits, -sequential, -unbatched, -workers,
+// -session, -rekey, -pipelined.
 package main
 
 import (
@@ -31,6 +35,14 @@ func main() {
 	walks := flag.Int("walks", 3, "number of moonwalks")
 	seed := flag.Int64("seed", 1, "moonwalk rng seed")
 	extraNodes := flag.String("extranodes", "", "comma-separated node names not mentioned in any fact placement")
+	authMode := flag.String("auth", "none", "says implementation: none, hmac, rsa, session (= rsa + -session)")
+	keyBits := flag.Int("keybits", 1024, "RSA modulus size")
+	sequential := flag.Bool("sequential", false, "run nodes sequentially within each round (A/B baseline)")
+	unbatched := flag.Bool("unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
+	workers := flag.Int("workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
+	session := flag.Bool("session", false, "session transport: one RSA handshake per link, then HMAC session MACs (wire v3)")
+	rekey := flag.Int("rekey", 0, "rotate session keys every N rounds (0 = never; needs -session)")
+	pipelined := flag.Bool("pipelined", false, "seal/verify on a crypto stage overlapping rule evaluation")
 	flag.Parse()
 
 	if *programPath == "" || *node == "" || *tupleText == "" {
@@ -48,12 +60,22 @@ func main() {
 
 	off := -1.0
 	cfg := provnet.Config{
-		Source:     string(src),
-		LinkNoCost: *noCost,
-		Prov:       provnet.ProvDistributed,
-		Offline:    &off,
+		Source:          string(src),
+		LinkNoCost:      *noCost,
+		Prov:            provnet.ProvDistributed,
+		Offline:         &off,
+		KeyBits:         *keyBits,
+		Sequential:      *sequential,
+		Unbatched:       *unbatched,
+		Workers:         *workers,
+		SessionAuth:     *session,
+		RekeyRounds:     *rekey,
+		PipelinedCrypto: *pipelined,
 	}
 	if cfg.Graph, err = parseTopo(*topoSpec); err != nil {
+		fatal(err)
+	}
+	if cfg.Auth, err = parseAuth(*authMode); err != nil {
 		fatal(err)
 	}
 	if *extraNodes != "" {
@@ -105,6 +127,21 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "traceq:", err)
 	os.Exit(1)
+}
+
+func parseAuth(s string) (provnet.AuthScheme, error) {
+	switch s {
+	case "none":
+		return provnet.AuthNone, nil
+	case "hmac":
+		return provnet.AuthHMAC, nil
+	case "rsa":
+		return provnet.AuthRSA, nil
+	case "session":
+		return provnet.AuthSession, nil
+	default:
+		return 0, fmt.Errorf("unknown auth scheme %q", s)
+	}
 }
 
 func parseTopo(spec string) (*provnet.Graph, error) {

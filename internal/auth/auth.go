@@ -35,10 +35,13 @@ import (
 type Scheme uint8
 
 // Supported says schemes, from cheapest to most hostile-world.
+// SchemeSession is the amortized hostile world: an RSA handshake per
+// (src,dst) link, then HMAC session MACs per envelope (see SessionSealer).
 const (
 	SchemeNone Scheme = iota
 	SchemeHMAC
 	SchemeRSA
+	SchemeSession
 )
 
 // String returns the scheme name.
@@ -50,6 +53,8 @@ func (s Scheme) String() string {
 		return "hmac"
 	case SchemeRSA:
 		return "rsa"
+	case SchemeSession:
+		return "session"
 	default:
 		return fmt.Sprintf("scheme(%d)", uint8(s))
 	}

@@ -1,0 +1,71 @@
+// Package benchwork defines the transport-security benchmark workload
+// shared by BenchmarkSessionAuth, the pinned amortization test, and
+// cmd/benchjson — one definition, so the CI-recorded BENCH_pr2.json
+// always measures exactly what the test pins.
+package benchwork
+
+import (
+	"provnet"
+)
+
+// DefaultCycles is the number of route-refresh cycles after initial
+// convergence: the long-lived-link regime the session handshake
+// amortizes over.
+const DefaultCycles = 8
+
+// Mode is one cell of the transport benchmark matrix.
+type Mode struct {
+	Name string
+	Mut  func(*provnet.Config)
+}
+
+// Modes returns the matrix: the paper's per-tuple RSA, PR 1's per-batch
+// RSA, and the session transport with and without pipelined crypto.
+func Modes() []Mode {
+	return []Mode{
+		{"rsa-per-tuple", func(c *provnet.Config) { c.Unbatched = true }},
+		{"rsa-per-batch", func(c *provnet.Config) {}},
+		{"session-mac", func(c *provnet.Config) { c.SessionAuth = true }},
+		{"session-mac-pipelined", func(c *provnet.Config) { c.SessionAuth = true; c.PipelinedCrypto = true }},
+	}
+}
+
+// BestPathChurn runs the §6 Best-Path workload under churn: initial
+// convergence on a random topology, then cycles refresh rounds in which
+// every link cost improves below its previous value — the baseline costs
+// are pre-inflated by (cycles+1) so each refresh beats the installed
+// minimum and repropagates through the aggSelection(min), forcing a full
+// re-convergence per cycle. The returned report carries the run's
+// cumulative transport and crypto counters. fatal is called on any
+// error (testing.T.Fatal / testing.B.Fatal compatible).
+func BestPathChurn(fatal func(...any), cfg provnet.Config, nodes, cycles, keyBits int, seed int64) *provnet.Report {
+	g := provnet.RandomGraph(provnet.TopoOptions{N: nodes, AvgOutDegree: 3, MaxCost: 10, Seed: seed})
+	scale := int64(cycles + 1)
+	for i := range g.Links {
+		g.Links[i].Cost *= scale
+	}
+	cfg.Graph = g
+	cfg.Seed = seed
+	cfg.KeyBits = keyBits
+	net, err := provnet.NewNetwork(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := net.Run(0)
+	if err != nil {
+		fatal(err)
+	}
+	for cycle := 1; cycle <= cycles; cycle++ {
+		for _, l := range g.Links {
+			cost := l.Cost / scale * int64(cycles+1-cycle)
+			tu := provnet.NewTuple("link", provnet.Str(l.From), provnet.Str(l.To), provnet.Int(cost))
+			if err := net.InsertFact(l.From, tu); err != nil {
+				fatal(err)
+			}
+		}
+		if rep, err = net.Run(0); err != nil {
+			fatal(err)
+		}
+	}
+	return rep
+}

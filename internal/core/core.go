@@ -98,6 +98,23 @@ type Config struct {
 	// implementation did, instead of one batched envelope per (src,dst)
 	// pair per round. A/B knob for the Figure 4 bandwidth experiments.
 	Unbatched bool
+	// SessionAuth switches the transport to the session-security stack
+	// (wire version 3): one RSA handshake per (src,dst) link transports a
+	// per-link session key, and every subsequent envelope is sealed with
+	// a cheap HMAC under that key instead of a per-envelope signature.
+	// A/B knob against the per-envelope says schemes; v1/v2 datagrams
+	// are still decoded (and verified under Auth) for compatibility.
+	SessionAuth bool
+	// RekeyRounds rotates session keys — with a fresh handshake per live
+	// link — every N scheduler rounds (0 = one key per link for the whole
+	// run). Only meaningful with SessionAuth.
+	RekeyRounds int
+	// PipelinedCrypto moves sealing and verification into a dedicated
+	// crypto worker stage that overlaps rule evaluation, instead of
+	// running them inline in the export/import phases. Results are
+	// bit-identical either way (see TestTransportSchedulesMatch); the
+	// knob exists for A/B measurement.
+	PipelinedCrypto bool
 
 	// ImportFilter, when set with ModeCondensed, is consulted for every
 	// imported tuple with its provenance polynomial; rejected tuples are
@@ -117,14 +134,25 @@ type Node struct {
 
 // Network is a fully assembled provenance-aware secure network.
 type Network struct {
-	cfg    Config
-	prog   *datalog.Program
-	net    *netsim.Network
-	nodes  map[string]*Node
-	order  []string
-	dir    *auth.Directory
+	cfg   Config
+	prog  *datalog.Program
+	net   *netsim.Network
+	nodes map[string]*Node
+	order []string
+	idx   map[string]int // name → position in order
+	dir   *auth.Directory
+	// signer implements the per-principal says operator (used by
+	// authenticated provenance and the legacy wire formats).
 	signer auth.Signer
-	clock  float64
+	// sealer is the transport sealer for outbound traffic: the legacy
+	// adapter over signer, or the session sealer when SessionAuth is on.
+	sealer auth.Sealer
+	// legacy seals/opens v1/v2 datagrams — kept separate so a session
+	// deployment still verifies traffic from pre-session senders.
+	legacy auth.Sealer
+	// session is non-nil iff SessionAuth is configured.
+	session *auth.SessionSealer
+	clock   float64
 	// Signature and rejection counters are atomic: the parallel scheduler
 	// signs and verifies from many goroutines at once.
 	signed  atomic.Int64
@@ -143,6 +171,13 @@ var ErrNoFixpoint = errors.New("core: no distributed fixpoint within round budge
 // provenance trackers, and inserts the base facts (program facts plus
 // topology links).
 func NewNetwork(cfg Config) (*Network, error) {
+	// The session scheme is sugar for RSA says over the session
+	// transport: normalize it so Auth: SchemeSession and SessionAuth:
+	// true configure the same stack.
+	if cfg.Auth == auth.SchemeSession {
+		cfg.Auth = auth.SchemeRSA
+		cfg.SessionAuth = true
+	}
 	prog := cfg.Program
 	if prog == nil {
 		p, err := datalog.Parse(cfg.Source)
@@ -173,6 +208,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		prog:  localized,
 		net:   netsim.New(),
 		nodes: make(map[string]*Node),
+		idx:   make(map[string]int),
 		dir:   auth.NewDeterministicDirectory(cfg.Seed),
 	}
 	bits := cfg.KeyBits
@@ -190,6 +226,13 @@ func NewNetwork(cfg Config) (*Network, error) {
 		n.signer = auth.NewRSASigner(n.dir)
 	default:
 		return nil, fmt.Errorf("core: unknown auth scheme %v", cfg.Auth)
+	}
+	n.legacy = auth.SignerSealer{S: n.signer}
+	if cfg.SessionAuth {
+		n.session = auth.NewSessionSealer(n.dir, cfg.RekeyRounds)
+		n.sealer = n.session
+	} else {
+		n.sealer = n.legacy
 	}
 
 	// Collect the node set: topology nodes, fact placements, extras.
@@ -281,6 +324,7 @@ func (n *Network) addNode(name string, saysSemantics bool) error {
 		return err
 	}
 	n.nodes[name] = &Node{Name: name, Engine: eng, Tracker: tracker, Store: store}
+	n.idx[name] = len(n.order)
 	n.order = append(n.order, name)
 	n.net.AddNode(name)
 	return nil
@@ -296,9 +340,22 @@ type Report struct {
 	// Messages and Bytes are the transport totals ("bandwidth usage").
 	Messages int64
 	Bytes    int64
-	// Signed and Verified count signature operations.
+	// Signed and Verified count asymmetric signature operations: one per
+	// sealed/checked envelope under the per-envelope schemes, one per
+	// handshake frame under the session transport — the cost the session
+	// stack amortizes.
 	Signed   int64
 	Verified int64
+	// Handshakes counts session handshake frames shipped; SealedMAC and
+	// OpenedMAC count the symmetric session-MAC operations that replace
+	// per-envelope signatures (session transport only).
+	Handshakes int64
+	SealedMAC  int64
+	OpenedMAC  int64
+	// HandshakeMessages and HandshakeBytes split the transport totals
+	// into handshake vs data traffic (session transport only).
+	HandshakeMessages int64
+	HandshakeBytes    int64
 	// RejectedSig counts envelopes dropped for bad signatures;
 	// RejectedFilter counts tuples dropped by the trust filter.
 	RejectedSig    int64
@@ -343,14 +400,26 @@ func (n *Network) Run(maxRounds int) (*Report, error) {
 }
 
 // runRound executes one export phase and one import phase, reporting
-// whether any node made progress.
+// whether any node made progress. With PipelinedCrypto the sealing and
+// verification halves of each phase run on a dedicated crypto stage
+// overlapping rule evaluation; results are bit-identical either way.
 func (n *Network) runRound() (bool, error) {
+	if n.session != nil {
+		n.session.BeginRound()
+	}
+	if n.cfg.PipelinedCrypto {
+		return n.runRoundPipelined()
+	}
 	exported, err := n.forEachNode(func(name string, node *Node) (bool, error) {
 		exports := node.Engine.RunToFixpoint()
 		if len(exports) == 0 {
 			return false, nil
 		}
-		return true, n.sendExports(name, exports)
+		frames, err := n.buildExportFrames(name, exports)
+		if err != nil {
+			return false, err
+		}
+		return true, n.sealAndSend(name, frames)
 	})
 	if err != nil {
 		return false, err
@@ -368,6 +437,147 @@ func (n *Network) runRound() (bool, error) {
 		return false, err
 	}
 	return exported || imported, nil
+}
+
+// cryptoWorkers sizes the pipelined crypto stage's worker pool.
+func (n *Network) cryptoWorkers() int {
+	w := n.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(n.order) {
+		w = len(n.order)
+	}
+	return w
+}
+
+// runRoundPipelined runs one round with sealing and verification off the
+// evaluation path. The export phase is a two-stage pipeline: evaluation
+// workers run nodes to their local fixpoints and hand prepared frames to
+// crypto workers, which seal and ship them while other nodes are still
+// evaluating. The import phase mirrors it: crypto workers drain and
+// authenticate each node's inbox, handing verified deliveries to
+// insertion workers as they complete. Determinism is preserved because
+// each node's frames are sealed and sent by a single crypto task (the
+// fabric orders concurrent senders), and errors/progress are collected
+// per node and resolved in scheduler order.
+func (n *Network) runRoundPipelined() (bool, error) {
+	// Export: evaluation stage → sealing stage.
+	type sealJob struct {
+		idx    int
+		name   string
+		frames []outFrame
+	}
+	jobs := make(chan sealJob, len(n.order))
+	sealErrs := make([]error, len(n.order))
+	var sealWG sync.WaitGroup
+	for w := 0; w < n.cryptoWorkers(); w++ {
+		sealWG.Add(1)
+		go func() {
+			defer sealWG.Done()
+			for j := range jobs {
+				sealErrs[j.idx] = n.sealAndSend(j.name, j.frames)
+			}
+		}()
+	}
+	exported, evalErr := n.forEachNode(func(name string, node *Node) (bool, error) {
+		exports := node.Engine.RunToFixpoint()
+		if len(exports) == 0 {
+			return false, nil
+		}
+		frames, err := n.buildExportFrames(name, exports)
+		if err != nil {
+			return false, err
+		}
+		jobs <- sealJob{idx: n.idx[name], name: name, frames: frames}
+		return true, nil
+	})
+	close(jobs)
+	sealWG.Wait()
+	if evalErr != nil {
+		return false, evalErr
+	}
+	for i := range n.order {
+		if sealErrs[i] != nil {
+			return false, sealErrs[i]
+		}
+	}
+
+	// Import: verification stage → insertion stage.
+	type insertJob struct {
+		idx        int
+		name       string
+		deliveries []*delivery
+	}
+	inserts := make(chan insertJob, len(n.order))
+	verifyErrs := make([]error, len(n.order))
+	insertErrs := make([]error, len(n.order))
+	imported := make([]bool, len(n.order))
+	var verifyWG, insertWG sync.WaitGroup
+	var next atomic.Int64
+	for w := 0; w < n.cryptoWorkers(); w++ {
+		verifyWG.Add(1)
+		go func() {
+			defer verifyWG.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(n.order) {
+					return
+				}
+				name := n.order[i]
+				msgs := n.net.Drain(name)
+				imported[i] = len(msgs) > 0
+				var ds []*delivery
+				for _, msg := range msgs {
+					d, err := n.decodeVerify(name, msg)
+					if err != nil {
+						verifyErrs[i] = err
+						ds = nil
+						break
+					}
+					if d != nil {
+						ds = append(ds, d)
+					}
+				}
+				if len(ds) > 0 {
+					inserts <- insertJob{idx: i, name: name, deliveries: ds}
+				}
+			}
+		}()
+	}
+	insertWorkers := n.cryptoWorkers()
+	if n.cfg.Sequential {
+		insertWorkers = 1
+	}
+	for w := 0; w < insertWorkers; w++ {
+		insertWG.Add(1)
+		go func() {
+			defer insertWG.Done()
+			for j := range inserts {
+				node := n.nodes[j.name]
+				for _, d := range j.deliveries {
+					if err := n.deliver(j.name, node, d); err != nil {
+						insertErrs[j.idx] = err
+						break
+					}
+				}
+			}
+		}()
+	}
+	verifyWG.Wait()
+	close(inserts)
+	insertWG.Wait()
+	progress := exported
+	for i := range n.order {
+		if verifyErrs[i] != nil {
+			return false, verifyErrs[i]
+		}
+		if insertErrs[i] != nil {
+			return false, insertErrs[i]
+		}
+		progress = progress || imported[i]
+	}
+	return progress, nil
 }
 
 // forEachNode applies f to every node, sequentially or on a worker pool
@@ -425,23 +635,40 @@ func (n *Network) forEachNode(f func(name string, node *Node) (bool, error)) (bo
 	return progress, nil
 }
 
-// sendExports ships one node's round exports: by default one signed batch
-// envelope per destination (grouped in first-export order), or one signed
-// envelope per tuple when cfg.Unbatched is set.
-func (n *Network) sendExports(from string, exports []engine.Export) error {
-	if n.cfg.Unbatched {
-		for _, ex := range exports {
-			payload, err := n.seal(from, ex)
-			if err != nil {
-				return err
-			}
-			if err := n.net.Send(from, ex.Dest, payload); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
+// outFrame is one outbound datagram prepared by the evaluation stage and
+// sealed/shipped by the crypto stage. Exactly one of the frame kinds is
+// set: a session handshake, a v1 envelope, a v2 batch, or a v3 session
+// data frame.
+type outFrame struct {
+	dst       string
+	handshake bool
+	epoch     uint64 // handshake frames only
+	env       *Envelope
+	batch     *BatchEnvelope
+	sess      *SessionEnvelope
+}
+
+// buildExportFrames turns one node's round exports into wire frames in
+// deterministic send order, deferring all cryptographic work (signing,
+// MACing, handshake RSA) to sealAndSend. Under the session transport it
+// also decides — and reserves — the handshake frames that must precede
+// the first data frame on a new or rekeyed link.
+func (n *Network) buildExportFrames(from string, exports []engine.Export) ([]outFrame, error) {
 	node := n.nodes[from]
+	item := func(ex engine.Export) BatchItem {
+		return BatchItem{Tuple: ex.Tuple, Prov: node.Tracker.Export(ex.Tuple, ex.Ann)}
+	}
+	if n.session == nil && n.cfg.Unbatched {
+		// Seed behavior: one v1 envelope per tuple, in export order.
+		frames := make([]outFrame, 0, len(exports))
+		for _, ex := range exports {
+			it := item(ex)
+			frames = append(frames, outFrame{dst: ex.Dest, env: &Envelope{
+				From: from, Tuple: it.Tuple, ProvMode: n.cfg.Prov, Prov: it.Prov, Scheme: n.cfg.Auth,
+			}})
+		}
+		return frames, nil
+	}
 	groups := make(map[string][]engine.Export)
 	var dests []string // first-export order, for deterministic sends
 	for _, ex := range exports {
@@ -450,107 +677,205 @@ func (n *Network) sendExports(from string, exports []engine.Export) error {
 		}
 		groups[ex.Dest] = append(groups[ex.Dest], ex)
 	}
+	var frames []outFrame
 	for _, dest := range dests {
 		group := groups[dest]
-		var payload []byte
-		var err error
+		if n.session != nil {
+			need, epoch, err := n.session.EnsureSession(from, dest)
+			if err != nil {
+				return nil, err
+			}
+			if need {
+				frames = append(frames, outFrame{dst: dest, handshake: true, epoch: epoch})
+			}
+			if n.cfg.Unbatched {
+				for _, ex := range group {
+					frames = append(frames, outFrame{dst: dest, sess: &SessionEnvelope{
+						From: from, ProvMode: n.cfg.Prov, Items: []BatchItem{item(ex)},
+					}})
+				}
+				continue
+			}
+			env := &SessionEnvelope{From: from, ProvMode: n.cfg.Prov}
+			for _, ex := range group {
+				env.Items = append(env.Items, item(ex))
+			}
+			frames = append(frames, outFrame{dst: dest, sess: env})
+			continue
+		}
 		if len(group) == 1 {
 			// A one-tuple batch costs a byte more than the v1 envelope
 			// (the item-count varint); ship the cheaper format so batching
 			// is never worse than the baseline on sparse traffic.
-			payload, err = n.seal(from, group[0])
-		} else {
-			env := &BatchEnvelope{From: from, ProvMode: n.cfg.Prov, Scheme: n.cfg.Auth}
-			for _, ex := range group {
-				env.Items = append(env.Items, BatchItem{
-					Tuple: ex.Tuple,
-					Prov:  node.Tracker.Export(ex.Tuple, ex.Ann),
-				})
+			it := item(group[0])
+			frames = append(frames, outFrame{dst: dest, env: &Envelope{
+				From: from, Tuple: it.Tuple, ProvMode: n.cfg.Prov, Prov: it.Prov, Scheme: n.cfg.Auth,
+			}})
+			continue
+		}
+		env := &BatchEnvelope{From: from, ProvMode: n.cfg.Prov, Scheme: n.cfg.Auth}
+		for _, ex := range group {
+			env.Items = append(env.Items, item(ex))
+		}
+		frames = append(frames, outFrame{dst: dest, batch: env})
+	}
+	return frames, nil
+}
+
+// sealAndSend performs the cryptographic half of the export path: it
+// seals each prepared frame (handshake RSA, per-envelope signature, or
+// session MAC) and ships it. All of one sender's frames go through a
+// single call, preserving per-sender send order however the crypto stage
+// is scheduled.
+func (n *Network) sealAndSend(from string, frames []outFrame) error {
+	for i := range frames {
+		f := &frames[i]
+		var payload []byte
+		var err error
+		handshake := false
+		switch {
+		case f.handshake:
+			var blob []byte
+			blob, err = n.session.SealHandshake(from, f.dst, f.epoch)
+			if err == nil {
+				payload = EncodeHandshakeFrame(blob)
+				handshake = true
 			}
-			payload, err = env.Encode(n.signer)
+		case f.env != nil:
+			payload, err = f.env.Encode(n.sealer, f.dst)
 			if err == nil && n.cfg.Auth != auth.SchemeNone {
 				n.signed.Add(1)
 			}
+		case f.batch != nil:
+			payload, err = f.batch.Encode(n.sealer, f.dst)
+			if err == nil && n.cfg.Auth != auth.SchemeNone {
+				n.signed.Add(1)
+			}
+		case f.sess != nil:
+			payload, err = f.sess.Encode(n.sealer, f.dst)
+		default:
+			err = errors.New("core: empty export frame")
 		}
 		if err != nil {
 			return err
 		}
-		if err := n.net.Send(from, dest, payload); err != nil {
+		if err := n.net.SendTagged(from, f.dst, payload, handshake); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// seal wraps an engine export into a signed single-tuple envelope.
-func (n *Network) seal(from string, ex engine.Export) ([]byte, error) {
-	node := n.nodes[from]
-	env := &Envelope{
-		From:     from,
-		Tuple:    ex.Tuple,
-		ProvMode: n.cfg.Prov,
-		Prov:     node.Tracker.Export(ex.Tuple, ex.Ann),
-		Scheme:   n.cfg.Auth,
-	}
-	b, err := env.Encode(n.signer)
-	if err != nil {
-		return nil, err
-	}
-	if n.cfg.Auth != auth.SchemeNone {
-		n.signed.Add(1)
-	}
-	return b, nil
+// delivery is one verified inbound payload awaiting engine insertion.
+type delivery struct {
+	items []BatchItem
+	// batchable marks batch-layout arrivals (v2/v3), inserted through
+	// InsertImportedBatch on the common path; v1 singles keep the seed's
+	// per-tuple insert.
+	batchable bool
 }
 
-// receive verifies, filters, and imports one message at node name. Both
-// wire formats are accepted, distinguished by the version byte.
-func (n *Network) receive(name string, msg netsim.Message) error {
-	if len(msg.Payload) > 0 && msg.Payload[0] == wireVersionBatch {
-		env, err := DecodeBatchEnvelope(msg.Payload)
+// decodeVerify decodes and authenticates one datagram at node name,
+// dispatching on the wire version byte. Handshake frames are consumed
+// here (installing the inbound session); unverifiable input is dropped
+// and counted, as a router drops what it cannot authenticate. A nil
+// delivery with nil error means the datagram was fully handled or
+// dropped.
+func (n *Network) decodeVerify(name string, msg netsim.Message) (*delivery, error) {
+	p := msg.Payload
+	if len(p) == 0 {
+		return nil, fmt.Errorf("%w: empty datagram", ErrBadEnvelope)
+	}
+	switch p[0] {
+	case wireVersionSession:
+		if n.session == nil {
+			// Session frames without a session transport configured:
+			// nothing can open them, drop.
+			n.rejectedSig.Add(1)
+			return nil, nil
+		}
+		if len(p) < 2 {
+			return nil, fmt.Errorf("%w: truncated session frame", ErrBadEnvelope)
+		}
+		switch p[1] {
+		case frameHandshake:
+			blob, err := DecodeHandshakeFrame(p)
+			if err == nil {
+				_, err = n.session.AcceptHandshake(name, blob)
+			}
+			if err != nil {
+				n.rejectedSig.Add(1) // corrupt or forged handshake: drop
+			}
+			return nil, nil
+		case frameData:
+			env, err := DecodeSessionEnvelope(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := env.Open(n.session, name); err != nil {
+				n.rejectedSig.Add(1) // bad MAC or no session: drop
+				return nil, nil
+			}
+			return &delivery{items: env.Items, batchable: true}, nil
+		default:
+			return nil, fmt.Errorf("%w: unknown session frame kind %d", ErrBadEnvelope, p[1])
+		}
+	case wireVersionBatch:
+		env, err := DecodeBatchEnvelope(p)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		return n.receiveBatch(name, env)
-	}
-	env, err := DecodeEnvelope(msg.Payload)
-	if err != nil {
-		return err
-	}
-	if n.cfg.Auth != auth.SchemeNone {
-		n.checked.Add(1)
-		if err := env.Verify(n.signer); err != nil {
-			n.rejectedSig.Add(1)
-			return nil // drop silently, as a router drops unverifiable input
-		}
-	}
-	return n.importTuple(name, n.nodes[name], env.Tuple, env.Prov)
-}
-
-// receiveBatch verifies a batch envelope once, then inserts its delta:
-// one engine batch on the common path, or per-tuple trust gating when an
-// import filter is configured.
-func (n *Network) receiveBatch(name string, env *BatchEnvelope) error {
-	if n.cfg.Auth != auth.SchemeNone {
-		n.checked.Add(1)
-		if err := env.Verify(n.signer); err != nil {
-			n.rejectedSig.Add(1)
-			return nil // drop the whole batch: nothing in it is trustworthy
-		}
-	}
-	node := n.nodes[name]
-	if n.cfg.ImportFilter != nil && n.cfg.Prov == provenance.ModeCondensed {
-		for _, it := range env.Items {
-			if err := n.importTuple(name, node, it.Tuple, it.Prov); err != nil {
-				return err
+		if n.cfg.Auth != auth.SchemeNone {
+			n.checked.Add(1)
+			if err := env.Verify(n.legacy, name); err != nil {
+				n.rejectedSig.Add(1) // drop the whole batch: nothing in it is trustworthy
+				return nil, nil
 			}
 		}
-		return nil
+		return &delivery{items: env.Items, batchable: true}, nil
+	default:
+		env, err := DecodeEnvelope(p)
+		if err != nil {
+			return nil, err
+		}
+		if n.cfg.Auth != auth.SchemeNone {
+			n.checked.Add(1)
+			if err := env.Verify(n.legacy, name); err != nil {
+				n.rejectedSig.Add(1)
+				return nil, nil
+			}
+		}
+		return &delivery{items: []BatchItem{{Tuple: env.Tuple, Prov: env.Prov}}, batchable: false}, nil
 	}
-	delta := make([]engine.Imported, len(env.Items))
-	for i, it := range env.Items {
-		delta[i] = engine.Imported{Tuple: it.Tuple, Prov: it.Prov}
+}
+
+// deliver filters and inserts one verified delivery at node name: a
+// single engine batch on the common path, or per-tuple trust gating when
+// an import filter is configured.
+func (n *Network) deliver(name string, node *Node, d *delivery) error {
+	if d.batchable && (n.cfg.ImportFilter == nil || n.cfg.Prov != provenance.ModeCondensed) {
+		delta := make([]engine.Imported, len(d.items))
+		for i, it := range d.items {
+			delta[i] = engine.Imported{Tuple: it.Tuple, Prov: it.Prov}
+		}
+		return node.Engine.InsertImportedBatch(delta)
 	}
-	return node.Engine.InsertImportedBatch(delta)
+	for _, it := range d.items {
+		if err := n.importTuple(name, node, it.Tuple, it.Prov); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// receive verifies, filters, and imports one message at node name. All
+// three wire versions are accepted, distinguished by the version byte.
+func (n *Network) receive(name string, msg netsim.Message) error {
+	d, err := n.decodeVerify(name, msg)
+	if err != nil || d == nil {
+		return err
+	}
+	return n.deliver(name, n.nodes[name], d)
 }
 
 // importTuple applies the trust gate (§3) and inserts one received
@@ -574,15 +899,26 @@ func (n *Network) importTuple(name string, node *Node, t data.Tuple, prov []byte
 }
 
 func (n *Network) report(start time.Time, rounds int) *Report {
+	stats := n.net.Stats()
 	r := &Report{
-		CompletionTime: time.Since(start),
-		Rounds:         rounds,
-		Messages:       n.net.Stats().Messages,
-		Bytes:          n.net.Stats().Bytes,
-		Signed:         n.signed.Load(),
-		Verified:       n.checked.Load(),
-		RejectedSig:    n.rejectedSig.Load(),
-		RejectedFilter: n.rejectedFilter.Load(),
+		CompletionTime:    time.Since(start),
+		Rounds:            rounds,
+		Messages:          stats.Messages,
+		Bytes:             stats.Bytes,
+		HandshakeMessages: stats.HandshakeMessages,
+		HandshakeBytes:    stats.HandshakeBytes,
+		Signed:            n.signed.Load(),
+		Verified:          n.checked.Load(),
+		RejectedSig:       n.rejectedSig.Load(),
+		RejectedFilter:    n.rejectedFilter.Load(),
+	}
+	if n.session != nil {
+		hs, acc, sealed, opened := n.session.SessionStats()
+		r.Signed += hs
+		r.Verified += acc
+		r.Handshakes = hs
+		r.SealedMAC = sealed
+		r.OpenedMAC = opened
 	}
 	for _, node := range n.nodes {
 		r.Derivations += node.Engine.Stats.Derivations

@@ -229,7 +229,7 @@ func TestTamperedEnvelopeRejected(t *testing.T) {
 		Tuple:  data.NewTuple("reachable", data.Str("a"), data.Str("zz")),
 		Scheme: auth.SchemeRSA,
 	}
-	forged, err := env.Encode(auth.NoneSigner{}) // empty signature
+	forged, err := env.Encode(auth.SignerSealer{S: auth.NoneSigner{}}, "a") // empty signature
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"testing"
+
+	"provnet/internal/auth"
+	"provnet/internal/data"
+	"provnet/internal/provenance"
+	"provnet/internal/topo"
+)
+
+// bestPathCfg is the §6 Best-Path workload the transport stack is
+// A/B-tested on.
+func bestPathCfg() Config {
+	return Config{
+		Source: BestPath,
+		Graph:  topo.RandomConnected(topo.Options{N: 12, AvgOutDegree: 3, MaxCost: 10, Seed: 9}),
+		Auth:   auth.SchemeRSA,
+	}
+}
+
+// TestTransportSchedulesMatch pins the tentpole invariant across the
+// whole transport-security stack: the sequential per-tuple-RSA baseline,
+// the parallel session-MAC transport, and the pipelined-crypto schedule
+// all produce bit-identical fixpoint tables and round counts on the §6
+// Best-Path workload. (Bytes and signature counts legitimately differ
+// across wire formats; TestPipelinedMatchesInline pins those for
+// same-format pairs.)
+func TestTransportSchedulesMatch(t *testing.T) {
+	base := bestPathCfg()
+
+	seqRSA := base
+	seqRSA.Sequential = true
+	seqRSA.Unbatched = true
+	nBase, repBase := mustRun(t, seqRSA)
+	want, wantRounds := snapshot(t, nBase), repBase.Rounds
+
+	schedules := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"parallel-rsa-batched", func(c *Config) {}},
+		{"parallel-session", func(c *Config) { c.SessionAuth = true }},
+		{"parallel-session-unbatched", func(c *Config) { c.SessionAuth = true; c.Unbatched = true }},
+		{"pipelined-rsa", func(c *Config) { c.PipelinedCrypto = true }},
+		{"pipelined-session", func(c *Config) { c.SessionAuth = true; c.PipelinedCrypto = true }},
+		{"sequential-pipelined-session", func(c *Config) {
+			c.Sequential = true
+			c.SessionAuth = true
+			c.PipelinedCrypto = true
+		}},
+		{"pipelined-session-rekey", func(c *Config) {
+			c.SessionAuth = true
+			c.PipelinedCrypto = true
+			c.RekeyRounds = 2
+		}},
+	}
+	for _, s := range schedules {
+		t.Run(s.name, func(t *testing.T) {
+			cfg := base
+			cfg.Workers = 4
+			s.mut(&cfg)
+			n, rep := mustRun(t, cfg)
+			if got := snapshot(t, n); got != want {
+				t.Fatalf("fixpoint tables differ from sequential/per-tuple-RSA baseline\n--- want ---\n%s--- got ---\n%s", want, got)
+			}
+			if rep.Rounds != wantRounds {
+				t.Errorf("rounds = %d, want %d", rep.Rounds, wantRounds)
+			}
+		})
+	}
+}
+
+// TestPipelinedMatchesInline pins full-stats equality for the
+// PipelinedCrypto knob: moving sealing/verification off the evaluation
+// path must not change tables, rounds, transport stats, or operation
+// counts — for both the per-envelope and the session transports.
+func TestPipelinedMatchesInline(t *testing.T) {
+	for _, session := range []bool{false, true} {
+		name := "rsa"
+		if session {
+			name = "session"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := bestPathCfg()
+			cfg.SessionAuth = session
+			cfg.RekeyRounds = 3
+			nIn, repIn := mustRun(t, cfg)
+
+			piped := cfg
+			piped.PipelinedCrypto = true
+			piped.Workers = 4
+			nPi, repPi := mustRun(t, piped)
+
+			if a, b := snapshot(t, nIn), snapshot(t, nPi); a != b {
+				t.Fatalf("tables differ\n--- inline ---\n%s--- pipelined ---\n%s", a, b)
+			}
+			if repIn.Rounds != repPi.Rounds {
+				t.Errorf("rounds: inline %d, pipelined %d", repIn.Rounds, repPi.Rounds)
+			}
+			sIn, sPi := nIn.Transport().Stats(), nPi.Transport().Stats()
+			if sIn != sPi {
+				t.Errorf("netsim stats: inline %+v, pipelined %+v", sIn, sPi)
+			}
+			if repIn.Signed != repPi.Signed || repIn.Verified != repPi.Verified ||
+				repIn.Handshakes != repPi.Handshakes ||
+				repIn.SealedMAC != repPi.SealedMAC || repIn.OpenedMAC != repPi.OpenedMAC {
+				t.Errorf("crypto ops: inline %+v, pipelined %+v", repIn, repPi)
+			}
+			if repIn.Derivations != repPi.Derivations || repIn.TuplesStored != repPi.TuplesStored {
+				t.Errorf("engine stats: inline %d/%d, pipelined %d/%d",
+					repIn.Derivations, repIn.TuplesStored, repPi.Derivations, repPi.TuplesStored)
+			}
+		})
+	}
+}
+
+// TestSessionAmortizesSignatures checks the point of the session stack:
+// RSA signature operations drop from one per batch to one per link
+// handshake, with the per-envelope work done by session MACs instead.
+func TestSessionAmortizesSignatures(t *testing.T) {
+	rsa := bestPathCfg()
+	_, repRSA := mustRun(t, rsa)
+
+	session := bestPathCfg()
+	session.SessionAuth = true
+	nS, repS := mustRun(t, session)
+
+	if repS.Signed >= repRSA.Signed {
+		t.Errorf("session signatures = %d, want < per-batch RSA %d", repS.Signed, repRSA.Signed)
+	}
+	if repS.Handshakes == 0 || repS.Signed != repS.Handshakes {
+		t.Errorf("session Signed = %d, Handshakes = %d: signatures should be exactly the handshakes",
+			repS.Signed, repS.Handshakes)
+	}
+	if repS.SealedMAC == 0 || repS.OpenedMAC == 0 {
+		t.Errorf("MAC ops = %d/%d, want > 0", repS.SealedMAC, repS.OpenedMAC)
+	}
+	// Without rekeying there is at most one handshake per directed pair
+	// that carries traffic (localized rules ship tuples both along and
+	// against topology links, so the bound is twice the link count).
+	links := len(session.Graph.Links)
+	if repS.Handshakes > int64(2*links) {
+		t.Errorf("handshakes = %d, want <= %d directed pairs without rekey", repS.Handshakes, 2*links)
+	}
+	// The stats split handshake from data traffic.
+	stats := nS.Transport().Stats()
+	if stats.HandshakeMessages != repS.Handshakes {
+		t.Errorf("handshake messages = %d, want %d", stats.HandshakeMessages, repS.Handshakes)
+	}
+	if stats.HandshakeBytes == 0 || stats.HandshakeBytes >= stats.Bytes {
+		t.Errorf("handshake bytes = %d of %d total", stats.HandshakeBytes, stats.Bytes)
+	}
+	if repRSA.Handshakes != 0 || repRSA.SealedMAC != 0 {
+		t.Errorf("per-envelope run reports session ops: %+v", repRSA)
+	}
+}
+
+// TestSessionRekeyBoundaries checks that rekeying re-handshakes live
+// links and everything still decodes across epoch boundaries.
+func TestSessionRekeyBoundaries(t *testing.T) {
+	noRekey := bestPathCfg()
+	noRekey.SessionAuth = true
+	nN, repN := mustRun(t, noRekey)
+
+	rekey := bestPathCfg()
+	rekey.SessionAuth = true
+	rekey.RekeyRounds = 1 // fresh keys every round: every boundary is a rekey boundary
+	nR, repR := mustRun(t, rekey)
+
+	if a, b := snapshot(t, nN), snapshot(t, nR); a != b {
+		t.Fatal("rekeying must not change the fixpoint")
+	}
+	if repR.Rounds != repN.Rounds {
+		t.Errorf("rounds: no-rekey %d, rekey %d", repN.Rounds, repR.Rounds)
+	}
+	if repR.Handshakes <= repN.Handshakes {
+		t.Errorf("rekey handshakes = %d, want > %d", repR.Handshakes, repN.Handshakes)
+	}
+	if repR.RejectedSig != 0 {
+		t.Errorf("rekey run rejected %d envelopes", repR.RejectedSig)
+	}
+}
+
+// TestSessionFallbackDecodesLegacy injects seed-era v1 and v2 datagrams
+// into a session-mode network: the receiver must fall back to the
+// per-envelope verifier and import them (the v3→v1/v2 negotiation path).
+func TestSessionFallbackDecodesLegacy(t *testing.T) {
+	cfg := Config{Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true,
+		Auth: auth.SchemeRSA, KeyBits: 512, SessionAuth: true}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A legacy v1 envelope, properly signed under the says scheme.
+	v1 := &Envelope{From: "b", Tuple: data.NewTuple("reachable", data.Str("b"), data.Str("legacy1")),
+		Scheme: auth.SchemeRSA}
+	p1, err := v1.Encode(n.legacy, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A legacy v2 batch.
+	v2 := &BatchEnvelope{From: "b", Scheme: auth.SchemeRSA, Items: []BatchItem{
+		{Tuple: data.NewTuple("reachable", data.Str("b"), data.Str("legacy2"))},
+	}}
+	p2, err := v2.Encode(n.legacy, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range [][]byte{p1, p2} {
+		if err := n.Transport().Send("b", "a", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RejectedSig != 0 {
+		t.Errorf("rejected = %d, want 0", rep.RejectedSig)
+	}
+	found := map[string]bool{}
+	for _, tu := range n.Tuples("a", "reachable") {
+		found[tu.Args[1].Str] = true
+	}
+	if !found["legacy1"] || !found["legacy2"] {
+		t.Errorf("legacy envelopes not imported; got %v", found)
+	}
+}
+
+// TestSessionDropsUnverifiableInput floods a session-mode network with
+// corrupted and truncated v3 frames: every one must be dropped cleanly
+// (counted, no panic, no table pollution) and the run still completes.
+func TestSessionDropsUnverifiableInput(t *testing.T) {
+	cfg := Config{Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true,
+		Auth: auth.SchemeRSA, KeyBits: 512, SessionAuth: true}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A forged handshake frame (garbage blob), a truncated handshake, and
+	// a data frame for a link that never shook hands.
+	orphan := &SessionEnvelope{From: "b",
+		Items: []BatchItem{{Tuple: data.NewTuple("reachable", data.Str("b"), data.Str("forged"))}}}
+	orphanPayload := append(orphan.sealedPrefix(), 0) // zero-length tag
+	bad := [][]byte{
+		EncodeHandshakeFrame([]byte{0xde, 0xad, 0xbe, 0xef}),
+		EncodeHandshakeFrame([]byte{0x01})[:2],
+		orphanPayload,
+	}
+	for _, p := range bad {
+		if err := n.Transport().Send("b", "a", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The truncated frame ([3] alone after cutting the kind byte's blob)
+	// decodes as an empty handshake and is dropped; all three count.
+	if rep.RejectedSig == 0 {
+		t.Errorf("rejected = %d, want > 0", rep.RejectedSig)
+	}
+	for _, tu := range n.Tuples("a", "reachable") {
+		if tu.Args[1].Str == "forged" {
+			t.Fatal("forged session frame accepted")
+		}
+	}
+}
+
+// TestSessionFramesRejectedWithoutSessionAuth pins the downgrade path: a
+// network running the per-envelope transport drops v3 frames it cannot
+// open instead of erroring or panicking.
+func TestSessionFramesRejectedWithoutSessionAuth(t *testing.T) {
+	cfg := Config{Source: ReachableNDlog, Graph: paperGraph(), LinkNoCost: true,
+		Auth: auth.SchemeRSA, KeyBits: 512}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Transport().Send("b", "a", EncodeHandshakeFrame([]byte{1, 2, 3})); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RejectedSig == 0 {
+		t.Error("v3 frame must be dropped and counted when session auth is off")
+	}
+}
+
+// TestVariantConfigSessionKnobs sanity-checks provenance modes under the
+// session transport: condensed provenance still ships and condenses.
+func TestSessionWithCondensedProvenance(t *testing.T) {
+	cfg := Config{
+		Source:      ReachableSeNDlog,
+		Graph:       paperGraph(),
+		LinkNoCost:  true,
+		Auth:        auth.SchemeRSA,
+		Prov:        provenance.ModeCondensed,
+		SessionAuth: true,
+	}
+	n, _ := mustRun(t, cfg)
+	base := Config{
+		Source:     ReachableSeNDlog,
+		Graph:      paperGraph(),
+		LinkNoCost: true,
+		Auth:       auth.SchemeRSA,
+		Prov:       provenance.ModeCondensed,
+	}
+	nB, _ := mustRun(t, base)
+	if a, b := snapshot(t, n), snapshot(t, nB); a != b {
+		t.Fatal("session transport must not change condensed-provenance fixpoint")
+	}
+}
+
+// TestSchemeSessionNormalizes pins the Config sugar: Auth: SchemeSession
+// configures exactly the RSA + SessionAuth stack.
+func TestSchemeSessionNormalizes(t *testing.T) {
+	sugar := bestPathCfg()
+	sugar.Auth = auth.SchemeSession
+	nSu, repSu := mustRun(t, sugar)
+
+	explicit := bestPathCfg()
+	explicit.SessionAuth = true
+	nEx, repEx := mustRun(t, explicit)
+
+	if a, b := snapshot(t, nSu), snapshot(t, nEx); a != b {
+		t.Fatal("SchemeSession fixpoint differs from explicit SessionAuth")
+	}
+	if repSu.Signed != repEx.Signed || repSu.Handshakes != repEx.Handshakes ||
+		repSu.SealedMAC != repEx.SealedMAC {
+		t.Errorf("crypto ops: sugar %+v, explicit %+v", repSu, repEx)
+	}
+	if repSu.Handshakes == 0 {
+		t.Error("SchemeSession must enable the session transport")
+	}
+}

@@ -10,12 +10,24 @@ import (
 	"provnet/internal/provenance"
 )
 
-// Envelope is the on-the-wire unit: one derived tuple shipped to another
-// node, with its provenance payload and the sender's signature. Its
+// This file defines the wire formats, all built around auth.Sealer: every
+// datagram is a sealed payload whose tag is produced by the configured
+// Sealer on export and checked on import. Three versions coexist:
+//
+//	v1  one tuple per datagram, per-envelope tag (the seed format)
+//	v2  one batch per (src,dst) pair per round, one tag per batch
+//	v3  session transport: handshake frames carrying RSA-wrapped session
+//	    keys, and session-MAC data envelopes (same batch layout as v2,
+//	    sealed with the per-link session key instead of a signature)
+//
+// Receivers dispatch on the version byte, so a v3 deployment still
+// decodes v1/v2 datagrams from older senders.
+
+// Envelope is the v1 on-the-wire unit: one derived tuple shipped to
+// another node, with its provenance payload and the sender's seal. Its
 // encoded size is what the bandwidth metrics charge, so the envelope
 // carries exactly what the paper's modified P2 shipped: the tuple, the
-// (optional) condensed or full provenance, and the (optional) RSA
-// signature.
+// (optional) condensed or full provenance, and the (optional) tag.
 type Envelope struct {
 	// From is the sending node / principal.
 	From string
@@ -27,17 +39,25 @@ type Envelope struct {
 	Prov []byte
 	// Scheme identifies the says implementation used.
 	Scheme auth.Scheme
-	// Sig authenticates everything before it, signed by From.
+	// Sig authenticates everything before it, sealed by From.
 	Sig []byte
 }
 
 // Wire format tags (first byte of every datagram). Version 1 is the
 // seed's one-tuple-per-datagram envelope; version 2 packs every tuple a
-// node exports to one destination in a round under a single signature and
-// a single framing charge.
+// node exports to one destination in a round under a single seal; version
+// 3 is the session transport (handshake and session-MAC frames,
+// distinguished by a kind byte).
 const (
-	wireVersion      = 1
-	wireVersionBatch = 2
+	wireVersion        = 1
+	wireVersionBatch   = 2
+	wireVersionSession = 3
+)
+
+// v3 frame kinds (second byte of a v3 datagram).
+const (
+	frameHandshake byte = 1
+	frameData      byte = 2
 )
 
 // Errors from envelope decoding and verification.
@@ -56,13 +76,13 @@ func (e *Envelope) signedPrefix() []byte {
 	return b
 }
 
-// Encode serializes the envelope, signing it with signer when the scheme
-// requires it.
-func (e *Envelope) Encode(signer auth.Signer) ([]byte, error) {
+// Encode serializes the envelope, sealing it for the from→to link when
+// the scheme requires it.
+func (e *Envelope) Encode(sealer auth.Sealer, to string) ([]byte, error) {
 	prefix := e.signedPrefix()
-	sig, err := signer.Sign(e.From, prefix)
+	sig, err := sealer.Seal(e.From, to, prefix)
 	if err != nil {
-		return nil, fmt.Errorf("core: signing envelope from %s: %w", e.From, err)
+		return nil, fmt.Errorf("core: sealing envelope from %s: %w", e.From, err)
 	}
 	e.Sig = sig
 	return data.AppendBytes(prefix, sig), nil
@@ -117,22 +137,22 @@ func DecodeEnvelope(b []byte) (*Envelope, error) {
 	return env, nil
 }
 
-// Verify checks the envelope signature against the sender's identity.
-func (e *Envelope) Verify(verifier auth.Signer) error {
-	return verifier.Verify(e.From, e.signedPrefix(), e.Sig)
+// Verify checks the envelope seal for the from→to link.
+func (e *Envelope) Verify(sealer auth.Sealer, to string) error {
+	return sealer.Open(e.From, to, e.signedPrefix(), e.Sig)
 }
 
 // --- batched envelopes ---
 
-// BatchItem is one tuple inside a batch envelope, with its mode-specific
-// provenance payload.
+// BatchItem is one tuple inside a batch or session envelope, with its
+// mode-specific provenance payload.
 type BatchItem struct {
 	Tuple data.Tuple
 	Prov  []byte
 }
 
 // BatchEnvelope packs every tuple a node exports to one destination in a
-// round under one signature. Compared to shipping the items as individual
+// round under one seal. Compared to shipping the items as individual
 // envelopes it saves one signature, one From header, and one per-message
 // framing charge (netsim.HeaderOverhead) per item beyond the first — the
 // batching half of the Figure 4 bandwidth story.
@@ -145,7 +165,7 @@ type BatchEnvelope struct {
 	Scheme auth.Scheme
 	// Items are the shipped tuples in export order.
 	Items []BatchItem
-	// Sig authenticates everything before it, signed by From.
+	// Sig authenticates everything before it, sealed by From.
 	Sig []byte
 }
 
@@ -163,16 +183,49 @@ func (e *BatchEnvelope) signedPrefix() []byte {
 	return b
 }
 
-// Encode serializes the batch, signing it once with signer when the
-// scheme requires it.
-func (e *BatchEnvelope) Encode(signer auth.Signer) ([]byte, error) {
+// Encode serializes the batch, sealing it once for the from→to link when
+// the scheme requires it.
+func (e *BatchEnvelope) Encode(sealer auth.Sealer, to string) ([]byte, error) {
 	prefix := e.signedPrefix()
-	sig, err := signer.Sign(e.From, prefix)
+	sig, err := sealer.Seal(e.From, to, prefix)
 	if err != nil {
-		return nil, fmt.Errorf("core: signing batch from %s: %w", e.From, err)
+		return nil, fmt.Errorf("core: sealing batch from %s: %w", e.From, err)
 	}
 	e.Sig = sig
 	return data.AppendBytes(prefix, sig), nil
+}
+
+// decodeItems parses the shared item list layout of batch and session
+// envelopes, returning the items and the bytes consumed.
+func decodeItems(b []byte) ([]BatchItem, int, error) {
+	n := 0
+	count, m := binary.Uvarint(b)
+	if m <= 0 {
+		return nil, 0, fmt.Errorf("%w: item count", ErrBadEnvelope)
+	}
+	n += m
+	if count > uint64(len(b)) { // each item takes at least one byte
+		return nil, 0, fmt.Errorf("%w: item count %d exceeds payload", ErrBadEnvelope, count)
+	}
+	items := make([]BatchItem, 0, count)
+	for i := uint64(0); i < count; i++ {
+		tu, m, err := data.DecodeTuple(b[n:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: item %d tuple: %v", ErrBadEnvelope, i, err)
+		}
+		n += m
+		prov, m, err := data.DecodeBytes(b[n:])
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: item %d provenance: %v", ErrBadEnvelope, i, err)
+		}
+		n += m
+		it := BatchItem{Tuple: tu}
+		if len(prov) > 0 {
+			it.Prov = append([]byte{}, prov...)
+		}
+		items = append(items, it)
+	}
+	return items, n, nil
 }
 
 // DecodeBatchEnvelope parses a batch envelope without verifying it.
@@ -192,32 +245,11 @@ func DecodeBatchEnvelope(b []byte) (*BatchEnvelope, error) {
 	mode := provenance.Mode(b[n])
 	scheme := auth.Scheme(b[n+1])
 	n += 2
-	count, m := binary.Uvarint(b[n:])
-	if m <= 0 {
-		return nil, fmt.Errorf("%w: item count", ErrBadEnvelope)
+	items, m, err := decodeItems(b[n:])
+	if err != nil {
+		return nil, err
 	}
 	n += m
-	if count > uint64(len(b)) { // each item takes at least one byte
-		return nil, fmt.Errorf("%w: item count %d exceeds payload", ErrBadEnvelope, count)
-	}
-	items := make([]BatchItem, 0, count)
-	for i := uint64(0); i < count; i++ {
-		tu, m, err := data.DecodeTuple(b[n:])
-		if err != nil {
-			return nil, fmt.Errorf("%w: item %d tuple: %v", ErrBadEnvelope, i, err)
-		}
-		n += m
-		prov, m, err := data.DecodeBytes(b[n:])
-		if err != nil {
-			return nil, fmt.Errorf("%w: item %d provenance: %v", ErrBadEnvelope, i, err)
-		}
-		n += m
-		it := BatchItem{Tuple: tu}
-		if len(prov) > 0 {
-			it.Prov = append([]byte{}, prov...)
-		}
-		items = append(items, it)
-	}
 	sig, m, err := data.DecodeBytes(b[n:])
 	if err != nil {
 		return nil, fmt.Errorf("%w: sig: %v", ErrBadEnvelope, err)
@@ -233,8 +265,111 @@ func DecodeBatchEnvelope(b []byte) (*BatchEnvelope, error) {
 	return env, nil
 }
 
-// Verify checks the batch signature against the sender's identity. One
-// verification covers every item.
-func (e *BatchEnvelope) Verify(verifier auth.Signer) error {
-	return verifier.Verify(e.From, e.signedPrefix(), e.Sig)
+// Verify checks the batch seal for the from→to link. One check covers
+// every item.
+func (e *BatchEnvelope) Verify(sealer auth.Sealer, to string) error {
+	return sealer.Open(e.From, to, e.signedPrefix(), e.Sig)
+}
+
+// --- session transport (wire v3) ---
+
+// EncodeHandshakeFrame wraps an auth.SessionSealer handshake blob into a
+// v3 wire frame.
+func EncodeHandshakeFrame(blob []byte) []byte {
+	out := make([]byte, 0, 2+len(blob))
+	out = append(out, wireVersionSession, frameHandshake)
+	return append(out, blob...)
+}
+
+// DecodeHandshakeFrame unwraps a v3 handshake frame, returning the
+// sealer-level handshake blob.
+func DecodeHandshakeFrame(b []byte) ([]byte, error) {
+	if len(b) < 2 || b[0] != wireVersionSession || b[1] != frameHandshake {
+		return nil, fmt.Errorf("%w: handshake frame header", ErrBadEnvelope)
+	}
+	if len(b) == 2 {
+		return nil, fmt.Errorf("%w: empty handshake frame", ErrBadEnvelope)
+	}
+	return b[2:], nil
+}
+
+// SessionEnvelope is the v3 data frame: the batch layout of v2, sealed
+// with the per-link session MAC (tag = key epoch + HMAC) instead of a
+// per-envelope signature. One handshake per link amortizes the RSA cost
+// the v1/v2 formats pay per datagram.
+type SessionEnvelope struct {
+	// From is the sending node / principal.
+	From string
+	// ProvMode tags the provenance payload encoding of every item.
+	ProvMode provenance.Mode
+	// Items are the shipped tuples in export order.
+	Items []BatchItem
+	// Tag is the session seal (epoch + MAC) over everything before it.
+	Tag []byte
+}
+
+// sealedPrefix encodes the authenticated portion of the session frame.
+func (e *SessionEnvelope) sealedPrefix() []byte {
+	b := []byte{wireVersionSession, frameData}
+	b = data.AppendString(b, e.From)
+	b = append(b, byte(e.ProvMode))
+	b = binary.AppendUvarint(b, uint64(len(e.Items)))
+	for _, it := range e.Items {
+		b = data.AppendTuple(b, it.Tuple)
+		b = data.AppendBytes(b, it.Prov)
+	}
+	return b
+}
+
+// Encode serializes the frame, sealing it for the from→to link with the
+// session sealer.
+func (e *SessionEnvelope) Encode(sealer auth.Sealer, to string) ([]byte, error) {
+	prefix := e.sealedPrefix()
+	tag, err := sealer.Seal(e.From, to, prefix)
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing session frame from %s: %w", e.From, err)
+	}
+	e.Tag = tag
+	return data.AppendBytes(prefix, tag), nil
+}
+
+// DecodeSessionEnvelope parses a session data frame without opening it.
+func DecodeSessionEnvelope(b []byte) (*SessionEnvelope, error) {
+	if len(b) < 2 || b[0] != wireVersionSession || b[1] != frameData {
+		return nil, fmt.Errorf("%w: session frame header", ErrBadEnvelope)
+	}
+	n := 2
+	from, m, err := data.DecodeString(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: from: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	if n >= len(b) {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadEnvelope)
+	}
+	mode := provenance.Mode(b[n])
+	n++
+	items, m, err := decodeItems(b[n:])
+	if err != nil {
+		return nil, err
+	}
+	n += m
+	tag, m, err := data.DecodeBytes(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: tag: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	if n != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEnvelope, len(b)-n)
+	}
+	env := &SessionEnvelope{From: from, ProvMode: mode, Items: items}
+	if len(tag) > 0 {
+		env.Tag = append([]byte{}, tag...)
+	}
+	return env, nil
+}
+
+// Open checks the session seal for the from→to link.
+func (e *SessionEnvelope) Open(sealer auth.Sealer, to string) error {
+	return sealer.Open(e.From, to, e.sealedPrefix(), e.Tag)
 }

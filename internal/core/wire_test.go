@@ -8,7 +8,7 @@ import (
 	"provnet/internal/provenance"
 )
 
-func testSigner(t *testing.T) auth.Signer {
+func testDir(t *testing.T) *auth.Directory {
 	t.Helper()
 	dir := auth.NewDeterministicDirectory(11)
 	dir.SetKeyBits(512)
@@ -17,11 +17,35 @@ func testSigner(t *testing.T) auth.Signer {
 			t.Fatal(err)
 		}
 	}
-	return auth.NewRSASigner(dir)
+	return dir
+}
+
+func testSealer(t *testing.T) auth.Sealer {
+	t.Helper()
+	return auth.SignerSealer{S: auth.NewRSASigner(testDir(t))}
+}
+
+// testSessionSealer returns a session sealer with the a→b handshake
+// already performed on both sides.
+func testSessionSealer(t *testing.T) *auth.SessionSealer {
+	t.Helper()
+	s := auth.NewSessionSealer(testDir(t), 0)
+	need, epoch, err := s.EnsureSession("a", "b")
+	if err != nil || !need {
+		t.Fatalf("EnsureSession: need=%v err=%v", need, err)
+	}
+	frame, err := s.SealHandshake("a", "b", epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AcceptHandshake("b", frame); err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 func TestEnvelopeRoundTrip(t *testing.T) {
-	signer := testSigner(t)
+	sealer := testSealer(t)
 	env := &Envelope{
 		From:     "a",
 		Tuple:    data.NewTuple("path", data.Str("a"), data.Str("c"), data.Strings("a", "b", "c"), data.Int(2)).Says("a"),
@@ -29,7 +53,7 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 		Prov:     []byte{9, 8, 7},
 		Scheme:   auth.SchemeRSA,
 	}
-	b, err := env.Encode(signer)
+	b, err := env.Encode(sealer, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,14 +67,15 @@ func TestEnvelopeRoundTrip(t *testing.T) {
 	if string(got.Prov) != string(env.Prov) {
 		t.Error("prov payload mismatch")
 	}
-	if err := got.Verify(signer); err != nil {
+	if err := got.Verify(sealer, "b"); err != nil {
 		t.Fatalf("verify: %v", err)
 	}
 }
 
 func TestEnvelopeNoneSchemeRoundTrip(t *testing.T) {
+	none := auth.SignerSealer{S: auth.NoneSigner{}}
 	env := &Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeNone}
-	b, err := env.Encode(auth.NoneSigner{})
+	b, err := env.Encode(none, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,15 +86,15 @@ func TestEnvelopeNoneSchemeRoundTrip(t *testing.T) {
 	if len(got.Sig) != 0 {
 		t.Error("none scheme has no signature")
 	}
-	if err := got.Verify(auth.NoneSigner{}); err != nil {
+	if err := got.Verify(none, "b"); err != nil {
 		t.Error("none verify must pass")
 	}
 }
 
 func TestEnvelopeTamperDetection(t *testing.T) {
-	signer := testSigner(t)
+	sealer := testSealer(t)
 	env := &Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeRSA}
-	b, err := env.Encode(signer)
+	b, err := env.Encode(sealer, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,19 +102,19 @@ func TestEnvelopeTamperDetection(t *testing.T) {
 
 	// Wrong claimed sender.
 	got.From = "b"
-	if err := got.Verify(signer); err == nil {
+	if err := got.Verify(sealer, "b"); err == nil {
 		t.Error("sender substitution must fail verification")
 	}
 	// Tampered tuple.
 	got2, _ := DecodeEnvelope(b)
 	got2.Tuple = data.NewTuple("p", data.Int(2))
-	if err := got2.Verify(signer); err == nil {
+	if err := got2.Verify(sealer, "b"); err == nil {
 		t.Error("tuple tampering must fail verification")
 	}
 	// Tampered provenance payload.
 	got3, _ := DecodeEnvelope(b)
 	got3.Prov = []byte{1}
-	if err := got3.Verify(signer); err == nil {
+	if err := got3.Verify(sealer, "b"); err == nil {
 		t.Error("provenance tampering must fail verification")
 	}
 }
@@ -101,9 +126,9 @@ func TestDecodeEnvelopeErrors(t *testing.T) {
 	if _, err := DecodeEnvelope([]byte{99, 0}); err == nil {
 		t.Error("bad version must fail")
 	}
-	signer := testSigner(t)
+	sealer := testSealer(t)
 	env := &Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeRSA}
-	b, err := env.Encode(signer)
+	b, err := env.Encode(sealer, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +140,11 @@ func TestDecodeEnvelopeErrors(t *testing.T) {
 	}
 }
 
-// TestDecodeNeverPanics truncates valid envelopes of both wire formats at
-// every prefix length: every cut must produce an error (or, for the full
-// length, a clean decode) — never a panic.
+// TestDecodeNeverPanics truncates valid datagrams of all three wire
+// formats at every prefix length: every cut must produce an error (or,
+// for the full length, a clean decode) — never a panic.
 func TestDecodeNeverPanics(t *testing.T) {
-	signer := testSigner(t)
+	sealer := testSealer(t)
 	env := &Envelope{
 		From:     "a",
 		Tuple:    data.NewTuple("path", data.Str("a"), data.Strings("a", "b"), data.Int(2)),
@@ -127,7 +152,7 @@ func TestDecodeNeverPanics(t *testing.T) {
 		Prov:     []byte{1, 2, 3},
 		Scheme:   auth.SchemeRSA,
 	}
-	single, err := env.Encode(signer)
+	single, err := env.Encode(sealer, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,11 +165,24 @@ func TestDecodeNeverPanics(t *testing.T) {
 			{Tuple: data.NewTuple("q", data.Str("x"))},
 		},
 	}
-	batched, err := batch.Encode(signer)
+	batched, err := batch.Encode(sealer, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, b := range [][]byte{single, batched} {
+	session := testSessionSealer(t)
+	sess := &SessionEnvelope{
+		From:     "a",
+		ProvMode: provenance.ModeCondensed,
+		Items: []BatchItem{
+			{Tuple: data.NewTuple("p", data.Int(1)), Prov: []byte{4}},
+			{Tuple: data.NewTuple("q", data.Str("x"))},
+		},
+	}
+	sessioned, err := sess.Encode(session, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range [][]byte{single, batched, sessioned} {
 		for cut := 0; cut < len(b); cut++ {
 			if _, err := DecodeEnvelope(b[:cut]); err == nil {
 				t.Fatalf("single decode of %d/%d bytes must fail", cut, len(b))
@@ -152,12 +190,19 @@ func TestDecodeNeverPanics(t *testing.T) {
 			if _, err := DecodeBatchEnvelope(b[:cut]); err == nil {
 				t.Fatalf("batch decode of %d/%d bytes must fail", cut, len(b))
 			}
+			if _, err := DecodeSessionEnvelope(b[:cut]); err == nil {
+				t.Fatalf("session decode of %d/%d bytes must fail", cut, len(b))
+			}
+			// None of these payloads are handshake frames, at any cut.
+			if _, err := DecodeHandshakeFrame(b[:cut]); err == nil {
+				t.Fatalf("handshake decode of %d/%d bytes must fail", cut, len(b))
+			}
 		}
 	}
 }
 
 func TestBatchEnvelopeRoundTrip(t *testing.T) {
-	signer := testSigner(t)
+	sealer := testSealer(t)
 	env := &BatchEnvelope{
 		From:     "a",
 		ProvMode: provenance.ModeCondensed,
@@ -167,7 +212,7 @@ func TestBatchEnvelopeRoundTrip(t *testing.T) {
 			{Tuple: data.NewTuple("path", data.Str("a"), data.Str("b"), data.Int(1)).Says("a")},
 		},
 	}
-	b, err := env.Encode(signer)
+	b, err := env.Encode(sealer, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,66 +230,159 @@ func TestBatchEnvelopeRoundTrip(t *testing.T) {
 	if string(got.Items[0].Prov) != string(env.Items[0].Prov) || len(got.Items[1].Prov) != 0 {
 		t.Error("prov payload mismatch")
 	}
-	if err := got.Verify(signer); err != nil {
+	if err := got.Verify(sealer, "b"); err != nil {
 		t.Fatalf("verify: %v", err)
 	}
 }
 
 func TestBatchEnvelopeTamperDetection(t *testing.T) {
-	signer := testSigner(t)
+	sealer := testSealer(t)
 	env := &BatchEnvelope{
 		From:   "a",
 		Scheme: auth.SchemeRSA,
 		Items:  []BatchItem{{Tuple: data.NewTuple("p", data.Int(1))}},
 	}
-	b, err := env.Encode(signer)
+	b, err := env.Encode(sealer, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Wrong claimed sender.
 	got, _ := DecodeBatchEnvelope(b)
 	got.From = "b"
-	if err := got.Verify(signer); err == nil {
+	if err := got.Verify(sealer, "b"); err == nil {
 		t.Error("sender substitution must fail verification")
 	}
 	// Tampered item.
 	got2, _ := DecodeBatchEnvelope(b)
 	got2.Items[0].Tuple = data.NewTuple("p", data.Int(2))
-	if err := got2.Verify(signer); err == nil {
+	if err := got2.Verify(sealer, "b"); err == nil {
 		t.Error("item tampering must fail verification")
 	}
 	// Injected item.
 	got3, _ := DecodeBatchEnvelope(b)
 	got3.Items = append(got3.Items, BatchItem{Tuple: data.NewTuple("p", data.Int(3))})
-	if err := got3.Verify(signer); err == nil {
+	if err := got3.Verify(sealer, "b"); err == nil {
 		t.Error("item injection must fail verification")
 	}
 }
 
+// TestSessionEnvelopeRoundTrip exercises the v3 data frame: sealed with
+// the per-link session MAC, opened only on the right link.
+func TestSessionEnvelopeRoundTrip(t *testing.T) {
+	session := testSessionSealer(t)
+	env := &SessionEnvelope{
+		From:     "a",
+		ProvMode: provenance.ModeCondensed,
+		Items: []BatchItem{
+			{Tuple: data.NewTuple("path", data.Str("a"), data.Str("c"), data.Int(2)).Says("a"), Prov: []byte{9, 8}},
+			{Tuple: data.NewTuple("path", data.Str("a"), data.Str("b"), data.Int(1)).Says("a")},
+		},
+	}
+	b, err := env.Encode(session, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[0] != wireVersionSession || b[1] != frameData {
+		t.Fatalf("frame header = %d %d", b[0], b[1])
+	}
+	got, err := DecodeSessionEnvelope(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != "a" || got.ProvMode != provenance.ModeCondensed || len(got.Items) != 2 {
+		t.Fatalf("decoded = %+v", got)
+	}
+	if !got.Items[0].Tuple.Equal(env.Items[0].Tuple) || string(got.Items[0].Prov) != string(env.Items[0].Prov) {
+		t.Fatalf("decoded items = %+v", got.Items)
+	}
+	if err := got.Open(session, "b"); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Tampered item must fail the MAC.
+	got2, _ := DecodeSessionEnvelope(b)
+	got2.Items[0].Tuple = data.NewTuple("p", data.Int(99))
+	if err := got2.Open(session, "b"); err == nil {
+		t.Error("item tampering must fail the session MAC")
+	}
+	// Wrong link must fail: no b→a session exists.
+	got3, _ := DecodeSessionEnvelope(b)
+	got3.From = "b"
+	if err := got3.Open(session, "a"); err == nil {
+		t.Error("cross-link replay must fail")
+	}
+}
+
+// TestHandshakeFrameRoundTrip pins the v3 handshake framing.
+func TestHandshakeFrameRoundTrip(t *testing.T) {
+	blob := []byte{1, 2, 3, 4}
+	frame := EncodeHandshakeFrame(blob)
+	if frame[0] != wireVersionSession || frame[1] != frameHandshake {
+		t.Fatalf("frame header = %d %d", frame[0], frame[1])
+	}
+	got, err := DecodeHandshakeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(blob) {
+		t.Fatalf("blob = %v", got)
+	}
+	for _, bad := range [][]byte{nil, {wireVersionSession}, {wireVersionSession, frameHandshake}, {wireVersionSession, frameData, 1}, {wireVersion, frameHandshake, 1}} {
+		if _, err := DecodeHandshakeFrame(bad); err == nil {
+			t.Errorf("DecodeHandshakeFrame(%v) must fail", bad)
+		}
+	}
+}
+
 // TestWireFormatsAreDistinct pins down backward compatibility: each
-// decoder accepts only its own version byte, so a receiver can dispatch
-// on the first byte and still read seed-era single-tuple datagrams.
+// decoder accepts only its own version byte (and v3 frames additionally
+// their kind byte), so a receiver can dispatch on the first byte and
+// still read seed-era single-tuple datagrams.
 func TestWireFormatsAreDistinct(t *testing.T) {
-	signer := testSigner(t)
-	single, err := (&Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeRSA}).Encode(signer)
+	sealer := testSealer(t)
+	single, err := (&Envelope{From: "a", Tuple: data.NewTuple("p", data.Int(1)), Scheme: auth.SchemeRSA}).Encode(sealer, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
 	batched, err := (&BatchEnvelope{From: "a", Scheme: auth.SchemeRSA,
-		Items: []BatchItem{{Tuple: data.NewTuple("p", data.Int(1))}}}).Encode(signer)
+		Items: []BatchItem{{Tuple: data.NewTuple("p", data.Int(1))}}}).Encode(sealer, "b")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if single[0] != wireVersion || batched[0] != wireVersionBatch {
-		t.Fatalf("version bytes = %d, %d", single[0], batched[0])
+	session := testSessionSealer(t)
+	sessioned, err := (&SessionEnvelope{From: "a",
+		Items: []BatchItem{{Tuple: data.NewTuple("p", data.Int(1))}}}).Encode(session, "b")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := DecodeEnvelope(batched); err == nil {
-		t.Error("single decoder must reject batch payloads")
+	if single[0] != wireVersion || batched[0] != wireVersionBatch || sessioned[0] != wireVersionSession {
+		t.Fatalf("version bytes = %d, %d, %d", single[0], batched[0], sessioned[0])
 	}
-	if _, err := DecodeBatchEnvelope(single); err == nil {
-		t.Error("batch decoder must reject single payloads")
+	others := map[string][]byte{"batch": batched, "session": sessioned}
+	for name, b := range others {
+		if _, err := DecodeEnvelope(b); err == nil {
+			t.Errorf("single decoder must reject %s payloads", name)
+		}
+	}
+	for name, b := range map[string][]byte{"single": single, "session": sessioned} {
+		if _, err := DecodeBatchEnvelope(b); err == nil {
+			t.Errorf("batch decoder must reject %s payloads", name)
+		}
+	}
+	for name, b := range map[string][]byte{"single": single, "batch": batched} {
+		if _, err := DecodeSessionEnvelope(b); err == nil {
+			t.Errorf("session decoder must reject %s payloads", name)
+		}
+		if _, err := DecodeHandshakeFrame(b); err == nil {
+			t.Errorf("handshake decoder must reject %s payloads", name)
+		}
 	}
 	if _, err := DecodeEnvelope(single); err != nil {
 		t.Errorf("v1 decode: %v", err)
+	}
+	if _, err := DecodeBatchEnvelope(batched); err != nil {
+		t.Errorf("v2 decode: %v", err)
+	}
+	if _, err := DecodeSessionEnvelope(sessioned); err != nil {
+		t.Errorf("v3 decode: %v", err)
 	}
 }

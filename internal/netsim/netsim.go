@@ -40,11 +40,16 @@ type Message struct {
 // Size returns the charged size of the message.
 func (m Message) Size() int { return len(m.Payload) + HeaderOverhead }
 
-// Stats aggregates transport activity.
+// Stats aggregates transport activity. HandshakeMessages/HandshakeBytes
+// count the control-plane share of the totals (session handshake frames,
+// tagged by the sender); the data-plane share is the difference.
 type Stats struct {
 	Messages   int64
 	Bytes      int64 // includes header overhead
 	DroppedMsg int64 // sends to unknown nodes
+
+	HandshakeMessages int64
+	HandshakeBytes    int64 // includes header overhead
 }
 
 // endpoint is one registered node's transport state.
@@ -67,6 +72,9 @@ type Network struct {
 	messages atomic.Int64
 	bytes    atomic.Int64
 	dropped  atomic.Int64
+
+	handshakeMsgs  atomic.Int64
+	handshakeBytes atomic.Int64
 
 	// linkBytes tracks per-directed-pair traffic for granularity
 	// experiments (§5): key "from->to".
@@ -120,6 +128,13 @@ func (n *Network) HasNode(name string) bool {
 // use; concurrent sends drain in (sender registration, send order), the
 // same order a sequential scheduler would produce.
 func (n *Network) Send(from, to string, payload []byte) error {
+	return n.SendTagged(from, to, payload, false)
+}
+
+// SendTagged is Send with a traffic-class tag: handshake marks
+// control-plane datagrams (session handshakes) so the stats split
+// handshake from data bytes.
+func (n *Network) SendTagged(from, to string, payload []byte, handshake bool) error {
 	n.mu.RLock()
 	dst, ok := n.nodes[to]
 	src := n.nodes[from]
@@ -141,6 +156,10 @@ func (n *Network) Send(from, to string, payload []byte) error {
 	}
 	n.messages.Add(1)
 	n.bytes.Add(int64(msg.Size()))
+	if handshake {
+		n.handshakeMsgs.Add(1)
+		n.handshakeBytes.Add(int64(msg.Size()))
+	}
 	n.linkMu.Lock()
 	n.linkBytes[from+"->"+to] += int64(msg.Size())
 	n.linkMu.Unlock()
@@ -192,9 +211,11 @@ func (n *Network) PendingCount() int {
 // Stats returns a copy of the transport counters.
 func (n *Network) Stats() Stats {
 	return Stats{
-		Messages:   n.messages.Load(),
-		Bytes:      n.bytes.Load(),
-		DroppedMsg: n.dropped.Load(),
+		Messages:          n.messages.Load(),
+		Bytes:             n.bytes.Load(),
+		DroppedMsg:        n.dropped.Load(),
+		HandshakeMessages: n.handshakeMsgs.Load(),
+		HandshakeBytes:    n.handshakeBytes.Load(),
 	}
 }
 
@@ -203,6 +224,8 @@ func (n *Network) ResetStats() {
 	n.messages.Store(0)
 	n.bytes.Store(0)
 	n.dropped.Store(0)
+	n.handshakeMsgs.Store(0)
+	n.handshakeBytes.Store(0)
 	n.linkMu.Lock()
 	n.linkBytes = make(map[string]int64)
 	n.linkMu.Unlock()

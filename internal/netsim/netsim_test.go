@@ -184,3 +184,32 @@ func TestConcurrentStatsAccounting(t *testing.T) {
 		t.Errorf("top talkers = %+v", tt)
 	}
 }
+
+// TestHandshakeTrafficSplit checks the control-plane/data-plane split:
+// handshake-tagged sends show up in both the totals and the handshake
+// counters, and ResetStats clears them.
+func TestHandshakeTrafficSplit(t *testing.T) {
+	n := New()
+	n.AddNode("a")
+	n.AddNode("b")
+	if err := n.SendTagged("a", "b", make([]byte, 10), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Send("a", "b", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats()
+	if s.Messages != 2 || s.HandshakeMessages != 1 {
+		t.Errorf("messages = %d/%d handshake, want 2/1", s.Messages, s.HandshakeMessages)
+	}
+	if want := int64(10 + HeaderOverhead); s.HandshakeBytes != want {
+		t.Errorf("handshake bytes = %d, want %d", s.HandshakeBytes, want)
+	}
+	if data := s.Bytes - s.HandshakeBytes; data != int64(100+HeaderOverhead) {
+		t.Errorf("data bytes = %d, want %d", data, 100+HeaderOverhead)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s.HandshakeMessages != 0 || s.HandshakeBytes != 0 {
+		t.Errorf("reset left handshake stats %+v", s)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"provnet/internal/bdd"
 	"provnet/internal/semiring"
@@ -207,13 +208,16 @@ func (p Any) Evaluate(poly semiring.Poly, m *bdd.Manager, levels Levels) Decisio
 }
 
 // Gate audits a stream of updates against one policy — the building block
-// of the Orchestra-style update filter. It is not safe for concurrent
-// use.
+// of the Orchestra-style update filter. It is safe for concurrent use:
+// the parallel import workers of internal/core may consult one gate from
+// many goroutines at once, so Consider serializes policy evaluation (the
+// BDD manager is shared mutable state) and the audit log.
 type Gate struct {
 	policy Policy
-	mgr    *bdd.Manager
 	levels Levels
 
+	mu                 sync.Mutex
+	mgr                *bdd.Manager
 	accepted, rejected int
 	log                []AuditRecord
 	logLimit           int
@@ -237,6 +241,8 @@ func NewGate(policy Policy, levels Levels, limit int) *Gate {
 // Consider evaluates an update's provenance, records the decision, and
 // returns it.
 func (g *Gate) Consider(update string, p semiring.Poly) Decision {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	d := g.policy.Evaluate(p, g.mgr, g.levels)
 	if d.Accept {
 		g.accepted++
@@ -250,10 +256,16 @@ func (g *Gate) Consider(update string, p semiring.Poly) Decision {
 }
 
 // Counts returns the accept/reject tallies.
-func (g *Gate) Counts() (accepted, rejected int) { return g.accepted, g.rejected }
+func (g *Gate) Counts() (accepted, rejected int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.accepted, g.rejected
+}
 
 // Audit returns the recorded decisions.
 func (g *Gate) Audit() []AuditRecord {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	out := make([]AuditRecord, len(g.log))
 	copy(out, g.log)
 	return out

@@ -1,7 +1,9 @@
 package trust
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"provnet/internal/bdd"
@@ -138,5 +140,46 @@ func TestPrincipals(t *testing.T) {
 	ps := Principals(paperPoly)
 	if len(ps) != 2 || ps[0] != "a" || ps[1] != "b" {
 		t.Errorf("principals = %v", ps)
+	}
+}
+
+// TestGateConcurrentConsider admits updates from many goroutines at once:
+// the gate's tallies and audit log must stay consistent (and the run must
+// be clean under -race — the parallel import workers of internal/core
+// share one gate exactly like this).
+func TestGateConcurrentConsider(t *testing.T) {
+	const workers = 8
+	const perWorker = 50
+	g := NewGate(MinLevel{Threshold: 2}, levels(map[string]int64{"a": 2, "b": 1}), workers*perWorker)
+	accept := semiring.Var("a")                        // trust 2: accepted
+	reject := semiring.Var("a").Mul(semiring.Var("b")) // trust 1: rejected
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%2 == 0 {
+					g.Consider(fmt.Sprintf("w%d-accept-%d", w, i), accept)
+				} else {
+					g.Consider(fmt.Sprintf("w%d-reject-%d", w, i), reject)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	acc, rej := g.Counts()
+	if acc != workers*perWorker/2 || rej != workers*perWorker/2 {
+		t.Fatalf("counts = %d/%d, want %d/%d", acc, rej, workers*perWorker/2, workers*perWorker/2)
+	}
+	audit := g.Audit()
+	if len(audit) != workers*perWorker {
+		t.Fatalf("audit log = %d records, want %d", len(audit), workers*perWorker)
+	}
+	for _, r := range audit {
+		wantAccept := strings.Contains(r.Update, "accept")
+		if r.Decision.Accept != wantAccept {
+			t.Fatalf("record %q decided %v", r.Update, r.Decision.Accept)
+		}
 	}
 }

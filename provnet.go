@@ -7,9 +7,14 @@
 // authentication scheme for the "says" operator (none, HMAC, or per-tuple
 // RSA signatures), and a provenance mode from the paper's taxonomy (none,
 // local derivation trees, distributed pointers, or condensed BDD-encoded
-// semiring provenance). Running the network executes the program as a
-// distributed stream computation to a fixpoint, after which results and
-// provenance can be queried:
+// semiring provenance). Config.SessionAuth additionally switches the
+// transport to session authentication: one RSA handshake per (src,dst)
+// link establishes a session key and every subsequent envelope is sealed
+// with a cheap per-link HMAC (rotating every Config.RekeyRounds rounds),
+// amortizing the hostile-world signature cost; Config.PipelinedCrypto
+// overlaps that sealing/verification work with rule evaluation. Running
+// the network executes the program as a distributed stream computation to
+// a fixpoint, after which results and provenance can be queried:
 //
 //	g := provnet.RandomGraph(provnet.TopoOptions{N: 20, AvgOutDegree: 3, MaxCost: 10, Seed: 1})
 //	cfg := provnet.VariantConfig(provnet.VariantSeNDlogProv, provnet.BestPath)
@@ -103,19 +108,28 @@ type (
 // ParseProgram parses NDlog/SeNDlog source.
 func ParseProgram(src string) (*Program, error) { return datalog.Parse(src) }
 
-// Authentication (the says operator).
+// Authentication (the says operator and the transport sealers).
 type (
 	// AuthScheme selects the says implementation.
 	AuthScheme = auth.Scheme
 	// Directory holds principals, levels, and keys.
 	Directory = auth.Directory
+	// Sealer seals/opens envelopes on directed links (transport layer).
+	Sealer = auth.Sealer
+	// SessionSealer is the handshake-then-HMAC transport behind
+	// Config.SessionAuth.
+	SessionSealer = auth.SessionSealer
 )
 
-// Says implementations, from benign-world to hostile-world.
+// Says implementations, from benign-world to hostile-world. AuthSession
+// identifies the session transport (wire v3): per-link RSA handshakes
+// amortized over HMAC-sealed envelopes. Config{Auth: AuthSession} is
+// shorthand for Config{Auth: AuthRSA, SessionAuth: true}.
 const (
-	AuthNone = auth.SchemeNone
-	AuthHMAC = auth.SchemeHMAC
-	AuthRSA  = auth.SchemeRSA
+	AuthNone    = auth.SchemeNone
+	AuthHMAC    = auth.SchemeHMAC
+	AuthRSA     = auth.SchemeRSA
+	AuthSession = auth.SchemeSession
 )
 
 // Provenance.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"provnet"
+	"provnet/internal/benchwork"
 )
 
 // TestPublicAPIQuickstart exercises the re-exported surface end to end,
@@ -78,4 +79,27 @@ func TestPublicAPITrustGate(t *testing.T) {
 		t.Fatalf("parse: %v", err)
 	}
 	_ = gate
+}
+
+// TestSessionAuthAmortizesSignatures pins the PR's acceptance bar on the
+// benchmark workload: on the 20-node Best-Path churn run, the session
+// transport performs at least 10x fewer signature operations than
+// per-batch RSA (and therefore vastly fewer than the paper's per-tuple
+// scheme), while shipping the same fixpoint traffic.
+func TestSessionAuthAmortizesSignatures(t *testing.T) {
+	rsa := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
+	repRSA := benchwork.BestPathChurn(t.Fatal, rsa, 20, benchwork.DefaultCycles, 1024, 2000)
+
+	session := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
+	session.SessionAuth = true
+	repS := benchwork.BestPathChurn(t.Fatal, session, 20, benchwork.DefaultCycles, 1024, 2000)
+
+	if repS.Signed == 0 || repRSA.Signed < 10*repS.Signed {
+		t.Errorf("signature ops: session %d vs per-batch RSA %d, want >= 10x reduction",
+			repS.Signed, repRSA.Signed)
+	}
+	if repS.SealedMAC != repRSA.Signed {
+		t.Errorf("session MACs = %d, want one per former batch signature (%d)",
+			repS.SealedMAC, repRSA.Signed)
+	}
 }
