@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet test race bench bench-smoke bench-json examples ci
+.PHONY: all build fmt fmt-check vet test race bench bench-smoke bench-json fuzz examples ci
 
 all: build
 
@@ -34,9 +34,15 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Transport-security benchmark matrix, recorded as a CI artifact.
+# Transport-security benchmark matrix plus the live-churn workload,
+# recorded as CI artifacts.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
+	$(GO) run ./cmd/benchjson -live -n 16 -runs 3 -out BENCH_pr3.json
+
+# Wire-decoder fuzzing (v1-v4 + handshake frames), same budget as CI.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeEnvelope -fuzztime 30s ./internal/core
 
 # Format/vet gate over examples/ plus the documented quickstart as a
 # smoke test, so the entry point can't silently rot.
@@ -47,4 +53,4 @@ examples:
 	$(GO) vet ./examples/...
 	$(GO) run ./examples/quickstart
 
-ci: fmt-check vet build race examples bench-smoke bench-json
+ci: fmt-check vet build race fuzz examples bench-smoke bench-json

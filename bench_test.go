@@ -201,6 +201,48 @@ func BenchmarkSessionAuth(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveCutLink measures the live-network lifecycle under link
+// churn: one CutLink through the driver, incremental re-convergence vs
+// a full restart on the cut topology (the BENCH_pr3.json workload).
+func BenchmarkLiveCutLink(b *testing.B) {
+	for _, m := range benchwork.Modes() {
+		b.Run(m.Name, func(b *testing.B) {
+			var liveBytes, restartBytes int64
+			var liveRounds, restartRounds int
+			for i := 0; i < b.N; i++ {
+				cfg := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
+				m.Mut(&cfg)
+				r := benchwork.LiveCutLink(b.Fatal, cfg, 16, 1024, int64(3000+i))
+				liveBytes += r.LiveBytes
+				restartBytes += r.RestartBytes
+				liveRounds += r.LiveRounds
+				restartRounds += r.RestartRounds
+			}
+			b.ReportMetric(float64(liveBytes)/float64(b.N)/(1<<10), "live_KB/op")
+			b.ReportMetric(float64(restartBytes)/float64(b.N)/(1<<10), "restart_KB/op")
+			b.ReportMetric(float64(liveRounds)/float64(b.N), "live_rounds/op")
+			b.ReportMetric(float64(restartRounds)/float64(b.N), "restart_rounds/op")
+		})
+	}
+}
+
+// BenchmarkLiveBestPathChurn drives the BestPathChurn refresh schedule
+// through the live driver (SetLink deltas absorbed incrementally)
+// instead of refresh-and-rerun — the lifecycle API's continuous-update
+// shape on the same workload BenchmarkSessionAuth measures.
+func BenchmarkLiveBestPathChurn(b *testing.B) {
+	var retracted, bytes int64
+	for i := 0; i < b.N; i++ {
+		cfg := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
+		cfg.SessionAuth = true
+		rep := benchwork.LiveBestPathChurn(b.Fatal, cfg, 12, 4, 1024, int64(4000+i))
+		retracted += rep.Retracted
+		bytes += rep.Bytes
+	}
+	b.ReportMetric(float64(retracted)/float64(b.N), "retracted/op")
+	b.ReportMetric(float64(bytes)/float64(b.N)/(1<<20), "wire_MB/op")
+}
+
 // BenchmarkAblationSays compares the says-implementation spectrum of
 // §2.2: cleartext header, HMAC, RSA.
 func BenchmarkAblationSays(b *testing.B) {

@@ -1,12 +1,18 @@
-// Command benchjson runs the transport-security benchmark matrix (the
+// Command benchjson records the benchmark workloads as JSON artifacts CI
+// uploads on every build, so the perf trajectory across PRs is tracked.
+//
+// The default mode runs the transport-security matrix (the
 // BenchmarkSessionAuth workload: §6 Best-Path on a 20-node random
-// topology under churn, defined once in internal/benchwork) and records
-// the results as JSON — ns per run, bytes on wire, and signature/MAC
-// counts for the per-tuple RSA, per-batch RSA, and session-MAC
-// transports. CI runs it on every build and uploads the file as an
-// artifact, so the perf trajectory across PRs is tracked:
+// topology under churn, defined once in internal/benchwork):
 //
 //	go run ./cmd/benchjson -out BENCH_pr2.json
+//
+// With -live it records the live-churn workload instead: for each
+// transport mode, converge, cut one best-path-carrying link through the
+// lifecycle driver, and compare the incremental re-convergence (rounds,
+// bytes, withdrawn tuples) against a full restart on the cut topology:
+//
+//	go run ./cmd/benchjson -live -out BENCH_pr3.json
 package main
 
 import (
@@ -14,13 +20,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"provnet"
 	"provnet/internal/benchwork"
+	"provnet/internal/cliflags"
 )
 
-// result is one benchmark matrix cell.
+// result is one transport-matrix cell (BENCH_pr2).
 type result struct {
 	Mode           string  `json:"mode"`
 	NsPerOp        int64   `json:"ns_per_op"`
@@ -33,13 +41,29 @@ type result struct {
 	WireMB         float64 `json:"wire_mb"`
 }
 
+// liveResult is one live-churn cell (BENCH_pr3): a single CutLink's
+// incremental re-convergence vs a full restart, averaged over runs.
+// CutLinks records every run's cut (each run uses a fresh seeded
+// topology, so the cuts differ).
+type liveResult struct {
+	Mode          string   `json:"mode"`
+	CutLinks      []string `json:"cut_links"`
+	LiveRounds    int      `json:"live_rounds"`
+	LiveBytes     int64    `json:"live_bytes"`
+	Retracted     int64    `json:"retracted_tuples"`
+	RestartRounds int      `json:"restart_rounds"`
+	RestartBytes  int64    `json:"restart_bytes"`
+	BytesRatio    float64  `json:"restart_over_live_bytes"`
+}
+
 type output struct {
-	Workload string   `json:"workload"`
-	Nodes    int      `json:"nodes"`
-	Cycles   int      `json:"cycles"`
-	Runs     int      `json:"runs"`
-	KeyBits  int      `json:"key_bits"`
-	Results  []result `json:"results"`
+	Workload string       `json:"workload"`
+	Nodes    int          `json:"nodes"`
+	Cycles   int          `json:"cycles,omitempty"`
+	Runs     int          `json:"runs"`
+	KeyBits  int          `json:"key_bits"`
+	Results  []result     `json:"results,omitempty"`
+	Live     []liveResult `json:"live_results,omitempty"`
 }
 
 func main() {
@@ -47,24 +71,38 @@ func main() {
 	nodes := flag.Int("n", 20, "topology size")
 	cycles := flag.Int("cycles", benchwork.DefaultCycles, "route-refresh cycles after initial convergence")
 	runs := flag.Int("runs", 1, "averaging runs per mode")
-	keyBits := flag.Int("keybits", 1024, "RSA modulus size")
+	live := flag.Bool("live", false, "record the live-churn workload (CutLink re-convergence vs restart)")
+	shared := cliflags.Register(nil)
 	flag.Parse()
+	// The recorded matrix IS the transport dimension: knobs that would
+	// change it silently must be rejected, not ignored (the artifact is
+	// compared across PRs).
+	if shared.Auth != "none" || shared.Session || shared.Unbatched || shared.Pipelined || shared.Churn > 0 || shared.Rekey != 0 {
+		fatal("benchjson fixes the transport matrix; -auth/-session/-unbatched/-pipelined/-churn/-rekey are not applicable")
+	}
+
+	if *live {
+		recordLive(*out, *nodes, *runs, shared)
+		return
+	}
 
 	o := output{
 		Workload: "bestpath-churn",
 		Nodes:    *nodes,
 		Cycles:   *cycles,
 		Runs:     *runs,
-		KeyBits:  *keyBits,
+		KeyBits:  shared.KeyBits,
 	}
 	for _, m := range benchwork.Modes() {
 		var r result
 		r.Mode = m.Name
 		for i := 0; i < *runs; i++ {
 			cfg := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
+			cfg.Sequential = shared.Sequential
+			cfg.Workers = shared.Workers
 			m.Mut(&cfg)
 			start := time.Now()
-			rep := benchwork.BestPathChurn(fatal, cfg, *nodes, *cycles, *keyBits, int64(2000+i))
+			rep := benchwork.BestPathChurn(fatal, cfg, *nodes, *cycles, shared.KeyBits, int64(2000+i))
 			r.NsPerOp += time.Since(start).Nanoseconds()
 			r.WireBytes += rep.Bytes
 			r.HandshakeBytes += rep.HandshakeBytes
@@ -86,15 +124,59 @@ func main() {
 		fmt.Printf("%-22s %12dns %10d bytes %6d signatures %6d macs\n",
 			m.Name, r.NsPerOp, r.WireBytes, r.Signatures, r.MACs)
 	}
+	write(*out, o)
+}
 
+// recordLive runs the BENCH_pr3 live-churn workload: one CutLink per
+// transport mode, incremental re-convergence vs restart.
+func recordLive(out string, nodes, runs int, shared *cliflags.Flags) {
+	o := output{
+		Workload: "bestpath-livechurn",
+		Nodes:    nodes,
+		Runs:     runs,
+		KeyBits:  shared.KeyBits,
+	}
+	for _, m := range benchwork.Modes() {
+		var agg liveResult
+		agg.Mode = m.Name
+		for i := 0; i < runs; i++ {
+			cfg := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
+			cfg.Sequential = shared.Sequential
+			cfg.Workers = shared.Workers
+			m.Mut(&cfg)
+			r := benchwork.LiveCutLink(fatal, cfg, nodes, shared.KeyBits, int64(3000+i))
+			agg.CutLinks = append(agg.CutLinks, r.CutFrom+"->"+r.CutTo)
+			agg.LiveRounds += r.LiveRounds
+			agg.LiveBytes += r.LiveBytes
+			agg.Retracted += r.Retracted
+			agg.RestartRounds += r.RestartRounds
+			agg.RestartBytes += r.RestartBytes
+		}
+		k := int64(runs)
+		agg.LiveRounds /= runs
+		agg.LiveBytes /= k
+		agg.Retracted /= k
+		agg.RestartRounds /= runs
+		agg.RestartBytes /= k
+		if agg.LiveBytes > 0 {
+			agg.BytesRatio = float64(agg.RestartBytes) / float64(agg.LiveBytes)
+		}
+		o.Live = append(o.Live, agg)
+		fmt.Printf("%-22s cut %-18s live %2d rounds %8d bytes | restart %2d rounds %8d bytes (%.1fx)\n",
+			agg.Mode, strings.Join(agg.CutLinks, ","), agg.LiveRounds, agg.LiveBytes, agg.RestartRounds, agg.RestartBytes, agg.BytesRatio)
+	}
+	write(out, o)
+}
+
+func write(path string, o output) {
 	b, err := json.MarshalIndent(o, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
 }
 
 func fatal(args ...any) {

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"provnet"
+	"provnet/internal/cliflags"
 )
 
 var variants = []provnet.Variant{provnet.VariantNDlog, provnet.VariantSeNDlog, provnet.VariantSeNDlogProv}
@@ -38,20 +40,20 @@ type cell struct {
 func main() {
 	ns := flag.String("n", "10,20,40,60,80,100", "comma-separated node counts")
 	runs := flag.Int("runs", 3, "runs per point (paper: 10)")
-	keyBits := flag.Int("keybits", 1024, "RSA modulus size")
 	maxCost := flag.Int64("maxcost", 10, "max link cost")
 	csvPath := flag.String("csv", "", "also write results as CSV")
 	tupleCost := flag.Float64("tuplecost", 0,
 		"calibration: simulated per-derivation processing cost in microseconds, "+
 			"added to completion time. 0 reports pure measurements; ~1000 approximates "+
 			"the per-tuple cost of the paper's 2008 P2 substrate (see EXPERIMENTS.md)")
-	sequential := flag.Bool("sequential", false, "run nodes sequentially within each round (A/B baseline)")
-	unbatched := flag.Bool("unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
-	workers := flag.Int("workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
-	session := flag.Bool("session", false, "session transport: one RSA handshake per link, then HMAC session MACs (wire v3)")
-	rekey := flag.Int("rekey", 0, "rotate session keys every N rounds (0 = never; needs -session)")
-	pipelined := flag.Bool("pipelined", false, "seal/verify on a crypto stage overlapping rule evaluation")
+	shared := cliflags.Register(nil)
 	flag.Parse()
+	// The three paper variants fix the says scheme per column; a -auth
+	// override would be silently discarded, so reject it instead.
+	if shared.Auth != "none" {
+		fmt.Fprintln(os.Stderr, "bestpath: the variants fix the says scheme; -auth is not applicable")
+		os.Exit(2)
+	}
 
 	var sizes []int
 	for _, s := range strings.Split(*ns, ",") {
@@ -64,7 +66,10 @@ func main() {
 	}
 
 	fmt.Printf("Best-Path evaluation: N in %v, %d run(s) per point, RSA-%d\n",
-		sizes, *runs, *keyBits)
+		sizes, *runs, shared.KeyBits)
+	if shared.Churn > 0 {
+		fmt.Printf("with live churn: %d link cut(s) per run, measured as incremental re-convergence\n", shared.Churn)
+	}
 	fmt.Printf("%-6s", "N")
 	for _, v := range variants {
 		fmt.Printf(" | %-12s %-10s", v.String()+" s", "MB")
@@ -76,10 +81,7 @@ func main() {
 		results[n] = map[provnet.Variant]cell{}
 		fmt.Printf("%-6d", n)
 		for _, v := range variants {
-			c := runPoint(v, n, *runs, *keyBits, *maxCost, *tupleCost, runOpts{
-				sequential: *sequential, unbatched: *unbatched, workers: *workers,
-				session: *session, rekey: *rekey, pipelined: *pipelined,
-			})
+			c := runPoint(v, n, *runs, *maxCost, *tupleCost, shared)
 			results[n][v] = c
 			fmt.Printf(" | %-12.3f %-10.3f", c.seconds, c.mb)
 		}
@@ -97,18 +99,7 @@ func main() {
 	}
 }
 
-// runOpts carries the scheduler, wire-format, and transport-security
-// knobs into each run.
-type runOpts struct {
-	sequential bool
-	unbatched  bool
-	workers    int
-	session    bool
-	rekey      int
-	pipelined  bool
-}
-
-func runPoint(v provnet.Variant, n, runs, keyBits int, maxCost int64, tupleCostMicros float64, opts runOpts) cell {
+func runPoint(v provnet.Variant, n, runs int, maxCost int64, tupleCostMicros float64, shared *cliflags.Flags) cell {
 	var totalSec, totalMB float64
 	for r := 0; r < runs; r++ {
 		seed := int64(n*1000 + r)
@@ -116,15 +107,14 @@ func runPoint(v provnet.Variant, n, runs, keyBits int, maxCost int64, tupleCostM
 			N: n, AvgOutDegree: 3, MaxCost: maxCost, Seed: seed,
 		})
 		cfg := provnet.VariantConfig(v, provnet.BestPath)
+		auth := cfg.Auth // the variant decides the says scheme, not -auth
+		if err := shared.Apply(&cfg); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg.Auth = auth
 		cfg.Graph = g
 		cfg.Seed = seed
-		cfg.KeyBits = keyBits
-		cfg.Sequential = opts.sequential
-		cfg.Unbatched = opts.unbatched
-		cfg.Workers = opts.workers
-		cfg.SessionAuth = opts.session
-		cfg.RekeyRounds = opts.rekey
-		cfg.PipelinedCrypto = opts.pipelined
 		net, err := provnet.NewNetwork(cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -136,12 +126,18 @@ func runPoint(v provnet.Variant, n, runs, keyBits int, maxCost int64, tupleCostM
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		// The -churn scenario folds the cost of live link cuts and their
+		// incremental re-convergence into the point's time and bandwidth.
+		if _, err := shared.RunChurn(context.Background(), net, g); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		sec := time.Since(start).Seconds()
 		// Calibration model: charge every rule firing the configured
 		// substrate cost, approximating the paper's P2 processing time.
 		sec += float64(rep.Derivations) * tupleCostMicros / 1e6
 		totalSec += sec
-		totalMB += float64(rep.Bytes) / (1 << 20)
+		totalMB += float64(net.Transport().Stats().Bytes) / (1 << 20)
 	}
 	return cell{seconds: totalSec / float64(runs), mb: totalMB / float64(runs)}
 }

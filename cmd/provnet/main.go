@@ -4,39 +4,37 @@
 //
 //	provnet -program routing.ndl -topo random:20:3:10:1 -auth rsa -prov condensed
 //	provnet -program reachable.snd -topo ring:5 -show reachable
+//	provnet -program routing.ndl -topo random:20:3:10:1 -churn 2
 //
 // Topology specs: random:N[:deg[:maxcost[:seed]]], line:N, ring:N,
-// star:N, or none (the program's own facts place the nodes).
+// star:N, or none (the program's own facts place the nodes). With
+// -churn N, the converged network cuts N random links through the live
+// driver and re-converges incrementally before printing tables; the
+// scheduler/transport knobs (-auth, -session, -sequential, -unbatched,
+// -workers, -rekey, -pipelined) are shared with the other commands via
+// internal/cliflags.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"provnet"
-	"provnet/internal/auth"
-	"provnet/internal/provenance"
+	"provnet/internal/cliflags"
 )
 
 func main() {
 	programPath := flag.String("program", "", "path to the .ndl/.snd program (required)")
 	topoSpec := flag.String("topo", "none", "topology: random:N[:deg[:maxcost[:seed]]], line:N, ring:N, star:N, none")
-	authMode := flag.String("auth", "none", "says implementation: none, hmac, rsa, session (= rsa + -session)")
 	provMode := flag.String("prov", "none", "provenance: none, local, distributed, condensed")
 	noCost := flag.Bool("nocost", false, "generate link facts without a cost column")
 	show := flag.String("show", "", "comma-separated predicates to print (default: all)")
-	keyBits := flag.Int("keybits", 1024, "RSA modulus size")
 	annotate := flag.Bool("annotate", false, "print condensed provenance annotations")
 	extraNodes := flag.String("extranodes", "", "comma-separated node names not mentioned in any fact placement")
-	sequential := flag.Bool("sequential", false, "run nodes sequentially within each round (A/B baseline)")
-	unbatched := flag.Bool("unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
-	workers := flag.Int("workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
-	session := flag.Bool("session", false, "session transport: one RSA handshake per link, then HMAC session MACs (wire v3)")
-	rekey := flag.Int("rekey", 0, "rotate session keys every N rounds (0 = never; needs -session)")
-	pipelined := flag.Bool("pipelined", false, "seal/verify on a crypto stage overlapping rule evaluation")
+	shared := cliflags.Register(nil)
 	flag.Parse()
 
 	if *programPath == "" {
@@ -48,23 +46,16 @@ func main() {
 		fatal(err)
 	}
 	cfg := provnet.Config{
-		Source:          string(src),
-		LinkNoCost:      *noCost,
-		KeyBits:         *keyBits,
-		Sequential:      *sequential,
-		Unbatched:       *unbatched,
-		Workers:         *workers,
-		SessionAuth:     *session,
-		RekeyRounds:     *rekey,
-		PipelinedCrypto: *pipelined,
+		Source:     string(src),
+		LinkNoCost: *noCost,
 	}
-	if cfg.Graph, err = parseTopo(*topoSpec); err != nil {
+	if err := shared.Apply(&cfg); err != nil {
 		fatal(err)
 	}
-	if cfg.Auth, err = parseAuth(*authMode); err != nil {
+	if cfg.Graph, err = cliflags.ParseTopo(*topoSpec); err != nil {
 		fatal(err)
 	}
-	if cfg.Prov, err = parseProv(*provMode); err != nil {
+	if cfg.Prov, err = cliflags.ParseProv(*provMode); err != nil {
 		fatal(err)
 	}
 	if *extraNodes != "" {
@@ -90,6 +81,12 @@ func main() {
 	}
 	fmt.Println()
 
+	if churn, err := shared.RunChurn(context.Background(), n, cfg.Graph); err != nil {
+		fatal(err)
+	} else if churn != nil {
+		fmt.Println(churn)
+	}
+
 	var filter map[string]bool
 	if *show != "" {
 		filter = map[string]bool{}
@@ -105,7 +102,7 @@ func main() {
 			}
 			for _, tu := range n.Tuples(node, pred) {
 				fmt.Printf("%s\t%s", node, tu)
-				if *annotate && cfg.Prov == provenance.ModeCondensed {
+				if *annotate && cfg.Prov == provnet.ProvCondensed {
 					fmt.Printf("\t%s", n.CondensedExpr(node, tu))
 				}
 				fmt.Println()
@@ -117,67 +114,4 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "provnet:", err)
 	os.Exit(1)
-}
-
-func parseTopo(spec string) (*provnet.Graph, error) {
-	if spec == "none" || spec == "" {
-		return nil, nil
-	}
-	parts := strings.Split(spec, ":")
-	kind := parts[0]
-	num := func(i, def int) int {
-		if i < len(parts) {
-			if v, err := strconv.Atoi(parts[i]); err == nil {
-				return v
-			}
-		}
-		return def
-	}
-	switch kind {
-	case "random":
-		return provnet.RandomGraph(provnet.TopoOptions{
-			N:            num(1, 10),
-			AvgOutDegree: num(2, 3),
-			MaxCost:      int64(num(3, 1)),
-			Seed:         int64(num(4, 1)),
-		}), nil
-	case "line":
-		return provnet.LineGraph(num(1, 4)), nil
-	case "ring":
-		return provnet.RingGraph(num(1, 4)), nil
-	case "star":
-		return provnet.StarGraph(num(1, 4)), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", spec)
-	}
-}
-
-func parseAuth(s string) (provnet.AuthScheme, error) {
-	switch s {
-	case "none":
-		return auth.SchemeNone, nil
-	case "hmac":
-		return auth.SchemeHMAC, nil
-	case "rsa":
-		return auth.SchemeRSA, nil
-	case "session":
-		return auth.SchemeSession, nil
-	default:
-		return 0, fmt.Errorf("unknown auth scheme %q", s)
-	}
-}
-
-func parseProv(s string) (provnet.ProvMode, error) {
-	switch s {
-	case "none":
-		return provenance.ModeNone, nil
-	case "local":
-		return provenance.ModeLocal, nil
-	case "distributed":
-		return provenance.ModeDistributed, nil
-	case "condensed":
-		return provenance.ModeCondensed, nil
-	default:
-		return 0, fmt.Errorf("unknown provenance mode %q", s)
-	}
 }

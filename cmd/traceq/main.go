@@ -5,21 +5,25 @@
 //	traceq -program worm.ndl -topo line:4 -node victim -tuple 'infected(victim, slammer)'
 //	traceq ... -advance 60 -offline       # forensic query after expiry
 //	traceq ... -moonwalk -walks 5         # sampled backward walks
+//	traceq ... -churn 1                   # cut a link first: stale provenance
 //
-// The scheduler and transport-security knobs of cmd/provnet are also
-// available: -auth, -keybits, -sequential, -unbatched, -workers,
-// -session, -rekey, -pipelined.
+// The scheduler, transport-security, and churn knobs are shared with the
+// other commands via internal/cliflags: -auth, -keybits, -sequential,
+// -unbatched, -workers, -session, -rekey, -pipelined, -churn, -churnseed.
+// With -churn N the traceback runs against the re-converged network, so
+// withdrawn tuples show up as stale provenance history.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
-	"strconv"
 	"strings"
 
 	"provnet"
+	"provnet/internal/cliflags"
 	"provnet/internal/core"
 )
 
@@ -35,14 +39,7 @@ func main() {
 	walks := flag.Int("walks", 3, "number of moonwalks")
 	seed := flag.Int64("seed", 1, "moonwalk rng seed")
 	extraNodes := flag.String("extranodes", "", "comma-separated node names not mentioned in any fact placement")
-	authMode := flag.String("auth", "none", "says implementation: none, hmac, rsa, session (= rsa + -session)")
-	keyBits := flag.Int("keybits", 1024, "RSA modulus size")
-	sequential := flag.Bool("sequential", false, "run nodes sequentially within each round (A/B baseline)")
-	unbatched := flag.Bool("unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
-	workers := flag.Int("workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
-	session := flag.Bool("session", false, "session transport: one RSA handshake per link, then HMAC session MACs (wire v3)")
-	rekey := flag.Int("rekey", 0, "rotate session keys every N rounds (0 = never; needs -session)")
-	pipelined := flag.Bool("pipelined", false, "seal/verify on a crypto stage overlapping rule evaluation")
+	shared := cliflags.Register(nil)
 	flag.Parse()
 
 	if *programPath == "" || *node == "" || *tupleText == "" {
@@ -60,22 +57,15 @@ func main() {
 
 	off := -1.0
 	cfg := provnet.Config{
-		Source:          string(src),
-		LinkNoCost:      *noCost,
-		Prov:            provnet.ProvDistributed,
-		Offline:         &off,
-		KeyBits:         *keyBits,
-		Sequential:      *sequential,
-		Unbatched:       *unbatched,
-		Workers:         *workers,
-		SessionAuth:     *session,
-		RekeyRounds:     *rekey,
-		PipelinedCrypto: *pipelined,
+		Source:     string(src),
+		LinkNoCost: *noCost,
+		Prov:       provnet.ProvDistributed,
+		Offline:    &off,
 	}
-	if cfg.Graph, err = parseTopo(*topoSpec); err != nil {
+	if err := shared.Apply(&cfg); err != nil {
 		fatal(err)
 	}
-	if cfg.Auth, err = parseAuth(*authMode); err != nil {
+	if cfg.Graph, err = cliflags.ParseTopo(*topoSpec); err != nil {
 		fatal(err)
 	}
 	if *extraNodes != "" {
@@ -89,6 +79,11 @@ func main() {
 	}
 	if _, err := n.Run(0); err != nil {
 		fatal(err)
+	}
+	if churn, err := shared.RunChurn(context.Background(), n, cfg.Graph); err != nil {
+		fatal(err)
+	} else if churn != nil {
+		fmt.Println(churn)
 	}
 	if *advance > 0 {
 		n.Advance(*advance)
@@ -127,48 +122,4 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "traceq:", err)
 	os.Exit(1)
-}
-
-func parseAuth(s string) (provnet.AuthScheme, error) {
-	switch s {
-	case "none":
-		return provnet.AuthNone, nil
-	case "hmac":
-		return provnet.AuthHMAC, nil
-	case "rsa":
-		return provnet.AuthRSA, nil
-	case "session":
-		return provnet.AuthSession, nil
-	default:
-		return 0, fmt.Errorf("unknown auth scheme %q", s)
-	}
-}
-
-func parseTopo(spec string) (*provnet.Graph, error) {
-	if spec == "none" || spec == "" {
-		return nil, nil
-	}
-	parts := strings.Split(spec, ":")
-	num := func(i, def int) int {
-		if i < len(parts) {
-			if v, err := strconv.Atoi(parts[i]); err == nil {
-				return v
-			}
-		}
-		return def
-	}
-	switch parts[0] {
-	case "random":
-		return provnet.RandomGraph(provnet.TopoOptions{
-			N: num(1, 10), AvgOutDegree: num(2, 3), MaxCost: int64(num(3, 1)), Seed: int64(num(4, 1)),
-		}), nil
-	case "line":
-		return provnet.LineGraph(num(1, 4)), nil
-	case "ring":
-		return provnet.RingGraph(num(1, 4)), nil
-	case "star":
-		return provnet.StarGraph(num(1, 4)), nil
-	default:
-		return nil, fmt.Errorf("unknown topology %q", spec)
-	}
 }

@@ -1,11 +1,23 @@
-// Package benchwork defines the transport-security benchmark workload
-// shared by BenchmarkSessionAuth, the pinned amortization test, and
-// cmd/benchjson — one definition, so the CI-recorded BENCH_pr2.json
-// always measures exactly what the test pins.
+// Package benchwork defines the benchmark workloads shared by the
+// pinned tests, the Benchmark* harnesses, and cmd/benchjson — one
+// definition each, so the CI-recorded BENCH_pr2.json / BENCH_pr3.json
+// always measure exactly what the tests pin.
+//
+// Two churn workloads coexist. BestPathChurn is the PR-2 workload:
+// batch-style refresh cycles (keyed link-fact replacement, then a full
+// Run to the new fixpoint) — the restart-shaped dynamism the lifecycle
+// API replaces. LiveCutLink and LiveBestPathChurn drive the same
+// Best-Path computation through the live driver: SetLink/CutLink feed
+// deltas into the running engines and the network re-converges
+// incrementally, which BENCH_pr3.json compares against a full restart.
 package benchwork
 
 import (
+	"context"
+	"sort"
+
 	"provnet"
+	"provnet/internal/data"
 )
 
 // DefaultCycles is the number of route-refresh cycles after initial
@@ -68,4 +80,163 @@ func BestPathChurn(fatal func(...any), cfg provnet.Config, nodes, cycles, keyBit
 		}
 	}
 	return rep
+}
+
+// LiveBestPathChurn is the live-driver equivalent of BestPathChurn: the
+// same topology and refresh schedule, but every cost change goes through
+// Driver.SetLink against the started network — retract-then-insert
+// deltas absorbed incrementally instead of refresh-and-rerun. It returns
+// the final cumulative report.
+func LiveBestPathChurn(fatal func(...any), cfg provnet.Config, nodes, cycles, keyBits int, seed int64) *provnet.Report {
+	g := provnet.RandomGraph(provnet.TopoOptions{N: nodes, AvgOutDegree: 3, MaxCost: 10, Seed: seed})
+	scale := int64(cycles + 1)
+	for i := range g.Links {
+		g.Links[i].Cost *= scale
+	}
+	cfg.Graph = g
+	cfg.Seed = seed
+	cfg.KeyBits = keyBits
+	net, err := provnet.NewNetwork(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	d := net.Driver()
+	rep, err := d.AwaitQuiescence(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	for cycle := 1; cycle <= cycles; cycle++ {
+		for _, l := range g.Links {
+			cost := l.Cost / scale * int64(cycles+1-cycle)
+			if err := d.SetLink(l.From, l.To, cost); err != nil {
+				fatal(err)
+			}
+		}
+		if rep, err = d.AwaitQuiescence(ctx); err != nil {
+			fatal(err)
+		}
+	}
+	return rep
+}
+
+// CutLinkResult compares one live CutLink re-convergence against a full
+// restart on the cut topology — the BENCH_pr3.json record.
+type CutLinkResult struct {
+	// Cut is the removed link (one that carried installed best paths).
+	CutFrom, CutTo string
+	// LiveRounds/LiveBytes are the incremental re-convergence costs;
+	// Retracted counts the tuples withdrawn across all nodes.
+	LiveRounds int
+	LiveBytes  int64
+	Retracted  int64
+	// RestartRounds/RestartBytes are the full re-run costs on a fresh
+	// network built without the link.
+	RestartRounds int
+	RestartBytes  int64
+}
+
+// pathUsesEdge reports whether a bestPath path-list routes over from→to.
+func pathUsesEdge(v provnet.Value, from, to string) bool {
+	if v.Kind != data.KindList {
+		return false
+	}
+	for i := 0; i+1 < len(v.List); i++ {
+		if v.List[i].Str == from && v.List[i+1].Str == to {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveCutLink converges the §6 Best-Path workload, cuts the first link
+// that an installed best path routes over, measures the incremental
+// re-convergence, and runs the restart baseline on the cut topology.
+func LiveCutLink(fatal func(...any), cfg provnet.Config, nodes, keyBits int, seed int64) CutLinkResult {
+	g := provnet.RandomGraph(provnet.TopoOptions{N: nodes, AvgOutDegree: 3, MaxCost: 10, Seed: seed})
+	base := cfg
+	base.Graph = g
+	base.Seed = seed
+	base.KeyBits = keyBits
+	net, err := provnet.NewNetwork(base)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := context.Background()
+	d := net.Driver()
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		fatal(err)
+	}
+
+	// Cut the median-loaded link among those carrying installed best
+	// paths: a representative failure, not the best or worst case.
+	type loaded struct {
+		link provnet.GraphLink
+		uses int
+	}
+	var candidates []loaded
+	for _, l := range g.Links {
+		uses := 0
+		for _, name := range net.Nodes() {
+			for _, bp := range net.Tuples(name, "bestPath") {
+				if pathUsesEdge(bp.Args[2], l.From, l.To) {
+					uses++
+				}
+			}
+		}
+		if uses > 0 {
+			candidates = append(candidates, loaded{link: l, uses: uses})
+		}
+	}
+	if len(candidates) == 0 {
+		fatal("no link participates in any best path")
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].uses != candidates[j].uses {
+			return candidates[i].uses < candidates[j].uses
+		}
+		if candidates[i].link.From != candidates[j].link.From {
+			return candidates[i].link.From < candidates[j].link.From
+		}
+		return candidates[i].link.To < candidates[j].link.To
+	})
+	cut := candidates[len(candidates)/2].link
+
+	before := net.Transport().Stats()
+	if err := d.CutLink(cut.From, cut.To); err != nil {
+		fatal(err)
+	}
+	rep, err := d.AwaitQuiescence(ctx)
+	if err != nil {
+		fatal(err)
+	}
+	after := net.Transport().Stats()
+
+	rest := &provnet.Graph{Nodes: g.Nodes}
+	for _, l := range g.Links {
+		if l != cut {
+			rest.Links = append(rest.Links, l)
+		}
+	}
+	restCfg := cfg
+	restCfg.Graph = rest
+	restCfg.Seed = seed
+	restCfg.KeyBits = keyBits
+	netRest, err := provnet.NewNetwork(restCfg)
+	if err != nil {
+		fatal(err)
+	}
+	repRest, err := netRest.Run(0)
+	if err != nil {
+		fatal(err)
+	}
+	return CutLinkResult{
+		CutFrom:       cut.From,
+		CutTo:         cut.To,
+		LiveRounds:    rep.Rounds,
+		LiveBytes:     after.Bytes - before.Bytes,
+		Retracted:     rep.Retracted,
+		RestartRounds: repRest.Rounds,
+		RestartBytes:  netRest.Transport().Stats().Bytes,
+	}
 }

@@ -1,0 +1,200 @@
+// Package cliflags defines the flag set shared by every provnet command
+// — scheduler, transport-security, and live-churn knobs — once, so
+// cmd/provnet, cmd/bestpath, cmd/traceq, and cmd/benchjson cannot drift
+// apart. It also hosts the topology/auth/provenance spec parsers the
+// commands used to copy.
+package cliflags
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"provnet"
+)
+
+// Flags is the shared knob set. Register binds it to a FlagSet; Apply
+// copies it onto a provnet.Config.
+type Flags struct {
+	// Transport security.
+	Auth    string
+	KeyBits int
+	Session bool
+	Rekey   int
+
+	// Scheduler.
+	Sequential bool
+	Unbatched  bool
+	Workers    int
+	Pipelined  bool
+
+	// Live churn scenario: cut Churn random links (seeded by ChurnSeed)
+	// after initial convergence and re-converge incrementally.
+	Churn     int
+	ChurnSeed int64
+}
+
+// Register binds the shared flags to fs (flag.CommandLine when nil) with
+// the canonical names and help strings.
+func Register(fs *flag.FlagSet) *Flags {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	f := &Flags{}
+	fs.StringVar(&f.Auth, "auth", "none", "says implementation: none, hmac, rsa, session (= rsa + -session)")
+	fs.IntVar(&f.KeyBits, "keybits", 1024, "RSA modulus size")
+	fs.BoolVar(&f.Session, "session", false, "session transport: one RSA handshake per link, then HMAC session MACs (wire v3)")
+	fs.IntVar(&f.Rekey, "rekey", 0, "rotate session keys every N rounds (0 = never; needs -session)")
+	fs.BoolVar(&f.Sequential, "sequential", false, "run nodes sequentially within each round (A/B baseline)")
+	fs.BoolVar(&f.Unbatched, "unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
+	fs.IntVar(&f.Workers, "workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
+	fs.BoolVar(&f.Pipelined, "pipelined", false, "seal/verify on a crypto stage overlapping rule evaluation")
+	fs.IntVar(&f.Churn, "churn", 0, "after convergence, cut this many random links and re-converge incrementally")
+	fs.Int64Var(&f.ChurnSeed, "churnseed", 1, "rng seed for -churn link selection")
+	return f
+}
+
+// Apply copies the shared knobs onto cfg, parsing the auth scheme.
+func (f *Flags) Apply(cfg *provnet.Config) error {
+	scheme, err := ParseAuth(f.Auth)
+	if err != nil {
+		return err
+	}
+	cfg.Auth = scheme
+	cfg.KeyBits = f.KeyBits
+	cfg.SessionAuth = f.Session
+	cfg.RekeyRounds = f.Rekey
+	cfg.Sequential = f.Sequential
+	cfg.Unbatched = f.Unbatched
+	cfg.Workers = f.Workers
+	cfg.PipelinedCrypto = f.Pipelined
+	return nil
+}
+
+// ChurnResult summarizes one -churn scenario run.
+type ChurnResult struct {
+	// Cut lists the links removed.
+	Cut []provnet.GraphLink
+	// Rounds and Bytes are the incremental re-convergence cost (rounds of
+	// the re-convergence epoch; transport bytes added by it).
+	Rounds int
+	Bytes  int64
+	// Retracted counts tuples withdrawn across all nodes.
+	Retracted int64
+}
+
+// RunChurn executes the -churn scenario on a converged network: it cuts
+// f.Churn random links of g (seeded by f.ChurnSeed) through the live
+// driver and waits for incremental re-convergence.
+func (f *Flags) RunChurn(ctx context.Context, n *provnet.Network, g *provnet.Graph) (*ChurnResult, error) {
+	if f.Churn <= 0 {
+		return nil, nil
+	}
+	if g == nil || len(g.Links) == 0 {
+		return nil, fmt.Errorf("cliflags: -churn needs a generated topology")
+	}
+	rng := rand.New(rand.NewSource(f.ChurnSeed))
+	perm := rng.Perm(len(g.Links))
+	count := f.Churn
+	if count > len(g.Links) {
+		count = len(g.Links)
+	}
+	d := n.Driver()
+	before := n.Transport().Stats()
+	res := &ChurnResult{}
+	for _, i := range perm[:count] {
+		l := g.Links[i]
+		if err := d.CutLink(l.From, l.To); err != nil {
+			return nil, err
+		}
+		res.Cut = append(res.Cut, l)
+	}
+	rep, err := d.AwaitQuiescence(ctx)
+	if err != nil {
+		return nil, err
+	}
+	after := n.Transport().Stats()
+	res.Rounds = rep.Rounds
+	res.Bytes = after.Bytes - before.Bytes
+	res.Retracted = rep.Retracted
+	return res, nil
+}
+
+// String renders the churn summary for CLI output.
+func (r *ChurnResult) String() string {
+	var cuts []string
+	for _, l := range r.Cut {
+		cuts = append(cuts, l.From+"->"+l.To)
+	}
+	return fmt.Sprintf("churn: cut %s; re-converged in %d rounds, %d bytes, %d tuples withdrawn",
+		strings.Join(cuts, ","), r.Rounds, r.Bytes, r.Retracted)
+}
+
+// ParseAuth parses the -auth flag value.
+func ParseAuth(s string) (provnet.AuthScheme, error) {
+	switch s {
+	case "none":
+		return provnet.AuthNone, nil
+	case "hmac":
+		return provnet.AuthHMAC, nil
+	case "rsa":
+		return provnet.AuthRSA, nil
+	case "session":
+		return provnet.AuthSession, nil
+	default:
+		return 0, fmt.Errorf("unknown auth scheme %q", s)
+	}
+}
+
+// ParseProv parses the -prov flag value.
+func ParseProv(s string) (provnet.ProvMode, error) {
+	switch s {
+	case "none":
+		return provnet.ProvNone, nil
+	case "local":
+		return provnet.ProvLocal, nil
+	case "distributed":
+		return provnet.ProvDistributed, nil
+	case "condensed":
+		return provnet.ProvCondensed, nil
+	default:
+		return 0, fmt.Errorf("unknown provenance mode %q", s)
+	}
+}
+
+// ParseTopo parses the -topo spec shared by the commands:
+// random:N[:deg[:maxcost[:seed]]], line:N, ring:N, star:N, or none.
+func ParseTopo(spec string) (*provnet.Graph, error) {
+	if spec == "none" || spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	num := func(i, def int) int {
+		if i < len(parts) {
+			if v, err := strconv.Atoi(parts[i]); err == nil {
+				return v
+			}
+		}
+		return def
+	}
+	switch parts[0] {
+	case "random":
+		return provnet.RandomGraph(provnet.TopoOptions{
+			N:            num(1, 10),
+			AvgOutDegree: num(2, 3),
+			MaxCost:      int64(num(3, 1)),
+			Seed:         int64(num(4, 1)),
+		}), nil
+	case "line":
+		return provnet.LineGraph(num(1, 4)), nil
+	case "ring":
+		return provnet.RingGraph(num(1, 4)), nil
+	case "star":
+		return provnet.StarGraph(num(1, 4)), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", spec)
+	}
+}

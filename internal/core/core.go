@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -130,6 +131,19 @@ type Node struct {
 	Engine  *engine.Engine
 	Tracker *provenance.Tracker
 	Store   *provenance.Store
+
+	// pendingRetract holds withdrawals this node owes other nodes after a
+	// retraction cascade (link churn). They ship ahead of the node's data
+	// frames in the next export phase. Only this node's scheduler task
+	// touches it (mutations are applied between rounds), so no lock.
+	pendingRetract []engine.Withdrawal
+}
+
+// takeRetracts drains the node's pending withdrawals.
+func (nd *Node) takeRetracts() []engine.Withdrawal {
+	ws := nd.pendingRetract
+	nd.pendingRetract = nil
+	return ws
 }
 
 // Network is a fully assembled provenance-aware secure network.
@@ -141,6 +155,14 @@ type Network struct {
 	order []string
 	idx   map[string]int // name → position in order
 	dir   *auth.Directory
+	// drv is the lazily created lifecycle driver; Run is a synchronous
+	// wrapper over it.
+	drvOnce sync.Once
+	drv     *Driver
+	// draining marks the retraction-wave drain (see drainRetractions):
+	// inbound withdrawals run only their over-delete phase, repair waits
+	// for global quiescence. Written between phases by the drain loop.
+	draining bool
 	// signer implements the per-principal says operator (used by
 	// authenticated provenance and the legacy wire formats).
 	signer auth.Signer
@@ -319,6 +341,9 @@ func (n *Network) addNode(name string, saysSemantics bool) error {
 		Self:          name,
 		Authenticated: saysSemantics,
 		Hook:          tracker,
+		OnUpdate: func(t data.Tuple, added bool) {
+			n.onEngineUpdate(name, t, added)
+		},
 	})
 	if err := eng.LoadProgram(n.prog); err != nil {
 		return err
@@ -328,6 +353,25 @@ func (n *Network) addNode(name string, saysSemantics bool) error {
 	n.order = append(n.order, name)
 	n.net.AddNode(name)
 	return nil
+}
+
+// onEngineUpdate observes every table change at a node: removals mark the
+// tuple's provenance stale (the store keeps the history; the flag records
+// that the network no longer derives the tuple — §4.2's offline story
+// extended to churn), and both directions stream to live subscriptions.
+// It is called from the owning node's scheduler task; the store and the
+// driver's subscription registry are concurrency-safe.
+func (n *Network) onEngineUpdate(name string, t data.Tuple, added bool) {
+	if nd := n.nodes[name]; nd != nil {
+		if added {
+			nd.Tracker.Restore(t)
+		} else {
+			nd.Tracker.Withdraw(t)
+		}
+	}
+	if d := n.drv; d != nil {
+		d.publish(name, t, added)
+	}
 }
 
 // Report summarizes one Run.
@@ -363,11 +407,21 @@ type Report struct {
 	// Derivations and TuplesStored aggregate engine activity.
 	Derivations  int64
 	TuplesStored int64
+	// Retracted counts tuples withdrawn by retraction cascades across all
+	// nodes (live link churn only; zero on converge-once workloads).
+	Retracted int64
 }
 
 // Run drives the network to a distributed fixpoint: every node evaluates
 // to a local fixpoint, exports are shipped, and the loop ends when no
 // exports or queued work remain. maxRounds bounds the loop (0 = 1e6).
+//
+// Run is a synchronous compatibility wrapper over the lifecycle Driver
+// (see driver.go): it steps the driver's round loop to quiescence with a
+// background context, which reproduces the pre-driver batch semantics
+// bit for bit — same tables, rounds, and transport stats under every
+// scheduler and transport knob. Long-running deployments use the Driver
+// directly (Start / Inject / SetLink / Subscribe).
 //
 // Each round has two phases separated by a barrier: every node runs to
 // its local fixpoint and ships its exports, then every node imports the
@@ -378,65 +432,165 @@ type Report struct {
 // their own engine plus the concurrency-safe fabric, and the fabric
 // drains in deterministic order regardless of goroutine interleaving.
 func (n *Network) Run(maxRounds int) (*Report, error) {
-	if maxRounds <= 0 {
-		maxRounds = 1000000
-	}
-	start := time.Now()
-	rounds := 0
-	for {
-		rounds++
-		if rounds > maxRounds {
-			return n.report(start, rounds), ErrNoFixpoint
-		}
-		progress, err := n.runRound()
-		if err != nil {
-			return nil, err
-		}
-		if !progress {
-			break
-		}
-	}
-	return n.report(start, rounds), nil
+	return n.Driver().run(context.Background(), maxRounds)
 }
 
 // runRound executes one export phase and one import phase, reporting
 // whether any node made progress. With PipelinedCrypto the sealing and
 // verification halves of each phase run on a dedicated crypto stage
 // overlapping rule evaluation; results are bit-identical either way.
-func (n *Network) runRound() (bool, error) {
+// ctx is honored mid-round: both phases abort between node tasks when it
+// is cancelled.
+func (n *Network) runRound(ctx context.Context) (bool, error) {
 	if n.session != nil {
 		n.session.BeginRound()
 	}
 	if n.cfg.PipelinedCrypto {
-		return n.runRoundPipelined()
+		return n.runRoundPipelined(ctx)
 	}
-	exported, err := n.forEachNode(func(name string, node *Node) (bool, error) {
+	exported, err := n.forEachNode(ctx, func(name string, node *Node) (bool, error) {
+		retracts := node.takeRetracts()
 		exports := node.Engine.RunToFixpoint()
-		if len(exports) == 0 {
+		if len(retracts) == 0 && len(exports) == 0 {
 			return false, nil
 		}
-		frames, err := n.buildExportFrames(name, exports)
+		frames, err := n.buildRetractFrames(name, retracts)
+		if err != nil {
+			return false, err
+		}
+		dataFrames, err := n.buildExportFrames(name, exports)
+		if err != nil {
+			return false, err
+		}
+		return true, n.sealAndSend(name, append(frames, dataFrames...))
+	})
+	if err != nil {
+		return false, err
+	}
+	imported, err := n.importPhase(ctx)
+	if err != nil {
+		return false, err
+	}
+	return exported || imported, nil
+}
+
+// importPhase drains and applies every node's inbox: the second half of
+// a scheduler round, shared with the retraction-drain rounds.
+func (n *Network) importPhase(ctx context.Context) (bool, error) {
+	return n.forEachNode(ctx, func(name string, node *Node) (bool, error) {
+		msgs := n.net.Drain(name)
+		var ds []*delivery
+		for _, msg := range msgs {
+			d, err := n.decodeVerify(name, msg)
+			if err != nil {
+				return false, err
+			}
+			if d != nil {
+				ds = append(ds, d)
+			}
+		}
+		if err := n.deliverAll(name, node, ds); err != nil {
+			return false, err
+		}
+		return len(msgs) > 0, nil
+	})
+}
+
+// retractionInFlight reports whether any node holds unshipped
+// withdrawals or over-deleted state awaiting repair.
+func (n *Network) retractionInFlight() bool {
+	for _, name := range n.order {
+		nd := n.nodes[name]
+		if len(nd.pendingRetract) > 0 || nd.Engine.HasPendingRetract() {
+			return true
+		}
+	}
+	return false
+}
+
+// drainRetractions propagates a retraction wave to global quiescence
+// before any repair re-propagates: withdrawal-only rounds ship the
+// queued retract frames hop by hop, and only when none is in flight
+// anywhere does every node run its repair phase (shadow revival,
+// restricted re-derivation, aggregate recomputation). Repair cascades
+// can queue new withdrawals (vanished aggregate heads), so the whole
+// sequence loops until quiet. Completing repair early — while a
+// neighbor's withdrawal is still travelling — would briefly revive
+// routes that neighbor is about to withdraw (zombie routes) and amplify
+// churn traffic; the global drain is what makes incremental
+// re-convergence strictly cheaper than a restart. Returns the number of
+// scheduler rounds consumed.
+func (n *Network) drainRetractions(ctx context.Context) (int, error) {
+	rounds := 0
+	n.draining = true
+	defer func() { n.draining = false }()
+	for {
+		for {
+			queued := false
+			for _, name := range n.order {
+				if len(n.nodes[name].pendingRetract) > 0 {
+					queued = true
+					break
+				}
+			}
+			if !queued {
+				break
+			}
+			if err := n.runRetractRound(ctx); err != nil {
+				return rounds, err
+			}
+			rounds++
+		}
+		completed, err := n.forEachNode(ctx, func(name string, node *Node) (bool, error) {
+			if !node.Engine.HasPendingRetract() {
+				return false, nil
+			}
+			node.pendingRetract = append(node.pendingRetract, node.Engine.CompleteRetract()...)
+			return true, nil
+		})
+		if err != nil {
+			return rounds, err
+		}
+		if !completed {
+			return rounds, nil
+		}
+		again := false
+		for _, name := range n.order {
+			if len(n.nodes[name].pendingRetract) > 0 {
+				again = true
+				break
+			}
+		}
+		if !again {
+			return rounds, nil
+		}
+	}
+}
+
+// runRetractRound runs one withdrawal-only round: queued retract frames
+// ship, inboxes drain (withdrawals apply their over-delete phase; any
+// in-flight data still lands), but no node evaluates — repair and
+// re-propagation wait for the wave to quiesce.
+func (n *Network) runRetractRound(ctx context.Context) error {
+	if n.session != nil {
+		n.session.BeginRound()
+	}
+	_, err := n.forEachNode(ctx, func(name string, node *Node) (bool, error) {
+		retracts := node.takeRetracts()
+		if len(retracts) == 0 {
+			return false, nil
+		}
+		frames, err := n.buildRetractFrames(name, retracts)
 		if err != nil {
 			return false, err
 		}
 		return true, n.sealAndSend(name, frames)
 	})
 	if err != nil {
-		return false, err
+		return err
 	}
-	imported, err := n.forEachNode(func(name string, node *Node) (bool, error) {
-		msgs := n.net.Drain(name)
-		for _, msg := range msgs {
-			if err := n.receive(name, msg); err != nil {
-				return false, err
-			}
-		}
-		return len(msgs) > 0, nil
-	})
-	if err != nil {
-		return false, err
-	}
-	return exported || imported, nil
+	_, err = n.importPhase(ctx)
+	return err
 }
 
 // cryptoWorkers sizes the pipelined crypto stage's worker pool.
@@ -461,7 +615,7 @@ func (n *Network) cryptoWorkers() int {
 // each node's frames are sealed and sent by a single crypto task (the
 // fabric orders concurrent senders), and errors/progress are collected
 // per node and resolved in scheduler order.
-func (n *Network) runRoundPipelined() (bool, error) {
+func (n *Network) runRoundPipelined(ctx context.Context) (bool, error) {
 	// Export: evaluation stage → sealing stage.
 	type sealJob struct {
 		idx    int
@@ -480,16 +634,21 @@ func (n *Network) runRoundPipelined() (bool, error) {
 			}
 		}()
 	}
-	exported, evalErr := n.forEachNode(func(name string, node *Node) (bool, error) {
+	exported, evalErr := n.forEachNode(ctx, func(name string, node *Node) (bool, error) {
+		retracts := node.takeRetracts()
 		exports := node.Engine.RunToFixpoint()
-		if len(exports) == 0 {
+		if len(retracts) == 0 && len(exports) == 0 {
 			return false, nil
 		}
-		frames, err := n.buildExportFrames(name, exports)
+		frames, err := n.buildRetractFrames(name, retracts)
 		if err != nil {
 			return false, err
 		}
-		jobs <- sealJob{idx: n.idx[name], name: name, frames: frames}
+		dataFrames, err := n.buildExportFrames(name, exports)
+		if err != nil {
+			return false, err
+		}
+		jobs <- sealJob{idx: n.idx[name], name: name, frames: append(frames, dataFrames...)}
 		return true, nil
 	})
 	close(jobs)
@@ -521,7 +680,7 @@ func (n *Network) runRoundPipelined() (bool, error) {
 			defer verifyWG.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(n.order) {
+				if i >= len(n.order) || ctx.Err() != nil {
 					return
 				}
 				name := n.order[i]
@@ -554,19 +713,16 @@ func (n *Network) runRoundPipelined() (bool, error) {
 		go func() {
 			defer insertWG.Done()
 			for j := range inserts {
-				node := n.nodes[j.name]
-				for _, d := range j.deliveries {
-					if err := n.deliver(j.name, node, d); err != nil {
-						insertErrs[j.idx] = err
-						break
-					}
-				}
+				insertErrs[j.idx] = n.deliverAll(j.name, n.nodes[j.name], j.deliveries)
 			}
 		}()
 	}
 	verifyWG.Wait()
 	close(inserts)
 	insertWG.Wait()
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	progress := exported
 	for i := range n.order {
 		if verifyErrs[i] != nil {
@@ -582,11 +738,16 @@ func (n *Network) runRoundPipelined() (bool, error) {
 
 // forEachNode applies f to every node, sequentially or on a worker pool
 // per the configuration. It returns the OR of the progress flags and the
-// first error in scheduler (node registration) order.
-func (n *Network) forEachNode(f func(name string, node *Node) (bool, error)) (bool, error) {
+// first error in scheduler (node registration) order. A cancelled ctx
+// aborts between node tasks (the mid-round cancellation point of the
+// lifecycle API) and reports the context's error.
+func (n *Network) forEachNode(ctx context.Context, f func(name string, node *Node) (bool, error)) (bool, error) {
 	if n.cfg.Sequential || len(n.order) == 1 {
 		progress := false
 		for _, name := range n.order {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
 			p, err := f(name, n.nodes[name])
 			if err != nil {
 				return false, err
@@ -613,7 +774,7 @@ func (n *Network) forEachNode(f func(name string, node *Node) (bool, error)) (bo
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(n.order) || failed.Load() {
+				if i >= len(n.order) || failed.Load() || ctx.Err() != nil {
 					return
 				}
 				name := n.order[i]
@@ -625,6 +786,9 @@ func (n *Network) forEachNode(f func(name string, node *Node) (bool, error)) (bo
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	progress := false
 	for i := range n.order {
 		if errs[i] != nil {
@@ -637,8 +801,8 @@ func (n *Network) forEachNode(f func(name string, node *Node) (bool, error)) (bo
 
 // outFrame is one outbound datagram prepared by the evaluation stage and
 // sealed/shipped by the crypto stage. Exactly one of the frame kinds is
-// set: a session handshake, a v1 envelope, a v2 batch, or a v3 session
-// data frame.
+// set: a session handshake, a v1 envelope, a v2 batch, a v3 session data
+// or retract frame, or a v4 retract envelope.
 type outFrame struct {
 	dst       string
 	handshake bool
@@ -646,6 +810,50 @@ type outFrame struct {
 	env       *Envelope
 	batch     *BatchEnvelope
 	sess      *SessionEnvelope
+	retr      *RetractEnvelope
+}
+
+// buildRetractFrames turns a node's pending withdrawals into wire frames
+// in deterministic (first-withdrawal per destination) order: one retract
+// envelope per destination, ahead of the round's data frames so receivers
+// withdraw before they integrate new state. Under the session transport
+// the retract batch rides a session frame (reserving a handshake if the
+// link has none yet); otherwise it is a signed v4 envelope.
+func (n *Network) buildRetractFrames(from string, ws []engine.Withdrawal) ([]outFrame, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	groups := make(map[string][]data.Tuple)
+	var dests []string
+	for _, w := range ws {
+		if _, ok := groups[w.Dest]; !ok {
+			dests = append(dests, w.Dest)
+		}
+		groups[w.Dest] = append(groups[w.Dest], w.Tuple)
+	}
+	var frames []outFrame
+	for _, dest := range dests {
+		tuples := groups[dest]
+		if n.session != nil {
+			need, epoch, err := n.session.EnsureSession(from, dest)
+			if err != nil {
+				return nil, err
+			}
+			if need {
+				frames = append(frames, outFrame{dst: dest, handshake: true, epoch: epoch})
+			}
+			env := &SessionEnvelope{From: from, ProvMode: n.cfg.Prov, Retract: true}
+			for _, t := range tuples {
+				env.Items = append(env.Items, BatchItem{Tuple: t})
+			}
+			frames = append(frames, outFrame{dst: dest, sess: env})
+			continue
+		}
+		frames = append(frames, outFrame{dst: dest, retr: &RetractEnvelope{
+			From: from, Scheme: n.cfg.Auth, Tuples: tuples,
+		}})
+	}
+	return frames, nil
 }
 
 // buildExportFrames turns one node's round exports into wire frames in
@@ -753,6 +961,11 @@ func (n *Network) sealAndSend(from string, frames []outFrame) error {
 			}
 		case f.sess != nil:
 			payload, err = f.sess.Encode(n.sealer, f.dst)
+		case f.retr != nil:
+			payload, err = f.retr.Encode(n.sealer, f.dst)
+			if err == nil && n.cfg.Auth != auth.SchemeNone {
+				n.signed.Add(1)
+			}
 		default:
 			err = errors.New("core: empty export frame")
 		}
@@ -768,11 +981,17 @@ func (n *Network) sealAndSend(from string, frames []outFrame) error {
 
 // delivery is one verified inbound payload awaiting engine insertion.
 type delivery struct {
+	// from is the authenticated sender, recorded as the support origin of
+	// every inserted tuple (and the support a retraction removes).
+	from  string
 	items []BatchItem
 	// batchable marks batch-layout arrivals (v2/v3), inserted through
 	// InsertImportedBatch on the common path; v1 singles keep the seed's
 	// per-tuple insert.
 	batchable bool
+	// retract marks a withdrawal batch: items name tuples losing the
+	// sender's support instead of gaining it.
+	retract bool
 }
 
 // decodeVerify decodes and authenticates one datagram at node name,
@@ -807,7 +1026,7 @@ func (n *Network) decodeVerify(name string, msg netsim.Message) (*delivery, erro
 				n.rejectedSig.Add(1) // corrupt or forged handshake: drop
 			}
 			return nil, nil
-		case frameData:
+		case frameData, frameRetract:
 			env, err := DecodeSessionEnvelope(p)
 			if err != nil {
 				return nil, err
@@ -816,7 +1035,7 @@ func (n *Network) decodeVerify(name string, msg netsim.Message) (*delivery, erro
 				n.rejectedSig.Add(1) // bad MAC or no session: drop
 				return nil, nil
 			}
-			return &delivery{items: env.Items, batchable: true}, nil
+			return &delivery{from: env.From, items: env.Items, batchable: true, retract: env.Retract}, nil
 		default:
 			return nil, fmt.Errorf("%w: unknown session frame kind %d", ErrBadEnvelope, p[1])
 		}
@@ -832,7 +1051,24 @@ func (n *Network) decodeVerify(name string, msg netsim.Message) (*delivery, erro
 				return nil, nil
 			}
 		}
-		return &delivery{items: env.Items, batchable: true}, nil
+		return &delivery{from: env.From, items: env.Items, batchable: true}, nil
+	case wireVersionRetract:
+		env, err := DecodeRetractEnvelope(p)
+		if err != nil {
+			return nil, err
+		}
+		if n.cfg.Auth != auth.SchemeNone {
+			n.checked.Add(1)
+			if err := env.Verify(n.legacy, name); err != nil {
+				n.rejectedSig.Add(1) // a forged withdrawal must not remove state
+				return nil, nil
+			}
+		}
+		items := make([]BatchItem, len(env.Tuples))
+		for i, t := range env.Tuples {
+			items[i] = BatchItem{Tuple: t}
+		}
+		return &delivery{from: env.From, items: items, batchable: true, retract: true}, nil
 	default:
 		env, err := DecodeEnvelope(p)
 		if err != nil {
@@ -845,11 +1081,44 @@ func (n *Network) decodeVerify(name string, msg netsim.Message) (*delivery, erro
 				return nil, nil
 			}
 		}
-		return &delivery{items: []BatchItem{{Tuple: env.Tuple, Prov: env.Prov}}, batchable: false}, nil
+		return &delivery{from: env.From, items: []BatchItem{{Tuple: env.Tuple, Prov: env.Prov}}, batchable: false}, nil
 	}
 }
 
-// deliver filters and inserts one verified delivery at node name: a
+// deliverAll applies one node's round deliveries: data deliveries insert
+// in arrival order, and every retraction delivery of the round is
+// batched into a single cascade at the end. Round-level batching keeps a
+// candidate one sender is about to withdraw from briefly reviving off
+// another frame (a zombie route) and amplifying churn traffic; the
+// origin-support model makes insert-vs-retract of different senders
+// commute, so deferring retractions does not change the fixpoint.
+func (n *Network) deliverAll(name string, node *Node, ds []*delivery) error {
+	var inbound []engine.InboundRetraction
+	for _, d := range ds {
+		if d.retract {
+			for _, it := range d.items {
+				inbound = append(inbound, engine.InboundRetraction{From: d.from, Tuple: it.Tuple})
+			}
+			continue
+		}
+		if err := n.deliver(name, node, d); err != nil {
+			return err
+		}
+	}
+	if len(inbound) > 0 {
+		var ws []engine.Withdrawal
+		if n.draining {
+			// Over-delete only; repair runs when the wave quiesces.
+			ws = node.Engine.BeginRetractInbound(inbound)
+		} else {
+			ws = node.Engine.RetractInbound(inbound)
+		}
+		node.pendingRetract = append(node.pendingRetract, ws...)
+	}
+	return nil
+}
+
+// deliver filters and inserts one verified data delivery at node name: a
 // single engine batch on the common path, or per-tuple trust gating when
 // an import filter is configured.
 func (n *Network) deliver(name string, node *Node, d *delivery) error {
@@ -858,33 +1127,23 @@ func (n *Network) deliver(name string, node *Node, d *delivery) error {
 		for i, it := range d.items {
 			delta[i] = engine.Imported{Tuple: it.Tuple, Prov: it.Prov}
 		}
-		return node.Engine.InsertImportedBatch(delta)
+		return node.Engine.InsertImportedBatchFrom(d.from, delta)
 	}
 	for _, it := range d.items {
-		if err := n.importTuple(name, node, it.Tuple, it.Prov); err != nil {
+		if err := n.importTuple(name, node, d.from, it.Tuple, it.Prov); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// receive verifies, filters, and imports one message at node name. All
-// three wire versions are accepted, distinguished by the version byte.
-func (n *Network) receive(name string, msg netsim.Message) error {
-	d, err := n.decodeVerify(name, msg)
-	if err != nil || d == nil {
-		return err
-	}
-	return n.deliver(name, n.nodes[name], d)
-}
-
 // importTuple applies the trust gate (§3) and inserts one received
 // tuple. When the gate is active the annotation reconstructed for the
 // admission check is reused for the insert, so the provenance payload is
 // deserialized only once.
-func (n *Network) importTuple(name string, node *Node, t data.Tuple, prov []byte) error {
+func (n *Network) importTuple(name string, node *Node, from string, t data.Tuple, prov []byte) error {
 	if n.cfg.ImportFilter == nil || n.cfg.Prov != provenance.ModeCondensed {
-		return node.Engine.InsertImported(t, prov)
+		return node.Engine.InsertImportedFrom(from, t, prov)
 	}
 	ann, err := node.Tracker.Import(t, prov)
 	if err != nil {
@@ -894,7 +1153,7 @@ func (n *Network) importTuple(name string, node *Node, t data.Tuple, prov []byte
 		n.rejectedFilter.Add(1)
 		return nil
 	}
-	node.Engine.InsertImportedAnn(t, ann)
+	node.Engine.InsertImportedAnnFrom(from, t, ann)
 	return nil
 }
 
@@ -923,6 +1182,7 @@ func (n *Network) report(start time.Time, rounds int) *Report {
 	for _, node := range n.nodes {
 		r.Derivations += node.Engine.Stats.Derivations
 		r.TuplesStored += node.Engine.Stats.TuplesStored
+		r.Retracted += node.Engine.Stats.Retracted
 	}
 	return r
 }

@@ -1,0 +1,642 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"provnet/internal/data"
+)
+
+// Driver is the lifecycle execution surface of a Network: where Run
+// drives a one-shot batch to its fixpoint, the driver keeps the same
+// round scheduler resumable behind an event inbox, so a long-running
+// network can absorb runtime mutations (Inject, SetLink, CutLink,
+// Retract), re-converge incrementally (retraction cascades plus normal
+// re-propagation instead of a restart), and stream table updates to
+// subscribers while it runs.
+//
+// Two usage modes share one implementation:
+//
+//   - Synchronous: Step and AwaitQuiescence advance the network on the
+//     caller's goroutine. Run(maxRounds) is exactly this mode, so every
+//     batch guarantee (bit-identical tables, rounds, and transport stats
+//     across the scheduler and transport knobs) carries over.
+//   - Live: Start launches a pump goroutine that waits on the inbox and
+//     steps the network whenever mutations arrive, until each burst
+//     re-converges. AwaitQuiescence then blocks until the pump drains.
+//
+// All blocking entry points take a context and honor cancellation and
+// deadlines mid-round (between node tasks of a phase).
+type Driver struct {
+	n *Network
+
+	// runMu serializes round execution and engine mutations: the pump (or
+	// the synchronous caller) holds it for every step.
+	runMu sync.Mutex
+
+	// mu guards the inbox and lifecycle state below; cond broadcasts
+	// inbox arrivals, pump quiescence, errors, and shutdown.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	inbox   []driverEvent
+	started bool
+	closed  bool
+	// dirty is true while work may remain: events are queued or the pump
+	// has not yet observed a no-progress round since the last arrival.
+	dirty bool
+	// err is the pump's sticky failure; once set the driver refuses
+	// further work.
+	err      error
+	pumpDone chan struct{}
+
+	// Epoch accounting: AwaitQuiescence reports rounds and wall-clock
+	// time since the previous quiescence point (or Start/run entry), the
+	// same window a batch Run reports.
+	epochStart  time.Time
+	epochRounds int
+
+	// Subscriptions. nsubs lets the engines' update observers skip the
+	// registry entirely when nobody listens (the common batch case).
+	subMu sync.RWMutex
+	subs  map[*Subscription]struct{}
+	nsubs atomic.Int32
+}
+
+// driverEvent is one queued runtime mutation.
+type driverEvent struct {
+	kind    eventKind
+	node    string
+	tuples  []data.Tuple
+	from    string
+	to      string
+	cost    int64
+	hasCost bool
+}
+
+type eventKind uint8
+
+const (
+	evInject eventKind = iota
+	evRetract
+	evSetLink
+	evCutLink
+)
+
+// Driver returns the network's lifecycle driver, creating it on first
+// use. Run and the driver share one instance, so batch and live usage
+// interleave on the same state.
+func (n *Network) Driver() *Driver {
+	n.drvOnce.Do(func() {
+		d := &Driver{n: n, subs: make(map[*Subscription]struct{}), epochStart: time.Now()}
+		d.cond = sync.NewCond(&d.mu)
+		n.drv = d
+	})
+	return n.drv
+}
+
+// Lifecycle errors.
+var (
+	// ErrClosed is returned by driver operations after Close.
+	ErrClosed = errors.New("core: driver closed")
+	// ErrLive is returned by synchronous stepping (Step, Run) while the
+	// background pump owns the round loop.
+	ErrLive = errors.New("core: driver is live; use Inject/AwaitQuiescence")
+)
+
+// Start launches the driver's pump: a background loop that applies queued
+// mutations and steps the network until each burst of work re-converges.
+// The initial base facts count as the first burst, so a started driver
+// converges on its own; AwaitQuiescence observes the result. The pump
+// stops when ctx is cancelled or Close is called.
+func (d *Driver) Start(ctx context.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.started {
+		return errors.New("core: driver already started")
+	}
+	d.started = true
+	d.dirty = true
+	d.epochStart = time.Now()
+	d.epochRounds = 0
+	d.pumpDone = make(chan struct{})
+	// Wake the cond when the context dies, so waiters and the pump notice.
+	stop := context.AfterFunc(ctx, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+	go func() {
+		defer stop()
+		d.pump(ctx)
+	}()
+	return nil
+}
+
+// pump is the live-mode round loop.
+func (d *Driver) pump(ctx context.Context) {
+	defer close(d.pumpDone)
+	// If the pump dies with its context, the driver must not keep
+	// accepting work it will never process, and waiters must not read
+	// the un-converged state as quiescence: record the context's error
+	// as the sticky failure (unless Close already ended the session).
+	defer func() {
+		d.mu.Lock()
+		if d.err == nil && !d.closed && ctx.Err() != nil {
+			d.err = ctx.Err()
+		}
+		d.dirty = false
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	}()
+	for {
+		d.mu.Lock()
+		for !d.dirty && !d.closed && ctx.Err() == nil {
+			d.cond.Wait()
+		}
+		if d.closed || ctx.Err() != nil {
+			d.mu.Unlock()
+			return
+		}
+		d.mu.Unlock()
+
+		// Work the burst down to quiescence: apply queued events with
+		// each round until a round makes no progress and the inbox is
+		// empty at the same instant.
+		for {
+			d.mu.Lock()
+			stop := d.closed
+			d.mu.Unlock()
+			if stop || ctx.Err() != nil {
+				return
+			}
+			progress, err := d.step(ctx)
+			d.mu.Lock()
+			if err != nil {
+				isCtx := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+				if !isCtx {
+					d.err = err // sticky: the driver refuses further work
+				}
+				d.dirty = false
+				d.cond.Broadcast()
+				d.mu.Unlock()
+				if !isCtx {
+					return
+				}
+				break
+			}
+			if !progress && len(d.inbox) == 0 {
+				d.dirty = false
+				d.cond.Broadcast()
+				d.mu.Unlock()
+				break
+			}
+			d.mu.Unlock()
+		}
+	}
+}
+
+// step applies queued mutations, drains any retraction wave to global
+// quiescence, and executes one scheduler round, reporting whether
+// anything happened (a mutation applied, a withdrawal shipped, an export
+// shipped, or a message delivered).
+func (d *Driver) step(ctx context.Context) (bool, error) {
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+	mutated, err := d.applyEvents(d.takeEvents())
+	if err != nil {
+		return false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if d.n.retractionInFlight() {
+		waveRounds, err := d.n.drainRetractions(ctx)
+		d.addRounds(waveRounds)
+		if err != nil {
+			return false, err
+		}
+		mutated = true
+	}
+	progress, err := d.n.runRound(ctx)
+	if err != nil {
+		return false, err
+	}
+	d.addRounds(1)
+	return mutated || progress, nil
+}
+
+func (d *Driver) addRounds(r int) {
+	d.mu.Lock()
+	d.epochRounds += r
+	d.mu.Unlock()
+}
+
+// Step advances the network one round synchronously: queued mutations are
+// applied, every node evaluates and ships, every node imports. It returns
+// whether the round made progress. Unavailable while the pump runs.
+func (d *Driver) Step(ctx context.Context) (bool, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return false, ErrClosed
+	}
+	if d.err != nil {
+		err := d.err
+		d.mu.Unlock()
+		return false, err
+	}
+	if d.started {
+		d.mu.Unlock()
+		return false, ErrLive
+	}
+	d.mu.Unlock()
+	return d.step(ctx)
+}
+
+// run is the batch loop behind Network.Run: step to quiescence, bounded
+// by maxRounds (0 = 1e6). On a capped run it reports exactly maxRounds
+// rounds with ErrNoFixpoint.
+func (d *Driver) run(ctx context.Context, maxRounds int) (*Report, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if d.started {
+		d.mu.Unlock()
+		return nil, ErrLive
+	}
+	d.epochStart = time.Now()
+	d.epochRounds = 0
+	d.mu.Unlock()
+	if maxRounds <= 0 {
+		maxRounds = 1000000
+	}
+	for r := 1; ; r++ {
+		if r > maxRounds {
+			return d.epochReport(), ErrNoFixpoint
+		}
+		progress, err := d.step(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !progress {
+			break
+		}
+	}
+	return d.epochReport(), nil
+}
+
+// epochReport snapshots the report for the current epoch and opens the
+// next one.
+func (d *Driver) epochReport() *Report {
+	d.mu.Lock()
+	start, rounds := d.epochStart, d.epochRounds
+	d.epochStart = time.Now()
+	d.epochRounds = 0
+	d.mu.Unlock()
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+	return d.n.report(start, rounds)
+}
+
+// AwaitQuiescence blocks until the network has re-converged: no queued
+// mutations, no in-flight messages, and a round that made no progress. It
+// returns the report for the epoch that just converged (rounds and
+// wall-clock time since the previous quiescence point; transport and
+// crypto counters are cumulative). Synchronous drivers step the loop on
+// the caller's goroutine; live drivers wait for the pump.
+func (d *Driver) AwaitQuiescence(ctx context.Context) (*Report, error) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if !d.started {
+		d.mu.Unlock()
+		for {
+			progress, err := d.step(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if !progress {
+				d.mu.Lock()
+				quiet := len(d.inbox) == 0
+				d.mu.Unlock()
+				if quiet {
+					return d.epochReport(), nil
+				}
+			}
+		}
+	}
+	// Live mode: wait for the pump to drain. The context wake-up is
+	// installed so cancellation interrupts the wait.
+	stop := context.AfterFunc(ctx, func() {
+		d.mu.Lock()
+		d.cond.Broadcast()
+		d.mu.Unlock()
+	})
+	defer stop()
+	for d.dirty && d.err == nil && !d.closed && ctx.Err() == nil {
+		d.cond.Wait()
+	}
+	err := d.err
+	closed := d.closed
+	d.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if closed {
+		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return d.epochReport(), nil
+}
+
+// Close stops the pump (if running), closes every subscription channel,
+// and marks the driver unusable. It is idempotent and returns the pump's
+// sticky error, if any.
+func (d *Driver) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		err := d.err
+		d.mu.Unlock()
+		return err
+	}
+	d.closed = true
+	done := d.pumpDone
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	if done != nil {
+		<-done
+	}
+	d.subMu.Lock()
+	for sub := range d.subs {
+		close(sub.ch)
+	}
+	d.subs = make(map[*Subscription]struct{})
+	d.nsubs.Store(0)
+	d.subMu.Unlock()
+	d.mu.Lock()
+	err := d.err
+	d.mu.Unlock()
+	return err
+}
+
+// enqueue queues a mutation and wakes the pump.
+func (d *Driver) enqueue(ev driverEvent) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.err != nil {
+		return d.err
+	}
+	d.inbox = append(d.inbox, ev)
+	d.dirty = true
+	d.cond.Broadcast()
+	return nil
+}
+
+// takeEvents drains the inbox (called under runMu).
+func (d *Driver) takeEvents() []driverEvent {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	evs := d.inbox
+	d.inbox = nil
+	return evs
+}
+
+// Inject inserts base tuples at a node at the current logical time. On a
+// live driver the pump picks them up immediately; a synchronous driver
+// applies them on the next Step/Run/AwaitQuiescence.
+func (d *Driver) Inject(node string, tuples ...data.Tuple) error {
+	if _, ok := d.n.nodes[node]; !ok {
+		return fmt.Errorf("core: unknown node %q", node)
+	}
+	if len(tuples) == 0 {
+		return nil
+	}
+	return d.enqueue(driverEvent{kind: evInject, node: node, tuples: tuples})
+}
+
+// Retract withdraws base tuples from a node, cascading through everything
+// derived from them across the network (the engine's DRed retraction plus
+// wire-level withdrawal frames).
+func (d *Driver) Retract(node string, tuples ...data.Tuple) error {
+	if _, ok := d.n.nodes[node]; !ok {
+		return fmt.Errorf("core: unknown node %q", node)
+	}
+	if len(tuples) == 0 {
+		return nil
+	}
+	return d.enqueue(driverEvent{kind: evRetract, node: node, tuples: tuples})
+}
+
+// SetLink installs (or re-costs) the directed link from→to. A changed
+// cost retracts the old link fact first — withdrawing paths priced on it,
+// cost increases included — then inserts the new one, and the network
+// re-converges incrementally.
+func (d *Driver) SetLink(from, to string, cost int64) error {
+	if _, ok := d.n.nodes[from]; !ok {
+		return fmt.Errorf("core: unknown node %q", from)
+	}
+	return d.enqueue(driverEvent{kind: evSetLink, from: from, to: to, cost: cost, hasCost: true})
+}
+
+// CutLink removes the directed link from→to: the link fact is retracted
+// and every best path routed over it is withdrawn on every node as the
+// retraction cascade propagates.
+func (d *Driver) CutLink(from, to string) error {
+	if _, ok := d.n.nodes[from]; !ok {
+		return fmt.Errorf("core: unknown node %q", from)
+	}
+	return d.enqueue(driverEvent{kind: evCutLink, from: from, to: to})
+}
+
+// applyEvents applies queued mutations to the engines (called under
+// runMu, between rounds). It reports whether anything changed.
+func (d *Driver) applyEvents(evs []driverEvent) (bool, error) {
+	mutated := false
+	for _, ev := range evs {
+		nd, ok := d.n.nodes[eventNode(ev)]
+		if !ok {
+			return mutated, fmt.Errorf("core: unknown node %q", eventNode(ev))
+		}
+		switch ev.kind {
+		case evInject:
+			for _, t := range ev.tuples {
+				nd.Engine.InsertFact(t)
+			}
+			mutated = true
+		case evRetract:
+			// Over-delete now; repair runs when step drains the wave.
+			ws := nd.Engine.BeginRetractFacts(ev.tuples...)
+			nd.pendingRetract = append(nd.pendingRetract, ws...)
+			mutated = true
+		case evSetLink, evCutLink:
+			changed, err := d.applyLink(nd, ev)
+			if err != nil {
+				return mutated, err
+			}
+			mutated = mutated || changed
+		}
+	}
+	return mutated, nil
+}
+
+func eventNode(ev driverEvent) string {
+	if ev.kind == evSetLink || ev.kind == evCutLink {
+		return ev.from
+	}
+	return ev.node
+}
+
+// applyLink performs link churn at the link's owning node: existing link
+// facts for the (from,to) pair are retracted (cascading), and SetLink
+// inserts the replacement fact.
+func (d *Driver) applyLink(nd *Node, ev driverEvent) (bool, error) {
+	var fresh data.Tuple
+	if ev.kind == evSetLink {
+		if d.n.cfg.LinkNoCost {
+			fresh = data.NewTuple("link", data.Str(ev.from), data.Str(ev.to))
+		} else {
+			fresh = data.NewTuple("link", data.Str(ev.from), data.Str(ev.to), data.Int(ev.cost))
+		}
+	}
+	var stale []data.Tuple
+	keep := false
+	for _, t := range nd.Engine.Tuples("link") {
+		if len(t.Args) < 2 || t.Args[0].Str != ev.from || t.Args[1].Str != ev.to {
+			continue
+		}
+		if ev.kind == evSetLink && t.WithoutAsserter().Equal(fresh) {
+			keep = true // identical link already installed: no-op
+			continue
+		}
+		stale = append(stale, t)
+	}
+	changed := false
+	if len(stale) > 0 {
+		// Over-delete now; repair runs when step drains the wave.
+		ws := nd.Engine.BeginRetractFacts(stale...)
+		nd.pendingRetract = append(nd.pendingRetract, ws...)
+		changed = true
+	}
+	if ev.kind == evSetLink && !keep {
+		nd.Engine.InsertFact(fresh)
+		changed = true
+	}
+	return changed, nil
+}
+
+// --- subscriptions ---
+
+// Update is one table change streamed to a subscription.
+type Update struct {
+	// Node is where the change happened.
+	Node string
+	// Tuple is the changed fact.
+	Tuple data.Tuple
+	// Added is true when the tuple entered the table, false when it was
+	// withdrawn (retraction, keyed replacement, or expiry).
+	Added bool
+}
+
+// Subscription streams table updates for one (node, predicate) filter.
+type Subscription struct {
+	d       *Driver
+	node    string
+	pred    string
+	ch      chan Update
+	dropped atomic.Int64
+	once    sync.Once
+}
+
+// Updates is the subscription's channel. It closes when the subscription
+// or the driver closes.
+func (s *Subscription) Updates() <-chan Update { return s.ch }
+
+// Dropped reports updates discarded because the channel buffer was full:
+// the engines never block on slow consumers.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Close unsubscribes and closes the channel.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		s.d.subMu.Lock()
+		if _, ok := s.d.subs[s]; ok {
+			delete(s.d.subs, s)
+			s.d.nsubs.Add(-1)
+			close(s.ch)
+		}
+		s.d.subMu.Unlock()
+	})
+}
+
+// subscriptionBuffer is the per-subscription channel capacity. Full
+// buffers drop (counted): a slow consumer must never stall the network.
+const subscriptionBuffer = 256
+
+// Subscribe streams table updates for pred at node ("" matches every
+// predicate; node "" matches every node). Updates for one (node, pred)
+// arrive in table order; a full buffer drops updates rather than blocking
+// the scheduler (see Subscription.Dropped).
+func (d *Driver) Subscribe(node, pred string) (*Subscription, error) {
+	if node != "" {
+		if _, ok := d.n.nodes[node]; !ok {
+			return nil, fmt.Errorf("core: unknown node %q", node)
+		}
+	}
+	sub := &Subscription{d: d, node: node, pred: pred, ch: make(chan Update, subscriptionBuffer)}
+	// The closed check and the registration share the subMu critical
+	// section: Close closes every registered channel under subMu, so a
+	// Subscribe racing Close either loses (ErrClosed) or registers in
+	// time for Close to close its channel — never a leaked-open channel.
+	d.subMu.Lock()
+	d.mu.Lock()
+	closed := d.closed
+	d.mu.Unlock()
+	if closed {
+		d.subMu.Unlock()
+		return nil, ErrClosed
+	}
+	d.subs[sub] = struct{}{}
+	d.nsubs.Add(1)
+	d.subMu.Unlock()
+	return sub, nil
+}
+
+// publish fans a table change out to matching subscriptions. Called from
+// engine update observers on scheduler goroutines; it never blocks.
+func (d *Driver) publish(node string, t data.Tuple, added bool) {
+	if d.nsubs.Load() == 0 {
+		return
+	}
+	u := Update{Node: node, Tuple: t, Added: added}
+	d.subMu.RLock()
+	for sub := range d.subs {
+		if sub.node != "" && sub.node != node {
+			continue
+		}
+		if sub.pred != "" && sub.pred != t.Pred {
+			continue
+		}
+		select {
+		case sub.ch <- u:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+	d.subMu.RUnlock()
+}

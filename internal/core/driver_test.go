@@ -1,0 +1,572 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"provnet/internal/auth"
+	"provnet/internal/data"
+	"provnet/internal/provenance"
+	"provnet/internal/topo"
+)
+
+// snapshotPreds renders the named predicates across all nodes, for
+// comparing the semantic outputs of two runs (the path candidate table
+// legitimately differs between an incremental re-convergence and a
+// restart: aggregate selection stores an order-dependent subset).
+func snapshotPreds(n *Network, preds ...string) string {
+	var b strings.Builder
+	for _, name := range n.Nodes() {
+		node := n.Node(name)
+		for _, pred := range preds {
+			for _, tu := range node.Engine.Tuples(pred) {
+				fmt.Fprintf(&b, "%s: %s\n", name, tu)
+			}
+		}
+	}
+	return b.String()
+}
+
+// TestLiveMatchesBatch pins the compatibility half of the lifecycle API:
+// driving the §6 Best-Path workload through Start/AwaitQuiescence yields
+// tables, rounds, transport stats, and crypto counters bit-identical to
+// the batch Run(0), across all four transport schedules.
+func TestLiveMatchesBatch(t *testing.T) {
+	schedules := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"rsa-per-tuple", func(c *Config) { c.Unbatched = true }},
+		{"rsa-per-batch", func(c *Config) {}},
+		{"session-mac", func(c *Config) { c.SessionAuth = true }},
+		{"session-mac-pipelined", func(c *Config) { c.SessionAuth = true; c.PipelinedCrypto = true }},
+	}
+	for _, s := range schedules {
+		t.Run(s.name, func(t *testing.T) {
+			cfg := bestPathCfg()
+			cfg.KeyBits = 512 // match mustRun's fast test keys
+			s.mut(&cfg)
+			nBatch, repBatch := mustRun(t, cfg)
+
+			nLive, err := NewNetwork(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := nLive.Driver()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if err := d.Start(ctx); err != nil {
+				t.Fatal(err)
+			}
+			repLive, err := d.AwaitQuiescence(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close()
+
+			if a, b := snapshot(t, nBatch), snapshot(t, nLive); a != b {
+				t.Fatalf("tables differ\n--- batch ---\n%s--- live ---\n%s", a, b)
+			}
+			if repBatch.Rounds != repLive.Rounds {
+				t.Errorf("rounds: batch %d, live %d", repBatch.Rounds, repLive.Rounds)
+			}
+			if a, b := nBatch.Transport().Stats(), nLive.Transport().Stats(); a != b {
+				t.Errorf("netsim stats: batch %+v, live %+v", a, b)
+			}
+			if repBatch.Signed != repLive.Signed || repBatch.Verified != repLive.Verified ||
+				repBatch.Handshakes != repLive.Handshakes ||
+				repBatch.SealedMAC != repLive.SealedMAC || repBatch.OpenedMAC != repLive.OpenedMAC {
+				t.Errorf("crypto ops: batch %+v, live %+v", repBatch, repLive)
+			}
+			if repBatch.Derivations != repLive.Derivations || repBatch.TuplesStored != repLive.TuplesStored {
+				t.Errorf("engine stats: batch %d/%d, live %d/%d",
+					repBatch.Derivations, repBatch.TuplesStored, repLive.Derivations, repLive.TuplesStored)
+			}
+		})
+	}
+}
+
+// pathUsesEdge reports whether a bestPath path-list value routes over the
+// directed edge from→to.
+func pathUsesEdge(v data.Value, from, to string) bool {
+	if v.Kind != data.KindList {
+		return false
+	}
+	for i := 0; i+1 < len(v.List); i++ {
+		if v.List[i].Str == from && v.List[i+1].Str == to {
+			return true
+		}
+	}
+	return false
+}
+
+// cutCandidate picks a link that some installed best path actually routes
+// over, so cutting it forces visible re-convergence.
+func cutCandidate(t *testing.T, n *Network, g *topo.Graph) topo.Link {
+	t.Helper()
+	for _, l := range g.Links {
+		for _, name := range n.Nodes() {
+			for _, bp := range n.Tuples(name, "bestPath") {
+				if pathUsesEdge(bp.Args[2], l.From, l.To) {
+					return l
+				}
+			}
+		}
+	}
+	t.Fatal("no link participates in any best path")
+	return topo.Link{}
+}
+
+// TestCutLinkReconverges is the tentpole acceptance test: after CutLink,
+// every stale bestPath (one routed over the cut edge) is withdrawn on
+// every node, the re-converged bestPath/spCost tables equal a fresh
+// network built without the link, and the incremental re-convergence
+// costs measurably fewer rounds and bytes than that restart.
+func TestCutLinkReconverges(t *testing.T) {
+	g := topo.RandomConnected(topo.Options{N: 12, AvgOutDegree: 3, MaxCost: 10, Seed: 9})
+	cfg := Config{Source: BestPath, Graph: g, Auth: auth.SchemeRSA}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Driver()
+	ctx := context.Background()
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cut := cutCandidate(t, n, g)
+	before := n.Transport().Stats()
+
+	if err := d.CutLink(cut.From, cut.To); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := d.AwaitQuiescence(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := n.Transport().Stats()
+	liveRounds, liveBytes := rep.Rounds, after.Bytes-before.Bytes
+	if rep.Retracted == 0 {
+		t.Fatal("no tuples retracted by the cut")
+	}
+
+	// No surviving bestPath routes over the cut edge, on any node.
+	for _, name := range n.Nodes() {
+		for _, bp := range n.Tuples(name, "bestPath") {
+			if pathUsesEdge(bp.Args[2], cut.From, cut.To) {
+				t.Fatalf("stale best path survived at %s: %s (cut %s->%s)", name, bp, cut.From, cut.To)
+			}
+		}
+	}
+
+	// The re-converged routing state equals a restart on the cut topology.
+	rest := &topo.Graph{Nodes: g.Nodes}
+	for _, l := range g.Links {
+		if l != cut {
+			rest.Links = append(rest.Links, l)
+		}
+	}
+	cfgRest := cfg
+	cfgRest.Graph = rest
+	nRest, err := NewNetwork(cfgRest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repRest, err := nRest.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := snapshotPreds(n, "bestPath", "spCost"), snapshotPreds(nRest, "bestPath", "spCost"); a != b {
+		t.Fatalf("re-converged tables differ from restart\n--- live ---\n%s--- restart ---\n%s", a, b)
+	}
+
+	// Incremental re-convergence beats the restart on both axes.
+	restBytes := nRest.Transport().Stats().Bytes
+	if liveBytes >= restBytes {
+		t.Errorf("re-convergence bytes %d not below restart bytes %d", liveBytes, restBytes)
+	}
+	if liveRounds >= repRest.Rounds {
+		t.Errorf("re-convergence rounds %d not below restart rounds %d", liveRounds, repRest.Rounds)
+	}
+	t.Logf("cut %s->%s: live %d rounds / %d bytes vs restart %d rounds / %d bytes",
+		cut.From, cut.To, liveRounds, liveBytes, repRest.Rounds, restBytes)
+}
+
+// TestCutLinkAcrossTransports runs the cut-reconverge-equals-restart
+// check under the session and pipelined transports, where retractions
+// ride v3 retract frames instead of v4 envelopes.
+func TestCutLinkAcrossTransports(t *testing.T) {
+	for _, s := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"session", func(c *Config) { c.SessionAuth = true }},
+		{"session-pipelined", func(c *Config) { c.SessionAuth = true; c.PipelinedCrypto = true }},
+		{"sequential-unbatched", func(c *Config) { c.Sequential = true; c.Unbatched = true }},
+	} {
+		t.Run(s.name, func(t *testing.T) {
+			g := topo.RandomConnected(topo.Options{N: 10, AvgOutDegree: 3, MaxCost: 10, Seed: 4})
+			cfg := Config{Source: BestPath, Graph: g, Auth: auth.SchemeRSA}
+			s.mut(&cfg)
+			n, err := NewNetwork(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := n.Driver()
+			ctx := context.Background()
+			if _, err := d.AwaitQuiescence(ctx); err != nil {
+				t.Fatal(err)
+			}
+			cut := cutCandidate(t, n, g)
+			if err := d.CutLink(cut.From, cut.To); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := d.AwaitQuiescence(ctx); err != nil {
+				t.Fatal(err)
+			}
+			rest := &topo.Graph{Nodes: g.Nodes}
+			for _, l := range g.Links {
+				if l != cut {
+					rest.Links = append(rest.Links, l)
+				}
+			}
+			cfgRest := cfg
+			cfgRest.Graph = rest
+			nRest, err := NewNetwork(cfgRest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := nRest.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			if a, b := snapshotPreds(n, "bestPath", "spCost"), snapshotPreds(nRest, "bestPath", "spCost"); a != b {
+				t.Fatalf("re-converged tables differ from restart\n--- live ---\n%s--- restart ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestSetLinkHandlesCostIncrease pins the semantics batch churn could not
+// express: raising a link's cost retracts the old fact first, so best
+// paths priced on the cheaper link are withdrawn and re-priced.
+func TestSetLinkHandlesCostIncrease(t *testing.T) {
+	g := topo.Custom([]topo.Link{
+		{From: "a", To: "b", Cost: 1},
+		{From: "b", To: "c", Cost: 1},
+		{From: "a", To: "c", Cost: 10},
+	})
+	n, err := NewNetwork(Config{Source: BestPath, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Driver()
+	ctx := context.Background()
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := data.NewTuple("bestPath", data.Str("a"), data.Str("c"),
+		data.Strings("a", "b", "c"), data.Int(2))
+	foundInitial := false
+	for _, tu := range n.Tuples("a", "bestPath") {
+		if tu.WithoutAsserter().Equal(want) {
+			foundInitial = true
+		}
+	}
+	if !foundInitial {
+		t.Fatalf("initial bestPath = %v, want %s", n.Tuples("a", "bestPath"), want)
+	}
+
+	// Raising a→b to 20 makes the direct a→c (10) the best path.
+	if err := d.SetLink("a", "b", 20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want = data.NewTuple("bestPath", data.Str("a"), data.Str("c"),
+		data.Strings("a", "c"), data.Int(10))
+	found := false
+	for _, tu := range n.Tuples("a", "bestPath") {
+		if tu.WithoutAsserter().Equal(want) {
+			found = true
+		}
+		if tu.Args[1].Str == "c" && tu.Args[3].Int == 2 {
+			t.Fatalf("stale 2-cost best path survived the cost increase: %s", tu)
+		}
+	}
+	if !found {
+		t.Fatalf("bestPath after increase = %v, want %s", n.Tuples("a", "bestPath"), want)
+	}
+}
+
+// TestRunReportsCappedRounds is the regression test for the Rounds
+// overcount: a run capped by maxRounds must report exactly maxRounds, not
+// maxRounds+1, alongside ErrNoFixpoint.
+func TestRunReportsCappedRounds(t *testing.T) {
+	cfg := Config{Source: BestPath, Graph: topo.Line(5), Auth: auth.SchemeNone}
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := n.Run(2)
+	if !errors.Is(err, ErrNoFixpoint) {
+		t.Fatalf("err = %v, want ErrNoFixpoint", err)
+	}
+	if rep.Rounds != 2 {
+		t.Fatalf("Rounds = %d, want exactly the cap 2", rep.Rounds)
+	}
+}
+
+// TestContextCancellation checks that every blocking entry point honors
+// cancellation: a cancelled context aborts Step/AwaitQuiescence mid-round
+// with the context's error, and the network is not corrupted — a fresh
+// context resumes it to the correct fixpoint.
+func TestContextCancellation(t *testing.T) {
+	cfg := bestPathCfg()
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Driver()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := d.Step(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Step with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := d.AwaitQuiescence(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AwaitQuiescence with cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	deadline, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel2()
+	if _, err := d.AwaitQuiescence(deadline); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+
+	// Cancellation is not fatal: the run resumes and converges correctly.
+	if _, err := d.AwaitQuiescence(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	nRef, _ := mustRun(t, cfg)
+	if a, b := snapshot(t, n), snapshot(t, nRef); a != b {
+		t.Fatalf("tables after cancel+resume differ from a clean run\n--- resumed ---\n%s--- clean ---\n%s", a, b)
+	}
+}
+
+// TestStartContextDeathIsSticky pins the pump's failure mode: when the
+// context given to Start dies, the driver must not keep accepting work
+// it will never process, and waiters must not mistake the un-converged
+// state for quiescence — every entry point reports the context error.
+func TestStartContextDeathIsSticky(t *testing.T) {
+	n, err := NewNetwork(bestPathCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Driver()
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := d.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitQuiescence(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The pump exits on its own; subsequent operations — even with a
+	// healthy context — must surface the death instead of hanging or
+	// reporting phantom quiescence.
+	deadline := time.After(5 * time.Second)
+	for {
+		err := d.Inject("n0", data.NewTuple("link", data.Str("n0"), data.Str("n1"), data.Int(1)))
+		if errors.Is(err, context.Canceled) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Inject after pump death: %v", err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("pump death never became sticky")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if _, err := d.AwaitQuiescence(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AwaitQuiescence after pump death: err = %v, want context.Canceled", err)
+	}
+	d.Close()
+}
+
+// TestSubscribeStreamsUpdates checks the subscription surface: bestPath
+// updates stream on a live driver, withdrawals arrive as Added=false
+// after a cut, and Close terminates the channel.
+func TestSubscribeStreamsUpdates(t *testing.T) {
+	g := topo.Custom([]topo.Link{
+		{From: "a", To: "b", Cost: 1},
+		{From: "b", To: "c", Cost: 1},
+	})
+	n, err := NewNetwork(Config{Source: BestPath, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Driver()
+	sub, err := d.Subscribe("a", "bestPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := d.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var adds int
+	for len(sub.Updates()) > 0 {
+		u := <-sub.Updates()
+		if u.Node != "a" || u.Tuple.Pred != "bestPath" {
+			t.Fatalf("filter leak: %+v", u)
+		}
+		if u.Added {
+			adds++
+		}
+	}
+	if adds == 0 {
+		t.Fatal("no bestPath additions streamed during convergence")
+	}
+
+	if err := d.CutLink("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sawWithdraw := false
+	for len(sub.Updates()) > 0 {
+		if u := <-sub.Updates(); !u.Added && u.Tuple.Args[1].Str == "c" {
+			sawWithdraw = true
+		}
+	}
+	if !sawWithdraw {
+		t.Fatal("cut link produced no bestPath withdrawal update")
+	}
+	sub.Close()
+	if _, ok := <-sub.Updates(); ok {
+		t.Fatal("channel still open after Close")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDriverConcurrentInjectSubscribeStep drives Inject and Subscribe
+// from racing goroutines while the main goroutine steps the scheduler —
+// the -race coverage the lifecycle API promises.
+func TestDriverConcurrentInjectSubscribeStep(t *testing.T) {
+	g := topo.Custom([]topo.Link{
+		{From: "a", To: "b", Cost: 1},
+		{From: "b", To: "c", Cost: 1},
+		{From: "c", To: "a", Cost: 1},
+	})
+	n, err := NewNetwork(Config{Source: BestPath, Graph: g, SessionAuth: true, Auth: auth.SchemeRSA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Driver()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < 20; i++ {
+			if err := d.Inject("a", data.NewTuple("link", data.Str("a"), data.Str("b"), data.Int(100+i))); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			sub, err := d.Subscribe("", "bestPath")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for len(sub.Updates()) > 0 {
+				<-sub.Updates()
+			}
+			sub.Close()
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := d.Step(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveTracebackSeesStaleProvenance runs a distributed-provenance
+// network, cuts a link, and checks that (a) traceback queries work
+// against the running driver and (b) the provenance of withdrawn tuples
+// is marked stale rather than erased.
+func TestLiveTracebackSeesStaleProvenance(t *testing.T) {
+	g := topo.Custom([]topo.Link{
+		{From: "a", To: "b", Cost: 1},
+		{From: "b", To: "c", Cost: 1},
+	})
+	off := -1.0
+	n, err := NewNetwork(Config{Source: BestPath, Graph: g, Prov: provenance.ModeDistributed, Offline: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Driver()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := d.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var target data.Tuple
+	for _, tu := range n.Tuples("a", "bestPath") {
+		if tu.Args[1].Str == "c" {
+			target = tu
+		}
+	}
+	if target.Pred == "" {
+		t.Fatal("no bestPath(a,c) installed")
+	}
+	// Traceback against the live driver (stores are concurrency-safe).
+	if _, _, err := n.DerivationTree("a", target, provenance.QueryOpts{}); err != nil {
+		t.Fatalf("live traceback: %v", err)
+	}
+
+	if err := d.CutLink("b", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n.Node("a").Engine.Has(target) {
+		t.Fatal("bestPath(a,c) should be withdrawn after the cut")
+	}
+	entry := n.Node("a").Store.GetAny(provenance.KeyOf(target))
+	if entry == nil {
+		t.Fatal("withdrawn tuple's provenance erased; want stale-marked history")
+	}
+	if !entry.Stale {
+		t.Fatal("withdrawn tuple's provenance not marked stale")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,17 +47,23 @@ type Envelope struct {
 // seed's one-tuple-per-datagram envelope; version 2 packs every tuple a
 // node exports to one destination in a round under a single seal; version
 // 3 is the session transport (handshake and session-MAC frames,
-// distinguished by a kind byte).
+// distinguished by a kind byte); version 4 is the retraction envelope of
+// the live-network lifecycle — a signed batch of tuples the sender
+// withdraws after link churn.
 const (
 	wireVersion        = 1
 	wireVersionBatch   = 2
 	wireVersionSession = 3
+	wireVersionRetract = 4
 )
 
 // v3 frame kinds (second byte of a v3 datagram).
 const (
 	frameHandshake byte = 1
 	frameData      byte = 2
+	// frameRetract is a session-sealed withdrawal batch: the v3 carrier
+	// of the retractions that v4 envelopes ship on the legacy transport.
+	frameRetract byte = 3
 )
 
 // Errors from envelope decoding and verification.
@@ -271,6 +277,102 @@ func (e *BatchEnvelope) Verify(sealer auth.Sealer, to string) error {
 	return sealer.Open(e.From, to, e.signedPrefix(), e.Sig)
 }
 
+// --- retraction envelopes (wire v4) ---
+
+// RetractEnvelope ships a batch of withdrawn tuples from one node to one
+// destination: link churn cut their derivations, and the destination must
+// remove the sender's support for them. It is sealed exactly like a v2
+// batch (one signature per envelope under the legacy schemes); retraction
+// traffic only exists after churn, so the batch formats stay bit-for-bit
+// unchanged on converge-once workloads.
+type RetractEnvelope struct {
+	// From is the sending node / principal.
+	From string
+	// Scheme identifies the says implementation used.
+	Scheme auth.Scheme
+	// Tuples are the withdrawn facts in cascade order.
+	Tuples []data.Tuple
+	// Sig authenticates everything before it, sealed by From.
+	Sig []byte
+}
+
+// signedPrefix encodes the authenticated portion of the retract envelope.
+func (e *RetractEnvelope) signedPrefix() []byte {
+	b := []byte{wireVersionRetract}
+	b = data.AppendString(b, e.From)
+	b = append(b, byte(e.Scheme))
+	b = binary.AppendUvarint(b, uint64(len(e.Tuples)))
+	for _, t := range e.Tuples {
+		b = data.AppendTuple(b, t)
+	}
+	return b
+}
+
+// Encode serializes the envelope, sealing it for the from→to link when
+// the scheme requires it.
+func (e *RetractEnvelope) Encode(sealer auth.Sealer, to string) ([]byte, error) {
+	prefix := e.signedPrefix()
+	sig, err := sealer.Seal(e.From, to, prefix)
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing retract envelope from %s: %w", e.From, err)
+	}
+	e.Sig = sig
+	return data.AppendBytes(prefix, sig), nil
+}
+
+// DecodeRetractEnvelope parses a retract envelope without verifying it.
+func DecodeRetractEnvelope(b []byte) (*RetractEnvelope, error) {
+	if len(b) < 2 || b[0] != wireVersionRetract {
+		return nil, fmt.Errorf("%w: retract version", ErrBadEnvelope)
+	}
+	n := 1
+	from, m, err := data.DecodeString(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: from: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	if n >= len(b) {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadEnvelope)
+	}
+	scheme := auth.Scheme(b[n])
+	n++
+	count, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: tuple count", ErrBadEnvelope)
+	}
+	n += m
+	if count > uint64(len(b)) { // each tuple takes at least one byte
+		return nil, fmt.Errorf("%w: tuple count %d exceeds payload", ErrBadEnvelope, count)
+	}
+	tuples := make([]data.Tuple, 0, count)
+	for i := uint64(0); i < count; i++ {
+		tu, m, err := data.DecodeTuple(b[n:])
+		if err != nil {
+			return nil, fmt.Errorf("%w: tuple %d: %v", ErrBadEnvelope, i, err)
+		}
+		n += m
+		tuples = append(tuples, tu)
+	}
+	sig, m, err := data.DecodeBytes(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: sig: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	if n != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEnvelope, len(b)-n)
+	}
+	env := &RetractEnvelope{From: from, Scheme: scheme, Tuples: tuples}
+	if len(sig) > 0 {
+		env.Sig = append([]byte{}, sig...)
+	}
+	return env, nil
+}
+
+// Verify checks the retract envelope seal for the from→to link.
+func (e *RetractEnvelope) Verify(sealer auth.Sealer, to string) error {
+	return sealer.Open(e.From, to, e.signedPrefix(), e.Sig)
+}
+
 // --- session transport (wire v3) ---
 
 // EncodeHandshakeFrame wraps an auth.SessionSealer handshake blob into a
@@ -302,6 +404,10 @@ type SessionEnvelope struct {
 	From string
 	// ProvMode tags the provenance payload encoding of every item.
 	ProvMode provenance.Mode
+	// Retract marks a withdrawal batch (frame kind frameRetract): the
+	// items name tuples the sender no longer derives. Item provenance is
+	// empty on retract frames.
+	Retract bool
 	// Items are the shipped tuples in export order.
 	Items []BatchItem
 	// Tag is the session seal (epoch + MAC) over everything before it.
@@ -310,7 +416,11 @@ type SessionEnvelope struct {
 
 // sealedPrefix encodes the authenticated portion of the session frame.
 func (e *SessionEnvelope) sealedPrefix() []byte {
-	b := []byte{wireVersionSession, frameData}
+	kind := frameData
+	if e.Retract {
+		kind = frameRetract
+	}
+	b := []byte{wireVersionSession, kind}
 	b = data.AppendString(b, e.From)
 	b = append(b, byte(e.ProvMode))
 	b = binary.AppendUvarint(b, uint64(len(e.Items)))
@@ -333,11 +443,13 @@ func (e *SessionEnvelope) Encode(sealer auth.Sealer, to string) ([]byte, error) 
 	return data.AppendBytes(prefix, tag), nil
 }
 
-// DecodeSessionEnvelope parses a session data frame without opening it.
+// DecodeSessionEnvelope parses a session data or retract frame without
+// opening it.
 func DecodeSessionEnvelope(b []byte) (*SessionEnvelope, error) {
-	if len(b) < 2 || b[0] != wireVersionSession || b[1] != frameData {
+	if len(b) < 2 || b[0] != wireVersionSession || (b[1] != frameData && b[1] != frameRetract) {
 		return nil, fmt.Errorf("%w: session frame header", ErrBadEnvelope)
 	}
+	retract := b[1] == frameRetract
 	n := 2
 	from, m, err := data.DecodeString(b[n:])
 	if err != nil {
@@ -362,7 +474,7 @@ func DecodeSessionEnvelope(b []byte) (*SessionEnvelope, error) {
 	if n != len(b) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEnvelope, len(b)-n)
 	}
-	env := &SessionEnvelope{From: from, ProvMode: mode, Items: items}
+	env := &SessionEnvelope{From: from, ProvMode: mode, Retract: retract, Items: items}
 	if len(tag) > 0 {
 		env.Tag = append([]byte{}, tag...)
 	}

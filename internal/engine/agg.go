@@ -160,8 +160,17 @@ func (e *Engine) maybeEmitAgg(st *aggGroupState, g *aggGroup) {
 // soft-state expiry: groups whose support vanished are deleted, counts and
 // sums shrink, and changed heads are re-emitted.
 func (e *Engine) recomputeAggregates() {
+	e.recomputeAggRules(nil, nil)
+}
+
+// recomputeAggRules rebuilds aggregates from the live tables. only
+// restricts the pass to the named rules (nil = all). Heads whose groups
+// vanished are handed to sink when set — the retraction path, which must
+// cascade their deletion through the dependency index — and deleted
+// directly otherwise (the expiry path).
+func (e *Engine) recomputeAggRules(only map[string]bool, sink func(dead data.Tuple)) {
 	for _, r := range e.rules {
-		if r.agg == nil {
+		if r.agg == nil || (only != nil && !only[r.label]) {
 			continue
 		}
 		st := e.aggStateFor(r)
@@ -186,7 +195,11 @@ func (e *Engine) recomputeAggregates() {
 				if e.authenticated {
 					dead.Asserter = e.self
 				}
-				tbl.Delete(dead)
+				if sink != nil {
+					sink(dead)
+				} else if tbl.Delete(dead) {
+					e.notify(dead, false)
+				}
 			}
 		}
 		// Emit fresh or changed groups.

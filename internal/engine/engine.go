@@ -92,6 +92,11 @@ type Config struct {
 	Authenticated bool
 	// Hook captures provenance; nil means NoProv.
 	Hook ProvHook
+	// OnUpdate, when set, observes every table change: added reports
+	// whether the tuple entered (true) or left (false) the store. It is
+	// called synchronously from the engine's (single) driving goroutine;
+	// implementations must not call back into the engine.
+	OnUpdate func(t data.Tuple, added bool)
 }
 
 // Engine is a single node's query processor. It is not safe for concurrent
@@ -101,6 +106,7 @@ type Engine struct {
 	self          string
 	authenticated bool
 	hook          ProvHook
+	onUpdate      func(t data.Tuple, added bool)
 
 	tables map[string]*Table
 	decls  map[string]*datalog.MaterializeDecl
@@ -112,6 +118,20 @@ type Engine struct {
 
 	queue   []*Entry
 	exports []Export
+
+	// deps is the derivation dependency index driving retraction: for
+	// every non-aggregate rule firing it maps each body tuple's key to the
+	// derived heads (with their destinations), so a deleted tuple's cone
+	// of influence can be walked without re-running rules.
+	deps map[string]*depList
+
+	// pend accumulates over-deletion state between BeginRetract* and the
+	// CompleteRetract that repairs it (see retract.go).
+	pend *retractPending
+	// rederive state: while non-nil, emit filters derivations to the
+	// tuples deleted by the current retraction batch (DRed's re-derivation
+	// phase) instead of inserting/exporting everything.
+	rederive *rederiveState
 
 	// suppressAggEmit defers aggregate head emission during full
 	// recomputation, so the diff against the previous groups decides what
@@ -131,6 +151,7 @@ type Stats struct {
 	TuplesDropped int64 // rejected by aggregate selection
 	Merges        int64 // alternative derivations merged into existing tuples
 	Expired       int64
+	Retracted     int64 // tuples withdrawn by retraction cascades
 }
 
 // atomRef locates a body atom within a compiled rule.
@@ -144,6 +165,21 @@ type pruneSpec struct {
 	col     int
 	min     bool
 	best    map[string]data.Value
+	// shadow retains the tuples the prune rejected, per group, so a
+	// retraction that relaxes a group's installed optimum can revive the
+	// candidates that have become competitive again. Without it, pruned
+	// alternatives would be unrecoverable after a link cut (they were
+	// dropped before storage and their senders will not re-ship them).
+	shadow map[string]map[string]shadowRow
+}
+
+// shadowRow is one prune-rejected candidate kept for possible revival,
+// with the support bookkeeping it would have carried as a stored entry.
+type shadowRow struct {
+	tuple        data.Tuple
+	ann          Annotation
+	localSupport bool
+	origins      map[string]bool
 }
 
 // New creates an engine for node self.
@@ -156,11 +192,24 @@ func New(cfg Config) *Engine {
 		self:          cfg.Self,
 		authenticated: cfg.Authenticated,
 		hook:          hook,
+		onUpdate:      cfg.OnUpdate,
 		tables:        make(map[string]*Table),
 		decls:         make(map[string]*datalog.MaterializeDecl),
 		prunes:        make(map[string]*pruneSpec),
 		byPred:        make(map[string][]atomRef),
 		aggState:      make(map[string]*aggGroupState),
+		deps:          make(map[string]*depList),
+	}
+}
+
+// SetOnUpdate installs (or clears) the table-change observer. It must not
+// be called while the engine is evaluating.
+func (e *Engine) SetOnUpdate(f func(t data.Tuple, added bool)) { e.onUpdate = f }
+
+// notify reports a table change to the observer, if any.
+func (e *Engine) notify(t data.Tuple, added bool) {
+	if e.onUpdate != nil {
+		e.onUpdate(t, added)
 	}
 }
 
@@ -193,6 +242,7 @@ func (e *Engine) LoadProgram(prog *datalog.Program) error {
 			col:     pr.Col - 1,
 			min:     pr.Func == datalog.AggMin,
 			best:    make(map[string]data.Value),
+			shadow:  make(map[string]map[string]shadowRow),
 		}
 	}
 	for _, r := range prog.Rules {
@@ -254,11 +304,19 @@ func (e *Engine) InsertFact(t data.Tuple) {
 // its provenance payload. Signature verification happens in the transport
 // layer before this call.
 func (e *Engine) InsertImported(t data.Tuple, provPayload []byte) error {
+	return e.InsertImportedFrom("", t, provPayload)
+}
+
+// InsertImportedFrom is InsertImported with the sending node recorded as
+// the tuple's support origin, so a later retraction by that sender removes
+// exactly the support it contributed. An empty from is treated as local
+// support (the pre-churn behavior).
+func (e *Engine) InsertImportedFrom(from string, t data.Tuple, provPayload []byte) error {
 	ann, err := e.hook.Import(t, provPayload)
 	if err != nil {
 		return err
 	}
-	e.insert(t, ann)
+	e.insertFrom(t, ann, from)
 	return nil
 }
 
@@ -268,6 +326,12 @@ func (e *Engine) InsertImported(t data.Tuple, provPayload []byte) error {
 // payload deserialization.
 func (e *Engine) InsertImportedAnn(t data.Tuple, ann Annotation) {
 	e.insert(t, ann)
+}
+
+// InsertImportedAnnFrom is InsertImportedAnn with the sender recorded as
+// support origin.
+func (e *Engine) InsertImportedAnnFrom(from string, t data.Tuple, ann Annotation) {
+	e.insertFrom(t, ann, from)
 }
 
 // Imported pairs a received tuple with its provenance payload, for batch
@@ -281,17 +345,30 @@ type Imported struct {
 // transport layer hands over per verified batch envelope. The whole delta
 // is queued before the next RunToFixpoint processes it.
 func (e *Engine) InsertImportedBatch(items []Imported) error {
+	return e.InsertImportedBatchFrom("", items)
+}
+
+// InsertImportedBatchFrom is InsertImportedBatch with the sender recorded
+// as support origin for every item.
+func (e *Engine) InsertImportedBatchFrom(from string, items []Imported) error {
 	for _, it := range items {
-		if err := e.InsertImported(it.Tuple, it.Prov); err != nil {
+		if err := e.InsertImportedFrom(from, it.Tuple, it.Prov); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// insert stores a tuple and queues it for semi-naive processing. It
-// applies the aggregate-selection prune and primary-key replacement.
+// insert stores a locally supported tuple (base fact or rule derivation)
+// and queues it for semi-naive processing.
 func (e *Engine) insert(t data.Tuple, ann Annotation) {
+	e.insertFrom(t, ann, "")
+}
+
+// insertFrom stores a tuple and queues it for semi-naive processing. It
+// applies the aggregate-selection prune and primary-key replacement.
+// origin names the remote sender supporting the tuple ("" = local).
+func (e *Engine) insertFrom(t data.Tuple, ann Annotation, origin string) {
 	// Aggregate selection: drop tuples that do not improve their group.
 	if ps, ok := e.prunes[t.Pred]; ok {
 		gk := t.ValueKey(ps.keyCols)
@@ -300,24 +377,66 @@ func (e *Engine) insert(t data.Tuple, ann Annotation) {
 			c := val.Compare(best)
 			if (ps.min && c >= 0) || (!ps.min && c <= 0) {
 				e.Stats.TuplesDropped++
+				ps.addShadow(gk, t, ann, origin)
 				return
 			}
 		}
 		ps.best[gk] = val
+		ps.dropShadow(gk, t)
 	}
 
 	tbl := e.table(t.Pred)
-	entry, status := tbl.Insert(t, ann, e.now)
+	entry, replaced, status := tbl.InsertFull(t, ann, e.now)
+	entry.addSupport(origin)
 	switch status {
 	case InsertNew, InsertReplaced:
 		e.Stats.TuplesStored++
 		e.queue = append(e.queue, entry)
+		if replaced != nil {
+			e.notify(replaced.Tuple, false)
+		}
+		e.notify(t, true)
 	case InsertDuplicate:
 		merged, changed := e.hook.Merge(entry.Ann, ann)
 		entry.Ann = merged
 		if changed {
 			e.Stats.Merges++
 			e.queue = append(e.queue, entry)
+		}
+	}
+}
+
+// addShadow records a prune-rejected candidate for possible revival,
+// merging support when the same tuple is rejected repeatedly.
+func (ps *pruneSpec) addShadow(gk string, t data.Tuple, ann Annotation, origin string) {
+	rows, ok := ps.shadow[gk]
+	if !ok {
+		rows = make(map[string]shadowRow)
+		ps.shadow[gk] = rows
+	}
+	key := t.Key()
+	row, ok := rows[key]
+	if !ok {
+		row = shadowRow{tuple: t, ann: ann}
+	}
+	if origin == "" {
+		row.localSupport = true
+	} else {
+		if row.origins == nil {
+			row.origins = make(map[string]bool)
+		}
+		row.origins[origin] = true
+	}
+	rows[key] = row
+}
+
+// dropShadow removes a tuple from its group's shadow (it is being stored
+// for real).
+func (ps *pruneSpec) dropShadow(gk string, t data.Tuple) {
+	if rows, ok := ps.shadow[gk]; ok {
+		delete(rows, t.Key())
+		if len(rows) == 0 {
+			delete(ps.shadow, gk)
 		}
 	}
 }
@@ -355,9 +474,34 @@ func (e *Engine) emit(r *compiledRule, head data.Tuple, dest string, body []AnnT
 	if r.agg != nil {
 		// Aggregates are computed where the tuples live; a remote
 		// aggregate head would need re-aggregation at the destination,
-		// which the paper's programs never use.
-		e.aggContribute(r, head, body)
+		// which the paper's programs never use. Retraction recomputes them
+		// wholesale, so the rederive pass skips them.
+		if e.rederive == nil {
+			e.aggContribute(r, head, body)
+		}
 		return
+	}
+	// Record the dependency edges body → head for retraction cascades.
+	for _, b := range body {
+		e.recordDep(b.Tuple, head, dest)
+	}
+	if e.rederive != nil {
+		// DRed re-derivation: only tuples deleted by the current
+		// retraction batch are re-established, and only exports whose
+		// withdrawal already shipped are re-sent; everything else is
+		// still stored (locally or at dest) and must not re-propagate.
+		if dest == e.self {
+			if !e.rederive.deleted[head.Key()] {
+				return
+			}
+		} else {
+			sig := dest + "\x00" + head.Key()
+			if !e.rederive.shipped[sig] {
+				return
+			}
+			delete(e.rederive.shipped, sig)
+			// Fall through: the export re-establishes the tuple at dest.
+		}
 	}
 	ann := e.hook.Derive(r.label, e.self, head, body)
 	if dest == e.self {
@@ -427,8 +571,18 @@ func (e *Engine) Predicates() []string {
 func (e *Engine) Expire(now float64) {
 	e.now = now
 	expired := 0
-	for _, tbl := range e.tables {
-		expired += tbl.Expire(now)
+	names := make([]string, 0, len(e.tables))
+	for name := range e.tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		gone := e.tables[name].ExpireTuples(now)
+		expired += len(gone)
+		data.SortTuples(gone)
+		for _, t := range gone {
+			e.notify(t, false)
+		}
 	}
 	e.Stats.Expired += int64(expired)
 	if expired > 0 {

@@ -1,0 +1,551 @@
+package engine
+
+import (
+	"sort"
+
+	"provnet/internal/data"
+)
+
+// Retraction: the engine half of live link churn. Deleting a base tuple
+// (a cut link) must withdraw everything derived from it, across nodes,
+// without restarting the computation. The implementation is a
+// delete-and-rederive (DRed) variant over the dependency index recorded
+// at rule-firing time, split into two phases so the scheduler can drain
+// the distributed withdrawal wave before any repair propagates:
+//
+//   - BeginRetract* (over-delete): walk the cone of influence of the
+//     retracted tuples through the dependency index, deleting local
+//     heads and collecting Withdrawals for exported ones. The touched
+//     state (deleted keys, dirty aggregates, relaxed prune groups,
+//     shipped withdrawals) accumulates on the engine.
+//   - CompleteRetract (repair): once no withdrawal is in flight,
+//     aggregate-selection groups re-admit the shadow candidates the
+//     prune had rejected, every non-aggregate rule re-evaluates
+//     restricted to the deleted set (alternate derivations re-establish
+//     survivors locally and re-ship previously withdrawn exports), and
+//     touched aggregates recompute from live state — heads whose groups
+//     vanished cascade back through over-deletion.
+//
+// The phase split matters in a network: completing a node's repair while
+// a neighbor's withdrawal is still in flight briefly revives routes the
+// neighbor is about to withdraw (zombie routes), amplifying churn
+// traffic. The scheduler (internal/core) ships Begin's withdrawals hop
+// by hop until the wave quiesces, then completes every node. The
+// single-call forms (RetractFacts, RetractImported, RetractInbound)
+// compose both phases for single-engine use.
+//
+// Cross-node alternate derivations are handled by per-entry support
+// tracking (Entry.localSupport / Entry.origins): a tuple shipped by two
+// senders survives the retraction of one.
+
+// Withdrawal is a retraction addressed to another node: a previously
+// exported derivation that no longer holds and that the destination must
+// now withdraw (losing this node's support for it).
+type Withdrawal struct {
+	Dest  string
+	Tuple data.Tuple
+}
+
+// depTarget is one derived head recorded as reachable from a body tuple.
+type depTarget struct {
+	head data.Tuple
+	dest string
+}
+
+// depList is an insertion-ordered, deduplicated set of depTargets.
+// Insertion order keeps retraction cascades deterministic.
+type depList struct {
+	order []depTarget
+	seen  map[string]bool
+}
+
+// recordDep notes the dependency edge body → (head, dest) of a rule
+// firing, the raw material of retraction cascades.
+func (e *Engine) recordDep(body, head data.Tuple, dest string) {
+	key := body.Key()
+	dl := e.deps[key]
+	if dl == nil {
+		dl = &depList{seen: make(map[string]bool)}
+		e.deps[key] = dl
+	}
+	sig := dest + "\x00" + head.Key()
+	if dl.seen[sig] {
+		return
+	}
+	dl.seen[sig] = true
+	dl.order = append(dl.order, depTarget{head: head, dest: dest})
+}
+
+// withdrawalQueue accumulates outbound retractions in deterministic
+// order, deduplicated by (destination, tuple).
+type withdrawalQueue struct {
+	order []Withdrawal
+	seen  map[string]bool
+}
+
+func newWithdrawalQueue() *withdrawalQueue {
+	return &withdrawalQueue{seen: make(map[string]bool)}
+}
+
+func wqSig(dest string, t data.Tuple) string { return dest + "\x00" + t.Key() }
+
+func (wq *withdrawalQueue) add(dest string, t data.Tuple) {
+	sig := wqSig(dest, t)
+	if wq.seen[sig] {
+		return
+	}
+	wq.seen[sig] = true
+	wq.order = append(wq.order, Withdrawal{Dest: dest, Tuple: t})
+}
+
+// retractPending is the over-deletion state accumulated between
+// BeginRetract* calls and the CompleteRetract that repairs it.
+type retractPending struct {
+	// deleted keys of tuples removed from this node's tables.
+	deleted map[string]bool
+	// dirty aggregate rule labels needing recomputation.
+	dirty map[string]bool
+	// groups are the aggregate-selection groups whose installed optimum
+	// may have relaxed.
+	groups map[string]pruneGroup
+	// shipped tracks (dest, tuple) withdrawals handed to the scheduler;
+	// a re-derivation during repair re-ships those exports.
+	shipped map[string]bool
+}
+
+func newRetractPending() *retractPending {
+	return &retractPending{
+		deleted: make(map[string]bool),
+		dirty:   make(map[string]bool),
+		groups:  make(map[string]pruneGroup),
+		shipped: make(map[string]bool),
+	}
+}
+
+func (p *retractPending) empty() bool {
+	return len(p.deleted) == 0 && len(p.dirty) == 0 && len(p.groups) == 0
+}
+
+// rederiveState restricts emit while the DRed repair pass runs.
+type rederiveState struct {
+	deleted map[string]bool
+	shipped map[string]bool
+}
+
+// retractMode distinguishes which support a retraction removes.
+type retractMode uint8
+
+const (
+	// retractForce deletes the row outright (explicit fact retraction:
+	// CutLink, SetLink, Driver.Retract).
+	retractForce retractMode = iota
+	// retractDeriv removes the row's local-derivation support (a cascade
+	// step); the row survives while remote origins remain.
+	retractDeriv
+	// retractOrigin removes one remote sender's support (an inbound
+	// retraction frame); the row survives while other support remains.
+	retractOrigin
+)
+
+type retractItem struct {
+	t      data.Tuple
+	mode   retractMode
+	origin string
+}
+
+// retractRounds caps the repair's delete/revive/rederive/recompute
+// iteration. Real programs converge in a handful of rounds; the cap cuts
+// pathological cycles short, leaving an over-deleted state that normal
+// re-propagation heals.
+const retractRounds = 100
+
+// InboundRetraction is one (sender, tuple) withdrawal received off the
+// wire.
+type InboundRetraction struct {
+	From  string
+	Tuple data.Tuple
+}
+
+// RetractFacts removes tuples from this node outright — the engine half
+// of CutLink/SetLink — cascading through everything derived from them.
+// Both phases run back to back; the returned withdrawals must be shipped
+// to their destination nodes, which apply them via RetractInbound.
+func (e *Engine) RetractFacts(tuples ...data.Tuple) []Withdrawal {
+	ws := e.BeginRetractFacts(tuples...)
+	return append(ws, e.CompleteRetract()...)
+}
+
+// RetractImported applies an inbound retraction from a remote sender,
+// running both phases back to back: each tuple loses that sender's
+// support and is deleted (with cascade) only when no local derivation or
+// other origin still supports it.
+func (e *Engine) RetractImported(from string, tuples []data.Tuple) []Withdrawal {
+	items := make([]InboundRetraction, len(tuples))
+	for i, t := range tuples {
+		items[i] = InboundRetraction{From: from, Tuple: t}
+	}
+	return e.RetractInbound(items)
+}
+
+// RetractInbound applies a batch of inbound retractions (possibly from
+// several senders), running both phases back to back.
+func (e *Engine) RetractInbound(items []InboundRetraction) []Withdrawal {
+	ws := e.BeginRetractInbound(items)
+	return append(ws, e.CompleteRetract()...)
+}
+
+// BeginRetractFacts is the over-delete phase for explicit fact
+// retraction.
+func (e *Engine) BeginRetractFacts(tuples ...data.Tuple) []Withdrawal {
+	items := make([]retractItem, len(tuples))
+	for i, t := range tuples {
+		items[i] = retractItem{t: t, mode: retractForce}
+	}
+	return e.beginRetract(items)
+}
+
+// BeginRetractInbound is the over-delete phase for inbound withdrawals.
+func (e *Engine) BeginRetractInbound(items []InboundRetraction) []Withdrawal {
+	ri := make([]retractItem, len(items))
+	for i, it := range items {
+		ri[i] = retractItem{t: it.Tuple, mode: retractOrigin, origin: it.From}
+	}
+	return e.beginRetract(ri)
+}
+
+// HasPendingRetract reports whether over-deleted state awaits
+// CompleteRetract.
+func (e *Engine) HasPendingRetract() bool {
+	return e.pend != nil && !e.pend.empty()
+}
+
+func (e *Engine) beginRetract(items []retractItem) []Withdrawal {
+	if e.pend == nil {
+		e.pend = newRetractPending()
+	}
+	wq := newWithdrawalQueue()
+	e.overdelete(items, wq)
+	for _, w := range wq.order {
+		e.pend.shipped[wqSig(w.Dest, w.Tuple)] = true
+	}
+	return wq.order
+}
+
+// CompleteRetract runs the repair phase over the accumulated
+// over-deletion state: shadow revival, restricted re-derivation, and
+// aggregate recomputation, iterating while aggregate heads keep
+// vanishing. It returns the additional withdrawals those cascades
+// produced (to be shipped like Begin's).
+func (e *Engine) CompleteRetract() []Withdrawal {
+	if e.pend == nil || e.pend.empty() {
+		e.pend = nil
+		return nil
+	}
+	wq := newWithdrawalQueue()
+	for round := 0; round < retractRounds; round++ {
+		p := e.pend
+		e.pend = nil
+		if p == nil || p.empty() {
+			break
+		}
+		e.reviveShadows(p.groups)
+		if len(p.deleted) > 0 {
+			e.rederiveDeleted(p)
+		}
+		var vanished []retractItem
+		if len(p.dirty) > 0 {
+			e.recomputeAggRules(p.dirty, func(dead data.Tuple) {
+				vanished = append(vanished, retractItem{t: dead, mode: retractDeriv})
+			})
+		}
+		if len(vanished) > 0 {
+			// Cascade the vanished aggregate heads; this may repopulate
+			// e.pend for the next repair round.
+			e.overdelete(vanished, wq)
+			if e.pend != nil {
+				for _, w := range wq.order {
+					e.pend.shipped[wqSig(w.Dest, w.Tuple)] = true
+				}
+			}
+		}
+	}
+	// A later repair round's cascade can withdraw a head an earlier
+	// round's re-derivation already buffered in e.exports. The buffered
+	// export would ship after the withdrawal and resurrect the tuple at
+	// the destination with no future withdrawal to remove it — drop any
+	// export this repair also decided to withdraw.
+	if len(wq.order) > 0 && len(e.exports) > 0 {
+		drop := make(map[string]bool, len(wq.order))
+		for _, w := range wq.order {
+			drop[wqSig(w.Dest, w.Tuple)] = true
+		}
+		kept := e.exports[:0]
+		for _, ex := range e.exports {
+			if !drop[wqSig(ex.Dest, ex.Tuple)] {
+				kept = append(kept, ex)
+			}
+		}
+		e.exports = kept
+	}
+	return wq.order
+}
+
+// pruneGroup identifies one aggregate-selection group touched by a
+// deletion, carrying the group-column values needed to recompute its
+// best.
+type pruneGroup struct {
+	ps   *pruneSpec
+	pred string
+	gk   string
+	vals []data.Value
+}
+
+// overdelete walks the cone of influence of the retraction items,
+// deleting unsupported rows and accumulating onto e.pend: the deleted
+// tuple keys, the aggregate rules needing recomputation, and the prune
+// groups needing a best reset. Withdrawals for exported heads go to wq.
+func (e *Engine) overdelete(items []retractItem, wq *withdrawalQueue) {
+	if e.pend == nil {
+		e.pend = newRetractPending()
+	}
+	pend := e.pend
+	work := append([]retractItem(nil), items...)
+	for len(work) > 0 {
+		it := work[0]
+		work = work[1:]
+		t := it.t
+		key := t.Key()
+		if pend.deleted[key] {
+			continue
+		}
+		ps := e.prunes[t.Pred]
+		tbl, ok := e.tables[t.Pred]
+		var en *Entry
+		if ok {
+			en = tbl.Get(t)
+		}
+		if en == nil {
+			// Not stored: possibly a prune-shadowed candidate; remove the
+			// retracted support from the shadow row.
+			if ps != nil {
+				e.retractShadow(ps, t, it)
+			}
+			continue
+		}
+		switch it.mode {
+		case retractForce:
+			en.localSupport = false
+			en.origins = nil
+		case retractDeriv:
+			en.localSupport = false
+		case retractOrigin:
+			delete(en.origins, it.origin)
+		}
+		if en.supported() {
+			continue // other support keeps the row alive
+		}
+		tbl.Delete(t)
+		pend.deleted[key] = true
+		e.Stats.Retracted++
+		e.notify(t, false)
+		if ps != nil {
+			// ValueKey embeds the predicate (and asserter), so group keys
+			// never collide across pruned predicates.
+			gk := t.ValueKey(ps.keyCols)
+			if _, seen := pend.groups[gk]; !seen {
+				vals := make([]data.Value, len(ps.keyCols))
+				for i, c := range ps.keyCols {
+					vals[i] = t.Args[c]
+				}
+				pend.groups[gk] = pruneGroup{ps: ps, pred: t.Pred, gk: gk, vals: vals}
+			}
+		}
+		for _, ref := range e.byPred[t.Pred] {
+			if ref.rule.agg != nil {
+				pend.dirty[ref.rule.label] = true
+			}
+		}
+		if dl, ok := e.deps[key]; ok {
+			for _, tgt := range dl.order {
+				if tgt.dest == e.self {
+					work = append(work, retractItem{t: tgt.head, mode: retractDeriv})
+				} else {
+					wq.add(tgt.dest, tgt.head)
+				}
+			}
+			delete(e.deps, key)
+		}
+	}
+}
+
+// retractShadow removes one support source from a prune-shadowed
+// candidate, dropping the row when none remains.
+func (e *Engine) retractShadow(ps *pruneSpec, t data.Tuple, it retractItem) {
+	gk := t.ValueKey(ps.keyCols)
+	rows, ok := ps.shadow[gk]
+	if !ok {
+		return
+	}
+	key := t.Key()
+	row, ok := rows[key]
+	if !ok {
+		return
+	}
+	switch it.mode {
+	case retractForce:
+		row.localSupport = false
+		row.origins = nil
+	case retractDeriv:
+		row.localSupport = false
+	case retractOrigin:
+		delete(row.origins, it.origin)
+	}
+	if !row.localSupport && len(row.origins) == 0 {
+		delete(rows, key)
+		if len(rows) == 0 {
+			delete(ps.shadow, gk)
+		}
+		return
+	}
+	rows[key] = row
+}
+
+// reviveShadows resets the installed best of every touched prune group
+// from the surviving rows and re-admits the group's shadow candidates,
+// which re-enter the normal insert path (and the evaluation queue) now
+// that the bar they failed against is gone.
+func (e *Engine) reviveShadows(groups map[string]pruneGroup) {
+	keys := make([]string, 0, len(groups))
+	for gk := range groups {
+		keys = append(keys, gk)
+	}
+	sort.Strings(keys)
+	for _, gk := range keys {
+		g := groups[gk]
+		ps := g.ps
+		// Recompute the group's best over surviving live rows. Lookup
+		// matches on the group columns only; filter to the exact group
+		// (ValueKey also covers the asserter, as insert's grouping does).
+		delete(ps.best, gk)
+		if tbl, ok := e.tables[g.pred]; ok {
+			for _, en := range tbl.Lookup(ps.keyCols, g.vals, e.now) {
+				if en.Tuple.ValueKey(ps.keyCols) != gk {
+					continue
+				}
+				val := en.Tuple.Args[ps.col]
+				best, has := ps.best[gk]
+				if !has || (ps.min && val.Compare(best) < 0) || (!ps.min && val.Compare(best) > 0) {
+					ps.best[gk] = val
+				}
+			}
+		}
+		rows := ps.shadow[gk]
+		if len(rows) == 0 {
+			continue
+		}
+		revived := make([]shadowRow, 0, len(rows))
+		for _, row := range rows {
+			revived = append(revived, row)
+		}
+		// Revive best-first (by the pruned column, then key for
+		// determinism): the winning candidate installs immediately and
+		// re-shadows the rest, instead of storing and re-propagating a
+		// whole improving sequence.
+		sort.Slice(revived, func(i, j int) bool {
+			ci := revived[i].tuple.Args[ps.col].Compare(revived[j].tuple.Args[ps.col])
+			if ci != 0 {
+				if ps.min {
+					return ci < 0
+				}
+				return ci > 0
+			}
+			return revived[i].tuple.Key() < revived[j].tuple.Key()
+		})
+		delete(ps.shadow, gk)
+		for _, row := range revived {
+			e.insertWithSupport(row.tuple, row.ann, row.localSupport, row.origins)
+		}
+	}
+}
+
+// insertWithSupport stores a tuple carrying explicit support bookkeeping
+// (shadow revival). It runs the same prune + storage + queue path as
+// insertFrom.
+func (e *Engine) insertWithSupport(t data.Tuple, ann Annotation, localSupport bool, origins map[string]bool) {
+	if ps, ok := e.prunes[t.Pred]; ok {
+		gk := t.ValueKey(ps.keyCols)
+		val := t.Args[ps.col]
+		if best, ok := ps.best[gk]; ok {
+			c := val.Compare(best)
+			if (ps.min && c >= 0) || (!ps.min && c <= 0) {
+				e.Stats.TuplesDropped++
+				ps.addShadowRow(gk, shadowRow{tuple: t, ann: ann, localSupport: localSupport, origins: origins})
+				return
+			}
+		}
+		ps.best[gk] = val
+		ps.dropShadow(gk, t)
+	}
+	tbl := e.table(t.Pred)
+	entry, replaced, status := tbl.InsertFull(t, ann, e.now)
+	if localSupport {
+		entry.localSupport = true
+	}
+	for o := range origins {
+		entry.addSupport(o)
+	}
+	switch status {
+	case InsertNew, InsertReplaced:
+		e.Stats.TuplesStored++
+		e.queue = append(e.queue, entry)
+		if replaced != nil {
+			e.notify(replaced.Tuple, false)
+		}
+		e.notify(t, true)
+	case InsertDuplicate:
+		merged, changed := e.hook.Merge(entry.Ann, ann)
+		entry.Ann = merged
+		if changed {
+			e.Stats.Merges++
+			e.queue = append(e.queue, entry)
+		}
+	}
+}
+
+// addShadowRow merges a full shadow row (revival path) into the group's
+// shadow.
+func (ps *pruneSpec) addShadowRow(gk string, row shadowRow) {
+	rows, ok := ps.shadow[gk]
+	if !ok {
+		rows = make(map[string]shadowRow)
+		ps.shadow[gk] = rows
+	}
+	key := row.tuple.Key()
+	if old, ok := rows[key]; ok {
+		old.localSupport = old.localSupport || row.localSupport
+		for o := range row.origins {
+			if old.origins == nil {
+				old.origins = make(map[string]bool)
+			}
+			old.origins[o] = true
+		}
+		rows[key] = old
+		return
+	}
+	rows[key] = row
+}
+
+// rederiveDeleted is DRed's re-derivation phase: every non-aggregate
+// rule is re-evaluated with emit restricted to the deleted set. Tuples
+// with an alternate derivation are re-established (and queued, so
+// downstream consequences re-propagate); previously withdrawn exports
+// that are still derivable are re-shipped to their destinations.
+func (e *Engine) rederiveDeleted(p *retractPending) {
+	e.rederive = &rederiveState{deleted: p.deleted, shipped: p.shipped}
+	for _, r := range e.rules {
+		if r.agg == nil {
+			e.evalFull(r)
+		}
+	}
+	e.rederive = nil
+}

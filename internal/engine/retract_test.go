@@ -1,0 +1,187 @@
+package engine
+
+import (
+	"testing"
+
+	"provnet/internal/data"
+	"provnet/internal/datalog"
+)
+
+func retractEngine(t *testing.T, self, src string) *Engine {
+	t.Helper()
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localized, err := datalog.Localize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Self: self})
+	if err := e.LoadProgram(localized); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+const reachProg = `
+materialize(edge, infinity, infinity, keys(1,2,3)).
+materialize(reach, infinity, infinity, keys(1,2,3)).
+r1 reach(@N,X,Y) :- edge(@N,X,Y).
+r2 reach(@N,X,Y) :- edge(@N,X,Z), reach(@N,Z,Y).
+`
+
+func TestRetractCascadesAndRederives(t *testing.T) {
+	e := retractEngine(t, "n", reachProg)
+	edge := func(x, y string) data.Tuple {
+		return data.NewTuple("edge", data.Str("n"), data.Str(x), data.Str(y))
+	}
+	for _, ed := range [][2]string{{"a", "b"}, {"b", "c"}, {"a", "c"}} {
+		e.InsertFact(edge(ed[0], ed[1]))
+	}
+	e.RunToFixpoint()
+	if got := e.Count("reach"); got != 3 {
+		t.Fatalf("reach count = %d, want 3", got)
+	}
+
+	// Cutting a→b withdraws reach(a,b); reach(a,c) survives via the
+	// direct edge (DRed re-derivation finds the alternate support).
+	ws := e.RetractFacts(edge("a", "b"))
+	if len(ws) != 0 {
+		t.Fatalf("unexpected withdrawals on single-node retraction: %v", ws)
+	}
+	e.RunToFixpoint()
+	reach := func(x, y string) data.Tuple {
+		return data.NewTuple("reach", data.Str("n"), data.Str(x), data.Str(y))
+	}
+	if e.Has(reach("a", "b")) {
+		t.Fatal("reach(a,b) should be withdrawn after cutting edge(a,b)")
+	}
+	if !e.Has(reach("a", "c")) {
+		t.Fatal("reach(a,c) should survive: the direct edge still derives it")
+	}
+	if !e.Has(reach("b", "c")) {
+		t.Fatal("reach(b,c) should be untouched")
+	}
+
+	// Cutting a→c now removes the last derivation of reach(a,c).
+	e.RetractFacts(edge("a", "c"))
+	e.RunToFixpoint()
+	if e.Has(reach("a", "c")) {
+		t.Fatal("reach(a,c) should be withdrawn after both supports are cut")
+	}
+	if e.Stats.Retracted == 0 {
+		t.Fatal("Stats.Retracted not counted")
+	}
+}
+
+const minProg = `
+materialize(e, infinity, infinity, keys(1,2,3)).
+materialize(m, infinity, infinity, keys(1,2)).
+aggSelection(e, keys(1,2), min, 3).
+m1 m(@N,X,min<C>) :- e(@N,X,C).
+`
+
+func TestRetractRevivesPrunedCandidatesAndRecomputesAggregates(t *testing.T) {
+	e := retractEngine(t, "n", minProg)
+	ev := func(c int64) data.Tuple {
+		return data.NewTuple("e", data.Str("n"), data.Str("x"), data.Int(c))
+	}
+	m := func(c int64) data.Tuple {
+		return data.NewTuple("m", data.Str("n"), data.Str("x"), data.Int(c))
+	}
+	e.InsertFact(ev(5))
+	e.InsertFact(ev(3))
+	e.InsertFact(ev(7)) // pruned: worse than the installed min 3
+	e.RunToFixpoint()
+	if !e.Has(m(3)) {
+		t.Fatalf("m = %v, want m(n,x,3)", e.Tuples("m"))
+	}
+	if e.Stats.TuplesDropped == 0 {
+		t.Fatal("expected the 7-candidate to be pruned")
+	}
+
+	// Retracting the installed min relaxes the group: the surviving row 5
+	// wins; the shadowed 7 stays shadowed (still worse than 5).
+	e.RetractFacts(ev(3))
+	e.RunToFixpoint()
+	if !e.Has(m(5)) {
+		t.Fatalf("after retracting 3: m = %v, want m(n,x,5)", e.Tuples("m"))
+	}
+
+	// Retracting 5 leaves only the shadow candidate, which must revive.
+	e.RetractFacts(ev(5))
+	e.RunToFixpoint()
+	if !e.Has(m(7)) {
+		t.Fatalf("after retracting 5: m = %v, want m(n,x,7) revived from shadow", e.Tuples("m"))
+	}
+
+	// Retracting the last support deletes the aggregate head entirely.
+	e.RetractFacts(ev(7))
+	e.RunToFixpoint()
+	if got := e.Count("m"); got != 0 {
+		t.Fatalf("after retracting all: m = %v, want empty", e.Tuples("m"))
+	}
+}
+
+const exportProg = `
+materialize(src, infinity, infinity, keys(1,2,3)).
+materialize(out, infinity, infinity, keys(1,2)).
+x1 out(@D,X) :- src(@S,D,X).
+`
+
+func TestRetractCollectsWithdrawalsForExports(t *testing.T) {
+	e := retractEngine(t, "a", exportProg)
+	src := data.NewTuple("src", data.Str("a"), data.Str("b"), data.Int(1))
+	e.InsertFact(src)
+	exports := e.RunToFixpoint()
+	if len(exports) != 1 || exports[0].Dest != "b" {
+		t.Fatalf("exports = %v, want one export to b", exports)
+	}
+	ws := e.RetractFacts(src)
+	if len(ws) != 1 || ws[0].Dest != "b" || ws[0].Tuple.Pred != "out" {
+		t.Fatalf("withdrawals = %v, want out(b,1) → b", ws)
+	}
+}
+
+func TestRetractImportedRespectsMultipleOrigins(t *testing.T) {
+	e := retractEngine(t, "b", exportProg)
+	tu := data.NewTuple("out", data.Str("b"), data.Int(1))
+	if err := e.InsertImportedFrom("a", tu, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InsertImportedFrom("c", tu, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.RunToFixpoint()
+	e.RetractImported("a", []data.Tuple{tu})
+	if !e.Has(tu) {
+		t.Fatal("tuple should survive: sender c still supports it")
+	}
+	e.RetractImported("c", []data.Tuple{tu})
+	if e.Has(tu) {
+		t.Fatal("tuple should be withdrawn once every origin retracted it")
+	}
+}
+
+func TestRetractObserverSeesWithdrawals(t *testing.T) {
+	e := retractEngine(t, "n", reachProg)
+	var added, removed int
+	e.SetOnUpdate(func(tu data.Tuple, add bool) {
+		if add {
+			added++
+		} else {
+			removed++
+		}
+	})
+	edge := data.NewTuple("edge", data.Str("n"), data.Str("a"), data.Str("b"))
+	e.InsertFact(edge)
+	e.RunToFixpoint()
+	if added != 2 { // edge + reach
+		t.Fatalf("added = %d, want 2", added)
+	}
+	e.RetractFacts(edge)
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2 (edge + reach)", removed)
+	}
+}

@@ -18,6 +18,32 @@ type Entry struct {
 	// Dead marks entries that were replaced or expired; indexes are
 	// cleaned lazily.
 	Dead bool
+
+	// Support bookkeeping for retraction (live-network churn). A tuple
+	// stays stored while any support remains: localSupport records that a
+	// base insert or a local rule derivation produced it; origins records
+	// the remote senders that shipped it. Retracting one support removes
+	// only that support; the row is deleted when none is left.
+	localSupport bool
+	origins      map[string]bool
+}
+
+// addSupport records one support source: origin "" is local (base fact or
+// rule derivation), anything else names the remote sender.
+func (en *Entry) addSupport(origin string) {
+	if origin == "" {
+		en.localSupport = true
+		return
+	}
+	if en.origins == nil {
+		en.origins = make(map[string]bool)
+	}
+	en.origins[origin] = true
+}
+
+// supported reports whether any support remains.
+func (en *Entry) supported() bool {
+	return en.localSupport || len(en.origins) > 0
 }
 
 // ExpiresAt returns the expiry time, or +inf-like behaviour via ok=false
@@ -91,26 +117,34 @@ func (t *Table) pkey(tu data.Tuple) string {
 // entry with InsertDuplicate. If a different tuple shares the primary key,
 // the old row is replaced (InsertReplaced).
 func (t *Table) Insert(tu data.Tuple, ann Annotation, now float64) (*Entry, InsertStatus) {
+	en, _, status := t.InsertFull(tu, ann, now)
+	return en, status
+}
+
+// InsertFull is Insert, additionally returning the row displaced by a
+// primary-key replacement (nil otherwise), so callers can report the
+// removal to table-update observers.
+func (t *Table) InsertFull(tu data.Tuple, ann Annotation, now float64) (*Entry, *Entry, InsertStatus) {
 	pk := t.pkey(tu)
 	if old, ok := t.rows[pk]; ok && !old.Dead {
 		if old.Tuple.Equal(tu) {
 			// Refresh soft state: a re-inserted tuple restarts its TTL.
 			old.Created = now
-			return old, InsertDuplicate
+			return old, nil, InsertDuplicate
 		}
 		old.Dead = true
 		entry := &Entry{Tuple: tu, Ann: ann, Created: now, TTL: t.ttl}
 		t.rows[pk] = entry
 		t.order = append(t.order, entry)
 		t.indexInsert(entry)
-		return entry, InsertReplaced
+		return entry, old, InsertReplaced
 	}
 	entry := &Entry{Tuple: tu, Ann: ann, Created: now, TTL: t.ttl}
 	t.rows[pk] = entry
 	t.order = append(t.order, entry)
 	t.indexInsert(entry)
 	t.evict()
-	return entry, InsertNew
+	return entry, nil, InsertNew
 }
 
 // evict enforces maxSize by killing the oldest live rows.
@@ -185,7 +219,13 @@ func (en *Entry) expired(now float64) bool {
 
 // Expire kills expired rows, returning how many.
 func (t *Table) Expire(now float64) int {
-	n := 0
+	return len(t.ExpireTuples(now))
+}
+
+// ExpireTuples kills expired rows and returns their tuples (nil when
+// nothing expired), so callers can stream the removals to subscribers.
+func (t *Table) ExpireTuples(now float64) []data.Tuple {
+	var out []data.Tuple
 	for pk, en := range t.rows {
 		if en.Dead {
 			continue
@@ -193,13 +233,13 @@ func (t *Table) Expire(now float64) int {
 		if en.expired(now) {
 			en.Dead = true
 			delete(t.rows, pk)
-			n++
+			out = append(out, en.Tuple)
 		}
 	}
-	if n > 0 {
+	if len(out) > 0 {
 		t.compact()
 	}
-	return n
+	return out
 }
 
 // compact rebuilds indexes and the order slice, dropping dead entries.

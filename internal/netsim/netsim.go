@@ -195,6 +195,20 @@ func (n *Network) Drain(to string) []Message {
 	return msgs
 }
 
+// PendingFor returns the number of undelivered messages queued for one
+// node — a per-node backlog gauge for live-network monitoring.
+func (n *Network) PendingFor(to string) int {
+	n.mu.RLock()
+	dst := n.nodes[to]
+	n.mu.RUnlock()
+	if dst == nil {
+		return 0
+	}
+	dst.mu.Lock()
+	defer dst.mu.Unlock()
+	return len(dst.queue)
+}
+
 // PendingCount returns the number of undelivered messages.
 func (n *Network) PendingCount() int {
 	n.mu.RLock()

@@ -69,6 +69,27 @@ func TestPendingCount(t *testing.T) {
 	}
 }
 
+func TestPendingFor(t *testing.T) {
+	n := New()
+	n.AddNode("a")
+	n.AddNode("b")
+	n.Send("a", "b", []byte("x"))
+	n.Send("a", "b", []byte("y"))
+	if got := n.PendingFor("b"); got != 2 {
+		t.Errorf("PendingFor(b) = %d, want 2", got)
+	}
+	if got := n.PendingFor("a"); got != 0 {
+		t.Errorf("PendingFor(a) = %d, want 0", got)
+	}
+	if got := n.PendingFor("nope"); got != 0 {
+		t.Errorf("PendingFor(unknown) = %d, want 0", got)
+	}
+	n.Drain("b")
+	if got := n.PendingFor("b"); got != 0 {
+		t.Errorf("PendingFor(b) after drain = %d, want 0", got)
+	}
+}
+
 func TestNodesOrderAndHasNode(t *testing.T) {
 	n := New()
 	for _, name := range []string{"c", "a", "b"} {

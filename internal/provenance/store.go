@@ -61,6 +61,13 @@ type Entry struct {
 	Pinned bool
 	// At is the first time the tuple's provenance was recorded.
 	At float64
+	// Stale marks provenance of a withdrawn tuple: the network no longer
+	// derives it (link churn retracted it or a keyed update replaced it),
+	// but the recorded history remains queryable — the forensic record of
+	// what the network used to believe and why. StaleAt is the logical
+	// time of the withdrawal. A re-derivation clears the flag.
+	Stale   bool
+	StaleAt float64
 }
 
 func (e *Entry) addDeriv(d Derivation) bool {
@@ -86,7 +93,7 @@ func (e *Entry) addOrigin(r Ref) bool {
 
 // clone returns a deep-enough copy for offline archival.
 func (e *Entry) clone() *Entry {
-	cp := &Entry{Key: e.Key, Tuple: e.Tuple, Pinned: e.Pinned, At: e.At}
+	cp := &Entry{Key: e.Key, Tuple: e.Tuple, Pinned: e.Pinned, At: e.At, Stale: e.Stale, StaleAt: e.StaleAt}
 	cp.Derivs = append([]Derivation{}, e.Derivs...)
 	cp.Origins = append([]Ref{}, e.Origins...)
 	return cp
@@ -223,6 +230,35 @@ func (s *Store) Forget(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.online, key)
+}
+
+// MarkStale flags a withdrawn tuple's provenance, online and offline, at
+// logical time at. The record stays queryable (live traceback during a
+// churning run sees what the network used to derive); fresh support
+// recorded later clears the flag via ClearStale.
+func (s *Store) MarkStale(key string, at float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.online[key]; ok {
+		e.Stale = true
+		e.StaleAt = at
+	}
+	if e, ok := s.offline[key]; ok {
+		e.Stale = true
+		e.StaleAt = at
+	}
+}
+
+// ClearStale unmarks a re-derived tuple's provenance.
+func (s *Store) ClearStale(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.online[key]; ok {
+		e.Stale = false
+	}
+	if e, ok := s.offline[key]; ok {
+		e.Stale = false
+	}
 }
 
 // Pin marks a tuple's provenance to persist through age-out (e.g. flagged

@@ -126,3 +126,48 @@ func TestOfflineSnapshotIsolation(t *testing.T) {
 		t.Fatalf("offline entry re-mirrored after forget: %d derivs", len(got.Derivs))
 	}
 }
+
+func TestMarkStaleAndClear(t *testing.T) {
+	s := NewStore("a")
+	s.EnableOffline(-1)
+	tu := data.NewTuple("bestPath", data.Str("a"), data.Str("c"))
+	key := KeyOf(tu)
+	s.RecordBase(tu, 1)
+
+	s.MarkStale(key, 7)
+	for tier, e := range map[string]*Entry{"online": s.Get(key), "offline": s.GetOffline(key)} {
+		if e == nil || !e.Stale || e.StaleAt != 7 {
+			t.Fatalf("%s entry = %+v, want stale at 7", tier, e)
+		}
+	}
+	// The history survives the withdrawal: stale is a flag, not a delete.
+	if s.Get(key) == nil {
+		t.Fatal("stale entry must stay queryable")
+	}
+
+	s.ClearStale(key)
+	if e := s.Get(key); e == nil || e.Stale {
+		t.Fatalf("online entry after ClearStale = %+v, want fresh", e)
+	}
+	if e := s.GetOffline(key); e == nil || e.Stale {
+		t.Fatalf("offline entry after ClearStale = %+v, want fresh", e)
+	}
+
+	// Marking a key the store never saw is a no-op, not a crash.
+	s.MarkStale("missing", 9)
+	s.ClearStale("missing")
+}
+
+func TestStaleSurvivesOfflineClone(t *testing.T) {
+	s := NewStore("a")
+	tu := data.NewTuple("link", data.Str("a"), data.Str("b"))
+	key := KeyOf(tu)
+	s.RecordBase(tu, 1)
+	s.MarkStale(key, 3)
+	// Enabling the offline tier after the fact clones the stale flag.
+	s.EnableOffline(-1)
+	s.RecordBase(tu, 4) // mirror triggers the offline clone
+	if e := s.GetOffline(key); e == nil || !e.Stale {
+		t.Fatalf("offline clone = %+v, want stale carried over", e)
+	}
+}

@@ -292,6 +292,23 @@ func (tr *Tracker) Export(t data.Tuple, ann engine.Annotation) []byte {
 	}
 }
 
+// Withdraw marks a withdrawn tuple's provenance stale in the store (live
+// link churn retracted the tuple). The record remains queryable.
+func (tr *Tracker) Withdraw(t data.Tuple) {
+	if tr.cfg.Store == nil || tr.cfg.Mode == ModeNone {
+		return
+	}
+	tr.cfg.Store.MarkStale(KeyOf(t), tr.now())
+}
+
+// Restore clears the stale flag of a re-derived tuple's provenance.
+func (tr *Tracker) Restore(t data.Tuple) {
+	if tr.cfg.Store == nil || tr.cfg.Mode == ModeNone {
+		return
+	}
+	tr.cfg.Store.ClearStale(KeyOf(t))
+}
+
 // --- authenticated provenance (§4.3) ---
 
 // sign attaches the asserting principal's signature to a tree node (its

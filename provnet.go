@@ -25,6 +25,31 @@
 //	best := n.Tuples("n0", "bestPath")
 //	expr := n.CondensedExpr("n0", best[0]) // e.g. "<n0*n3>"
 //
+// Run is the one-shot batch surface. Long-running deployments use the
+// lifecycle Driver instead: Start launches a background pump, runtime
+// mutations (Inject, SetLink, CutLink, Retract) feed the running engines
+// and re-converge incrementally — a cut link withdraws every best path
+// derived from it, across nodes, without a restart — and Subscribe
+// streams table updates as they happen. All blocking calls honor context
+// cancellation mid-round:
+//
+//	d := n.Driver()
+//	if err := d.Start(ctx); err != nil { ... }
+//	sub, _ := d.Subscribe("n0", "bestPath")
+//	go func() {
+//		for u := range sub.Updates() {
+//			fmt.Println(u.Node, u.Tuple, u.Added) // Added=false: withdrawn
+//		}
+//	}()
+//	_, _ = d.AwaitQuiescence(ctx)            // initial convergence
+//	_ = d.CutLink("n3", "n7")                // live churn
+//	rep, _ := d.AwaitQuiescence(ctx)         // incremental re-convergence
+//	_ = d.Close()
+//
+// Run(maxRounds) is a thin synchronous wrapper over the same driver, so
+// batch results are bit-identical to the pre-driver behavior under every
+// scheduler and transport knob.
+//
 // The package re-exports the supported surface of the internal packages;
 // see the README for an architectural overview and the examples directory
 // for complete programs.
@@ -55,6 +80,26 @@ type (
 	Variant = core.Variant
 	// Envelope is the signed wire unit.
 	Envelope = core.Envelope
+
+	// Driver is the live-network lifecycle surface: Start/Step/
+	// AwaitQuiescence/Close, runtime mutation (Inject, Retract, SetLink,
+	// CutLink), and Subscribe. Obtain one with Network.Driver().
+	Driver = core.Driver
+	// Update is one table change streamed to a subscription.
+	Update = core.Update
+	// Subscription streams table updates for a (node, predicate) filter.
+	Subscription = core.Subscription
+)
+
+// Lifecycle errors.
+var (
+	// ErrNoFixpoint is returned by Run when the round budget is exceeded.
+	ErrNoFixpoint = core.ErrNoFixpoint
+	// ErrDriverClosed is returned by driver operations after Close.
+	ErrDriverClosed = core.ErrClosed
+	// ErrDriverLive is returned by synchronous stepping while Start's
+	// background pump owns the round loop.
+	ErrDriverLive = core.ErrLive
 )
 
 // The paper's §6 variants.
