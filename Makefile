@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet test race bench bench-smoke bench-json fuzz examples ci
+.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json fuzz examples ci
 
 all: build
 
@@ -20,6 +20,14 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
+# staticcheck needs network access on first run (module download); CI
+# pins the same version. STATICCHECK overrides the binary, e.g. a
+# pre-installed one on an offline box.
+STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1
+
+staticcheck:
+	$(STATICCHECK) ./...
+
 test:
 	$(GO) test ./...
 
@@ -34,11 +42,12 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Transport-security benchmark matrix plus the live-churn workload,
-# recorded as CI artifacts.
+# Transport-security benchmark matrix, the live-churn workload, and the
+# intra-node sharding sweep, recorded as CI artifacts.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
 	$(GO) run ./cmd/benchjson -live -n 16 -runs 3 -out BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -shard -n 8 -runs 3 -out BENCH_pr4.json
 
 # Wire-decoder fuzzing (v1-v4 + handshake frames), same budget as CI.
 fuzz:
@@ -53,4 +62,4 @@ examples:
 	$(GO) vet ./examples/...
 	$(GO) run ./examples/quickstart
 
-ci: fmt-check vet build race fuzz examples bench-smoke bench-json
+ci: fmt-check vet staticcheck build race fuzz examples bench-smoke bench-json

@@ -404,3 +404,27 @@ func BenchmarkEnvelopeEncode(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkShardedEval measures intra-node delta-queue sharding
+// (Config.EngineShards) on the wide fan-in workload, where one hub
+// node's rule evaluation — a large delta wave self-joined against
+// itself — dominates and the transport layer is negligible. Tables,
+// stats, and export order are bit-identical across shard counts (see
+// internal/core.TestShardedMatchesSerial); eval_ms/op is the run-to-
+// fixpoint time excluding network construction. The wall-clock win
+// needs multicore hardware, like the node-level scheduler's.
+func BenchmarkShardedEval(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("engineshards=%d", shards), func(b *testing.B) {
+			var evalNs, derivs int64
+			for i := 0; i < b.N; i++ {
+				cfg := provnet.Config{EngineShards: shards}
+				rep := benchwork.ShardedFanIn(b.Fatal, cfg, 8, 64, 6, int64(5000+i))
+				evalNs += rep.CompletionTime.Nanoseconds()
+				derivs += rep.Derivations
+			}
+			b.ReportMetric(float64(evalNs)/float64(b.N)/1e6, "eval_ms/op")
+			b.ReportMetric(float64(derivs)/float64(b.N), "derivations/op")
+		})
+	}
+}

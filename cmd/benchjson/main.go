@@ -41,6 +41,18 @@ type result struct {
 	WireMB         float64 `json:"wire_mb"`
 }
 
+// shardResult is one intra-node sharding cell (BENCH_pr4): the wide
+// fan-in workload at one Config.EngineShards setting. Tables and stats
+// are bit-identical across shard counts; only wall-clock may differ
+// (and only on multicore hardware).
+type shardResult struct {
+	EngineShards int   `json:"engine_shards"`
+	NsPerOp      int64 `json:"ns_per_op"`
+	Derivations  int64 `json:"derivations"`
+	TuplesStored int64 `json:"tuples_stored"`
+	Rounds       int   `json:"rounds"`
+}
+
 // liveResult is one live-churn cell (BENCH_pr3): a single CutLink's
 // incremental re-convergence vs a full restart, averaged over runs.
 // CutLinks records every run's cut (each run uses a fresh seeded
@@ -57,13 +69,14 @@ type liveResult struct {
 }
 
 type output struct {
-	Workload string       `json:"workload"`
-	Nodes    int          `json:"nodes"`
-	Cycles   int          `json:"cycles,omitempty"`
-	Runs     int          `json:"runs"`
-	KeyBits  int          `json:"key_bits"`
-	Results  []result     `json:"results,omitempty"`
-	Live     []liveResult `json:"live_results,omitempty"`
+	Workload string        `json:"workload"`
+	Nodes    int           `json:"nodes"`
+	Cycles   int           `json:"cycles,omitempty"`
+	Runs     int           `json:"runs"`
+	KeyBits  int           `json:"key_bits"`
+	Results  []result      `json:"results,omitempty"`
+	Live     []liveResult  `json:"live_results,omitempty"`
+	Shard    []shardResult `json:"shard_results,omitempty"`
 }
 
 func main() {
@@ -72,6 +85,7 @@ func main() {
 	cycles := flag.Int("cycles", benchwork.DefaultCycles, "route-refresh cycles after initial convergence")
 	runs := flag.Int("runs", 1, "averaging runs per mode")
 	live := flag.Bool("live", false, "record the live-churn workload (CutLink re-convergence vs restart)")
+	shard := flag.Bool("shard", false, "record the intra-node sharding workload (wide fan-in, engineshards sweep)")
 	shared := cliflags.Register(nil)
 	flag.Parse()
 	// The recorded matrix IS the transport dimension: knobs that would
@@ -81,6 +95,14 @@ func main() {
 		fatal("benchjson fixes the transport matrix; -auth/-session/-unbatched/-pipelined/-churn/-rekey are not applicable")
 	}
 
+	if *shard {
+		// The shard sweep IS the engineshards dimension.
+		if shared.EngineShards != 0 {
+			fatal("-shard sweeps engineshards itself; -engineshards is not applicable")
+		}
+		recordShard(*out, *nodes, *runs, shared)
+		return
+	}
 	if *live {
 		recordLive(*out, *nodes, *runs, shared)
 		return
@@ -100,6 +122,7 @@ func main() {
 			cfg := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
 			cfg.Sequential = shared.Sequential
 			cfg.Workers = shared.Workers
+			cfg.EngineShards = shared.EngineShards
 			m.Mut(&cfg)
 			start := time.Now()
 			rep := benchwork.BestPathChurn(fatal, cfg, *nodes, *cycles, shared.KeyBits, int64(2000+i))
@@ -127,6 +150,48 @@ func main() {
 	write(*out, o)
 }
 
+// recordShard runs the BENCH_pr4 intra-node sharding workload: the
+// wide fan-in join at Config.EngineShards 1, 2, 4, and 8, where the
+// hub's rule evaluation — not transport — dominates. nodes is the
+// spoke count. Derivations/tuples/rounds are recorded alongside ns/op
+// precisely because they must NOT move across shard counts: the sweep
+// doubles as a determinism record.
+func recordShard(out string, nodes, runs int, shared *cliflags.Flags) {
+	o := output{
+		Workload: "sharded-fanin",
+		Nodes:    nodes + 1, // spokes + hub
+		Runs:     runs,
+		KeyBits:  shared.KeyBits,
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		var agg shardResult
+		agg.EngineShards = shards
+		for i := 0; i < runs; i++ {
+			cfg := provnet.Config{
+				Sequential:   shared.Sequential,
+				Workers:      shared.Workers,
+				EngineShards: shards,
+			}
+			rep := benchwork.ShardedFanIn(fatal, cfg, nodes, 64, 6, int64(4000+i))
+			// CompletionTime covers only the run to fixpoint, excluding
+			// network construction (principal key generation).
+			agg.NsPerOp += rep.CompletionTime.Nanoseconds()
+			agg.Derivations += rep.Derivations
+			agg.TuplesStored += rep.TuplesStored
+			agg.Rounds += rep.Rounds
+		}
+		k := int64(runs)
+		agg.NsPerOp /= k
+		agg.Derivations /= k
+		agg.TuplesStored /= k
+		agg.Rounds /= runs
+		o.Shard = append(o.Shard, agg)
+		fmt.Printf("engineshards=%d %12dns %8d derivations %8d tuples %3d rounds\n",
+			agg.EngineShards, agg.NsPerOp, agg.Derivations, agg.TuplesStored, agg.Rounds)
+	}
+	write(out, o)
+}
+
 // recordLive runs the BENCH_pr3 live-churn workload: one CutLink per
 // transport mode, incremental re-convergence vs restart.
 func recordLive(out string, nodes, runs int, shared *cliflags.Flags) {
@@ -143,6 +208,7 @@ func recordLive(out string, nodes, runs int, shared *cliflags.Flags) {
 			cfg := provnet.VariantConfig(provnet.VariantSeNDlog, provnet.BestPath)
 			cfg.Sequential = shared.Sequential
 			cfg.Workers = shared.Workers
+			cfg.EngineShards = shared.EngineShards
 			m.Mut(&cfg)
 			r := benchwork.LiveCutLink(fatal, cfg, nodes, shared.KeyBits, int64(3000+i))
 			agg.CutLinks = append(agg.CutLinks, r.CutFrom+"->"+r.CutTo)

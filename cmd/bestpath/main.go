@@ -15,6 +15,10 @@
 // P2 processes in 2008; ours is an in-process simulator), but the shape —
 // ordering of the three variants and overheads shrinking as N grows — is
 // the reproduction target. See EXPERIMENTS.md.
+//
+// Scheduler/transport knobs come from internal/cliflags, including
+// -engineshards (intra-node delta-queue sharding; bit-identical results
+// at any setting).
 package main
 
 import (

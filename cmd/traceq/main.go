@@ -9,7 +9,8 @@
 //
 // The scheduler, transport-security, and churn knobs are shared with the
 // other commands via internal/cliflags: -auth, -keybits, -sequential,
-// -unbatched, -workers, -session, -rekey, -pipelined, -churn, -churnseed.
+// -unbatched, -workers, -session, -rekey, -pipelined, -engineshards,
+// -churn, -churnseed.
 // With -churn N the traceback runs against the re-converged network, so
 // withdrawn tuples show up as stale provenance history.
 package main

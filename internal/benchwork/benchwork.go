@@ -14,6 +14,8 @@ package benchwork
 
 import (
 	"context"
+	"fmt"
+	"math/rand"
 	"sort"
 
 	"provnet"
@@ -118,6 +120,74 @@ func LiveBestPathChurn(fatal func(...any), cfg provnet.Config, nodes, cycles, ke
 		}
 	}
 	return rep
+}
+
+// ShardedFanInSource is the wide fan-in workload behind
+// BenchmarkShardedEval and BENCH_pr4.json: spoke nodes ship edge
+// readings to a single hub, which computes the two-hop join and a
+// per-source fan-out count. Nearly all work is the hub's intra-node
+// rule evaluation — one huge delta wave self-joined against itself —
+// so the transport layer is negligible and Config.EngineShards is the
+// knob that matters, unlike the Best-Path workloads where per-round
+// crypto and inter-node scheduling dominate.
+const ShardedFanInSource = `
+materialize(item, infinity, infinity, keys(1,2,3,4)).
+materialize(feed, infinity, infinity, keys(1,2,3)).
+materialize(two, infinity, infinity, keys(1,2,3)).
+materialize(fan, infinity, infinity, keys(1,2)).
+f1 feed(@H, X, Y) :- item(@S, H, X, Y).
+j1 two(@H, X, Z) :- feed(@H, X, Y), feed(@H, Y, Z).
+c1 fan(@H, X, count<*>) :- two(@H, X, Z).
+`
+
+// FanInHub is the hub node name of the ShardedFanIn workload.
+const FanInHub = "hub"
+
+// ShardedFanIn runs the wide fan-in workload: a random directed edge
+// set over vertices vertices (out-degree degree), spread as item facts
+// across spokes source nodes, all feeding the hub's two-hop join. It
+// returns the final report; callers vary cfg.EngineShards to measure
+// intra-node sharding (results are bit-identical across shard counts).
+func ShardedFanIn(fatal func(...any), cfg provnet.Config, spokes, vertices, degree int, seed int64) *provnet.Report {
+	cfg.Source = ShardedFanInSource
+	cfg.Seed = seed
+	cfg.ExtraNodes = append([]string{FanInHub}, spokeNames(spokes)...)
+	net, err := provnet.NewNetwork(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	names := cfg.ExtraNodes[1:]
+	i := 0
+	for x := 0; x < vertices; x++ {
+		for d := 0; d < degree; d++ {
+			y := rng.Intn(vertices - 1)
+			if y >= x {
+				y++
+			}
+			spoke := names[i%len(names)]
+			i++
+			tu := provnet.NewTuple("item",
+				provnet.Str(spoke), provnet.Str(FanInHub),
+				provnet.Str(fmt.Sprintf("v%d", x)), provnet.Str(fmt.Sprintf("v%d", y)))
+			if err := net.InsertFact(spoke, tu); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	rep, err := net.Run(0)
+	if err != nil {
+		fatal(err)
+	}
+	return rep
+}
+
+func spokeNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("s%d", i)
+	}
+	return out
 }
 
 // CutLinkResult compares one live CutLink re-convergence against a full

@@ -26,10 +26,11 @@ type Flags struct {
 	Rekey   int
 
 	// Scheduler.
-	Sequential bool
-	Unbatched  bool
-	Workers    int
-	Pipelined  bool
+	Sequential   bool
+	Unbatched    bool
+	Workers      int
+	Pipelined    bool
+	EngineShards int
 
 	// Live churn scenario: cut Churn random links (seeded by ChurnSeed)
 	// after initial convergence and re-converge incrementally.
@@ -52,6 +53,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.BoolVar(&f.Unbatched, "unbatched", false, "ship one signed envelope per tuple instead of per-round batches")
 	fs.IntVar(&f.Workers, "workers", 0, "scheduler worker goroutines per phase (0 = GOMAXPROCS)")
 	fs.BoolVar(&f.Pipelined, "pipelined", false, "seal/verify on a crypto stage overlapping rule evaluation")
+	fs.IntVar(&f.EngineShards, "engineshards", 0, "shard each node's delta queue across N intra-node eval workers (0/1 = serial; results identical)")
 	fs.IntVar(&f.Churn, "churn", 0, "after convergence, cut this many random links and re-converge incrementally")
 	fs.Int64Var(&f.ChurnSeed, "churnseed", 1, "rng seed for -churn link selection")
 	return f
@@ -71,6 +73,7 @@ func (f *Flags) Apply(cfg *provnet.Config) error {
 	cfg.Unbatched = f.Unbatched
 	cfg.Workers = f.Workers
 	cfg.PipelinedCrypto = f.Pipelined
+	cfg.EngineShards = f.EngineShards
 	return nil
 }
 

@@ -116,6 +116,17 @@ type Config struct {
 	// bit-identical either way (see TestTransportSchedulesMatch); the
 	// knob exists for A/B measurement.
 	PipelinedCrypto bool
+	// EngineShards shards each node's delta queue for intra-node
+	// parallelism: every engine partitions its evaluation waves by hash
+	// of (predicate, join-key columns) across this many read-only eval
+	// workers inside RunToFixpoint, merging emissions through a
+	// deterministic ordered-commit stage (0 or 1 = serial). Results —
+	// tables, aggregates, provenance, export order, stats — are
+	// bit-identical for every value (see TestShardedMatchesSerial). It
+	// composes with the node-level scheduler knobs: Workers parallelizes
+	// across nodes, EngineShards inside each node's fixpoint, and
+	// PipelinedCrypto overlaps crypto with both.
+	EngineShards int
 
 	// ImportFilter, when set with ModeCondensed, is consulted for every
 	// imported tuple with its provenance polynomial; rejected tuples are
@@ -344,6 +355,7 @@ func (n *Network) addNode(name string, saysSemantics bool) error {
 		OnUpdate: func(t data.Tuple, added bool) {
 			n.onEngineUpdate(name, t, added)
 		},
+		Shards: n.cfg.EngineShards,
 	})
 	if err := eng.LoadProgram(n.prog); err != nil {
 		return err

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"provnet/internal/data"
+	"provnet/internal/topo"
+)
+
+// TestSubscribeCloseInjectRace races Subscribe/Unsubscribe churn and
+// mid-round Inject/SetLink against the live pump and a concurrent
+// driver Close: nothing may deadlock (the test completes), every
+// subscription channel must close, and the drop accounting must balance
+// — two subscriptions registered on the same filter see the same
+// publish stream, so delivered+dropped must be equal on both however
+// the consumers behave. Run with -race this is the lifecycle-edge
+// coverage the PR-3 API promised.
+func TestSubscribeCloseInjectRace(t *testing.T) {
+	g := topo.Custom([]topo.Link{
+		{From: "a", To: "b", Cost: 2},
+		{From: "b", To: "c", Cost: 2},
+		{From: "c", To: "a", Cost: 2},
+	})
+	n, err := NewNetwork(Config{Source: BestPath, Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := n.Driver()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Accounting pair, registered before Start so both see every update:
+	// one consumer drains eagerly, the other never reads (exercising the
+	// drop path once its buffer fills).
+	full, err := d.Subscribe("a", "bestPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy, err := d.Subscribe("a", "bestPath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drained atomic.Int64
+	fullDone := make(chan struct{})
+	go func() {
+		defer close(fullDone)
+		for range full.Updates() {
+			drained.Add(1)
+		}
+	}()
+
+	if err := d.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				sub, err := d.Subscribe("", "")
+				if err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("Subscribe: %v", err)
+					}
+					return // Close won the race; that is the point
+				}
+				if i%2 == 0 {
+					select {
+					case <-sub.Updates():
+					default:
+					}
+				}
+				_ = sub.Dropped()
+				sub.Close()
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	injectErrs := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); i < 12; i++ {
+			if err := d.SetLink("a", "b", 1+i%4); err != nil {
+				injectErrs <- err
+				return
+			}
+			if err := d.Inject("b", data.NewTuple("link", data.Str("b"), data.Str("a"), data.Int(1+i%3))); err != nil {
+				injectErrs <- err
+				return
+			}
+		}
+		close(injectErrs)
+	}()
+
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err, ok := <-injectErrs; ok && err != nil {
+		t.Fatalf("mid-round mutation: %v", err)
+	}
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	<-fullDone // full's channel must close: no deadlock, no leak
+
+	// Drop accounting: both subscriptions observed the same stream.
+	buffered := int64(0)
+	for range lazy.Updates() {
+		buffered++
+	}
+	gotFull := drained.Load() + full.Dropped()
+	gotLazy := buffered + lazy.Dropped()
+	if gotFull != gotLazy {
+		t.Fatalf("drop accounting lost updates: full delivered+dropped = %d, lazy buffered+dropped = %d",
+			gotFull, gotLazy)
+	}
+	if gotFull == 0 {
+		t.Fatal("no updates observed at all; the workload should produce bestPath changes")
+	}
+}

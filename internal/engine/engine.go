@@ -14,6 +14,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"provnet/internal/data"
 	"provnet/internal/datalog"
@@ -97,7 +98,25 @@ type Config struct {
 	// called synchronously from the engine's (single) driving goroutine;
 	// implementations must not call back into the engine.
 	OnUpdate func(t data.Tuple, added bool)
+	// Shards partitions each evaluation wave's deltas by hash of
+	// (predicate, join-key columns) across this many read-only eval
+	// workers inside RunToFixpoint (0 or 1 = serial). Emissions always
+	// commit through a deterministic ordered stage, so tables,
+	// aggregates, provenance annotations, and export order are
+	// bit-identical for every shard count.
+	Shards int
+	// ShadowCap bounds the aggregate-selection prune shadow per group
+	// (0 = DefaultShadowCap, <0 = unbounded). Overflow evicts the
+	// least-competitive candidate; a revival that may have lost
+	// candidates to eviction falls back to restricted re-derivation.
+	ShadowCap int
 }
+
+// DefaultShadowCap is the per-group prune-shadow bound applied when
+// Config.ShadowCap is zero: enough to keep every realistic alternate
+// route revivable without letting long-churning runs grow the shadow
+// without bound.
+const DefaultShadowCap = 64
 
 // Engine is a single node's query processor. It is not safe for concurrent
 // use; the network simulator drives all nodes from one goroutine, which
@@ -116,6 +135,14 @@ type Engine struct {
 	byPred   map[string][]atomRef
 	aggState map[string]*aggGroupState // keyed by rule label + group key
 
+	// shards is the intra-node eval parallelism (>=1); shardCols maps
+	// each body predicate to the argument positions that participate in
+	// joins, the hash basis for partitioning waves across shards.
+	// shadowCap is Config.ShadowCap, resolved per pruneSpec at load.
+	shards    int
+	shardCols map[string][]int
+	shadowCap int
+
 	queue   []*Entry
 	exports []Export
 
@@ -132,6 +159,10 @@ type Engine struct {
 	// tuples deleted by the current retraction batch (DRed's re-derivation
 	// phase) instead of inserting/exporting everything.
 	rederive *rederiveState
+	// restrict, while non-nil, filters emit to local heads of a single
+	// aggregate-selection group: the shadow-eviction revival fallback,
+	// which re-derives only the candidates the bounded shadow dropped.
+	restrict *restrictState
 
 	// suppressAggEmit defers aggregate head emission during full
 	// recomputation, so the diff against the previous groups decides what
@@ -171,6 +202,12 @@ type pruneSpec struct {
 	// alternatives would be unrecoverable after a link cut (they were
 	// dropped before storage and their senders will not re-ship them).
 	shadow map[string]map[string]shadowRow
+	// cap bounds each group's shadow (<0 = unbounded): overflow evicts
+	// the least-competitive row and marks the group lossy, so a later
+	// revival knows candidates may be missing and falls back to
+	// restricted re-derivation instead of trusting the shadow alone.
+	cap   int
+	lossy map[string]bool
 }
 
 // shadowRow is one prune-rejected candidate kept for possible revival,
@@ -188,17 +225,24 @@ func New(cfg Config) *Engine {
 	if hook == nil {
 		hook = NoProv{}
 	}
+	shards := cfg.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	return &Engine{
 		self:          cfg.Self,
 		authenticated: cfg.Authenticated,
 		hook:          hook,
 		onUpdate:      cfg.OnUpdate,
+		shards:        shards,
+		shadowCap:     cfg.ShadowCap,
 		tables:        make(map[string]*Table),
 		decls:         make(map[string]*datalog.MaterializeDecl),
 		prunes:        make(map[string]*pruneSpec),
 		byPred:        make(map[string][]atomRef),
 		aggState:      make(map[string]*aggGroupState),
 		deps:          make(map[string]*depList),
+		shardCols:     make(map[string][]int),
 	}
 }
 
@@ -237,12 +281,18 @@ func (e *Engine) LoadProgram(prog *datalog.Program) error {
 		for i, c := range pr.KeyCols {
 			cols[i] = c - 1
 		}
+		shadowCap := e.shadowCap
+		if shadowCap == 0 {
+			shadowCap = DefaultShadowCap
+		}
 		e.prunes[pr.Pred] = &pruneSpec{
 			keyCols: cols,
 			col:     pr.Col - 1,
 			min:     pr.Func == datalog.AggMin,
 			best:    make(map[string]data.Value),
 			shadow:  make(map[string]map[string]shadowRow),
+			cap:     shadowCap,
+			lossy:   make(map[string]bool),
 		}
 	}
 	for _, r := range prog.Rules {
@@ -257,8 +307,81 @@ func (e *Engine) LoadProgram(prog *datalog.Program) error {
 		for i, a := range cr.atoms {
 			e.byPred[a.pred] = append(e.byPred[a.pred], atomRef{rule: cr, atom: i})
 		}
+		e.recordShardCols(cr)
 	}
 	return nil
+}
+
+// recordShardCols folds rule cr's join structure into the per-predicate
+// shard-key columns: for every body atom, the argument positions whose
+// variable occurs in more than one place within the rule's atoms (a join
+// key). Deltas hash on (predicate, those columns) when waves are
+// partitioned across shards, keeping tuples that join with each other on
+// the same worker. The choice only affects locality — evaluation is
+// read-only and commits are ordered, so any partition is correct.
+func (e *Engine) recordShardCols(cr *compiledRule) {
+	occ := make(map[int]int)
+	for _, a := range cr.atoms {
+		if a.says != nil && !a.says.isConst && a.says.slot >= 0 {
+			occ[a.says.slot]++
+		}
+		for _, p := range a.args {
+			if !p.isConst && p.slot >= 0 {
+				occ[p.slot]++
+			}
+		}
+	}
+	for _, a := range cr.atoms {
+		cols := e.shardCols[a.pred]
+		for i, p := range a.args {
+			if p.isConst || p.slot < 0 || occ[p.slot] < 2 {
+				continue
+			}
+			seen := false
+			for _, c := range cols {
+				if c == i {
+					seen = true
+					break
+				}
+			}
+			if !seen {
+				cols = append(cols, i)
+			}
+		}
+		sort.Ints(cols)
+		e.shardCols[a.pred] = cols
+	}
+}
+
+// shardOf maps a delta tuple to its evaluation shard: an FNV-1a hash of
+// the predicate and the values of its join-key columns (the whole tuple
+// key when the predicate has none recorded).
+func (e *Engine) shardOf(t data.Tuple) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	mix(t.Pred)
+	cols, ok := e.shardCols[t.Pred]
+	if !ok || len(cols) == 0 {
+		mix(t.Key())
+	} else {
+		for _, c := range cols {
+			if c < len(t.Args) {
+				mix(t.Args[c].Key())
+			}
+		}
+	}
+	return int(h % uint64(e.shards))
 }
 
 // table returns (creating if needed) the table for pred, configured from
@@ -279,6 +402,7 @@ func (e *Engine) table(pred string) *Table {
 		maxSize = d.MaxSize
 	}
 	t = NewTable(pred, keyCols, ttl, maxSize)
+	t.concurrent = e.shards > 1
 	e.tables[pred] = t
 	return t
 }
@@ -370,7 +494,13 @@ func (e *Engine) insert(t data.Tuple, ann Annotation) {
 // origin names the remote sender supporting the tuple ("" = local).
 func (e *Engine) insertFrom(t data.Tuple, ann Annotation, origin string) {
 	// Aggregate selection: drop tuples that do not improve their group.
-	if ps, ok := e.prunes[t.Pred]; ok {
+	// A tuple identical to a stored live row bypasses the prune and takes
+	// the duplicate path below instead: shadowing a stored tuple would
+	// leave a copy of it in the shadow, and a later retraction of the row
+	// would resurrect it from its own shadow entry (and the re-insert
+	// must refresh the row's TTL and merge its support, which the shadow
+	// never did).
+	if ps, ok := e.prunes[t.Pred]; ok && !e.storedLive(t) {
 		gk := t.ValueKey(ps.keyCols)
 		val := t.Args[ps.col]
 		if best, ok := ps.best[gk]; ok {
@@ -428,6 +558,47 @@ func (ps *pruneSpec) addShadow(gk string, t data.Tuple, ann Annotation, origin s
 		row.origins[origin] = true
 	}
 	rows[key] = row
+	ps.enforceCap(gk, rows)
+}
+
+// enforceCap bounds one group's shadow: when the cap is exceeded, one
+// row is dropped and the group is marked lossy so a later revival knows
+// to fall back to restricted re-derivation. Victim selection: rows with
+// local support go first — the fallback can re-derive those from this
+// node's own rules, while a remote-only row (shipped by a sender that
+// believes we still hold it) is unrecoverable once dropped. Within a
+// class, worst-first (farthest from the optimum; ties broken by key)
+// keeps the rows most likely to become the next best.
+func (ps *pruneSpec) enforceCap(gk string, rows map[string]shadowRow) {
+	if ps.cap < 0 || len(rows) <= ps.cap {
+		return
+	}
+	var worstKey string
+	var worst data.Value
+	worstLocal := false
+	for k, row := range rows {
+		betterVictim := false
+		switch {
+		case worstKey == "":
+			betterVictim = true
+		case row.localSupport != worstLocal:
+			betterVictim = row.localSupport
+		default:
+			c := row.tuple.Args[ps.col].Compare(worst)
+			if c == 0 {
+				betterVictim = k > worstKey
+			} else if ps.min {
+				betterVictim = c > 0
+			} else {
+				betterVictim = c < 0
+			}
+		}
+		if betterVictim {
+			worstKey, worst, worstLocal = k, row.tuple.Args[ps.col], row.localSupport
+		}
+	}
+	delete(rows, worstKey)
+	ps.lossy[gk] = true
 }
 
 // dropShadow removes a tuple from its group's shadow (it is being stored
@@ -443,20 +614,94 @@ func (ps *pruneSpec) dropShadow(gk string, t data.Tuple) {
 
 // RunToFixpoint processes queued tuples until this node has no more local
 // work, returning (and clearing) the exports destined to other nodes.
+//
+// The queue drains in waves: each wave takes the current delta batch,
+// evaluates every live entry read-only against the stored tables —
+// partitioned by shardOf across Config.Shards workers when sharding is
+// on — and then commits the collected firings through emit in batch
+// order. Because evaluation never writes and the commit stage replays
+// emissions in the deterministic wave order, tables, aggregates,
+// provenance annotations, export order, and stats are bit-identical for
+// every shard count; the FIFO queue the waves replace processed entries
+// in this same breadth-first order. Two visibility edges are pinned
+// down deterministically where the FIFO left them to arrival order: a
+// tuple derived mid-wave becomes joinable only from the next wave (the
+// FIFO exposed it to the remainder of the current batch), and an entry
+// primary-key-replaced by an earlier commit of its own wave still
+// commits its collected firings (the FIFO fired or skipped it depending
+// on queue position). Both orderings are legal semi-naive schedules;
+// the waves always pick the same one.
 func (e *Engine) RunToFixpoint() []Export {
 	for len(e.queue) > 0 {
-		entry := e.queue[0]
-		e.queue = e.queue[1:]
-		if entry.Dead {
-			continue
-		}
-		for _, ref := range e.byPred[entry.Tuple.Pred] {
-			e.evalDelta(ref.rule, ref.atom, entry)
-		}
+		batch := e.queue
+		e.queue = nil
+		e.runWave(batch)
 	}
 	out := e.exports
 	e.exports = nil
 	return out
+}
+
+// runWave evaluates one delta batch and commits its firings in order.
+func (e *Engine) runWave(batch []*Entry) {
+	live := batch[:0]
+	for _, en := range batch {
+		if !en.Dead {
+			live = append(live, en)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	fired := make([][]pending, len(live))
+	if e.shards > 1 && len(live) > 1 {
+		e.evalWaveSharded(live, fired)
+	} else {
+		for i, en := range live {
+			fired[i] = e.evalEntry(en)
+		}
+	}
+	for i := range fired {
+		for _, p := range fired[i] {
+			e.emit(p.r, p.head, p.dest, p.body)
+		}
+	}
+}
+
+// evalEntry collects the firings of one delta entry (read-only).
+func (e *Engine) evalEntry(en *Entry) []pending {
+	var sink []pending
+	for _, ref := range e.byPred[en.Tuple.Pred] {
+		e.evalDelta(ref.rule, ref.atom, en, &sink)
+	}
+	return sink
+}
+
+// evalWaveSharded partitions the wave by shardOf and evaluates each
+// shard on its own worker. Workers only read engine state (tables,
+// compiled rules, the clock) and write disjoint fired slots, so the
+// only synchronization needed is the tables' lazy-index lock and the
+// final barrier.
+func (e *Engine) evalWaveSharded(live []*Entry, fired [][]pending) {
+	shards := make([][]int, e.shards)
+	for i, en := range live {
+		s := e.shardOf(en.Tuple)
+		shards[s] = append(shards[s], i)
+	}
+	var wg sync.WaitGroup
+	for _, idxs := range shards {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				fired[i] = e.evalEntry(live[i])
+			}
+		}(idxs)
+	}
+	wg.Wait()
 }
 
 // Pending reports whether the engine has queued work.
@@ -475,11 +720,22 @@ func (e *Engine) emit(r *compiledRule, head data.Tuple, dest string, body []AnnT
 		// Aggregates are computed where the tuples live; a remote
 		// aggregate head would need re-aggregation at the destination,
 		// which the paper's programs never use. Retraction recomputes them
-		// wholesale, so the rederive pass skips them.
-		if e.rederive == nil {
+		// wholesale, so the rederive pass skips them, and the restricted
+		// shadow-revival pass only re-derives prune candidates.
+		if e.rederive == nil && e.restrict == nil {
 			e.aggContribute(r, head, body)
 		}
 		return
+	}
+	if e.restrict != nil {
+		// Shadow-eviction fallback: only local heads of the lossy prune
+		// group re-enter the insert path (and its prune), where they
+		// either install or re-shadow. Everything else is still stored
+		// or already shipped and must not re-propagate.
+		if dest != e.self || head.Pred != e.restrict.pred ||
+			head.ValueKey(e.restrict.keyCols) != e.restrict.gk {
+			return
+		}
 	}
 	// Record the dependency edges body → head for retraction cascades.
 	for _, b := range body {
@@ -532,7 +788,10 @@ func (e *Engine) Count(pred string) int {
 }
 
 // Has reports whether the exact tuple is currently stored and live.
-func (e *Engine) Has(t data.Tuple) bool {
+func (e *Engine) Has(t data.Tuple) bool { return e.storedLive(t) }
+
+// storedLive reports whether the exact tuple is stored and unexpired.
+func (e *Engine) storedLive(t data.Tuple) bool {
 	tbl, ok := e.tables[t.Pred]
 	if !ok {
 		return false
@@ -553,6 +812,23 @@ func (e *Engine) AnnotationOf(t data.Tuple) Annotation {
 	return nil
 }
 
+// ShadowSize reports the total number of prune-shadow rows retained
+// across every aggregate-selection group — the quantity the per-group
+// cap bounds (see Config.ShadowCap).
+func (e *Engine) ShadowSize() int {
+	n := 0
+	for _, ps := range e.prunes {
+		for _, rows := range ps.shadow {
+			n += len(rows)
+		}
+	}
+	return n
+}
+
+// DepSize reports the number of body-tuple keys in the retraction
+// dependency index — the structure Expire must purge alongside tables.
+func (e *Engine) DepSize() int { return len(e.deps) }
+
 // Predicates returns the names of all tables with live tuples.
 func (e *Engine) Predicates() []string {
 	var out []string
@@ -568,9 +844,19 @@ func (e *Engine) Predicates() []string {
 // Expire advances the clock and removes expired soft-state, then
 // recomputes aggregates from scratch (sliding-window semantics for
 // aggregates over soft-state tables, §2.1).
+//
+// Expired tuples run the same bookkeeping cleanup a retraction runs:
+// their dependency-index entries are purged (they drove the cascade
+// walk; leaving them would leak memory on long soft-state runs and let
+// a later BeginRetract walk dependents through tuples that no longer
+// exist), and aggregate-selection groups whose installed optimum
+// expired are relaxed so shadowed candidates compete again instead of
+// being measured against a vanished best. Unlike a retraction, expiry
+// does not cascade: derived soft state carries its own TTL.
 func (e *Engine) Expire(now float64) {
 	e.now = now
 	expired := 0
+	var groups map[string]pruneGroup
 	names := make([]string, 0, len(e.tables))
 	for name := range e.tables {
 		names = append(names, name)
@@ -580,11 +866,30 @@ func (e *Engine) Expire(now float64) {
 		gone := e.tables[name].ExpireTuples(now)
 		expired += len(gone)
 		data.SortTuples(gone)
+		ps := e.prunes[name]
 		for _, t := range gone {
 			e.notify(t, false)
+			delete(e.deps, t.Key())
+			if ps == nil {
+				continue
+			}
+			gk := t.ValueKey(ps.keyCols)
+			if groups == nil {
+				groups = make(map[string]pruneGroup)
+			}
+			if _, seen := groups[gk]; !seen {
+				vals := make([]data.Value, len(ps.keyCols))
+				for i, c := range ps.keyCols {
+					vals[i] = t.Args[c]
+				}
+				groups[gk] = pruneGroup{ps: ps, pred: name, gk: gk, vals: vals}
+			}
 		}
 	}
 	e.Stats.Expired += int64(expired)
+	if len(groups) > 0 {
+		e.reviveShadows(groups)
+	}
 	if expired > 0 {
 		e.recomputeAggregates()
 	}

@@ -6,10 +6,25 @@ import (
 	"provnet/internal/data"
 )
 
+// pending is one rule firing captured during read-only evaluation,
+// awaiting the ordered-commit stage. Capturing firings instead of
+// committing them inline is what lets a wave of deltas evaluate on
+// several shard workers at once while tables, aggregates, provenance
+// annotations, and export order stay bit-identical for every shard
+// count: evaluation never writes, and the commit replay happens in
+// deterministic wave order on the driving goroutine.
+type pending struct {
+	r    *compiledRule
+	head data.Tuple
+	dest string
+	body []AnnTuple
+}
+
 // evalDelta runs rule r with the delta entry bound at body atom atomIdx,
 // joining the remaining atoms against the stored tables (semi-naive
-// evaluation).
-func (e *Engine) evalDelta(r *compiledRule, atomIdx int, delta *Entry) {
+// evaluation). With a non-nil sink, firings are collected instead of
+// committed (the sharded wave path); a nil sink commits through emit.
+func (e *Engine) evalDelta(r *compiledRule, atomIdx int, delta *Entry, sink *[]pending) {
 	if !e.ruleActive(r) {
 		return
 	}
@@ -26,12 +41,12 @@ func (e *Engine) evalDelta(r *compiledRule, atomIdx int, delta *Entry) {
 	}
 	body := make([]AnnTuple, len(r.atoms))
 	body[atomIdx] = AnnTuple{Tuple: delta.Tuple, Ann: delta.Ann}
-	e.evalSteps(r, 0, atomIdx, env, body, &trail)
+	e.evalSteps(r, 0, atomIdx, env, body, &trail, sink)
 }
 
 // evalFull evaluates rule r from scratch over the stored tables (used for
-// aggregate recomputation).
-func (e *Engine) evalFull(r *compiledRule) {
+// aggregate recomputation and DRed re-derivation). sink as in evalDelta.
+func (e *Engine) evalFull(r *compiledRule, sink *[]pending) {
 	if !e.ruleActive(r) {
 		return
 	}
@@ -44,7 +59,7 @@ func (e *Engine) evalFull(r *compiledRule) {
 		return
 	}
 	body := make([]AnnTuple, len(r.atoms))
-	e.evalSteps(r, 0, -1, env, body, &trail)
+	e.evalSteps(r, 0, -1, env, body, &trail, sink)
 }
 
 // ruleActive reports whether the rule applies at this node at all.
@@ -59,21 +74,26 @@ func (e *Engine) ruleActive(r *compiledRule) bool {
 }
 
 // evalSteps walks the rule plan from step si; atom skipAtom is already
-// bound (the delta), -1 for full evaluation.
-func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []AnnTuple, trail *[]int) {
+// bound (the delta), -1 for full evaluation. It only reads engine state
+// (tables are probed, never created), so shard workers may run it
+// concurrently between commit stages.
+func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []AnnTuple, trail *[]int, sink *[]pending) {
 	if si == len(r.steps) {
-		e.fire(r, env, body)
+		e.fire(r, env, body, sink)
 		return
 	}
 	st := r.steps[si]
 	switch st.kind {
 	case stepAtom:
 		if st.atom == skipAtom {
-			e.evalSteps(r, si+1, skipAtom, env, body, trail)
+			e.evalSteps(r, si+1, skipAtom, env, body, trail, sink)
 			return
 		}
 		spec := &r.atoms[st.atom]
-		tbl := e.table(spec.pred)
+		tbl := e.tables[spec.pred]
+		if tbl == nil {
+			return // no table yet: the atom cannot match
+		}
 		// Probe the index on the columns already bound.
 		var cols []int
 		var vals []data.Value
@@ -91,7 +111,7 @@ func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []A
 			mark := len(*trail)
 			if e.matchAtom(spec, en, env, trail) {
 				body[st.atom] = AnnTuple{Tuple: en.Tuple, Ann: en.Ann}
-				e.evalSteps(r, si+1, skipAtom, env, body, trail)
+				e.evalSteps(r, si+1, skipAtom, env, body, trail, sink)
 			}
 			env.undo(trail, mark)
 		}
@@ -102,7 +122,7 @@ func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []A
 		}
 		mark := len(*trail)
 		if env.bindOrCheck(st.assignSlot, v, trail) {
-			e.evalSteps(r, si+1, skipAtom, env, body, trail)
+			e.evalSteps(r, si+1, skipAtom, env, body, trail, sink)
 		}
 		env.undo(trail, mark)
 	case stepCond:
@@ -110,7 +130,7 @@ func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []A
 		if err != nil || !v.IsTrue() {
 			return
 		}
-		e.evalSteps(r, si+1, skipAtom, env, body, trail)
+		e.evalSteps(r, si+1, skipAtom, env, body, trail, sink)
 	}
 }
 
@@ -142,8 +162,10 @@ func (e *Engine) matchAtom(spec *atomSpec, en *Entry, env *env, trail *[]int) bo
 	return true
 }
 
-// fire constructs the head tuple from the environment and routes it.
-func (e *Engine) fire(r *compiledRule, env *env, body []AnnTuple) {
+// fire constructs the head tuple from the environment and routes it:
+// straight into emit (serial contexts), or onto the sink for the wave's
+// ordered-commit stage.
+func (e *Engine) fire(r *compiledRule, env *env, body []AnnTuple, sink *[]pending) {
 	args := make([]data.Value, len(r.headArgs))
 	for i, p := range r.headArgs {
 		switch {
@@ -185,6 +207,10 @@ func (e *Engine) fire(r *compiledRule, env *env, body []AnnTuple) {
 		if b.Tuple.Pred != "" {
 			bodyCopy = append(bodyCopy, b)
 		}
+	}
+	if sink != nil {
+		*sink = append(*sink, pending{r: r, head: head, dest: dest, body: bodyCopy})
+		return
 	}
 	e.emit(r, head, dest, bodyCopy)
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sort"
+	"sync"
 
 	"provnet/internal/data"
 )
@@ -130,6 +131,16 @@ func (p *retractPending) empty() bool {
 type rederiveState struct {
 	deleted map[string]bool
 	shipped map[string]bool
+}
+
+// restrictState restricts emit to local heads of one aggregate-selection
+// group while the shadow-eviction revival fallback re-derives the
+// candidates a bounded shadow dropped. Mutually exclusive with
+// rederiveState: revival runs before the DRed re-derivation phase.
+type restrictState struct {
+	pred    string
+	gk      string
+	keyCols []int
 }
 
 // retractMode distinguishes which support a retraction removes.
@@ -440,39 +451,61 @@ func (e *Engine) reviveShadows(groups map[string]pruneGroup) {
 			}
 		}
 		rows := ps.shadow[gk]
-		if len(rows) == 0 {
-			continue
-		}
-		revived := make([]shadowRow, 0, len(rows))
-		for _, row := range rows {
-			revived = append(revived, row)
-		}
-		// Revive best-first (by the pruned column, then key for
-		// determinism): the winning candidate installs immediately and
-		// re-shadows the rest, instead of storing and re-propagating a
-		// whole improving sequence.
-		sort.Slice(revived, func(i, j int) bool {
-			ci := revived[i].tuple.Args[ps.col].Compare(revived[j].tuple.Args[ps.col])
-			if ci != 0 {
-				if ps.min {
-					return ci < 0
-				}
-				return ci > 0
+		if len(rows) > 0 {
+			revived := make([]shadowRow, 0, len(rows))
+			for _, row := range rows {
+				revived = append(revived, row)
 			}
-			return revived[i].tuple.Key() < revived[j].tuple.Key()
-		})
-		delete(ps.shadow, gk)
-		for _, row := range revived {
-			e.insertWithSupport(row.tuple, row.ann, row.localSupport, row.origins)
+			// Revive best-first (by the pruned column, then key for
+			// determinism): the winning candidate installs immediately and
+			// re-shadows the rest, instead of storing and re-propagating a
+			// whole improving sequence.
+			sort.Slice(revived, func(i, j int) bool {
+				ci := revived[i].tuple.Args[ps.col].Compare(revived[j].tuple.Args[ps.col])
+				if ci != 0 {
+					if ps.min {
+						return ci < 0
+					}
+					return ci > 0
+				}
+				return revived[i].tuple.Key() < revived[j].tuple.Key()
+			})
+			delete(ps.shadow, gk)
+			for _, row := range revived {
+				e.insertWithSupport(row.tuple, row.ann, row.localSupport, row.origins)
+			}
+		}
+		if ps.lossy[gk] {
+			// The bounded shadow evicted candidates from this group: what
+			// survives in the shadow is not the full alternative set, so
+			// re-derive the group's candidates from live state (restricted
+			// to this group) and let the prune re-rank them.
+			delete(ps.lossy, gk)
+			e.rederiveGroup(g)
 		}
 	}
 }
 
+// rederiveGroup is the shadow-eviction revival fallback: every
+// non-aggregate rule producing the pruned predicate re-evaluates with
+// emit restricted to local heads of group g, re-entering the insert
+// path where each candidate installs or re-shadows. It runs serially —
+// eviction-miss revivals are rare — and deterministically.
+func (e *Engine) rederiveGroup(g pruneGroup) {
+	e.restrict = &restrictState{pred: g.pred, gk: g.gk, keyCols: g.ps.keyCols}
+	for _, r := range e.rules {
+		if r.agg == nil && r.headPred == g.pred {
+			e.evalFull(r, nil)
+		}
+	}
+	e.restrict = nil
+}
+
 // insertWithSupport stores a tuple carrying explicit support bookkeeping
 // (shadow revival). It runs the same prune + storage + queue path as
-// insertFrom.
+// insertFrom, including the stored-live bypass (see insertFrom).
 func (e *Engine) insertWithSupport(t data.Tuple, ann Annotation, localSupport bool, origins map[string]bool) {
-	if ps, ok := e.prunes[t.Pred]; ok {
+	if ps, ok := e.prunes[t.Pred]; ok && !e.storedLive(t) {
 		gk := t.ValueKey(ps.keyCols)
 		val := t.Args[ps.col]
 		if best, ok := ps.best[gk]; ok {
@@ -533,6 +566,7 @@ func (ps *pruneSpec) addShadowRow(gk string, row shadowRow) {
 		return
 	}
 	rows[key] = row
+	ps.enforceCap(gk, rows)
 }
 
 // rederiveDeleted is DRed's re-derivation phase: every non-aggregate
@@ -540,11 +574,49 @@ func (ps *pruneSpec) addShadowRow(gk string, row shadowRow) {
 // with an alternate derivation are re-established (and queued, so
 // downstream consequences re-propagate); previously withdrawn exports
 // that are still derivable are re-shipped to their destinations.
+//
+// The phase shards like RunToFixpoint's waves: rules are evaluated
+// read-only on up to Config.Shards workers (the shard unit here is the
+// rule — each rule's full evaluation is one independent read-only
+// pass), then the collected firings commit in rule order under the
+// rederive filter, so the repair is bit-identical for every shard
+// count. The over-delete walk itself stays serial: its per-entry
+// support arithmetic (localSupport / origins mutation) is
+// order-dependent, and the walk is index lookups, not rule evaluation —
+// there is nothing expensive to parallelize.
 func (e *Engine) rederiveDeleted(p *retractPending) {
-	e.rederive = &rederiveState{deleted: p.deleted, shipped: p.shipped}
+	var rules []*compiledRule
 	for _, r := range e.rules {
 		if r.agg == nil {
-			e.evalFull(r)
+			rules = append(rules, r)
+		}
+	}
+	fired := make([][]pending, len(rules))
+	if e.shards > 1 && len(rules) > 1 {
+		workers := e.shards
+		if workers > len(rules) {
+			workers = len(rules)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(rules); i += workers {
+					e.evalFull(rules[i], &fired[i])
+				}
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		for i, r := range rules {
+			e.evalFull(r, &fired[i])
+		}
+	}
+	e.rederive = &rederiveState{deleted: p.deleted, shipped: p.shipped}
+	for i := range fired {
+		for _, pd := range fired[i] {
+			e.emit(pd.r, pd.head, pd.dest, pd.body)
 		}
 	}
 	e.rederive = nil

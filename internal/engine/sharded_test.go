@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"provnet/internal/data"
+	"provnet/internal/datalog"
+)
+
+// newShardedNode builds an engine with an explicit shard count and
+// shadow cap.
+func newShardedNode(t testing.TB, self, src string, shards, shadowCap int) *Engine {
+	t.Helper()
+	prog, err := datalog.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localized, err := datalog.Localize(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{Self: self, Shards: shards, ShadowCap: shadowCap})
+	if err := e.LoadProgram(localized); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// snapshotEngine renders every live tuple of an engine, sorted.
+func snapshotEngine(e *Engine) string {
+	var b strings.Builder
+	for _, pred := range e.Predicates() {
+		for _, tu := range e.Tuples(pred) {
+			fmt.Fprintf(&b, "%s\n", tu)
+		}
+	}
+	return b.String()
+}
+
+// exportSig renders an export slice order-sensitively: the sharded
+// ordered-commit stage must reproduce serial export order bit for bit.
+func exportSig(exports []Export) string {
+	var b strings.Builder
+	for _, ex := range exports {
+		fmt.Fprintf(&b, "%s<-%s\n", ex.Dest, ex.Tuple)
+	}
+	return b.String()
+}
+
+// mirrorProg derives transitive reachability locally and mirrors it to
+// every peer — local recursion for wave depth plus remote heads for
+// export-order checking.
+const mirrorProg = `
+materialize(edge, infinity, infinity, keys(1,2,3)).
+materialize(peer, infinity, infinity, keys(1,2)).
+materialize(reach, infinity, infinity, keys(1,2,3)).
+materialize(mir, infinity, infinity, keys(1,2,3)).
+r1 reach(@N,X,Y) :- edge(@N,X,Y).
+r2 reach(@N,X,Y) :- edge(@N,X,Z), reach(@N,Z,Y).
+r3 mir(@O,X,Y) :- reach(@N,X,Y), peer(@N,O).
+`
+
+// TestShardedEngineMatchesSerial drives one engine serially and one with
+// eight shards through the same insert/retract/fixpoint script and
+// requires identical exports (including order) at every fixpoint,
+// identical tables, and identical stats — the engine-level half of the
+// TestShardedMatchesSerial pin, with retraction interleaved.
+func TestShardedEngineMatchesSerial(t *testing.T) {
+	serial := newShardedNode(t, "a", mirrorProg, 1, 0)
+	sharded := newShardedNode(t, "a", mirrorProg, 8, 0)
+	engines := []*Engine{serial, sharded}
+
+	edge := func(x, y int) data.Tuple {
+		return data.NewTuple("edge", data.Str("a"),
+			data.Str(fmt.Sprintf("v%d", x)), data.Str(fmt.Sprintf("v%d", y)))
+	}
+	both := func(f func(e *Engine)) {
+		for _, e := range engines {
+			f(e)
+		}
+	}
+	fixpoint := func(step string) {
+		t.Helper()
+		a, b := serial.RunToFixpoint(), sharded.RunToFixpoint()
+		if x, y := exportSig(a), exportSig(b); x != y {
+			t.Fatalf("%s: export order differs\n--- serial ---\n%s--- sharded ---\n%s", step, x, y)
+		}
+	}
+
+	both(func(e *Engine) {
+		e.InsertFact(data.NewTuple("peer", data.Str("a"), data.Str("b")))
+		// A chain plus chords: multi-wave recursion with plenty of deltas
+		// per wave to spread across shards.
+		for i := 0; i < 12; i++ {
+			e.InsertFact(edge(i, i+1))
+		}
+		e.InsertFact(edge(0, 6))
+		e.InsertFact(edge(3, 9))
+	})
+	fixpoint("initial convergence")
+
+	both(func(e *Engine) { e.RetractFacts(edge(5, 6)) })
+	fixpoint("after cutting the chain")
+
+	both(func(e *Engine) { e.InsertFact(edge(5, 6)) })
+	fixpoint("after restoring the chain")
+
+	if a, b := snapshotEngine(serial), snapshotEngine(sharded); a != b {
+		t.Fatalf("tables differ\n--- serial ---\n%s--- sharded ---\n%s", a, b)
+	}
+	if serial.Stats != sharded.Stats {
+		t.Errorf("stats differ: serial %+v, sharded %+v", serial.Stats, sharded.Stats)
+	}
+}
+
+const softDepsProg = `
+materialize(link, 8, infinity, keys(1,2,3)).
+materialize(route, infinity, infinity, keys(1,2,3)).
+s1 route(@N,Y,C) :- link(@N,Y,C).
+`
+
+// TestExpirePurgesRetractionBookkeeping is the regression test for the
+// Expire leak: expired tuples must leave the dependency index, and a
+// retraction issued after their expiry must not walk dependents through
+// them.
+func TestExpirePurgesRetractionBookkeeping(t *testing.T) {
+	e := retractEngine(t, "n", softDepsProg)
+	link := data.NewTuple("link", data.Str("n"), data.Str("b"), data.Int(2))
+	route := data.NewTuple("route", data.Str("n"), data.Str("b"), data.Int(2))
+	e.InsertFact(link)
+	e.RunToFixpoint()
+	if !e.Has(route) {
+		t.Fatal("route not derived")
+	}
+	if e.DepSize() == 0 {
+		t.Fatal("dependency index empty after derivation")
+	}
+
+	e.Expire(10) // past the link TTL
+	if e.Has(link) {
+		t.Fatal("link should have expired")
+	}
+	if got := e.DepSize(); got != 0 {
+		t.Fatalf("dependency index holds %d entries after expiry, want 0 (leak)", got)
+	}
+
+	// Re-inserting and retracting the same fact must cascade only through
+	// the fresh derivation, not resurrect stale pre-expiry bookkeeping.
+	e.InsertFact(link)
+	e.RunToFixpoint()
+	before := e.Stats.Retracted
+	e.RetractFacts(link)
+	if e.Has(route) {
+		t.Fatal("route should be withdrawn with its only support")
+	}
+	if got := e.Stats.Retracted - before; got != 2 { // link + route
+		t.Fatalf("retraction cascade removed %d tuples, want 2", got)
+	}
+	if got := e.DepSize(); got != 0 {
+		t.Fatalf("dependency index holds %d entries after full retraction, want 0", got)
+	}
+}
+
+const softMinProg = `
+materialize(e, 8, infinity, keys(1,2,3)).
+materialize(m, infinity, infinity, keys(1,2)).
+aggSelection(e, keys(1,2), min, 3).
+m1 m(@N,X,min<C>) :- e(@N,X,C).
+`
+
+// TestExpireRelaxesPruneGroup: when the installed optimum of an
+// aggregate-selection group expires, the group's bar must relax and
+// shadowed candidates must compete again — previously the stale best
+// stayed installed and every later candidate was measured against a
+// vanished tuple.
+func TestExpireRelaxesPruneGroup(t *testing.T) {
+	e := retractEngine(t, "n", softMinProg)
+	ev := func(c int64) data.Tuple {
+		return data.NewTuple("e", data.Str("n"), data.Str("x"), data.Int(c))
+	}
+	e.InsertFact(ev(3))
+	e.RunToFixpoint()
+	e.SetNow(5)
+	e.InsertFact(ev(7)) // shadowed: worse than the installed 3
+	e.RunToFixpoint()
+	if e.Has(ev(7)) {
+		t.Fatal("the 7-candidate should be pruned while 3 is live")
+	}
+
+	e.Expire(10) // 3 (created at 0) expires; 7 (created at 5) survives
+	e.RunToFixpoint()
+	if e.Has(ev(3)) {
+		t.Fatal("the 3-candidate should have expired")
+	}
+	if !e.Has(ev(7)) {
+		t.Fatal("the shadowed 7-candidate should be revived once the expired optimum is gone")
+	}
+	if got := e.Tuples("m"); len(got) != 1 || got[0].Args[2].Int != 7 {
+		t.Fatalf("m = %v, want m(n,x,7)", got)
+	}
+}
+
+// TestShadowCapBoundsAndFallback pins the bounded shadow cache: the
+// per-group shadow never exceeds its cap (worst-first eviction), and a
+// revival that lost candidates to eviction falls back to restricted
+// re-derivation so the next-best tuple is still found.
+func TestShadowCapBoundsAndFallback(t *testing.T) {
+	const srcMinProg = `
+materialize(src, infinity, infinity, keys(1,2,3)).
+materialize(e, infinity, infinity, keys(1,2,3)).
+materialize(m, infinity, infinity, keys(1,2)).
+aggSelection(e, keys(1,2), min, 3).
+d1 e(@N,X,C) :- src(@N,X,C).
+m1 m(@N,X,min<C>) :- e(@N,X,C).
+`
+	e := newShardedNode(t, "n", srcMinProg, 1, 2)
+	src := func(c int64) data.Tuple {
+		return data.NewTuple("src", data.Str("n"), data.Str("x"), data.Int(c))
+	}
+	m := func(c int64) data.Tuple {
+		return data.NewTuple("m", data.Str("n"), data.Str("x"), data.Int(c))
+	}
+	for c := int64(1); c <= 6; c++ {
+		e.InsertFact(src(c))
+		e.RunToFixpoint()
+		if got := e.ShadowSize(); got > 2 {
+			t.Fatalf("shadow size %d exceeds cap 2", got)
+		}
+	}
+	if !e.Has(m(1)) {
+		t.Fatalf("m = %v, want m(n,x,1)", e.Tuples("m"))
+	}
+
+	// Retract the best repeatedly: each revival must install the true
+	// next-best even though candidates beyond the cap were evicted and
+	// only exist via the re-derivation fallback.
+	for want := int64(2); want <= 6; want++ {
+		e.RetractFacts(src(want - 1))
+		e.RunToFixpoint()
+		if !e.Has(m(want)) {
+			t.Fatalf("after retracting %d: m = %v, want m(n,x,%d)", want-1, e.Tuples("m"), want)
+		}
+		if got := e.ShadowSize(); got > 2 {
+			t.Fatalf("shadow size %d exceeds cap 2 during churn", got)
+		}
+	}
+}
+
+// TestShadowStaysBoundedUnderChurn is the long-churn pin: cycles of
+// improving candidates from many origins must not grow the shadow past
+// its cap, while the installed best stays correct.
+func TestShadowStaysBoundedUnderChurn(t *testing.T) {
+	e := newShardedNode(t, "n", softMinProg, 4, 8)
+	ev := func(c int64) data.Tuple {
+		return data.NewTuple("e", data.Str("n"), data.Str("x"), data.Int(c))
+	}
+	max := 0
+	for cycle := int64(0); cycle < 50; cycle++ {
+		// A burst of worse candidates from rotating origins, then a new
+		// best — the refresh-heavy regime that grew the shadow unboundedly.
+		for i := int64(1); i <= 10; i++ {
+			if err := e.InsertImportedFrom(fmt.Sprintf("o%d", (cycle+i)%7), ev(1000-cycle+i), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		e.InsertFact(ev(1000 - cycle - 1))
+		e.RunToFixpoint()
+		if s := e.ShadowSize(); s > max {
+			max = s
+		}
+	}
+	if max > 8 {
+		t.Fatalf("shadow grew to %d rows, want ≤ cap 8", max)
+	}
+	if got := e.Tuples("m"); len(got) != 1 || got[0].Args[2].Int != 1000-49-1 {
+		t.Fatalf("m = %v, want min %d", got, 1000-49-1)
+	}
+}
+
+// FuzzShardedRetract interleaves inserts, retractions, expiry, and
+// fixpoints on a serial and an 8-shard engine (with a tiny shadow cap to
+// exercise eviction) and requires identical tables, exports, and stats
+// at every step — the fuzz seed required for sharded eval with
+// retraction interleaved.
+func FuzzShardedRetract(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 8, 0, 5, 1, 1, 2, 8, 3, 0})
+	f.Add([]byte{0, 0, 1, 0, 1, 2, 8, 2, 0, 3, 1, 0, 1, 8, 3, 7, 0, 9, 9})
+	f.Add([]byte{0, 1, 1, 0, 2, 1, 0, 1, 1, 8, 0, 3, 3, 3, 2, 2, 0, 4, 4})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		const fuzzProg = `
+materialize(link, 16, infinity, keys(1,2,3)).
+materialize(cost, infinity, infinity, keys(1,2,3)).
+materialize(m, infinity, infinity, keys(1,2)).
+aggSelection(cost, keys(1,2), min, 3).
+c1 cost(@N,Y,C) :- link(@N,Y,C).
+m1 m(@N,Y,min<C>) :- cost(@N,Y,C).
+`
+		serial := newShardedNode(t, "n", fuzzProg, 1, 2)
+		sharded := newShardedNode(t, "n", fuzzProg, 8, 2)
+		now := 0.0
+		link := func(y, c byte) data.Tuple {
+			return data.NewTuple("link", data.Str("n"),
+				data.Str(fmt.Sprintf("y%d", y%3)), data.Int(int64(c%9)))
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			op, y, c := ops[i]%4, ops[i+1], ops[i+2]
+			switch op {
+			case 0:
+				serial.InsertFact(link(y, c))
+				sharded.InsertFact(link(y, c))
+			case 1:
+				serial.RetractFacts(link(y, c))
+				sharded.RetractFacts(link(y, c))
+			case 2:
+				a, b := serial.RunToFixpoint(), sharded.RunToFixpoint()
+				if x, yy := exportSig(a), exportSig(b); x != yy {
+					t.Fatalf("op %d: exports differ\n%s---\n%s", i, x, yy)
+				}
+			case 3:
+				now += float64(c % 8)
+				serial.Expire(now)
+				sharded.Expire(now)
+			}
+			if a, b := snapshotEngine(serial), snapshotEngine(sharded); a != b {
+				t.Fatalf("op %d: tables differ\n--- serial ---\n%s--- sharded ---\n%s", i, a, b)
+			}
+		}
+		serial.RunToFixpoint()
+		sharded.RunToFixpoint()
+		if a, b := snapshotEngine(serial), snapshotEngine(sharded); a != b {
+			t.Fatalf("final tables differ\n--- serial ---\n%s--- sharded ---\n%s", a, b)
+		}
+		if serial.Stats != sharded.Stats {
+			t.Fatalf("stats differ: serial %+v, sharded %+v", serial.Stats, sharded.Stats)
+		}
+	})
+}

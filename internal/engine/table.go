@@ -3,6 +3,7 @@ package engine
 import (
 	"strconv"
 	"strings"
+	"sync"
 
 	"provnet/internal/data"
 )
@@ -81,10 +82,21 @@ type Table struct {
 	maxSize int
 
 	rows map[string]*Entry
-	// order tracks insertion order for maxSize eviction.
+	// order tracks insertion order, for maxSize eviction and for
+	// deterministic scan/index order (join results must not depend on
+	// map iteration).
 	order []*Entry
-	// indexes: signature ("2,4") → value key → entries.
-	indexes map[string]map[string][]*Entry
+	// indexes: signature ("2,4") → value key → entries. With concurrent
+	// set (the owning engine shards its waves), the lazy build happens
+	// under mu: sharded evaluation probes tables from several read-only
+	// workers at once, and the build is the one mutation that can happen
+	// during a probe. All other writes occur in the serial commit and
+	// maintenance phases, separated from eval by the wave barrier. A
+	// serial engine leaves concurrent unset and skips the lock on the
+	// probe hot path.
+	concurrent bool
+	mu         sync.Mutex
+	indexes    map[string]map[string][]*Entry
 }
 
 // NewTable creates a table. keyCols are 0-based primary key columns (nil
@@ -188,10 +200,10 @@ func (t *Table) Delete(tu data.Tuple) bool {
 	return false
 }
 
-// Live returns copies of all live, unexpired tuples.
+// Live returns copies of all live, unexpired tuples, in insertion order.
 func (t *Table) Live(now float64) []data.Tuple {
 	var out []data.Tuple
-	for _, en := range t.rows {
+	for _, en := range t.order {
 		if en.Dead || en.expired(now) {
 			continue
 		}
@@ -200,10 +212,11 @@ func (t *Table) Live(now float64) []data.Tuple {
 	return out
 }
 
-// Entries returns the live entries (unsorted).
+// Entries returns the live entries in insertion order, so full-table
+// scans (and the joins built on them) are deterministic.
 func (t *Table) Entries(now float64) []*Entry {
 	var out []*Entry
-	for _, en := range t.rows {
+	for _, en := range t.order {
 		if en.Dead || en.expired(now) {
 			continue
 		}
@@ -252,28 +265,43 @@ func (t *Table) compact() {
 		}
 	}
 	t.order = liveOrder
+	if t.concurrent {
+		t.mu.Lock()
+	}
 	for sig := range t.indexes {
 		delete(t.indexes, sig)
+	}
+	if t.concurrent {
+		t.mu.Unlock()
 	}
 }
 
 // Lookup returns the live entries whose columns cols equal vals, using a
-// lazily built hash index. An empty cols scans the whole table.
+// lazily built hash index. An empty cols scans the whole table. Buckets
+// hold entries in insertion order, so join order — and therefore
+// emission and export order — is deterministic. Safe for concurrent
+// probes (the sharded eval phase); mutations stay single-threaded.
 func (t *Table) Lookup(cols []int, vals []data.Value, now float64) []*Entry {
 	if len(cols) == 0 {
 		return t.Entries(now)
 	}
 	sig := colSig(cols)
+	if t.concurrent {
+		t.mu.Lock()
+	}
 	idx, ok := t.indexes[sig]
 	if !ok {
 		idx = make(map[string][]*Entry)
-		for _, en := range t.rows {
+		for _, en := range t.order {
 			if en.Dead {
 				continue
 			}
 			idx[valKey(en.Tuple, cols)] = append(idx[valKey(en.Tuple, cols)], en)
 		}
 		t.indexes[sig] = idx
+	}
+	if t.concurrent {
+		t.mu.Unlock()
 	}
 	probe := probeKey(vals)
 	bucket := idx[probe]
@@ -289,10 +317,16 @@ func (t *Table) Lookup(cols []int, vals []data.Value, now float64) []*Entry {
 
 // indexInsert adds a new entry to every existing index.
 func (t *Table) indexInsert(en *Entry) {
+	if t.concurrent {
+		t.mu.Lock()
+	}
 	for sig, idx := range t.indexes {
 		cols := parseSig(sig)
 		k := valKey(en.Tuple, cols)
 		idx[k] = append(idx[k], en)
+	}
+	if t.concurrent {
+		t.mu.Unlock()
 	}
 }
 

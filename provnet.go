@@ -12,7 +12,9 @@
 // link establishes a session key and every subsequent envelope is sealed
 // with a cheap per-link HMAC (rotating every Config.RekeyRounds rounds),
 // amortizing the hostile-world signature cost; Config.PipelinedCrypto
-// overlaps that sealing/verification work with rule evaluation. Running
+// overlaps that sealing/verification work with rule evaluation, and
+// Config.EngineShards shards each node's delta queue across intra-node
+// eval workers (bit-identical results at any shard count). Running
 // the network executes the program as a distributed stream computation to
 // a fixpoint, after which results and provenance can be queried:
 //
