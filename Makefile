@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json fuzz examples ci
+.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json fuzz examples docs ci
 
 all: build
 
@@ -62,4 +62,11 @@ examples:
 	$(GO) vet ./examples/...
 	$(GO) run ./examples/quickstart
 
-ci: fmt-check vet staticcheck build race fuzz examples bench-smoke bench-json
+# The CI docs job: markdown link check over README/ROADMAP/docs, build
+# of every example (multiprocess included), and the multiprocess smoke.
+docs:
+	$(GO) test -run TestDocLinks .
+	$(GO) build ./examples/...
+	$(GO) run ./examples/multiprocess
+
+ci: fmt-check vet staticcheck build race fuzz examples docs bench-smoke bench-json

@@ -88,6 +88,9 @@ func main() {
 	shard := flag.Bool("shard", false, "record the intra-node sharding workload (wide fan-in, engineshards sweep)")
 	shared := cliflags.Register(nil)
 	flag.Parse()
+	if shared.TransportFlagsSet() {
+		fatal(fmt.Errorf("-listen/-self/-peers (the multi-process TCP transport) are only supported by cmd/provnet"))
+	}
 	// The recorded matrix IS the transport dimension: knobs that would
 	// change it silently must be rejected, not ignored (the artifact is
 	// compared across PRs).

@@ -52,6 +52,10 @@ func main() {
 			"the per-tuple cost of the paper's 2008 P2 substrate (see EXPERIMENTS.md)")
 	shared := cliflags.Register(nil)
 	flag.Parse()
+	if shared.TransportFlagsSet() {
+		fmt.Fprintln(os.Stderr, "bestpath: -listen/-self/-peers (the multi-process TCP transport) are only supported by cmd/provnet")
+		os.Exit(2)
+	}
 	// The three paper variants fix the says scheme per column; a -auth
 	// override would be silently discarded, so reject it instead.
 	if shared.Auth != "none" {

@@ -15,6 +15,18 @@
 // other commands via internal/cliflags. -engineshards k shards each
 // node's delta queue across k intra-node eval workers; results are
 // bit-identical to serial evaluation at any setting.
+//
+// With -listen, the process becomes one member of a multi-process
+// deployment over real TCP: it hosts only the -self node, reaches the
+// others through the -peers map, and prints its own node's tables once
+// the network has been idle for the -idle window. Every process must be
+// given the same program, topology, and -seed (the principal directory
+// is derived from it). See docs/ARCHITECTURE.md and
+// examples/multiprocess:
+//
+//	provnet -program routing.ndl -topo ring:3 -auth session \
+//	    -listen 127.0.0.1:7001 -self n1 \
+//	    -peers n0=127.0.0.1:7000,n2=127.0.0.1:7002
 package main
 
 import (
@@ -66,11 +78,29 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if _, err := shared.SetupTransport(ctx, &cfg); err != nil {
+		fatal(err)
+	}
+	if shared.Distributed() && shared.Churn > 0 {
+		fatal(fmt.Errorf("-churn needs the whole topology in one process; it does not compose with -listen"))
+	}
+
 	n, err := provnet.NewNetwork(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := n.Run(0)
+	var rep *provnet.Report
+	if shared.Distributed() {
+		rep, err = shared.RunDistributed(ctx, n)
+		// Stop the pump and release the sockets before reading tables,
+		// so a straggler frame cannot mutate state mid-print.
+		if cerr := n.Close(); err == nil {
+			err = cerr
+		}
+	} else {
+		rep, err = n.Run(0)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -83,7 +113,7 @@ func main() {
 	}
 	fmt.Println()
 
-	if churn, err := shared.RunChurn(context.Background(), n, cfg.Graph); err != nil {
+	if churn, err := shared.RunChurn(ctx, n, cfg.Graph); err != nil {
 		fatal(err)
 	} else if churn != nil {
 		fmt.Println(churn)

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"provnet"
+)
+
+// mainArgsEnv carries the provnet argv into a re-executed test binary:
+// TestMain dispatches to main() when it is set, which lets the test
+// spawn real provnet OS processes without building the command first.
+const mainArgsEnv = "PROVNET_MAIN_ARGS"
+
+const argSep = "\x1f"
+
+func TestMain(m *testing.M) {
+	os.Setenv("GODEBUG", "rsa1024min=0") // 512-bit test keys, like the package TestMains
+	if args := os.Getenv(mainArgsEnv); args != "" {
+		os.Args = append([]string{"provnet"}, strings.Split(args, argSep)...)
+		flag.CommandLine = flag.NewFlagSet("provnet", flag.ExitOnError)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runProvnet runs one provnet process (the re-executed test binary) and
+// returns its stdout.
+func runProvnet(ctx context.Context, args ...string) (string, error) {
+	cmd := exec.CommandContext(ctx, os.Args[0])
+	cmd.Env = append(os.Environ(), mainArgsEnv+"="+strings.Join(args, argSep))
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return string(out), fmt.Errorf("provnet %v: %w\nstderr: %s", args, err, ee.Stderr)
+		}
+		return string(out), fmt.Errorf("provnet %v: %w", args, err)
+	}
+	return string(out), nil
+}
+
+// tableLines extracts the printed table rows (they are the only
+// tab-separated lines), sorted for set comparison across processes.
+func tableLines(out string) []string {
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "\t") {
+			lines = append(lines, l)
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// freeLoopbackAddrs reserves n distinct loopback TCP addresses.
+func freeLoopbackAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// TestMultiprocessMatchesSingleProcess is the acceptance pin for the TCP
+// transport: three OS processes, one node each, over loopback TCP must
+// produce exactly the tables — condensed provenance annotations
+// included — of the single-process netsim run on the same topology,
+// under both per-envelope RSA and the session handshake transport.
+func TestMultiprocessMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "bestpath.ndl")
+	if err := os.WriteFile(prog, []byte(provnet.BestPath), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nodes := []string{"n0", "n1", "n2"}
+	common := []string{
+		"-program", prog, "-topo", "ring:3",
+		"-prov", "condensed", "-annotate", "-keybits", "512",
+	}
+	for _, scheme := range []string{"rsa", "session"} {
+		t.Run(scheme, func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+			defer cancel()
+			args := append(append([]string{}, common...), "-auth", scheme)
+
+			refOut, err := runProvnet(ctx, args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := tableLines(refOut)
+			if len(want) == 0 {
+				t.Fatalf("reference run printed no tables:\n%s", refOut)
+			}
+
+			addrs := freeLoopbackAddrs(t, len(nodes))
+			outs := make([]string, len(nodes))
+			errs := make([]error, len(nodes))
+			var wg sync.WaitGroup
+			for i, self := range nodes {
+				var peers []string
+				for j, other := range nodes {
+					if j != i {
+						peers = append(peers, other+"="+addrs[j])
+					}
+				}
+				procArgs := append(append([]string{}, args...),
+					"-listen", addrs[i], "-self", self,
+					"-peers", strings.Join(peers, ","), "-idle", "1s")
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					outs[i], errs[i] = runProvnet(ctx, procArgs...)
+				}(i)
+			}
+			wg.Wait()
+			var got []string
+			for i := range nodes {
+				if errs[i] != nil {
+					t.Fatal(errs[i])
+				}
+				got = append(got, tableLines(outs[i])...)
+			}
+			sort.Strings(got)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("tables differ\n--- single-process (%d rows) ---\n%s\n--- 3 processes (%d rows) ---\n%s",
+					len(want), strings.Join(want, "\n"), len(got), strings.Join(got, "\n"))
+			}
+		})
+	}
+}

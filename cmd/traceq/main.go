@@ -42,6 +42,9 @@ func main() {
 	extraNodes := flag.String("extranodes", "", "comma-separated node names not mentioned in any fact placement")
 	shared := cliflags.Register(nil)
 	flag.Parse()
+	if shared.TransportFlagsSet() {
+		fatal(fmt.Errorf("-listen/-self/-peers (the multi-process TCP transport) are only supported by cmd/provnet"))
+	}
 
 	if *programPath == "" || *node == "" || *tupleText == "" {
 		flag.Usage()

@@ -1,0 +1,93 @@
+package provnet
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the markdown files whose links the docs CI job keeps
+// honest: a moved or renamed target breaks the build, not the reader.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "ROADMAP.md"}
+	more, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, more...)
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// githubAnchor approximates GitHub's heading-anchor slugs: lowercase,
+// punctuation stripped, spaces to hyphens.
+func githubAnchor(heading string) string {
+	h := strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchorsOf collects the heading anchors of one markdown file.
+func anchorsOf(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := map[string]bool{}
+	inFence := false
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		anchors[githubAnchor(strings.TrimLeft(line, "# "))] = true
+	}
+	return anchors
+}
+
+// TestDocLinks is the markdown link checker the CI docs job runs: every
+// relative link in README/ROADMAP/docs must point at an existing file
+// (and, when it carries a #fragment, at an existing heading).
+func TestDocLinks(t *testing.T) {
+	for _, src := range docFiles(t) {
+		raw, err := os.ReadFile(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			link := m[1]
+			if strings.Contains(link, "://") || strings.HasPrefix(link, "mailto:") {
+				continue // external; checking the web is not this test's job
+			}
+			target, frag, _ := strings.Cut(link, "#")
+			path := src // pure-fragment links point into the same file
+			if target != "" {
+				path = filepath.Join(filepath.Dir(src), target)
+				if _, err := os.Stat(path); err != nil {
+					t.Errorf("%s: broken link %q: %v", src, link, err)
+					continue
+				}
+			}
+			if frag != "" && strings.HasSuffix(path, ".md") {
+				if !anchorsOf(t, path)[frag] {
+					t.Errorf("%s: link %q: no heading with anchor %q in %s", src, link, frag, path)
+				}
+			}
+		}
+	}
+}

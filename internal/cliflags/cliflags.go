@@ -1,19 +1,24 @@
 // Package cliflags defines the flag set shared by every provnet command
-// — scheduler, transport-security, and live-churn knobs — once, so
-// cmd/provnet, cmd/bestpath, cmd/traceq, and cmd/benchjson cannot drift
-// apart. It also hosts the topology/auth/provenance spec parsers the
-// commands used to copy.
+// — scheduler, transport-security, live-churn, and multi-process
+// transport knobs — once, so cmd/provnet, cmd/bestpath, cmd/traceq, and
+// cmd/benchjson cannot drift apart. It also hosts the
+// topology/auth/provenance spec parsers the commands used to copy, and
+// the distributed-run helpers behind -listen/-self/-peers (see
+// docs/ARCHITECTURE.md for the multi-process deployment model).
 package cliflags
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"strconv"
 	"strings"
+	"time"
 
 	"provnet"
+	"provnet/internal/nettcp"
 )
 
 // Flags is the shared knob set. Register binds it to a FlagSet; Apply
@@ -36,6 +41,16 @@ type Flags struct {
 	// after initial convergence and re-converge incrementally.
 	Churn     int
 	ChurnSeed int64
+
+	// Multi-process TCP transport: this process hosts node Self,
+	// listens on Listen, and reaches the other processes through the
+	// Peers map. Idle is the quiet window after which a distributed run
+	// is considered converged (no global fixpoint detector exists across
+	// processes; see RunDistributed).
+	Listen string
+	Self   string
+	Peers  string
+	Idle   time.Duration
 }
 
 // Register binds the shared flags to fs (flag.CommandLine when nil) with
@@ -56,7 +71,109 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.EngineShards, "engineshards", 0, "shard each node's delta queue across N intra-node eval workers (0/1 = serial; results identical)")
 	fs.IntVar(&f.Churn, "churn", 0, "after convergence, cut this many random links and re-converge incrementally")
 	fs.Int64Var(&f.ChurnSeed, "churnseed", 1, "rng seed for -churn link selection")
+	fs.StringVar(&f.Listen, "listen", "", "host one node over TCP: listen address (turns on the nettcp transport; needs -self and -peers)")
+	fs.StringVar(&f.Self, "self", "", "node name this process hosts (TCP transport)")
+	fs.StringVar(&f.Peers, "peers", "", "comma-separated name=host:port peer map (TCP transport)")
+	fs.DurationVar(&f.Idle, "idle", 750*time.Millisecond, "quiet window after which a TCP run is considered converged")
 	return f
+}
+
+// Distributed reports whether the flags select the multi-process TCP
+// transport.
+func (f *Flags) Distributed() bool { return f.Listen != "" }
+
+// TransportFlagsSet reports whether any multi-process transport flag
+// was given — commands that do not support the TCP transport use it to
+// reject the whole flag family instead of silently ignoring
+// -self/-peers given without -listen.
+func (f *Flags) TransportFlagsSet() bool {
+	return f.Listen != "" || f.Self != "" || f.Peers != ""
+}
+
+// ParsePeers parses the -peers spec: comma-separated name=host:port.
+func ParsePeers(spec string) (map[string]string, error) {
+	peers := make(map[string]string)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("cliflags: bad -peers entry %q (want name=host:port)", part)
+		}
+		peers[name] = addr
+	}
+	return peers, nil
+}
+
+// SetupTransport wires the TCP transport into cfg when -listen is set:
+// the process hosts only -self, and traffic to every -peers entry
+// crosses sockets. The returned closer (non-nil only for TCP runs)
+// releases the listener and connections; Network.Close also closes it.
+func (f *Flags) SetupTransport(ctx context.Context, cfg *provnet.Config) (io.Closer, error) {
+	if !f.Distributed() {
+		if f.Self != "" || f.Peers != "" {
+			return nil, fmt.Errorf("cliflags: -self/-peers require -listen")
+		}
+		return nil, nil
+	}
+	if f.Self == "" {
+		return nil, fmt.Errorf("cliflags: -listen requires -self (the node this process hosts)")
+	}
+	peers, err := ParsePeers(f.Peers)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := nettcp.New(nettcp.Config{Listen: f.Listen, Peers: peers, Context: ctx})
+	if err != nil {
+		return nil, err
+	}
+	cfg.Transport = tr
+	cfg.LocalNodes = []string{f.Self}
+	return tr, nil
+}
+
+// RunDistributed drives one process of a multi-process deployment to
+// convergence: the lifecycle driver runs live (remote arrivals wake it
+// between rounds), and the run ends when the process has been locally
+// quiescent with no transport activity for the -idle window. There is no
+// global fixpoint detector across processes — the idle window is the
+// termination heuristic, so it must exceed the deployment's worst-case
+// inter-process lull (the default suits loopback; raise it for real
+// networks). The returned report spans the whole run.
+func (f *Flags) RunDistributed(ctx context.Context, n *provnet.Network) (*provnet.Report, error) {
+	d := n.Driver()
+	if err := d.Start(ctx); err != nil {
+		return nil, err
+	}
+	window := f.Idle
+	if window <= 0 {
+		window = 750 * time.Millisecond
+	}
+	var last int64 = -1
+	rounds := 0
+	var rep *provnet.Report
+	for {
+		r, err := d.AwaitQuiescence(ctx)
+		if err != nil {
+			return nil, err
+		}
+		rounds += r.Rounds
+		rep = r
+		cur := n.Transport().Stats().Messages
+		if cur == last {
+			break // a full idle window with no traffic and no work
+		}
+		last = cur
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(window):
+		}
+	}
+	rep.Rounds = rounds
+	return rep, nil
 }
 
 // Apply copies the shared knobs onto cfg, parsing the auth scheme.

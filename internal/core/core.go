@@ -1,9 +1,14 @@
 // Package core assembles the full provenance-aware secure network: it
-// instantiates one query engine per node over the simulated transport,
-// wires in the configured says implementation and provenance mode, drives
-// the distributed computation to a fixpoint, and exposes the provenance
-// query interface. The three configurations evaluated by the paper —
-// NDlog, SeNDlog, SeNDlogProv (§6) — are presets over this package.
+// instantiates one query engine per hosted node over a pluggable
+// Transport (the in-memory netsim fabric by default, or nettcp's TCP
+// backend for multi-process deployments), wires in the configured says
+// implementation and provenance mode, drives the distributed
+// computation to a fixpoint — one-shot via Run, or resumably via the
+// lifecycle Driver — and exposes the provenance query interface. The
+// three configurations evaluated by the paper — NDlog, SeNDlog,
+// SeNDlogProv (§6) — are presets over this package; the wire formats
+// the scheduler seals are specified byte-for-byte in docs/WIRE.md, and
+// docs/ARCHITECTURE.md maps the execution model.
 package core
 
 import (
@@ -128,6 +133,21 @@ type Config struct {
 	// PipelinedCrypto overlaps crypto with both.
 	EngineShards int
 
+	// Transport overrides the message substrate (nil = a fresh in-memory
+	// netsim.Network). Supplying an internal/nettcp transport — together
+	// with LocalNodes naming the node(s) this process hosts — turns the
+	// single-process simulation into one member of a multi-process
+	// deployment: exports to remote nodes cross real sockets while the
+	// scheduler, wire formats, and security stack run unchanged.
+	Transport Transport
+	// LocalNodes restricts which nodes this process instantiates engines
+	// for (nil = all, the single-process default). Remote nodes still
+	// contribute their principals (keys are derived deterministically
+	// from Seed, so every process agrees on the directory), but their
+	// base facts are skipped and traffic to them is routed by the
+	// Transport.
+	LocalNodes []string
+
 	// ImportFilter, when set with ModeCondensed, is consulted for every
 	// imported tuple with its provenance polynomial; rejected tuples are
 	// dropped and counted (Orchestra-style trust gating, §3). The parallel
@@ -161,7 +181,7 @@ func (nd *Node) takeRetracts() []engine.Withdrawal {
 type Network struct {
 	cfg   Config
 	prog  *datalog.Program
-	net   *netsim.Network
+	net   Transport
 	nodes map[string]*Node
 	order []string
 	idx   map[string]int // name → position in order
@@ -236,10 +256,14 @@ func NewNetwork(cfg Config) (*Network, error) {
 		}
 	}
 
+	transport := cfg.Transport
+	if transport == nil {
+		transport = netsim.New()
+	}
 	n := &Network{
 		cfg:   cfg,
 		prog:  localized,
-		net:   netsim.New(),
+		net:   transport,
 		nodes: make(map[string]*Node),
 		idx:   make(map[string]int),
 		dir:   auth.NewDeterministicDirectory(cfg.Seed),
@@ -302,27 +326,53 @@ func NewNetwork(cfg Config) (*Network, error) {
 		}
 	}
 
+	// Multi-process deployments instantiate engines only for the nodes
+	// this process hosts; every process still derives the full principal
+	// directory above, so cross-process signatures and handshakes verify.
+	var local map[string]bool
+	if len(cfg.LocalNodes) > 0 {
+		local = make(map[string]bool, len(cfg.LocalNodes))
+		for _, name := range cfg.LocalNodes {
+			if !seen[name] {
+				return nil, fmt.Errorf("core: local node %q not in the network (no link, fact, or extra names it)", name)
+			}
+			local[name] = true
+		}
+	}
+	hosted := func(name string) bool { return local == nil || local[name] }
+
 	for _, name := range names {
+		if !hosted(name) {
+			continue
+		}
 		if err := n.addNode(name, saysSemantics); err != nil {
 			return nil, err
 		}
 	}
 
-	// Base facts: program facts, then topology links.
+	// Base facts: program facts, then topology links. Facts placed at
+	// remote nodes are that process's responsibility.
 	for _, f := range localized.Facts {
 		node, ok := n.nodes[f.Node]
 		if !ok {
+			if !hosted(f.Node) {
+				continue
+			}
 			return nil, fmt.Errorf("core: fact %s placed at unknown node %q", f.Tuple, f.Node)
 		}
 		node.Engine.InsertFact(f.Tuple)
 	}
 	if cfg.Graph != nil {
 		for _, l := range cfg.Graph.Links {
+			node, ok := n.nodes[l.From]
+			if !ok {
+				continue // a remote process owns this link fact
+			}
 			tu := data.NewTuple("link", data.Str(l.From), data.Str(l.To), data.Int(l.Cost))
 			if cfg.LinkNoCost {
 				tu = data.NewTuple("link", data.Str(l.From), data.Str(l.To))
 			}
-			n.nodes[l.From].Engine.InsertFact(tu)
+			node.Engine.InsertFact(tu)
 		}
 	}
 	return n, nil
@@ -1330,5 +1380,6 @@ func (n *Network) FactPoly(node string, t data.Tuple) semiring.Poly {
 	return sum
 }
 
-// Transport exposes the simulated network (for traffic inspection).
-func (n *Network) Transport() *netsim.Network { return n.net }
+// Transport exposes the message substrate (for traffic inspection). It
+// is the in-memory netsim fabric unless Config.Transport overrode it.
+func (n *Network) Transport() Transport { return n.net }

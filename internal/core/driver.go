@@ -126,6 +126,21 @@ func (d *Driver) Start(ctx context.Context) error {
 	d.epochStart = time.Now()
 	d.epochRounds = 0
 	d.pumpDone = make(chan struct{})
+	// A socket transport delivers datagrams between rounds; its arrival
+	// callback marks the driver dirty so the pump re-enters the round
+	// loop instead of sleeping on an apparently quiescent network. The
+	// in-memory fabric only carries traffic the pump itself shipped, so
+	// it never needs the wake-up.
+	if tn, ok := d.n.net.(Notifier); ok {
+		tn.Notify(func() {
+			d.mu.Lock()
+			if !d.closed && d.err == nil {
+				d.dirty = true
+				d.cond.Broadcast()
+			}
+			d.mu.Unlock()
+		})
+	}
 	// Wake the cond when the context dies, so waiters and the pump notice.
 	stop := context.AfterFunc(ctx, func() {
 		d.mu.Lock()
@@ -191,7 +206,14 @@ func (d *Driver) pump(ctx context.Context) {
 				}
 				break
 			}
-			if !progress && len(d.inbox) == 0 {
+			// Quiescent only if no round progress, no queued events, AND
+			// nothing pending on the transport: a socket frame that
+			// arrived after this round's drain already fired its notify,
+			// which clearing dirty here would otherwise swallow (the
+			// callback fires once per enqueue). On the in-memory fabric
+			// the pending check is vacuous — a no-progress round means
+			// the fabric is empty.
+			if !progress && len(d.inbox) == 0 && d.n.net.PendingCount() == 0 {
 				d.dirty = false
 				d.cond.Broadcast()
 				d.mu.Unlock()
@@ -330,7 +352,7 @@ func (d *Driver) AwaitQuiescence(ctx context.Context) (*Report, error) {
 				d.mu.Lock()
 				quiet := len(d.inbox) == 0
 				d.mu.Unlock()
-				if quiet {
+				if quiet && d.n.net.PendingCount() == 0 {
 					return d.epochReport(), nil
 				}
 			}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"reflect"
+	"testing"
+
+	"provnet/internal/auth"
+	"provnet/internal/data"
+	"provnet/internal/provenance"
+)
+
+// Golden hex fixtures for every documented frame layout. Each fixture is
+// the frozen byte-level encoding specified in docs/WIRE.md (the worked
+// examples there are these exact strings): if an encoder or decoder
+// drifts from the spec, this test fails before any cross-version
+// deployment does. Tags/signatures are placeholder bytes — layout, not
+// cryptography, is under test (wire_test.go and the auth package cover
+// verification).
+var goldenFrames = []struct {
+	name   string
+	hex    string
+	decode func(t *testing.T, b []byte) any // decoded representation
+	build  func() ([]byte, error)           // re-encode from struct
+}{
+	{
+		name: "v1 envelope",
+		hex:  "01016109726561636861626c65000203016103016200000102aabb",
+		decode: func(t *testing.T, b []byte) any {
+			e, err := DecodeEnvelope(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		},
+		build: func() ([]byte, error) {
+			e := &Envelope{From: "a",
+				Tuple:    data.NewTuple("reachable", data.Str("a"), data.Str("b")),
+				ProvMode: provenance.ModeNone, Scheme: auth.SchemeHMAC,
+				Sig: []byte{0xAA, 0xBB}}
+			return data.AppendBytes(e.signedPrefix(), e.Sig), nil
+		},
+	},
+	{
+		name: "v2 batch envelope",
+		hex:  "020162030202047061746800030301620301630006020102046c696e6b00020301620301630002c0de",
+		decode: func(t *testing.T, b []byte) any {
+			e, err := DecodeBatchEnvelope(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		},
+		build: func() ([]byte, error) {
+			e := &BatchEnvelope{From: "b", ProvMode: provenance.ModeCondensed, Scheme: auth.SchemeRSA,
+				Items: []BatchItem{
+					{Tuple: data.NewTuple("path", data.Str("b"), data.Str("c"), data.Int(3)), Prov: []byte{0x01, 0x02}},
+					{Tuple: data.NewTuple("link", data.Str("b"), data.Str("c"))},
+				},
+				Sig: []byte{0xC0, 0xDE}}
+			return data.AppendBytes(e.signedPrefix(), e.Sig), nil
+		},
+	},
+	{
+		name: "v3 handshake frame",
+		hex:  "0301010203",
+		decode: func(t *testing.T, b []byte) any {
+			blob, err := DecodeHandshakeFrame(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return blob
+		},
+		build: func() ([]byte, error) {
+			return EncodeHandshakeFrame([]byte{0x01, 0x02, 0x03}), nil
+		},
+	},
+	{
+		name: "v3 session data frame",
+		hex:  "030201630001086265737450617468000403016303016104020301630301610002000300feed",
+		decode: func(t *testing.T, b []byte) any {
+			e, err := DecodeSessionEnvelope(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		},
+		build: func() ([]byte, error) {
+			e := &SessionEnvelope{From: "c", ProvMode: provenance.ModeNone,
+				Items: []BatchItem{{Tuple: data.NewTuple("bestPath",
+					data.Str("c"), data.Str("a"), data.List(data.Str("c"), data.Str("a")), data.Int(1))}},
+				Tag: []byte{0x00, 0xFE, 0xED}}
+			return data.AppendBytes(e.sealedPrefix(), e.Tag), nil
+		},
+	},
+	{
+		name: "v3 session retract frame",
+		hex:  "030301630001086265737450617468000403016303016104020301630301610002000300feed",
+		decode: func(t *testing.T, b []byte) any {
+			e, err := DecodeSessionEnvelope(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !e.Retract {
+				t.Fatal("retract frame decoded with Retract=false")
+			}
+			return e
+		},
+		build: func() ([]byte, error) {
+			e := &SessionEnvelope{From: "c", ProvMode: provenance.ModeNone, Retract: true,
+				Items: []BatchItem{{Tuple: data.NewTuple("bestPath",
+					data.Str("c"), data.Str("a"), data.List(data.Str("c"), data.Str("a")), data.Int(1))}},
+				Tag: []byte{0x00, 0xFE, 0xED}}
+			return data.AppendBytes(e.sealedPrefix(), e.Tag), nil
+		},
+	},
+	{
+		name: "v4 retract envelope",
+		hex:  "040161020108626573745061746800040301610301630403030161030162030163000402dead",
+		decode: func(t *testing.T, b []byte) any {
+			e, err := DecodeRetractEnvelope(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		},
+		build: func() ([]byte, error) {
+			e := &RetractEnvelope{From: "a", Scheme: auth.SchemeRSA,
+				Tuples: []data.Tuple{data.NewTuple("bestPath",
+					data.Str("a"), data.Str("c"), data.List(data.Str("a"), data.Str("b"), data.Str("c")), data.Int(2))},
+				Sig: []byte{0xDE, 0xAD}}
+			return data.AppendBytes(e.signedPrefix(), e.Sig), nil
+		},
+	},
+}
+
+// TestWireGoldenFixtures pins the documented byte layouts both ways:
+// re-encoding the struct reproduces the golden bytes, and decoding the
+// golden bytes reproduces the struct (checked by decode-of-rebuild
+// equality, so every field survives the round trip).
+func TestWireGoldenFixtures(t *testing.T) {
+	for _, g := range goldenFrames {
+		t.Run(g.name, func(t *testing.T) {
+			golden, err := hex.DecodeString(g.hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rebuilt, err := g.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rebuilt, golden) {
+				t.Errorf("encoder drifted from docs/WIRE.md\n golden: %x\nrebuilt: %x", golden, rebuilt)
+			}
+			got := g.decode(t, golden)
+			want := g.decode(t, rebuilt)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("decode mismatch\n got: %#v\nwant: %#v", got, want)
+			}
+		})
+	}
+}
+
+// TestWireGoldenVersionDispatch checks the receiver-side dispatch rule
+// WIRE.md documents: the first byte selects the format, the second byte
+// selects the v3 frame kind.
+func TestWireGoldenVersionDispatch(t *testing.T) {
+	for _, g := range goldenFrames {
+		b, err := hex.DecodeString(g.hex)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch g.name {
+		case "v1 envelope":
+			if b[0] != 1 {
+				t.Errorf("%s: version byte %d", g.name, b[0])
+			}
+		case "v2 batch envelope":
+			if b[0] != 2 {
+				t.Errorf("%s: version byte %d", g.name, b[0])
+			}
+		case "v3 handshake frame":
+			if b[0] != 3 || b[1] != 1 {
+				t.Errorf("%s: header % x", g.name, b[:2])
+			}
+		case "v3 session data frame":
+			if b[0] != 3 || b[1] != 2 {
+				t.Errorf("%s: header % x", g.name, b[:2])
+			}
+		case "v3 session retract frame":
+			if b[0] != 3 || b[1] != 3 {
+				t.Errorf("%s: header % x", g.name, b[:2])
+			}
+		case "v4 retract envelope":
+			if b[0] != 4 {
+				t.Errorf("%s: version byte %d", g.name, b[0])
+			}
+		}
+	}
+}

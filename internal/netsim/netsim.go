@@ -1,8 +1,10 @@
-// Package netsim is the simulated network substrate. The paper's
-// evaluation ran up to 100 P2 processes on one machine exchanging signed
-// tuples; here the same dataflow runs as engines connected by an in-memory
-// message fabric with exact byte accounting — the source of the bandwidth
-// numbers in Figure 4.
+// Package netsim is the simulated network substrate — the default
+// implementation of internal/core's Transport interface (its TCP
+// sibling is internal/nettcp). The paper's evaluation ran up to 100 P2
+// processes on one machine exchanging signed tuples; here the same
+// dataflow runs as engines connected by an in-memory message fabric
+// with exact byte accounting — the source of the bandwidth numbers in
+// Figure 4.
 //
 // Delivery is deterministic: messages are queued per destination and
 // drained by the round-driven scheduler in internal/core in sender

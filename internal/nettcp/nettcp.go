@@ -1,0 +1,709 @@
+// Package nettcp is the socket-backed transport: the same
+// Send/Drain/Stats surface as internal/netsim, carried over real TCP
+// connections so N OS processes can each host one node (or a few) of a
+// provnet network. internal/core stays transport-agnostic — the wire
+// v1–v4 envelopes it seals are shipped here as opaque payloads, so the
+// signature, session-handshake, and retraction machinery work unchanged
+// across process boundaries.
+//
+// # Stream protocol
+//
+// Each direction of traffic between two processes is one TCP connection,
+// opened lazily by the sending side and re-opened (with exponential
+// backoff) if it drops. The byte stream is:
+//
+//	preamble  "PNT1" (4 bytes: magic + stream version)
+//	hello     uvarint n, n bytes — a name identifying the sending
+//	          process (its first registered node), used only for
+//	          diagnostics
+//	frame*    uvarint len, len bytes of body, where
+//	          body = flags (1 byte; bit0 = handshake traffic class)
+//	               + uvarint s, s bytes — source node name
+//	               + uvarint d, d bytes — destination node name
+//	               + payload (one wire v1–v4 datagram, opaque here)
+//
+// See docs/WIRE.md for the datagram formats riding inside the frames.
+//
+// # Ordering and determinism
+//
+// One connection per (sender process → receiver process) direction means
+// frames from one sender arrive in send order — the property the session
+// security stack needs (a handshake frame must precede the data frames
+// it unlocks). Interleaving *between* senders is real network
+// nondeterminism; unlike netsim there is no global deterministic drain
+// order. The distributed fixpoint still converges to the same tables and
+// provenance as the in-memory run because evaluation is confluent — see
+// docs/ARCHITECTURE.md and core.TestTCPMatchesNetsim.
+//
+// # Accounting
+//
+// Stats counters are per process: a frame is charged once on the sending
+// side (at enqueue) and once on the receiving side (at arrival), each
+// charging the actual framed size (length prefix + flags + source +
+// destination + payload). Local deliveries between co-hosted nodes are
+// charged once, like netsim's.
+package nettcp
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"provnet/internal/netsim"
+)
+
+// magic is the stream preamble: protocol magic plus stream version.
+var magic = [4]byte{'P', 'N', 'T', '1'}
+
+// Defaults for Config's zero values.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultRetryMin    = 50 * time.Millisecond
+	DefaultRetryMax    = 2 * time.Second
+	DefaultMaxFrame    = 1 << 24 // 16 MiB: far above any real envelope
+)
+
+// Config configures a Transport.
+type Config struct {
+	// Listen is the TCP address to accept peer connections on
+	// (e.g. "127.0.0.1:7001"; ":0" picks a free port — see Addr).
+	Listen string
+	// Peers maps remote node names to their dial addresses. Sends to a
+	// node that is neither local (AddNode) nor a peer are dropped.
+	Peers map[string]string
+	// Context, when non-nil, bounds the transport's lifetime: its
+	// cancellation closes the transport, aborting in-flight dials and
+	// reads (the context-aware shutdown the lifecycle driver composes
+	// with). Close works regardless.
+	Context context.Context
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// RetryMin/RetryMax bound the reconnect backoff (default 50ms..2s).
+	RetryMin, RetryMax time.Duration
+	// MaxFrame caps accepted frame sizes (default 16 MiB); larger frames
+	// poison the connection (it is closed and the dialer re-opens it).
+	MaxFrame int
+	// Logf, when set, receives connection lifecycle diagnostics (dial
+	// failures, dropped frames, protocol errors). Default: silent.
+	Logf func(format string, args ...any)
+}
+
+// Transport is the TCP implementation of core.Transport. Create one per
+// process with New, register the locally hosted node(s) with AddNode,
+// and hand it to core via Config.Transport + Config.LocalNodes.
+type Transport struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+	ln     net.Listener
+
+	mu     sync.Mutex
+	local  map[string]*inbox
+	peers  map[string]*peer
+	conns  map[net.Conn]struct{}
+	closed bool
+	// orphans parks inbound frames for local names not yet registered:
+	// processes of one deployment start at different times, and a frame
+	// that raced a slow process's AddNode must not be lost (there is no
+	// retransmit above this layer). AddNode adopts them.
+	orphans map[string][]netsim.Message
+
+	notify atomic.Pointer[func()]
+	wg     sync.WaitGroup
+
+	messages atomic.Int64
+	bytes    atomic.Int64
+	dropped  atomic.Int64
+	hsMsgs   atomic.Int64
+	hsBytes  atomic.Int64
+}
+
+// inbox queues inbound datagrams for one locally hosted node.
+type inbox struct {
+	mu    sync.Mutex
+	queue []netsim.Message
+}
+
+// frame is one outbound datagram awaiting shipment to a peer.
+type frame struct {
+	src, dst  string
+	payload   []byte
+	handshake bool
+}
+
+// peer is one remote process: a pending queue drained by a dedicated
+// reconnecting writer goroutine.
+type peer struct {
+	name, addr string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []frame
+	closed  bool
+}
+
+// New creates a Transport listening on cfg.Listen and starts one writer
+// goroutine per configured peer. The listener is live on return (Addr
+// reports the bound address); peer connections are dialed lazily on
+// first send.
+func New(cfg Config) (*Transport, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = DefaultDialTimeout
+	}
+	if cfg.RetryMin <= 0 {
+		cfg.RetryMin = DefaultRetryMin
+	}
+	if cfg.RetryMax < cfg.RetryMin {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	parent := cfg.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("nettcp: listen %s: %w", cfg.Listen, err)
+	}
+	ctx, cancel := context.WithCancel(parent)
+	t := &Transport{
+		cfg:     cfg,
+		ctx:     ctx,
+		cancel:  cancel,
+		ln:      ln,
+		local:   make(map[string]*inbox),
+		peers:   make(map[string]*peer),
+		conns:   make(map[net.Conn]struct{}),
+		orphans: make(map[string][]netsim.Message),
+	}
+	for name, addr := range cfg.Peers {
+		t.AddPeer(name, addr)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	if cfg.Context != nil {
+		go func() {
+			<-ctx.Done()
+			t.Close()
+		}()
+	}
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with Listen ":0").
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// AddNode registers a locally hosted node, adopting any inbound frames
+// that arrived for it before registration (the startup race between
+// processes of one deployment).
+func (t *Transport) AddNode(name string) {
+	t.mu.Lock()
+	if _, ok := t.local[name]; ok {
+		t.mu.Unlock()
+		return
+	}
+	box := &inbox{queue: t.orphans[name]}
+	delete(t.orphans, name)
+	t.local[name] = box
+	adopted := len(box.queue) > 0
+	t.mu.Unlock()
+	if adopted {
+		if fn := t.notify.Load(); fn != nil {
+			(*fn)()
+		}
+	}
+}
+
+// AddPeer registers (or re-addresses) a remote node and starts its
+// writer. Registering before traffic flows is the caller's job; sends to
+// unregistered names error. Re-registering an existing peer name with a
+// new address only takes effect on the next reconnect.
+func (t *Transport) AddPeer(name, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if p, ok := t.peers[name]; ok {
+		p.mu.Lock()
+		p.addr = addr
+		p.mu.Unlock()
+		return
+	}
+	p := &peer{name: name, addr: addr}
+	p.cond = sync.NewCond(&p.mu)
+	t.peers[name] = p
+	t.wg.Add(1)
+	go t.writerLoop(p)
+}
+
+// Notify registers fn to run after every inbound enqueue (core.Notifier:
+// the lifecycle driver's wake-up for datagrams arriving between rounds).
+func (t *Transport) Notify(fn func()) { t.notify.Store(&fn) }
+
+// Send enqueues a datagram, charging its bytes.
+func (t *Transport) Send(from, to string, payload []byte) error {
+	return t.SendTagged(from, to, payload, false)
+}
+
+// SendTagged is Send with the handshake traffic-class tag. Local
+// destinations deliver in process; remote ones are handed to the peer's
+// writer (charged now, shipped as the connection allows — TCP delivery
+// is asynchronous, unlike netsim's synchronous enqueue).
+func (t *Transport) SendTagged(from, to string, payload []byte, handshake bool) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return errors.New("nettcp: transport closed")
+	}
+	box := t.local[to]
+	p := t.peers[to]
+	t.mu.Unlock()
+
+	if box != nil {
+		t.enqueue(box, from, to, payload, handshake)
+		return nil
+	}
+	if p == nil {
+		t.dropped.Add(1)
+		return fmt.Errorf("nettcp: send to unknown node %q (not local, no peer address)", to)
+	}
+	t.charge(from, to, payload, handshake)
+	p.mu.Lock()
+	p.pending = append(p.pending, frame{src: from, dst: to, payload: payload, handshake: handshake})
+	p.cond.Signal()
+	p.mu.Unlock()
+	return nil
+}
+
+// charge records one frame in the stats counters.
+func (t *Transport) charge(src, dst string, payload []byte, handshake bool) {
+	size := int64(frameWireSize(src, dst, payload))
+	t.messages.Add(1)
+	t.bytes.Add(size)
+	if handshake {
+		t.hsMsgs.Add(1)
+		t.hsBytes.Add(size)
+	}
+}
+
+// enqueue delivers one datagram into a local inbox and fires the arrival
+// notifier.
+func (t *Transport) enqueue(box *inbox, from, to string, payload []byte, handshake bool) {
+	t.charge(from, to, payload, handshake)
+	box.mu.Lock()
+	box.queue = append(box.queue, netsim.Message{From: from, To: to, Payload: payload})
+	box.mu.Unlock()
+	if fn := t.notify.Load(); fn != nil {
+		(*fn)()
+	}
+}
+
+// Drain removes and returns all datagrams queued for a local node, in
+// arrival order (per-sender send order is preserved by the per-direction
+// connections; interleaving between senders is arrival order).
+func (t *Transport) Drain(to string) []netsim.Message {
+	t.mu.Lock()
+	box := t.local[to]
+	t.mu.Unlock()
+	if box == nil {
+		return nil
+	}
+	box.mu.Lock()
+	msgs := box.queue
+	box.queue = nil
+	box.mu.Unlock()
+	return msgs
+}
+
+// PendingFor reports the inbound backlog queued for one local node.
+func (t *Transport) PendingFor(to string) int {
+	t.mu.Lock()
+	box := t.local[to]
+	t.mu.Unlock()
+	if box == nil {
+		return 0
+	}
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	return len(box.queue)
+}
+
+// PendingCount reports the total inbound backlog across local nodes.
+func (t *Transport) PendingCount() int {
+	t.mu.Lock()
+	boxes := make([]*inbox, 0, len(t.local))
+	for _, box := range t.local {
+		boxes = append(boxes, box)
+	}
+	t.mu.Unlock()
+	total := 0
+	for _, box := range boxes {
+		box.mu.Lock()
+		total += len(box.queue)
+		box.mu.Unlock()
+	}
+	return total
+}
+
+// Stats returns a copy of this process's transport counters.
+func (t *Transport) Stats() netsim.Stats {
+	return netsim.Stats{
+		Messages:          t.messages.Load(),
+		Bytes:             t.bytes.Load(),
+		DroppedMsg:        t.dropped.Load(),
+		HandshakeMessages: t.hsMsgs.Load(),
+		HandshakeBytes:    t.hsBytes.Load(),
+	}
+}
+
+// ResetStats zeroes the counters.
+func (t *Transport) ResetStats() {
+	t.messages.Store(0)
+	t.bytes.Store(0)
+	t.dropped.Store(0)
+	t.hsMsgs.Store(0)
+	t.hsBytes.Store(0)
+}
+
+// Close shuts the transport down: the listener stops, writer goroutines
+// exit (undelivered frames are discarded), and open connections close.
+// Idempotent; also triggered by Config.Context cancellation.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+
+	t.cancel()
+	err := t.ln.Close()
+	for _, p := range t.peers {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+// track registers a live connection for Close; it reports false when the
+// transport is already closing (the caller must close the conn itself).
+func (t *Transport) track(c net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.conns[c] = struct{}{}
+	return true
+}
+
+func (t *Transport) untrack(c net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+}
+
+// --- outbound path ---
+
+// next blocks until a frame is pending or the peer is closed.
+func (p *peer) next() (frame, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.pending) == 0 && !p.closed {
+		p.cond.Wait()
+	}
+	if p.closed {
+		return frame{}, false
+	}
+	f := p.pending[0]
+	p.pending = p.pending[1:]
+	return f, true
+}
+
+// writerLoop ships one peer's frames over a lazily dialed, reconnecting
+// connection. A failed write keeps the frame, drops the connection, and
+// retries with exponential backoff. Frames go out in send order. The
+// delivery guarantee is TCP's, no more: a frame whose write failure is
+// detected after the peer already consumed it is re-sent on reconnect
+// (duplicates are idempotent at the receiving engine — set semantics,
+// per-sender support merging), but frames the kernel accepted that the
+// peer never read (peer crash, or a frame the receiver rejects for
+// exceeding MaxFrame) are lost — there is no application-level ack or
+// retransmit yet (ROADMAP open item). Soft-state refresh re-supplies
+// lost tuples on the sender's next re-propagation.
+func (t *Transport) writerLoop(p *peer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	var bw *bufio.Writer
+	backoff := t.cfg.RetryMin
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	for {
+		f, ok := p.next()
+		if !ok {
+			return
+		}
+		for {
+			if conn == nil {
+				c, err := t.dial(p)
+				if err != nil {
+					if t.ctx.Err() != nil {
+						return
+					}
+					t.cfg.Logf("nettcp: dial %s: %v; retrying in %v", p.name, err, backoff)
+					if !t.sleep(backoff) {
+						return
+					}
+					backoff = min(backoff*2, t.cfg.RetryMax)
+					continue
+				}
+				conn, bw = c, bufio.NewWriter(c)
+				backoff = t.cfg.RetryMin
+			}
+			if err := writeFrame(bw, f); err == nil {
+				if err = bw.Flush(); err == nil {
+					break
+				}
+			} else if t.ctx.Err() != nil {
+				return
+			} else {
+				t.cfg.Logf("nettcp: write to %s: %v; reconnecting", p.name, err)
+			}
+			t.untrack(conn)
+			conn.Close()
+			conn = nil
+			if !t.sleep(backoff) {
+				return
+			}
+			backoff = min(backoff*2, t.cfg.RetryMax)
+		}
+	}
+}
+
+// dial opens, tracks, and primes (preamble + hello) a connection to p.
+func (t *Transport) dial(p *peer) (net.Conn, error) {
+	p.mu.Lock()
+	addr := p.addr
+	p.mu.Unlock()
+	d := net.Dialer{Timeout: t.cfg.DialTimeout}
+	conn, err := d.DialContext(t.ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if !t.track(conn) {
+		conn.Close()
+		return nil, errors.New("transport closed")
+	}
+	hello := append([]byte{}, magic[:]...)
+	// The hello names the sending *process*; each frame names its own
+	// sending node, so one process can host several.
+	hello = binary.AppendUvarint(hello, uint64(len(t.helloName())))
+	hello = append(hello, t.helloName()...)
+	if _, err := conn.Write(hello); err != nil {
+		t.untrack(conn)
+		conn.Close()
+		return nil, err
+	}
+	return conn, nil
+}
+
+// helloName identifies this process on the wire: its first local node
+// (registration order), or "?" before any AddNode.
+func (t *Transport) helloName() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for name := range t.local {
+		return name
+	}
+	return "?"
+}
+
+// sleep waits d or until shutdown, reporting whether to continue.
+func (t *Transport) sleep(d time.Duration) bool {
+	select {
+	case <-t.ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// frameWireSize is the framed size of one datagram: length prefix,
+// flags byte, source, destination, payload.
+func frameWireSize(src, dst string, payload []byte) int {
+	body := 1 + uvarintLen(uint64(len(src))) + len(src) +
+		uvarintLen(uint64(len(dst))) + len(dst) + len(payload)
+	return uvarintLen(uint64(body)) + body
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// writeFrame writes one length-prefixed frame. Source and destination
+// node names ride in the frame header (not per connection) so one
+// process can host several nodes and the receiver learns From without
+// decoding the payload.
+func writeFrame(w *bufio.Writer, f frame) error {
+	var hdr [binary.MaxVarintLen64]byte
+	body := 1 + uvarintLen(uint64(len(f.src))) + len(f.src) +
+		uvarintLen(uint64(len(f.dst))) + len(f.dst) + len(f.payload)
+	n := binary.PutUvarint(hdr[:], uint64(body))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	flags := byte(0)
+	if f.handshake {
+		flags |= 1
+	}
+	if err := w.WriteByte(flags); err != nil {
+		return err
+	}
+	for _, s := range []string{f.src, f.dst} {
+		n = binary.PutUvarint(hdr[:], uint64(len(s)))
+		if _, err := w.Write(hdr[:n]); err != nil {
+			return err
+		}
+		if _, err := w.WriteString(s); err != nil {
+			return err
+		}
+	}
+	_, err := w.Write(f.payload)
+	return err
+}
+
+// --- inbound path ---
+
+// acceptLoop admits peer connections until the listener closes.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed (shutdown)
+		}
+		if !t.track(conn) {
+			conn.Close()
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop consumes one inbound connection: preamble, hello, then frames
+// delivered to local inboxes. Protocol errors poison only this
+// connection; the peer's dialer re-opens it.
+func (t *Transport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer t.untrack(conn)
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	var pre [4]byte
+	if _, err := io.ReadFull(br, pre[:]); err != nil || pre != magic {
+		t.cfg.Logf("nettcp: bad preamble from %s", conn.RemoteAddr())
+		return
+	}
+	hello, err := readLengthPrefixed(br, t.cfg.MaxFrame)
+	if err != nil {
+		t.cfg.Logf("nettcp: bad hello from %s: %v", conn.RemoteAddr(), err)
+		return
+	}
+	from := string(hello)
+	for {
+		body, err := readLengthPrefixed(br, t.cfg.MaxFrame)
+		if err != nil {
+			if err != io.EOF && t.ctx.Err() == nil {
+				t.cfg.Logf("nettcp: read from %s: %v", from, err)
+			}
+			return
+		}
+		handshake, src, dst, payload, err := parseFrame(body)
+		if err != nil {
+			t.cfg.Logf("nettcp: corrupt frame from %s: %v", from, err)
+			return
+		}
+		t.mu.Lock()
+		box := t.local[dst]
+		if box == nil {
+			// Not registered (yet): park the frame for AddNode. A name
+			// this process will never host leaks its backlog here; the
+			// log line is the operator's clue to a peer-map typo.
+			t.charge(src, dst, payload, handshake)
+			t.orphans[dst] = append(t.orphans[dst], netsim.Message{From: src, To: dst, Payload: payload})
+			t.mu.Unlock()
+			t.cfg.Logf("nettcp: frame from %s parked for unregistered node %q", src, dst)
+			continue
+		}
+		t.mu.Unlock()
+		t.enqueue(box, src, dst, payload, handshake)
+	}
+}
+
+// readLengthPrefixed reads one uvarint-length-prefixed block.
+func readLengthPrefixed(br *bufio.Reader, max int) ([]byte, error) {
+	l, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if l > uint64(max) {
+		return nil, fmt.Errorf("block of %d bytes exceeds cap %d", l, max)
+	}
+	buf := make([]byte, l)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// parseFrame splits a frame body into traffic class, source,
+// destination, and payload.
+func parseFrame(body []byte) (handshake bool, src, dst string, payload []byte, err error) {
+	if len(body) < 1 {
+		return false, "", "", nil, errors.New("empty frame")
+	}
+	handshake = body[0]&1 != 0
+	rest := body[1:]
+	names := [2]string{}
+	for i := range names {
+		l, n := binary.Uvarint(rest)
+		if n <= 0 || uint64(len(rest)-n) < l {
+			return false, "", "", nil, errors.New("bad name length")
+		}
+		names[i] = string(rest[n : n+int(l)])
+		rest = rest[n+int(l):]
+	}
+	return handshake, names[0], names[1], rest, nil
+}

@@ -1,0 +1,229 @@
+package nettcp
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"provnet/internal/netsim"
+)
+
+func newT(t *testing.T, peers map[string]string) *Transport {
+	t.Helper()
+	tr, err := New(Config{Listen: "127.0.0.1:0", Peers: peers, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// waitDrain polls until to's inbox yields messages or the deadline hits.
+func waitDrain(t *testing.T, tr *Transport, to string, want int) []netsim.Message {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var msgs []netsim.Message
+	for len(msgs) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d messages at %q, have %v", want, to, msgs)
+		}
+		msgs = append(msgs, tr.Drain(to)...)
+		time.Sleep(5 * time.Millisecond)
+	}
+	return msgs
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := []frame{
+		{src: "a", dst: "b", payload: []byte{1, 2, 3}},
+		{src: "", dst: "b", payload: nil, handshake: true},
+		{src: "node-with-a-long-name", dst: "x", payload: bytes.Repeat([]byte{0xAB}, 300)},
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	for _, f := range frames {
+		if err := writeFrame(bw, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	for i, want := range frames {
+		body, err := readLengthPrefixed(br, DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got := len(body) + uvarintLen(uint64(len(body))); got != frameWireSize(want.src, want.dst, want.payload) {
+			t.Errorf("frame %d: wire size %d, frameWireSize %d", i, got, frameWireSize(want.src, want.dst, want.payload))
+		}
+		hs, src, dst, payload, err := parseFrame(body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if hs != want.handshake || src != want.src || dst != want.dst || !bytes.Equal(payload, want.payload) {
+			t.Errorf("frame %d: got (%v,%q,%q,%x), want (%v,%q,%q,%x)",
+				i, hs, src, dst, payload, want.handshake, want.src, want.dst, want.payload)
+		}
+	}
+}
+
+func TestParseFrameCorrupt(t *testing.T) {
+	for _, body := range [][]byte{nil, {0}, {0, 5}, {0, 200, 1}} {
+		if _, _, _, _, err := parseFrame(body); err == nil {
+			t.Errorf("parseFrame(%x): expected error", body)
+		}
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	tr := newT(t, nil)
+	tr.AddNode("a")
+	tr.AddNode("b")
+	if err := tr.Send("a", "b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.PendingFor("b"); n != 1 {
+		t.Fatalf("PendingFor(b) = %d", n)
+	}
+	msgs := tr.Drain("b")
+	if len(msgs) != 1 || msgs[0].From != "a" || string(msgs[0].Payload) != "hi" {
+		t.Fatalf("Drain = %v", msgs)
+	}
+	if s := tr.Stats(); s.Messages != 1 || s.Bytes == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRemoteDelivery(t *testing.T) {
+	trB := newT(t, nil)
+	trB.AddNode("b")
+	trA := newT(t, map[string]string{"b": trB.Addr()})
+	trA.AddNode("a")
+
+	if err := trA.SendTagged("a", "b", []byte("data"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := trA.SendTagged("a", "b", []byte("hs"), true); err != nil {
+		t.Fatal(err)
+	}
+	msgs := waitDrain(t, trB, "b", 2)
+	if msgs[0].From != "a" || string(msgs[0].Payload) != "data" || string(msgs[1].Payload) != "hs" {
+		t.Fatalf("msgs = %v", msgs)
+	}
+	if s := trB.Stats(); s.Messages != 2 || s.HandshakeMessages != 1 || s.HandshakeBytes == 0 {
+		t.Fatalf("receiver stats = %+v", s)
+	}
+	if s := trA.Stats(); s.Messages != 2 || s.HandshakeMessages != 1 {
+		t.Fatalf("sender stats = %+v", s)
+	}
+}
+
+func TestOrphanAdoptedOnAddNode(t *testing.T) {
+	trB := newT(t, nil) // nothing registered yet
+	trA := newT(t, map[string]string{"b": trB.Addr()})
+	trA.AddNode("a")
+	if err := trA.Send("a", "b", []byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the frame to land in the orphan buffer, then register.
+	deadline := time.Now().Add(10 * time.Second)
+	for trB.Stats().Messages == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("frame never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	trB.AddNode("b")
+	msgs := waitDrain(t, trB, "b", 1)
+	if string(msgs[0].Payload) != "early" {
+		t.Fatalf("msgs = %v", msgs)
+	}
+}
+
+func TestDialRetryBeforeListenerUp(t *testing.T) {
+	// Reserve a port, close it, point a sender at it: the writer must
+	// retry until a listener appears there and then deliver.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	trA, err := New(Config{Listen: "127.0.0.1:0", Peers: map[string]string{"b": addr}, Logf: t.Logf, RetryMin: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trA.Close()
+	trA.AddNode("a")
+	if err := trA.Send("a", "b", []byte("patience")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond) // let a few dials fail
+	trB, err := New(Config{Listen: addr, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trB.Close()
+	trB.AddNode("b")
+	msgs := waitDrain(t, trB, "b", 1)
+	if string(msgs[0].Payload) != "patience" {
+		t.Fatalf("msgs = %v", msgs)
+	}
+}
+
+func TestSendUnknownNode(t *testing.T) {
+	tr := newT(t, nil)
+	tr.AddNode("a")
+	if err := tr.Send("a", "nowhere", []byte("x")); err == nil {
+		t.Fatal("expected error")
+	}
+	if s := tr.Stats(); s.DroppedMsg != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestNotifyFiresOnArrival(t *testing.T) {
+	trB := newT(t, nil)
+	trB.AddNode("b")
+	var fired atomic.Int64
+	trB.Notify(func() { fired.Add(1) })
+	trA := newT(t, map[string]string{"b": trB.Addr()})
+	trA.AddNode("a")
+	if err := trA.Send("a", "b", []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	waitDrain(t, trB, "b", 1)
+	if fired.Load() == 0 {
+		t.Fatal("notify callback never fired")
+	}
+}
+
+func TestCloseIdempotentAndContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	tr, err := New(Config{Listen: "127.0.0.1:0", Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.AddNode("a")
+	cancel() // context-aware shutdown
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := tr.Send("a", "a", nil); err != nil {
+			break // closed
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("context cancellation never closed the transport")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

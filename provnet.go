@@ -52,9 +52,18 @@
 // batch results are bit-identical to the pre-driver behavior under every
 // scheduler and transport knob.
 //
+// Everything above runs in one process over the in-memory transport by
+// default. Setting Config.Transport to an internal/nettcp transport and
+// Config.LocalNodes to the node(s) this process hosts turns the same
+// program into one member of a multi-process deployment over real TCP
+// (every process needs the same program, topology, and Seed); see
+// docs/ARCHITECTURE.md, the -listen/-self/-peers flags on cmd/provnet,
+// and examples/multiprocess.
+//
 // The package re-exports the supported surface of the internal packages;
-// see the README for an architectural overview and the examples directory
-// for complete programs.
+// see README.md and docs/ for an architectural overview (including the
+// byte-level wire specification in docs/WIRE.md) and the examples
+// directory for complete programs.
 package provnet
 
 import (
@@ -91,6 +100,13 @@ type (
 	Update = core.Update
 	// Subscription streams table updates for a (node, predicate) filter.
 	Subscription = core.Subscription
+
+	// Transport is the message substrate the scheduler runs over. The
+	// default is the in-memory internal/netsim fabric; Config.Transport
+	// plus Config.LocalNodes swap in internal/nettcp's TCP backend so N
+	// OS processes each host one node of the same network (see
+	// docs/ARCHITECTURE.md and the -listen/-self/-peers CLI flags).
+	Transport = core.Transport
 )
 
 // Lifecycle errors.
@@ -106,8 +122,12 @@ var (
 
 // The paper's §6 variants.
 const (
-	VariantNDlog       = core.VariantNDlog
-	VariantSeNDlog     = core.VariantSeNDlog
+	// VariantNDlog: no authentication, no provenance.
+	VariantNDlog = core.VariantNDlog
+	// VariantSeNDlog: RSA-authenticated communication, no provenance.
+	VariantSeNDlog = core.VariantSeNDlog
+	// VariantSeNDlogProv: RSA authentication plus condensed provenance
+	// shipped with every tuple.
 	VariantSeNDlogProv = core.VariantSeNDlogProv
 )
 
@@ -136,10 +156,12 @@ type (
 
 // Value constructors.
 var (
-	Int     = data.Int
-	Str     = data.Str
-	Float   = data.Float
-	Bool    = data.Bool
+	// Int, Str, Float, Bool wrap a Go constant as a typed Value.
+	Int   = data.Int
+	Str   = data.Str
+	Float = data.Float
+	Bool  = data.Bool
+	// List builds a list value from elements; Strings from Go strings.
 	List    = data.List
 	Strings = data.Strings
 	// NewTuple builds a tuple from a predicate and values.
@@ -173,9 +195,13 @@ type (
 // amortized over HMAC-sealed envelopes. Config{Auth: AuthSession} is
 // shorthand for Config{Auth: AuthRSA, SessionAuth: true}.
 const (
-	AuthNone    = auth.SchemeNone
-	AuthHMAC    = auth.SchemeHMAC
-	AuthRSA     = auth.SchemeRSA
+	// AuthNone appends a cleartext principal header (benign world).
+	AuthNone = auth.SchemeNone
+	// AuthHMAC seals envelopes with shared-secret MACs.
+	AuthHMAC = auth.SchemeHMAC
+	// AuthRSA signs every envelope (hostile world, the paper's setup).
+	AuthRSA = auth.SchemeRSA
+	// AuthSession amortizes AuthRSA: one handshake per link, then HMACs.
 	AuthSession = auth.SchemeSession
 )
 
@@ -197,10 +223,14 @@ type (
 
 // Provenance modes (§4).
 const (
-	ProvNone        = provenance.ModeNone
-	ProvLocal       = provenance.ModeLocal
+	// ProvNone records nothing (the NDlog / SeNDlog baselines).
+	ProvNone = provenance.ModeNone
+	// ProvLocal ships the full derivation tree with every tuple.
+	ProvLocal = provenance.ModeLocal
+	// ProvDistributed stores per-node pointers; queries trace on demand.
 	ProvDistributed = provenance.ModeDistributed
-	ProvCondensed   = provenance.ModeCondensed
+	// ProvCondensed ships BDD-condensed provenance polynomials.
+	ProvCondensed = provenance.ModeCondensed
 )
 
 // Topologies.
@@ -218,9 +248,13 @@ var (
 	// RandomGraph generates the paper's workload topology: strongly
 	// connected, average out-degree as configured.
 	RandomGraph = topo.RandomConnected
-	LineGraph   = topo.Line
-	RingGraph   = topo.Ring
-	StarGraph   = topo.Star
+	// LineGraph chains n nodes with bidirectional unit-cost links.
+	LineGraph = topo.Line
+	// RingGraph is a unidirectional n-ring with unit costs.
+	RingGraph = topo.Ring
+	// StarGraph is hub-and-spoke with n0 as the hub.
+	StarGraph = topo.Star
+	// CustomGraph builds a graph from explicit links.
 	CustomGraph = topo.Custom
 )
 
@@ -238,12 +272,17 @@ type (
 
 // Trust policies (§3, §4.5).
 type (
-	MinLevelPolicy  = trust.MinLevel
-	KVotesPolicy    = trust.KVotes
+	// MinLevelPolicy accepts updates whose provenance clears a security
+	// level; KVotesPolicy needs k independent derivations.
+	MinLevelPolicy = trust.MinLevel
+	KVotesPolicy   = trust.KVotes
+	// WhitelistPolicy / BlacklistPolicy filter by deriving principals.
 	WhitelistPolicy = trust.Whitelist
 	BlacklistPolicy = trust.Blacklist
-	AllPolicies     = trust.All
-	AnyPolicy       = trust.Any
+	// AllPolicies / AnyPolicy combine policies conjunctively /
+	// disjunctively.
+	AllPolicies = trust.All
+	AnyPolicy   = trust.Any
 )
 
 // NewTrustGate builds a policy gate with an audit log.
