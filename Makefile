@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json fuzz examples docs ci
+.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json api-smoke fuzz examples docs ci
 
 all: build
 
@@ -42,12 +42,29 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Transport-security benchmark matrix, the live-churn workload, and the
-# intra-node sharding sweep, recorded as CI artifacts.
+# Transport-security benchmark matrix, the live-churn workload, the
+# intra-node sharding sweep, and the concurrent-query load, recorded as
+# CI artifacts.
 bench-json:
 	$(GO) run ./cmd/benchjson -out BENCH_pr2.json
 	$(GO) run ./cmd/benchjson -live -n 16 -runs 3 -out BENCH_pr3.json
 	$(GO) run ./cmd/benchjson -shard -n 8 -runs 3 -out BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -queryload -out BENCH_pr6.json
+
+# The CI api-smoke job: serve the query API from cmd/provnet, query a
+# traceback over HTTP, diff against the committed golden fixture.
+api-smoke:
+	$(GO) build -o /tmp/provnet-smoke ./cmd/provnet
+	@/tmp/provnet-smoke -program cmd/provnet/testdata/reachable.ndl \
+		-topo line:3 -nocost -prov distributed -sequential \
+		-http 127.0.0.1:18080 > /tmp/provnet-smoke.log 2>&1 & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18080/v1/bestpath > /dev/null && break; sleep 0.2; \
+	done; \
+	curl -sf 'http://127.0.0.1:18080/v1/traceback?node=n0&tuple=reachable%28n0%2C%20n2%29' > /tmp/provnet-smoke-got.json; \
+	status=$$?; kill $$pid 2>/dev/null; \
+	[ $$status -eq 0 ] && diff cmd/provnet/testdata/traceback_golden.json /tmp/provnet-smoke-got.json
 
 # Wire-decoder fuzzing (v1-v4 + handshake frames), same budget as CI.
 fuzz:
@@ -69,4 +86,4 @@ docs:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/multiprocess
 
-ci: fmt-check vet staticcheck build race fuzz examples docs bench-smoke bench-json
+ci: fmt-check vet staticcheck build race fuzz examples docs bench-smoke bench-json api-smoke

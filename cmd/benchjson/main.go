@@ -53,6 +53,21 @@ type shardResult struct {
 	Rounds       int   `json:"rounds"`
 }
 
+// queryLoadResult is the BENCH_pr6 concurrent-query record: HTTP
+// traceback/table queries against a churning network served from
+// snapshot-isolated ReadViews; torn must be zero.
+type queryLoadResult struct {
+	Workers    int     `json:"workers"`
+	Churns     int     `json:"churns"`
+	Snapshots  int     `json:"snapshots"`
+	Queries    int     `json:"queries"`
+	Tracebacks int     `json:"tracebacks"`
+	TraceMiss  int     `json:"trace_miss"`
+	Torn       int     `json:"torn_reads"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	QPS        float64 `json:"queries_per_sec"`
+}
+
 // liveResult is one live-churn cell (BENCH_pr3): a single CutLink's
 // incremental re-convergence vs a full restart, averaged over runs.
 // CutLinks records every run's cut (each run uses a fresh seeded
@@ -69,14 +84,15 @@ type liveResult struct {
 }
 
 type output struct {
-	Workload string        `json:"workload"`
-	Nodes    int           `json:"nodes"`
-	Cycles   int           `json:"cycles,omitempty"`
-	Runs     int           `json:"runs"`
-	KeyBits  int           `json:"key_bits"`
-	Results  []result      `json:"results,omitempty"`
-	Live     []liveResult  `json:"live_results,omitempty"`
-	Shard    []shardResult `json:"shard_results,omitempty"`
+	Workload string           `json:"workload"`
+	Nodes    int              `json:"nodes"`
+	Cycles   int              `json:"cycles,omitempty"`
+	Runs     int              `json:"runs"`
+	KeyBits  int              `json:"key_bits"`
+	Results  []result         `json:"results,omitempty"`
+	Live     []liveResult     `json:"live_results,omitempty"`
+	Shard    []shardResult    `json:"shard_results,omitempty"`
+	Query    *queryLoadResult `json:"query_results,omitempty"`
 }
 
 func main() {
@@ -86,10 +102,16 @@ func main() {
 	runs := flag.Int("runs", 1, "averaging runs per mode")
 	live := flag.Bool("live", false, "record the live-churn workload (CutLink re-convergence vs restart)")
 	shard := flag.Bool("shard", false, "record the intra-node sharding workload (wide fan-in, engineshards sweep)")
+	queryload := flag.Bool("queryload", false, "record the concurrent HTTP query workload (tracebacks vs churn, torn-read check)")
+	qworkers := flag.Int("qworkers", 8, "query goroutines for -queryload")
+	minQueries := flag.Int("queries", 1000, "traceback quota for -queryload")
 	shared := cliflags.Register(nil)
 	flag.Parse()
 	if shared.TransportFlagsSet() {
 		fatal(fmt.Errorf("-listen/-self/-peers (the multi-process TCP transport) are only supported by cmd/provnet"))
+	}
+	if shared.ServiceFlagsSet() {
+		fatal(fmt.Errorf("-store/-http (the durable store log and query API) are only supported by cmd/provnet"))
 	}
 	// The recorded matrix IS the transport dimension: knobs that would
 	// change it silently must be rejected, not ignored (the artifact is
@@ -98,6 +120,10 @@ func main() {
 		fatal("benchjson fixes the transport matrix; -auth/-session/-unbatched/-pipelined/-churn/-rekey are not applicable")
 	}
 
+	if *queryload {
+		recordQueryLoad(*out, *nodes, *qworkers, *minQueries, shared)
+		return
+	}
 	if *shard {
 		// The shard sweep IS the engineshards dimension.
 		if shared.EngineShards != 0 {
@@ -192,6 +218,44 @@ func recordShard(out string, nodes, runs int, shared *cliflags.Flags) {
 		fmt.Printf("engineshards=%d %12dns %8d derivations %8d tuples %3d rounds\n",
 			agg.EngineShards, agg.NsPerOp, agg.Derivations, agg.TuplesStored, agg.Rounds)
 	}
+	write(out, o)
+}
+
+// recordQueryLoad runs the BENCH_pr6 concurrent-query workload:
+// workers goroutines issue HTTP traceback and table queries against a
+// live churning network until the traceback quota is met, and every
+// table response is checked against the set of published snapshots.
+func recordQueryLoad(out string, nodes, workers, minQueries int, shared *cliflags.Flags) {
+	cfg := provnet.Config{
+		Source:       provnet.BestPath,
+		Prov:         provnet.ProvDistributed,
+		Sequential:   shared.Sequential,
+		Workers:      shared.Workers,
+		EngineShards: shared.EngineShards,
+	}
+	r := benchwork.ConcurrentQueryLoad(fatal, cfg, nodes, workers, minQueries, 11)
+	if r.Torn != 0 {
+		fatal(fmt.Errorf("%d torn reads — snapshot isolation is broken", r.Torn))
+	}
+	o := output{
+		Workload: "concurrent-query-load",
+		Nodes:    r.Nodes,
+		Runs:     1,
+		KeyBits:  shared.KeyBits,
+		Query: &queryLoadResult{
+			Workers:    r.Workers,
+			Churns:     r.Churns,
+			Snapshots:  r.Snapshots,
+			Queries:    r.Queries,
+			Tracebacks: r.Tracebacks,
+			TraceMiss:  r.TraceMiss,
+			Torn:       r.Torn,
+			NsPerOp:    r.Elapsed.Nanoseconds(),
+			QPS:        r.QPS,
+		},
+	}
+	fmt.Printf("queryload n=%d workers=%d: %d queries (%d tracebacks, %d misses) over %d churns, %d snapshots, %.0f q/s, torn=%d\n",
+		r.Nodes, r.Workers, r.Queries, r.Tracebacks, r.TraceMiss, r.Churns, r.Snapshots, r.QPS, r.Torn)
 	write(out, o)
 }
 

@@ -56,6 +56,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bestpath: -listen/-self/-peers (the multi-process TCP transport) are only supported by cmd/provnet")
 		os.Exit(2)
 	}
+	if shared.ServiceFlagsSet() {
+		fmt.Fprintln(os.Stderr, "bestpath: -store/-http (the durable store log and query API) are only supported by cmd/provnet")
+		os.Exit(2)
+	}
 	// The three paper variants fix the says scheme per column; a -auth
 	// override would be silently discarded, so reject it instead.
 	if shared.Auth != "none" {

@@ -16,6 +16,15 @@
 // node's delta queue across k intra-node eval workers; results are
 // bit-identical to serial evaluation at any setting.
 //
+// With -http the converged process stays up and serves the /v1 query
+// API (traceback, tables, bestpath, SSE subscriptions; see docs/API.md)
+// until interrupted; with -store DIR every table change is appended to a
+// durable store log in DIR, recoverable after a crash (docs/ARCHITECTURE.md,
+// "Durable storage"):
+//
+//	provnet -program routing.ndl -topo line:4 -prov distributed -http 127.0.0.1:8080
+//	provnet -program routing.ndl -topo ring:5 -store /var/lib/provnet
+//
 // With -listen, the process becomes one member of a multi-process
 // deployment over real TCP: it hosts only the -self node, reaches the
 // others through the -peers map, and prints its own node's tables once
@@ -33,11 +42,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 
 	"provnet"
 	"provnet/internal/cliflags"
+	"provnet/internal/queryapi"
 )
 
 func main() {
@@ -84,6 +96,12 @@ func main() {
 	}
 	if shared.Distributed() && shared.Churn > 0 {
 		fatal(fmt.Errorf("-churn needs the whole topology in one process; it does not compose with -listen"))
+	}
+	if shared.Distributed() && shared.HTTP != "" {
+		fatal(fmt.Errorf("-http serves tables after the run; it does not compose with -listen (which closes the network on idle)"))
+	}
+	if err := shared.SetupStore(&cfg); err != nil {
+		fatal(err)
 	}
 
 	n, err := provnet.NewNetwork(cfg)
@@ -139,6 +157,19 @@ func main() {
 				}
 				fmt.Println()
 			}
+		}
+	}
+
+	if shared.HTTP != "" {
+		ln, err := net.Listen("tcp", shared.HTTP)
+		if err != nil {
+			fatal(err)
+		}
+		// The readiness line carries the bound address (":0" picks a free
+		// port) so scripts can scrape it before querying.
+		fmt.Printf("serving query API on http://%s/v1\n", ln.Addr())
+		if err := http.Serve(ln, queryapi.NewServer(n).Handler()); err != nil {
+			fatal(err)
 		}
 	}
 }

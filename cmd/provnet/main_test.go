@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
+	"net/url"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -80,6 +84,107 @@ func freeLoopbackAddrs(t *testing.T, n int) []string {
 		ln.Close()
 	}
 	return addrs
+}
+
+// TestHTTPTracebackGolden is the api-smoke pin, mirrored by the CI job of
+// the same name: a provnet process serving -http must answer the
+// /v1/traceback query with exactly the committed golden JSON. The fixture
+// pins the schema (v1), the derivation tree, and the query-cost stats;
+// regenerate it with the command from .github/workflows/ci.yml if the
+// provenance encoding deliberately changes.
+func TestHTTPTracebackGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns an OS process")
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "traceback_golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0])
+	args := []string{
+		"-program", filepath.Join("testdata", "reachable.ndl"),
+		"-topo", "line:3", "-nocost", "-prov", "distributed",
+		"-sequential", "-http", "127.0.0.1:0",
+	}
+	cmd.Env = append(os.Environ(), mainArgsEnv+"="+strings.Join(args, argSep))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// Scrape the readiness line for the bound address.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if after, ok := strings.CutPrefix(sc.Text(), "serving query API on "); ok {
+			base = strings.TrimSuffix(after, "/v1")
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("no readiness line: %v", sc.Err())
+	}
+
+	resp, err := http.Get(base + "/v1/traceback?node=n0&tuple=" + url.QueryEscape("reachable(n0, n2)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if string(body) != string(golden) {
+		t.Errorf("traceback diverges from golden fixture\n--- got ---\n%s\n--- want ---\n%s", body, golden)
+	}
+}
+
+// TestStoreFlagPersists runs provnet with -store and then recovers the
+// log offline: the replayed live state must list exactly the tables the
+// process printed.
+func TestStoreFlagPersists(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns an OS process")
+	}
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	out, err := runProvnet(ctx,
+		"-program", filepath.Join("testdata", "reachable.ndl"),
+		"-topo", "line:3", "-nocost", "-prov", "distributed",
+		"-sequential", "-store", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableLines(out)
+	state, stats, err := provnet.RecoverStoreLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events == 0 || stats.TornBytes != 0 {
+		t.Fatalf("unexpected recovery stats: %+v", stats)
+	}
+	var got []string
+	for _, l := range strings.Split(strings.TrimSuffix(state.LiveDump(), "\n"), "\n") {
+		got = append(got, strings.TrimSuffix(l, "\t"))
+	}
+	sort.Strings(got)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("recovered store diverges from printed tables\n--- store (%d) ---\n%s\n--- tables (%d) ---\n%s",
+			len(got), strings.Join(got, "\n"), len(want), strings.Join(want, "\n"))
+	}
 }
 
 // TestMultiprocessMatchesSingleProcess is the acceptance pin for the TCP

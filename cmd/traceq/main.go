@@ -6,6 +6,11 @@
 //	traceq ... -advance 60 -offline       # forensic query after expiry
 //	traceq ... -moonwalk -walks 5         # sampled backward walks
 //	traceq ... -churn 1                   # cut a link first: stale provenance
+//	traceq ... -format json               # machine-readable (queryapi schema v1)
+//
+// -format json emits the same versioned QueryResult JSON the HTTP API's
+// /v1/traceback endpoint serves (internal/queryapi, docs/API.md), so
+// scripts can consume either source interchangeably.
 //
 // The scheduler, transport-security, and churn knobs are shared with the
 // other commands via internal/cliflags: -auth, -keybits, -sequential,
@@ -17,6 +22,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -26,6 +32,7 @@ import (
 	"provnet"
 	"provnet/internal/cliflags"
 	"provnet/internal/core"
+	"provnet/internal/queryapi"
 )
 
 func main() {
@@ -40,15 +47,22 @@ func main() {
 	walks := flag.Int("walks", 3, "number of moonwalks")
 	seed := flag.Int64("seed", 1, "moonwalk rng seed")
 	extraNodes := flag.String("extranodes", "", "comma-separated node names not mentioned in any fact placement")
+	format := flag.String("format", "text", "output format: text or json (queryapi schema)")
 	shared := cliflags.Register(nil)
 	flag.Parse()
 	if shared.TransportFlagsSet() {
 		fatal(fmt.Errorf("-listen/-self/-peers (the multi-process TCP transport) are only supported by cmd/provnet"))
 	}
+	if shared.ServiceFlagsSet() {
+		fatal(fmt.Errorf("-store/-http (the durable store log and query API) are only supported by cmd/provnet"))
+	}
 
 	if *programPath == "" || *node == "" || *tupleText == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *format != "text" && *format != "json" {
+		fatal(fmt.Errorf("unknown -format %q (want text or json)", *format))
 	}
 	src, err := os.ReadFile(*programPath)
 	if err != nil {
@@ -103,6 +117,10 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			if *format == "json" {
+				emitJSON(queryapi.TracebackResult(*node, target.String(), tree, stats))
+				continue
+			}
 			fmt.Printf("\nmoonwalk %d (%d hops, %d entries):\n", i+1, stats.Messages, stats.Entries)
 			fmt.Print(tree.Render(nil))
 		}
@@ -113,6 +131,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *format == "json" {
+		emitJSON(queryapi.TracebackResult(*node, target.String(), tree, stats))
+		return
+	}
 	fmt.Printf("derivation tree of %s at %s:\n", target, *node)
 	fmt.Print(tree.Render(nil))
 	fmt.Printf("\nquery cost: %d inter-node messages, ~%d bytes, %d nodes visited, %d entries\n",
@@ -120,6 +142,16 @@ func main() {
 	fmt.Println("base tuples:")
 	for _, l := range tree.Leaves() {
 		fmt.Printf("  %s\n", l)
+	}
+}
+
+// emitJSON writes one QueryResult document to stdout (one per moonwalk
+// when -moonwalk is set).
+func emitJSON(res *queryapi.QueryResult) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fatal(err)
 	}
 }
 

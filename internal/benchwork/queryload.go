@@ -1,0 +1,234 @@
+package benchwork
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"provnet"
+	"provnet/internal/queryapi"
+)
+
+// QueryLoadResult records the PR-6 concurrent-query workload: HTTP
+// traceback and table queries hammering the query API while the network
+// churns underneath, with every table response checked against the set
+// of snapshots the churn loop published. Torn must be zero: the
+// copy-on-write ReadView guarantees a query overlapping a CutLink sees
+// either the pre-churn or the post-churn snapshot, never a mix.
+type QueryLoadResult struct {
+	Nodes      int
+	Workers    int
+	Churns     int
+	Snapshots  int // distinct snapshot bodies published by the churn loop
+	Queries    int // total HTTP queries issued
+	Tracebacks int // traceback queries among them
+	TraceMiss  int // tracebacks that raced a withdrawal (404: target gone)
+	Torn       int // table responses matching no published snapshot
+	Elapsed    time.Duration
+	QPS        float64
+}
+
+// ConcurrentQueryLoad converges the §6 Best-Path workload on a random
+// nodes-node topology, then runs workers query goroutines against the
+// HTTP API while the main loop cuts and restores links. The loop churns
+// until the workers have issued at least minTracebacks traceback
+// queries. Table-response bodies are compared post-hoc against every
+// snapshot captured at the loop's quiescence points; mismatches are
+// torn reads. fatal is called on setup errors and on any query failure
+// that is not an expected churn race.
+func ConcurrentQueryLoad(fatal func(...any), cfg provnet.Config, nodes, workers, minTracebacks int, seed int64) QueryLoadResult {
+	g := provnet.RandomGraph(provnet.TopoOptions{N: nodes, AvgOutDegree: 3, MaxCost: 10, Seed: seed})
+	cfg.Graph = g
+	cfg.Seed = seed
+	net, err := provnet.NewNetwork(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer net.Close()
+	ctx := context.Background()
+	d := net.Driver()
+	if err := d.Start(ctx); err != nil {
+		fatal(err)
+	}
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		fatal(err)
+	}
+	srv := httptest.NewServer(queryapi.NewServer(net).Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// The snapshot library: every table body the churn loop captured at
+	// a quiescence point. Workers record what they observed; the post-hoc
+	// diff (observed ⊆ captured) avoids racing the capture itself.
+	captured := make(map[string]bool)
+	var capMu sync.Mutex
+	tablesURL := srv.URL + "/v1/tables/bestPath"
+	capture := func() {
+		body, status, err := get(client, tablesURL)
+		if err != nil || status != http.StatusOK {
+			fatal(fmt.Sprintf("snapshot capture: status %d err %v", status, err))
+		}
+		capMu.Lock()
+		captured[body] = true
+		capMu.Unlock()
+	}
+	capture()
+
+	var (
+		stop       atomic.Bool
+		queries    atomic.Int64
+		tracebacks atomic.Int64
+		traceMiss  atomic.Int64
+		errMu      sync.Mutex
+		firstErr   error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	observed := make([]map[string]int, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		obs := make(map[string]int)
+		observed[w] = obs
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; !stop.Load(); i++ {
+				if i%4 == 0 {
+					// Table read: must match a captured snapshot exactly.
+					body, status, err := get(client, tablesURL)
+					if err != nil || status != http.StatusOK {
+						fail(fmt.Errorf("worker %d: tables status %d: %v", w, status, err))
+						return
+					}
+					queries.Add(1)
+					obs[body]++
+					continue
+				}
+				// Traceback: pick a live bestPath fact off the current
+				// snapshot and reconstruct its derivation over the
+				// churning provenance stores.
+				view := d.ReadView()
+				names := view.Nodes()
+				if len(names) == 0 {
+					continue
+				}
+				node := names[(w+i)%len(names)]
+				rows := view.Rows(node, "bestPath")
+				if len(rows) == 0 {
+					continue
+				}
+				target := rows[(w*7+i)%len(rows)].Tuple
+				u := fmt.Sprintf("%s/v1/traceback?node=%s&tuple=%s&maxdepth=12",
+					srv.URL, url.QueryEscape(node), url.QueryEscape(target.String()))
+				body, status, err := get(client, u)
+				if err != nil {
+					fail(fmt.Errorf("worker %d: traceback: %v", w, err))
+					return
+				}
+				queries.Add(1)
+				tracebacks.Add(1)
+				switch status {
+				case http.StatusOK:
+					var res queryapi.QueryResult
+					if err := json.Unmarshal([]byte(body), &res); err != nil || res.V != queryapi.SchemaVersion || res.Traceback == nil {
+						fail(fmt.Errorf("worker %d: bad traceback result (err %v): %.200s", w, err, body))
+						return
+					}
+				case http.StatusNotFound:
+					// The target was withdrawn between the snapshot read
+					// and the store walk: an expected churn race.
+					traceMiss.Add(1)
+				default:
+					fail(fmt.Errorf("worker %d: traceback status %d: %.200s", w, status, body))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Churn until the workers hit the traceback quota: cut a link, wait
+	// for re-convergence, capture the new snapshot; restore it two
+	// cycles later so the graph never thins out.
+	churns := 0
+	down := make([]provnet.GraphLink, 0, 2)
+	for i := 0; tracebacks.Load() < int64(minTracebacks) && !stop.Load(); i++ {
+		if len(down) == 2 {
+			l := down[0]
+			down = down[1:]
+			if err := d.SetLink(l.From, l.To, l.Cost); err != nil {
+				fail(err)
+				break
+			}
+		} else {
+			l := g.Links[(i*13)%len(g.Links)]
+			if err := d.CutLink(l.From, l.To); err != nil {
+				fail(err)
+				break
+			}
+			down = append(down, l)
+		}
+		if _, err := d.AwaitQuiescence(ctx); err != nil {
+			fail(err)
+			break
+		}
+		churns++
+		capture()
+	}
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	errMu.Lock()
+	err = firstErr
+	errMu.Unlock()
+	if err != nil {
+		fatal(err)
+	}
+
+	res := QueryLoadResult{
+		Nodes:      nodes,
+		Workers:    workers,
+		Churns:     churns,
+		Snapshots:  len(captured),
+		Queries:    int(queries.Load()),
+		Tracebacks: int(tracebacks.Load()),
+		TraceMiss:  int(traceMiss.Load()),
+		Elapsed:    elapsed,
+		QPS:        float64(queries.Load()) / elapsed.Seconds(),
+	}
+	for _, obs := range observed {
+		for body, count := range obs {
+			if !captured[body] {
+				res.Torn += count
+			}
+		}
+	}
+	return res
+}
+
+func get(client *http.Client, url string) (string, int, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", resp.StatusCode, err
+	}
+	return string(body), resp.StatusCode, nil
+}

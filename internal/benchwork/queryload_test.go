@@ -1,0 +1,26 @@
+package benchwork
+
+import (
+	"testing"
+
+	"provnet"
+)
+
+// TestConcurrentQueryLoad is the PR-6 acceptance gate: ≥1000 concurrent
+// traceback queries against a churning 20-node network, with zero torn
+// table reads. CI runs this under -race, which also exercises the
+// snapshot machinery's memory model.
+func TestConcurrentQueryLoad(t *testing.T) {
+	cfg := provnet.Config{Source: provnet.BestPath, Prov: provnet.ProvDistributed}
+	res := ConcurrentQueryLoad(t.Fatal, cfg, 20, 8, 1000, 11)
+	t.Logf("queryload: %+v", res)
+	if res.Tracebacks < 1000 {
+		t.Errorf("tracebacks = %d, want ≥1000", res.Tracebacks)
+	}
+	if res.Torn != 0 {
+		t.Errorf("torn reads = %d, want 0", res.Torn)
+	}
+	if res.Churns == 0 || res.Snapshots < 2 {
+		t.Errorf("network did not churn: churns=%d snapshots=%d", res.Churns, res.Snapshots)
+	}
+}

@@ -4,7 +4,9 @@
 // cmd/benchjson cannot drift apart. It also hosts the
 // topology/auth/provenance spec parsers the commands used to copy, and
 // the distributed-run helpers behind -listen/-self/-peers (see
-// docs/ARCHITECTURE.md for the multi-process deployment model).
+// docs/ARCHITECTURE.md for the multi-process deployment model) and the
+// provenance-as-a-service knobs -store (durable store log) and -http
+// (query API), served by cmd/provnet only (see docs/API.md).
 package cliflags
 
 import (
@@ -42,6 +44,13 @@ type Flags struct {
 	Churn     int
 	ChurnSeed int64
 
+	// Provenance-as-a-service: Store is the durable store-log directory
+	// (empty = in-memory only) and HTTP the query-API listen address
+	// (empty = no server). Only cmd/provnet serves them; other commands
+	// reject the pair via ServiceFlagsSet.
+	Store string
+	HTTP  string
+
 	// Multi-process TCP transport: this process hosts node Self,
 	// listens on Listen, and reaches the other processes through the
 	// Peers map. Idle is the quiet window after which a distributed run
@@ -71,6 +80,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.EngineShards, "engineshards", 0, "shard each node's delta queue across N intra-node eval workers (0/1 = serial; results identical)")
 	fs.IntVar(&f.Churn, "churn", 0, "after convergence, cut this many random links and re-converge incrementally")
 	fs.Int64Var(&f.ChurnSeed, "churnseed", 1, "rng seed for -churn link selection")
+	fs.StringVar(&f.Store, "store", "", "durable store-log directory: append every table change, recoverable after a crash")
+	fs.StringVar(&f.HTTP, "http", "", "serve the /v1 query API (traceback, tables, bestpath, subscribe) on this address")
 	fs.StringVar(&f.Listen, "listen", "", "host one node over TCP: listen address (turns on the nettcp transport; needs -self and -peers)")
 	fs.StringVar(&f.Self, "self", "", "node name this process hosts (TCP transport)")
 	fs.StringVar(&f.Peers, "peers", "", "comma-separated name=host:port peer map (TCP transport)")
@@ -88,6 +99,26 @@ func (f *Flags) Distributed() bool { return f.Listen != "" }
 // -self/-peers given without -listen.
 func (f *Flags) TransportFlagsSet() bool {
 	return f.Listen != "" || f.Self != "" || f.Peers != ""
+}
+
+// ServiceFlagsSet reports whether -store or -http was given — commands
+// other than cmd/provnet use it to reject the service flags instead of
+// silently ignoring them (same pattern as TransportFlagsSet).
+func (f *Flags) ServiceFlagsSet() bool { return f.Store != "" || f.HTTP != "" }
+
+// SetupStore opens the durable store log in the -store directory (first
+// recovering any state a previous run left there) and attaches it to
+// cfg. No-op without -store.
+func (f *Flags) SetupStore(cfg *provnet.Config) error {
+	if f.Store == "" {
+		return nil
+	}
+	log, err := provnet.OpenStoreLog(f.Store, provnet.StoreLogOptions{})
+	if err != nil {
+		return err
+	}
+	cfg.Store = log
+	return nil
 }
 
 // ParsePeers parses the -peers spec: comma-separated name=host:port.
@@ -161,6 +192,12 @@ func (f *Flags) RunDistributed(ctx context.Context, n *provnet.Network) (*provne
 		}
 		rounds += r.Rounds
 		rep = r
+		// Drain the store before the termination decision: a slow flush
+		// must not let the process exit with buffered events, and a flush
+		// error must surface here rather than be dropped at Close.
+		if err := n.FlushStore(); err != nil {
+			return nil, err
+		}
 		cur := n.Transport().Stats().Messages
 		if cur == last {
 			break // a full idle window with no traffic and no work

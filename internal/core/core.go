@@ -148,6 +148,14 @@ type Config struct {
 	// Transport.
 	LocalNodes []string
 
+	// Store, when set, receives every table change at every hosted node
+	// as an ordered event stream (insert/retract/expire/annotation), and
+	// is sealed and flushed at quiescence points — the durability seam.
+	// nil keeps the seed behavior: state lives only in the engines'
+	// in-memory maps. internal/storelog supplies the durable append-only
+	// implementation; the network closes the Store on Network.Close.
+	Store Store
+
 	// ImportFilter, when set with ModeCondensed, is consulted for every
 	// imported tuple with its provenance polynomial; rejected tuples are
 	// dropped and counted (Orchestra-style trust gating, §3). The parallel
@@ -205,7 +213,15 @@ type Network struct {
 	legacy auth.Sealer
 	// session is non-nil iff SessionAuth is configured.
 	session *auth.SessionSealer
-	clock   float64
+	// store is Config.Store (nil = in-memory only). storeErr latches the
+	// first append failure so one bad write doesn't spam every event.
+	store    Store
+	storeErr atomic.Pointer[error]
+	// mutGen counts table mutations across all hosted engines; the driver
+	// compares it across view builds so content-identical republishes
+	// keep their snapshot Seq.
+	mutGen atomic.Uint64
+	clock  float64
 	// Signature and rejection counters are atomic: the parallel scheduler
 	// signs and verifies from many goroutines at once.
 	signed  atomic.Int64
@@ -264,6 +280,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		cfg:   cfg,
 		prog:  localized,
 		net:   transport,
+		store: cfg.Store,
 		nodes: make(map[string]*Node),
 		idx:   make(map[string]int),
 		dir:   auth.NewDeterministicDirectory(cfg.Seed),
@@ -402,8 +419,8 @@ func (n *Network) addNode(name string, saysSemantics bool) error {
 		Self:          name,
 		Authenticated: saysSemantics,
 		Hook:          tracker,
-		OnUpdate: func(t data.Tuple, added bool) {
-			n.onEngineUpdate(name, t, added)
+		OnUpdate: func(t data.Tuple, kind engine.UpdateKind) {
+			n.onEngineUpdate(name, t, kind)
 		},
 		Shards: n.cfg.EngineShards,
 	})
@@ -420,21 +437,88 @@ func (n *Network) addNode(name string, saysSemantics bool) error {
 // onEngineUpdate observes every table change at a node: removals mark the
 // tuple's provenance stale (the store keeps the history; the flag records
 // that the network no longer derives the tuple — §4.2's offline story
-// extended to churn), and both directions stream to live subscriptions.
-// It is called from the owning node's scheduler task; the store and the
-// driver's subscription registry are concurrency-safe.
-func (n *Network) onEngineUpdate(name string, t data.Tuple, added bool) {
-	if nd := n.nodes[name]; nd != nil {
-		if added {
+// extended to churn), insertions/removals stream to live subscriptions,
+// and every kind — including annotation-only merges — feeds the durable
+// Store's event log. It is called from the owning node's scheduler task;
+// the provenance store, the Store, and the driver's subscription registry
+// are concurrency-safe.
+func (n *Network) onEngineUpdate(name string, t data.Tuple, kind engine.UpdateKind) {
+	nd := n.nodes[name]
+	if nd != nil {
+		switch {
+		case kind.Entered():
 			nd.Tracker.Restore(t)
-		} else {
+		case kind.Left():
 			nd.Tracker.Withdraw(t)
 		}
 	}
-	if d := n.drv; d != nil {
-		d.publish(name, t, added)
+	n.mutGen.Add(1)
+	if n.store != nil && n.storeErr.Load() == nil {
+		ev := StoreEvent{Node: name, Tuple: t, At: n.clock}
+		switch kind {
+		case engine.UpdateAdded:
+			ev.Kind = EvInsert
+		case engine.UpdateRetracted:
+			ev.Kind = EvRetract
+		case engine.UpdateExpired:
+			ev.Kind = EvExpire
+		case engine.UpdateAnnotation:
+			ev.Kind = EvProv
+		}
+		if nd != nil && (ev.Kind == EvInsert || ev.Kind == EvProv) {
+			ev.Prov = nd.Tracker.ExprOf(nd.Engine.AnnotationOf(t))
+		}
+		if err := n.store.Append(ev); err != nil {
+			n.storeErr.CompareAndSwap(nil, &err)
+		}
+	}
+	if kind != engine.UpdateAnnotation {
+		if d := n.drv; d != nil {
+			d.publish(name, t, kind.Entered())
+		}
 	}
 }
+
+// FlushStore blocks until every appended store event is durable (no-op
+// without a configured Store). It returns the first store error, if any.
+func (n *Network) FlushStore() error {
+	if n.store == nil {
+		return nil
+	}
+	if err := n.store.Flush(); err != nil {
+		n.storeErr.CompareAndSwap(nil, &err)
+	}
+	return n.StoreErr()
+}
+
+// sealStore marks a quiescent point on the configured Store and flushes
+// it (no-op without one). Errors latch into storeErr.
+func (n *Network) sealStore() error {
+	if n.store == nil {
+		return nil
+	}
+	if err := n.store.Seal(); err != nil {
+		n.storeErr.CompareAndSwap(nil, &err)
+	}
+	if err := n.store.Flush(); err != nil {
+		n.storeErr.CompareAndSwap(nil, &err)
+	}
+	return n.StoreErr()
+}
+
+// StoreErr returns the first error the configured Store reported, or nil.
+func (n *Network) StoreErr() error {
+	if p := n.storeErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// StoreOf returns the configured Store (nil = in-memory only).
+func (n *Network) StoreOf() Store { return n.store }
+
+// ProvMode returns the network's provenance mode.
+func (n *Network) ProvMode() provenance.Mode { return n.cfg.Prov }
 
 // Report summarizes one Run.
 type Report struct {

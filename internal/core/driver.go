@@ -64,6 +64,15 @@ type Driver struct {
 	subMu sync.RWMutex
 	subs  map[*Subscription]struct{}
 	nsubs atomic.Int32
+
+	// view is the latest published copy-on-write table snapshot; readers
+	// (the HTTP query API) load it lock-free. viewSeq/viewGen track the
+	// last published snapshot's sequence and the mutation generation it
+	// captured (guarded by runMu) so content-identical republishes keep
+	// their Seq.
+	view    atomic.Pointer[ReadView]
+	viewSeq uint64
+	viewGen uint64
 }
 
 // driverEvent is one queued runtime mutation.
@@ -93,6 +102,7 @@ func (n *Network) Driver() *Driver {
 	n.drvOnce.Do(func() {
 		d := &Driver{n: n, subs: make(map[*Subscription]struct{}), epochStart: time.Now()}
 		d.cond = sync.NewCond(&d.mu)
+		d.view.Store(&ReadView{nodes: map[string]*NodeView{}})
 		n.drv = d
 	})
 	return n.drv
@@ -192,6 +202,15 @@ func (d *Driver) pump(ctx context.Context) {
 				return
 			}
 			progress, err := d.step(ctx)
+			if err == nil && !progress {
+				// The burst looks drained: publish the read snapshot and
+				// seal/flush the durable store before declaring
+				// quiescence, so observers of a quiet driver see the
+				// converged view and a durable log. Events that arrive
+				// during the flush are caught by the inbox/pending check
+				// below.
+				err = d.quiesce()
+			}
 			d.mu.Lock()
 			if err != nil {
 				isCtx := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
@@ -317,7 +336,9 @@ func (d *Driver) run(ctx context.Context, maxRounds int) (*Report, error) {
 }
 
 // epochReport snapshots the report for the current epoch and opens the
-// next one.
+// next one. Every quiescence point funnels through here (or through the
+// pump's quiesce), so it also publishes the read snapshot and seals the
+// durable store; store errors surface through Network.StoreErr.
 func (d *Driver) epochReport() *Report {
 	d.mu.Lock()
 	start, rounds := d.epochStart, d.epochRounds
@@ -326,7 +347,37 @@ func (d *Driver) epochReport() *Report {
 	d.mu.Unlock()
 	d.runMu.Lock()
 	defer d.runMu.Unlock()
+	d.publishViewLocked()
+	_ = d.n.sealStore()
 	return d.n.report(start, rounds)
+}
+
+// ReadView returns the latest published table snapshot: an immutable
+// copy-on-write view readers use without touching the evaluation lock.
+// Before the first convergence it is the empty Seq-0 view.
+func (d *Driver) ReadView() *ReadView { return d.view.Load() }
+
+// quiesce publishes the read snapshot and seals/flushes the store at a
+// pump quiescence point.
+func (d *Driver) quiesce() error {
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+	d.publishViewLocked()
+	return d.n.sealStore()
+}
+
+// publishViewLocked rebuilds and publishes the read view if table content
+// changed since the last publish (requires runMu). Content-identical
+// republishes keep the existing view and its Seq, so a (Seq, body) pair
+// identifies one snapshot.
+func (d *Driver) publishViewLocked() {
+	gen := d.n.mutGen.Load()
+	if cur := d.view.Load(); cur.Seq != 0 && gen == d.viewGen {
+		return
+	}
+	d.viewSeq++
+	d.viewGen = gen
+	d.view.Store(d.n.buildView(d.viewSeq, gen))
 }
 
 // AwaitQuiescence blocks until the network has re-converged: no queued

@@ -62,10 +62,19 @@ type Notifier interface {
 }
 
 // Close releases the network's resources: the lifecycle driver (pump,
-// subscriptions) and the transport, when it holds sockets. In-memory
-// runs need no Close; TCP-backed runs should defer it.
+// subscriptions), the configured Store (flushed and closed), and the
+// transport, when it holds sockets. In-memory runs without a Store need
+// no Close; TCP-backed or durable runs should defer it.
 func (n *Network) Close() error {
 	err := n.Driver().Close()
+	if n.store != nil {
+		if serr := n.store.Close(); serr != nil {
+			n.storeErr.CompareAndSwap(nil, &serr)
+		}
+		if err == nil {
+			err = n.StoreErr()
+		}
+	}
 	if c, ok := n.net.(io.Closer); ok {
 		if cerr := c.Close(); err == nil {
 			err = cerr

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"provnet/internal/data"
+	"provnet/internal/provenance"
+)
+
+// ReadView is an immutable copy-on-write snapshot of every hosted node's
+// live tables (and, under ModeCondensed, their provenance expressions),
+// published by the Driver at quiescence points. Readers — the HTTP query
+// API above all — serve from the latest view with no locks at all:
+// thousands of concurrent queries never touch the evaluation lock, and a
+// query that overlaps live churn sees either the pre-churn or the
+// post-churn snapshot, never a torn mix.
+//
+// Seq increments only when table content actually changed since the
+// previous view (content-identical republishes keep their Seq), so a
+// (Seq, body) pair identifies a consistent snapshot byte-for-byte.
+type ReadView struct {
+	// Seq is the snapshot generation (0 = empty pre-convergence view).
+	Seq uint64
+	// Clock is the network's logical time when the view was built.
+	Clock float64
+
+	nodes map[string]*NodeView
+	// gen is the mutation generation the view was built at (internal
+	// change detection for Seq stability).
+	gen uint64
+}
+
+// NodeView is one node's slice of a ReadView.
+type NodeView struct {
+	tables map[string][]ViewRow // predicate → sorted rows
+}
+
+// ViewRow is one fact in a view, with its condensed provenance
+// expression ("" outside ModeCondensed).
+type ViewRow struct {
+	Tuple data.Tuple
+	Prov  string
+}
+
+// Nodes returns the hosted node names, sorted.
+func (v *ReadView) Nodes() []string {
+	out := make([]string, 0, len(v.nodes))
+	for name := range v.nodes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Predicates returns the predicates with live rows at a node, sorted.
+func (v *ReadView) Predicates(node string) []string {
+	nv := v.nodes[node]
+	if nv == nil {
+		return nil
+	}
+	out := make([]string, 0, len(nv.tables))
+	for pred := range nv.tables {
+		out = append(out, pred)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows returns a node's rows for a predicate, sorted by tuple order. The
+// returned slice is shared with the immutable view: callers must not
+// mutate it.
+func (v *ReadView) Rows(node, pred string) []ViewRow {
+	nv := v.nodes[node]
+	if nv == nil {
+		return nil
+	}
+	return nv.tables[pred]
+}
+
+// HasNode reports whether the view covers a node.
+func (v *ReadView) HasNode(node string) bool { return v.nodes[node] != nil }
+
+// Dump renders the whole view as sorted "node\ttuple\tprov" lines — the
+// shape StoreState.LiveDump produces, compared verbatim by the storelog
+// determinism pin.
+func (v *ReadView) Dump() string {
+	var lines []string
+	for name, nv := range v.nodes {
+		for _, rows := range nv.tables {
+			for _, r := range rows {
+				lines = append(lines, name+"\t"+r.Tuple.String()+"\t"+r.Prov)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// buildView snapshots every hosted engine's live tables. Callers must
+// hold the driver's evaluation lock (runMu) so no engine mutates
+// concurrently.
+func (n *Network) buildView(seq, gen uint64) *ReadView {
+	v := &ReadView{Seq: seq, Clock: n.clock, gen: gen, nodes: make(map[string]*NodeView, len(n.order))}
+	condensed := n.cfg.Prov == provenance.ModeCondensed
+	for _, name := range n.order {
+		nd := n.nodes[name]
+		nv := &NodeView{tables: make(map[string][]ViewRow)}
+		for _, pred := range nd.Engine.Predicates() {
+			tuples := nd.Engine.Tuples(pred) // sorted
+			rows := make([]ViewRow, len(tuples))
+			for i, tu := range tuples {
+				row := ViewRow{Tuple: tu}
+				if condensed {
+					row.Prov = nd.Tracker.ExprOf(nd.Engine.AnnotationOf(tu))
+				}
+				rows[i] = row
+			}
+			nv.tables[pred] = rows
+		}
+		v.nodes[name] = nv
+	}
+	return v
+}

@@ -198,7 +198,7 @@ func (e *Engine) recomputeAggRules(only map[string]bool, sink func(dead data.Tup
 				if sink != nil {
 					sink(dead)
 				} else if tbl.Delete(dead) {
-					e.notify(dead, false)
+					e.notify(dead, UpdateRetracted)
 				}
 			}
 		}

@@ -93,11 +93,12 @@ type Config struct {
 	Authenticated bool
 	// Hook captures provenance; nil means NoProv.
 	Hook ProvHook
-	// OnUpdate, when set, observes every table change: added reports
-	// whether the tuple entered (true) or left (false) the store. It is
-	// called synchronously from the engine's (single) driving goroutine;
+	// OnUpdate, when set, observes every table change, classified by
+	// UpdateKind (insertion, retraction, soft-state expiry, or an
+	// annotation-only merge of an alternative derivation). It is called
+	// synchronously from the engine's (single) driving goroutine;
 	// implementations must not call back into the engine.
-	OnUpdate func(t data.Tuple, added bool)
+	OnUpdate func(t data.Tuple, kind UpdateKind)
 	// Shards partitions each evaluation wave's deltas by hash of
 	// (predicate, join-key columns) across this many read-only eval
 	// workers inside RunToFixpoint (0 or 1 = serial). Emissions always
@@ -125,7 +126,7 @@ type Engine struct {
 	self          string
 	authenticated bool
 	hook          ProvHook
-	onUpdate      func(t data.Tuple, added bool)
+	onUpdate      func(t data.Tuple, kind UpdateKind)
 
 	tables map[string]*Table
 	decls  map[string]*datalog.MaterializeDecl
@@ -246,14 +247,53 @@ func New(cfg Config) *Engine {
 	}
 }
 
+// UpdateKind classifies a table change reported through Config.OnUpdate.
+type UpdateKind uint8
+
+const (
+	// UpdateAdded: the tuple entered the table.
+	UpdateAdded UpdateKind = iota
+	// UpdateRetracted: the tuple left the table via a retraction cascade
+	// (or was displaced by an aggregate-selection replacement).
+	UpdateRetracted
+	// UpdateExpired: the tuple's soft-state TTL lapsed.
+	UpdateExpired
+	// UpdateAnnotation: the tuple stayed put but its provenance
+	// annotation absorbed an alternative derivation (hook merge).
+	UpdateAnnotation
+)
+
+// Entered reports whether the kind adds a tuple to the table (the other
+// kinds either remove it or leave membership unchanged).
+func (k UpdateKind) Entered() bool { return k == UpdateAdded }
+
+// Left reports whether the kind removes a tuple from the table.
+func (k UpdateKind) Left() bool { return k == UpdateRetracted || k == UpdateExpired }
+
+// String names the kind for logs and wire-adjacent encodings.
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdateAdded:
+		return "added"
+	case UpdateRetracted:
+		return "retracted"
+	case UpdateExpired:
+		return "expired"
+	case UpdateAnnotation:
+		return "annotation"
+	default:
+		return fmt.Sprintf("UpdateKind(%d)", uint8(k))
+	}
+}
+
 // SetOnUpdate installs (or clears) the table-change observer. It must not
 // be called while the engine is evaluating.
-func (e *Engine) SetOnUpdate(f func(t data.Tuple, added bool)) { e.onUpdate = f }
+func (e *Engine) SetOnUpdate(f func(t data.Tuple, kind UpdateKind)) { e.onUpdate = f }
 
 // notify reports a table change to the observer, if any.
-func (e *Engine) notify(t data.Tuple, added bool) {
+func (e *Engine) notify(t data.Tuple, kind UpdateKind) {
 	if e.onUpdate != nil {
-		e.onUpdate(t, added)
+		e.onUpdate(t, kind)
 	}
 }
 
@@ -523,15 +563,16 @@ func (e *Engine) insertFrom(t data.Tuple, ann Annotation, origin string) {
 		e.Stats.TuplesStored++
 		e.queue = append(e.queue, entry)
 		if replaced != nil {
-			e.notify(replaced.Tuple, false)
+			e.notify(replaced.Tuple, UpdateRetracted)
 		}
-		e.notify(t, true)
+		e.notify(t, UpdateAdded)
 	case InsertDuplicate:
 		merged, changed := e.hook.Merge(entry.Ann, ann)
 		entry.Ann = merged
 		if changed {
 			e.Stats.Merges++
 			e.queue = append(e.queue, entry)
+			e.notify(t, UpdateAnnotation)
 		}
 	}
 }
@@ -868,7 +909,7 @@ func (e *Engine) Expire(now float64) {
 		data.SortTuples(gone)
 		ps := e.prunes[name]
 		for _, t := range gone {
-			e.notify(t, false)
+			e.notify(t, UpdateExpired)
 			delete(e.deps, t.Key())
 			if ps == nil {
 				continue

@@ -358,7 +358,7 @@ func (e *Engine) overdelete(items []retractItem, wq *withdrawalQueue) {
 		tbl.Delete(t)
 		pend.deleted[key] = true
 		e.Stats.Retracted++
-		e.notify(t, false)
+		e.notify(t, UpdateRetracted)
 		if ps != nil {
 			// ValueKey embeds the predicate (and asserter), so group keys
 			// never collide across pruned predicates.
@@ -532,15 +532,16 @@ func (e *Engine) insertWithSupport(t data.Tuple, ann Annotation, localSupport bo
 		e.Stats.TuplesStored++
 		e.queue = append(e.queue, entry)
 		if replaced != nil {
-			e.notify(replaced.Tuple, false)
+			e.notify(replaced.Tuple, UpdateRetracted)
 		}
-		e.notify(t, true)
+		e.notify(t, UpdateAdded)
 	case InsertDuplicate:
 		merged, changed := e.hook.Merge(entry.Ann, ann)
 		entry.Ann = merged
 		if changed {
 			e.Stats.Merges++
 			e.queue = append(e.queue, entry)
+			e.notify(t, UpdateAnnotation)
 		}
 	}
 }

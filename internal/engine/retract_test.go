@@ -167,10 +167,11 @@ func TestRetractImportedRespectsMultipleOrigins(t *testing.T) {
 func TestRetractObserverSeesWithdrawals(t *testing.T) {
 	e := retractEngine(t, "n", reachProg)
 	var added, removed int
-	e.SetOnUpdate(func(tu data.Tuple, add bool) {
-		if add {
+	e.SetOnUpdate(func(tu data.Tuple, kind UpdateKind) {
+		switch {
+		case kind.Entered():
 			added++
-		} else {
+		case kind.Left():
 			removed++
 		}
 	})

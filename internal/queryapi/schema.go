@@ -1,0 +1,147 @@
+// Package queryapi is the provenance-as-a-service front-end: a versioned
+// JSON schema for query results (shared by cmd/traceq's -format json and
+// the HTTP API) and an HTTP server mounted on a Network's Driver serving
+// traceback, best-path, table, and subscription queries.
+//
+// Reads are snapshot-isolated: table and best-path queries serve from the
+// Driver's copy-on-write ReadView, published at quiescence points, so
+// thousands of concurrent queries never take the evaluation lock and a
+// query overlapping live churn sees either the pre-churn or post-churn
+// snapshot — never a torn mix. See docs/API.md.
+package queryapi
+
+import (
+	"provnet/internal/core"
+	"provnet/internal/provenance"
+)
+
+// SchemaVersion is the "v" field of every QueryResult. Consumers must
+// reject versions they do not understand; fields are only ever added
+// within a version.
+const SchemaVersion = 1
+
+// QueryResult is the versioned envelope of every query response, JSON or
+// HTTP. Exactly one of Tables, Paths, or Traceback/Condensed is set,
+// matching Kind; Error is set instead when the query failed.
+type QueryResult struct {
+	// V is SchemaVersion.
+	V int `json:"v"`
+	// Kind is "tables", "bestpath", or "traceback".
+	Kind string `json:"kind"`
+	// Node and Tuple echo the query target, when it has one.
+	Node  string `json:"node,omitempty"`
+	Tuple string `json:"tuple,omitempty"`
+	// Snapshot and Clock identify the ReadView the result was served
+	// from: Snapshot is the view sequence number (0 = before the first
+	// convergence), Clock the network's logical time at the snapshot.
+	Snapshot uint64  `json:"snapshot"`
+	Clock    float64 `json:"clock"`
+
+	Tables    []TableResult  `json:"tables,omitempty"`
+	Paths     []BestPath     `json:"paths,omitempty"`
+	Traceback *TracebackNode `json:"traceback,omitempty"`
+	// Condensed is the <...> provenance expression of the target tuple
+	// (ModeCondensed networks, which keep no derivation trees).
+	Condensed string `json:"condensed,omitempty"`
+	// Stats meters a distributed traceback's cost.
+	Stats *TraceStats `json:"stats,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// TableResult is one node's rows for one predicate.
+type TableResult struct {
+	Node string `json:"node"`
+	Pred string `json:"pred"`
+	Rows []Row  `json:"rows"`
+}
+
+// Row is one stored fact, with its condensed provenance expression when
+// the network runs ModeCondensed.
+type Row struct {
+	Tuple string `json:"tuple"`
+	Prov  string `json:"prov,omitempty"`
+}
+
+// BestPath is one bestPath(@S,D,P,C) fact, decoded.
+type BestPath struct {
+	From string   `json:"from"`
+	Dest string   `json:"dest"`
+	Path []string `json:"path"`
+	Cost int64    `json:"cost"`
+}
+
+// TracebackNode is the JSON form of a provenance derivation tree
+// (provenance.Tree): the tuple, its alternative derivations, and the
+// truncation marker for nodes cut off by depth limits or cycles.
+type TracebackNode struct {
+	Tuple     string           `json:"tuple"`
+	Truncated bool             `json:"truncated,omitempty"`
+	Derivs    []TracebackDeriv `json:"derivs,omitempty"`
+}
+
+// TracebackDeriv is one derivation step: a rule fired at a location over
+// child tuples.
+type TracebackDeriv struct {
+	Rule     string           `json:"rule"`
+	Loc      string           `json:"loc"`
+	Children []*TracebackNode `json:"children,omitempty"`
+}
+
+// TraceStats mirrors provenance.QueryStats.
+type TraceStats struct {
+	Messages     int   `json:"messages"`
+	Bytes        int64 `json:"bytes"`
+	NodesVisited int   `json:"nodesVisited"`
+	Entries      int   `json:"entries"`
+}
+
+// FromTree converts a derivation tree to its JSON schema form.
+func FromTree(t *provenance.Tree) *TracebackNode {
+	if t == nil {
+		return nil
+	}
+	n := &TracebackNode{Tuple: t.Tuple.String(), Truncated: t.Truncated}
+	for _, d := range t.Derivs {
+		jd := TracebackDeriv{Rule: d.Rule, Loc: d.Loc}
+		for _, c := range d.Children {
+			jd.Children = append(jd.Children, FromTree(c))
+		}
+		n.Derivs = append(n.Derivs, jd)
+	}
+	return n
+}
+
+// FromStats converts traceback query stats to their schema form.
+func FromStats(s *provenance.QueryStats) *TraceStats {
+	if s == nil {
+		return nil
+	}
+	return &TraceStats{Messages: s.Messages, Bytes: s.Bytes, NodesVisited: s.NodesVisited, Entries: s.Entries}
+}
+
+// TracebackResult assembles the traceback QueryResult cmd/traceq and the
+// HTTP handler share.
+func TracebackResult(node string, target string, tree *provenance.Tree, stats *provenance.QueryStats) *QueryResult {
+	return &QueryResult{
+		V:         SchemaVersion,
+		Kind:      "traceback",
+		Node:      node,
+		Tuple:     target,
+		Traceback: FromTree(tree),
+		Stats:     FromStats(stats),
+	}
+}
+
+// decodeBestPath parses one bestPath(@S,D,P,C) view row.
+func decodeBestPath(r core.ViewRow) (BestPath, bool) {
+	args := r.Tuple.Args
+	if r.Tuple.Pred != "bestPath" || len(args) != 4 {
+		return BestPath{}, false
+	}
+	bp := BestPath{From: args[0].Str, Dest: args[1].Str, Cost: args[3].Int}
+	for _, v := range args[2].List {
+		bp.Path = append(bp.Path, v.Str)
+	}
+	return bp, true
+}

@@ -1,0 +1,216 @@
+package queryapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"provnet/internal/core"
+	"provnet/internal/provenance"
+)
+
+// Server answers HTTP queries against one Network. Table and best-path
+// reads are served lock-free from the Driver's ReadView; traceback
+// queries walk the concurrency-safe provenance stores (ModeDistributed)
+// or read condensed expressions off the view (ModeCondensed); subscribe
+// streams live table updates over SSE.
+type Server struct {
+	n *core.Network
+	d *core.Driver
+}
+
+// NewServer mounts a query server on the network's driver.
+func NewServer(n *core.Network) *Server { return &Server{n: n, d: n.Driver()} }
+
+// Handler returns the HTTP handler serving the /v1 API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/tables/{pred}", s.handleTables)
+	mux.HandleFunc("GET /v1/bestpath", s.handleBestPath)
+	mux.HandleFunc("GET /v1/traceback", s.handleTraceback)
+	mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
+	return mux
+}
+
+// writeResult marshals the envelope (every response, success or error,
+// is a QueryResult).
+func writeResult(w http.ResponseWriter, status int, res *QueryResult) {
+	res.V = SchemaVersion
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(res)
+}
+
+func writeError(w http.ResponseWriter, status int, kind string, err error) {
+	writeResult(w, status, &QueryResult{Kind: kind, Error: err.Error()})
+}
+
+// handleTables serves GET /v1/tables/{pred}?node=N — the rows of one
+// predicate at one node (or at every node when node is omitted), from
+// the current snapshot.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	pred := r.PathValue("pred")
+	node := r.URL.Query().Get("node")
+	view := s.d.ReadView()
+	res := &QueryResult{Kind: "tables", Node: node, Snapshot: view.Seq, Clock: view.Clock}
+	nodes := view.Nodes()
+	if node != "" {
+		if !view.HasNode(node) {
+			writeError(w, http.StatusNotFound, "tables", fmt.Errorf("unknown node %q", node))
+			return
+		}
+		nodes = []string{node}
+	}
+	for _, name := range nodes {
+		rows := view.Rows(name, pred)
+		tr := TableResult{Node: name, Pred: pred, Rows: []Row{}}
+		for _, row := range rows {
+			tr.Rows = append(tr.Rows, Row{Tuple: row.Tuple.String(), Prov: row.Prov})
+		}
+		res.Tables = append(res.Tables, tr)
+	}
+	writeResult(w, http.StatusOK, res)
+}
+
+// handleBestPath serves GET /v1/bestpath?from=S&dest=D — decoded
+// bestPath(@S,D,P,C) facts from the current snapshot, filtered by the
+// optional from/dest parameters.
+func (s *Server) handleBestPath(w http.ResponseWriter, r *http.Request) {
+	from := r.URL.Query().Get("from")
+	dest := r.URL.Query().Get("dest")
+	view := s.d.ReadView()
+	res := &QueryResult{Kind: "bestpath", Snapshot: view.Seq, Clock: view.Clock, Paths: []BestPath{}}
+	nodes := view.Nodes()
+	if from != "" {
+		if !view.HasNode(from) {
+			writeError(w, http.StatusNotFound, "bestpath", fmt.Errorf("unknown node %q", from))
+			return
+		}
+		nodes = []string{from}
+	}
+	for _, name := range nodes {
+		for _, row := range view.Rows(name, "bestPath") {
+			bp, ok := decodeBestPath(row)
+			if !ok || (dest != "" && bp.Dest != dest) {
+				continue
+			}
+			res.Paths = append(res.Paths, bp)
+		}
+	}
+	writeResult(w, http.StatusOK, res)
+}
+
+// handleTraceback serves GET /v1/traceback?node=N&tuple=T — the
+// derivation tree of T at N (ModeLocal/ModeDistributed), or its
+// condensed provenance expression read off the snapshot (ModeCondensed).
+// Optional: maxdepth bounds reconstruction, offline=1 consults offline
+// stores (forensics over expired state).
+func (s *Server) handleTraceback(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	node := q.Get("node")
+	tupleText := q.Get("tuple")
+	if node == "" || tupleText == "" {
+		writeError(w, http.StatusBadRequest, "traceback", fmt.Errorf("node and tuple parameters are required"))
+		return
+	}
+	target, err := core.ParseTuple(tupleText)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "traceback", err)
+		return
+	}
+	view := s.d.ReadView()
+	res := &QueryResult{Kind: "traceback", Node: node, Tuple: target.String(), Snapshot: view.Seq, Clock: view.Clock}
+
+	if s.n.ProvMode() == provenance.ModeCondensed {
+		// Condensed provenance keeps no trees; the snapshot carries the
+		// <...> expression of every live tuple.
+		if !view.HasNode(node) {
+			writeError(w, http.StatusNotFound, "traceback", fmt.Errorf("unknown node %q", node))
+			return
+		}
+		key := target.Key()
+		for _, row := range view.Rows(node, target.Pred) {
+			if row.Tuple.Key() == key {
+				res.Condensed = row.Prov
+				writeResult(w, http.StatusOK, res)
+				return
+			}
+		}
+		writeError(w, http.StatusNotFound, "traceback", fmt.Errorf("no live tuple %s at %s in snapshot %d", target, node, view.Seq))
+		return
+	}
+
+	opts := provenance.QueryOpts{Offline: q.Get("offline") == "1" || q.Get("offline") == "true"}
+	if md := q.Get("maxdepth"); md != "" {
+		v, err := strconv.Atoi(md)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "traceback", fmt.Errorf("bad maxdepth %q", md))
+			return
+		}
+		opts.MaxDepth = v
+	}
+	tree, stats, err := s.n.DerivationTree(node, target, opts)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "traceback", err)
+		return
+	}
+	res.Traceback = FromTree(tree)
+	res.Stats = FromStats(stats)
+	writeResult(w, http.StatusOK, res)
+}
+
+// subscribeEvent is one SSE data payload.
+type subscribeEvent struct {
+	V     int    `json:"v"`
+	Node  string `json:"node"`
+	Tuple string `json:"tuple"`
+	Added bool   `json:"added"`
+}
+
+// handleSubscribe serves GET /v1/subscribe?node=N&pred=P — a
+// Server-Sent-Events stream of table updates from the driver's Subscribe
+// machinery ("" matches everything). Each event is one JSON
+// subscribeEvent; the stream ends when the client disconnects or the
+// driver closes.
+func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sub, err := s.d.Subscribe(q.Get("node"), q.Get("pred"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "subscribe", err)
+		return
+	}
+	defer sub.Close()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "subscribe", fmt.Errorf("streaming unsupported"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	ctx := r.Context()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case u, ok := <-sub.Updates():
+			if !ok {
+				return // driver closed
+			}
+			payload, err := json.Marshal(subscribeEvent{V: SchemaVersion, Node: u.Node, Tuple: u.Tuple.String(), Added: u.Added})
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: update\ndata: %s\n\n", payload); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}

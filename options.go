@@ -1,0 +1,183 @@
+package provnet
+
+import (
+	"provnet/internal/core"
+	"provnet/internal/storelog"
+)
+
+// Option configures a network built by New. Every option corresponds to
+// one Config field; New(src, opts...) and NewNetwork(Config{...}) build
+// identical networks, so the two surfaces are interchangeable and the
+// struct remains the wire format for tools that unmarshal configs.
+type Option func(*Config)
+
+// New builds a network from NDlog/SeNDlog source and options:
+//
+//	n, err := provnet.New(provnet.BestPath,
+//		provnet.WithGraph(g),
+//		provnet.WithProv(provnet.ProvDistributed),
+//		provnet.WithShards(4),
+//		provnet.WithStore(store))
+//
+// NewNetwork is the equivalent legacy constructor taking a literal
+// Config; prefer New for new code.
+func New(source string, opts ...Option) (*Network, error) {
+	cfg := Config{Source: source}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.NewNetwork(cfg)
+}
+
+// WithProgram supplies a pre-parsed program instead of source text.
+func WithProgram(p *Program) Option { return func(c *Config) { c.Program = p } }
+
+// WithGraph supplies the topology; its links become link facts.
+func WithGraph(g *Graph) Option { return func(c *Config) { c.Graph = g } }
+
+// WithLinkNoCost drops the cost column from generated link facts (for
+// 2-ary link programs such as ReachableNDlog).
+func WithLinkNoCost() Option { return func(c *Config) { c.LinkNoCost = true } }
+
+// WithExtraNodes registers nodes that appear in no link or fact.
+func WithExtraNodes(names ...string) Option {
+	return func(c *Config) { c.ExtraNodes = append(c.ExtraNodes, names...) }
+}
+
+// WithAuth selects the says implementation for inter-node messages.
+func WithAuth(s AuthScheme) Option { return func(c *Config) { c.Auth = s } }
+
+// WithKeyBits sizes RSA keys (tests shrink this for speed).
+func WithKeyBits(n int) Option { return func(c *Config) { c.KeyBits = n } }
+
+// WithProv selects the provenance mode.
+func WithProv(m ProvMode) Option { return func(c *Config) { c.Prov = m } }
+
+// WithAuthProv signs every provenance tree node (ModeLocal only).
+func WithAuthProv() Option { return func(c *Config) { c.AuthProv = true } }
+
+// WithOffline enables the offline provenance store, keeping expired
+// state up to maxAge (<0 keeps forever).
+func WithOffline(maxAge float64) Option {
+	return func(c *Config) { c.Offline = &maxAge }
+}
+
+// WithSampleEvery records only every k-th derivation into stores (§5).
+func WithSampleEvery(k int) Option { return func(c *Config) { c.SampleEvery = k } }
+
+// WithLevels assigns security levels to principals.
+func WithLevels(levels map[string]int64) Option {
+	return func(c *Config) { c.Levels = levels }
+}
+
+// WithSeed drives deterministic key generation.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithSequential runs nodes one after another within each round.
+func WithSequential() Option { return func(c *Config) { c.Sequential = true } }
+
+// WithWorkers caps the scheduler's worker goroutines per phase.
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithUnbatched ships one signed envelope per exported tuple.
+func WithUnbatched() Option { return func(c *Config) { c.Unbatched = true } }
+
+// WithSessionAuth switches the transport to session security: one RSA
+// handshake per link, then cheap per-envelope HMACs.
+func WithSessionAuth() Option { return func(c *Config) { c.SessionAuth = true } }
+
+// WithRekeyRounds rotates session keys every n scheduler rounds.
+func WithRekeyRounds(n int) Option { return func(c *Config) { c.RekeyRounds = n } }
+
+// WithPipelinedCrypto overlaps sealing/verification with evaluation.
+func WithPipelinedCrypto() Option { return func(c *Config) { c.PipelinedCrypto = true } }
+
+// WithShards shards each node's delta queue across n intra-node eval
+// workers (Config.EngineShards); results are bit-identical at any count.
+func WithShards(n int) Option { return func(c *Config) { c.EngineShards = n } }
+
+// WithTransport overrides the message substrate, and optionally names
+// the node(s) this process hosts (Config.LocalNodes) for multi-process
+// deployments.
+func WithTransport(t Transport, localNodes ...string) Option {
+	return func(c *Config) {
+		c.Transport = t
+		c.LocalNodes = append(c.LocalNodes, localNodes...)
+	}
+}
+
+// WithStore attaches a durability sink: every table change streams into
+// s as an ordered event log, sealed and flushed at quiescence points.
+// The network closes s on Network.Close.
+func WithStore(s Store) Option { return func(c *Config) { c.Store = s } }
+
+// Durable storage (the Store seam of Config.Store / WithStore).
+type (
+	// Store receives every table change as an ordered event stream; see
+	// core.Store. MemStore is the in-memory reference implementation,
+	// StoreLog the durable append-only log.
+	Store = core.Store
+	// StoreEvent is one table change (insert/retract/expire/annotation).
+	StoreEvent = core.StoreEvent
+	// StoreEventKind discriminates StoreEvent.
+	StoreEventKind = core.EventKind
+	// StoreState is the replayed materialization of an event stream.
+	StoreState = core.StoreState
+	// MemStore applies events to an in-memory StoreState (testing and
+	// introspection).
+	MemStore = core.MemStore
+	// StoreLog is the durable append-only record log with periodic
+	// snapshots and crash recovery; open one with OpenStoreLog.
+	StoreLog = storelog.Log
+	// StoreLogOptions tunes snapshot cadence and fsync behavior.
+	StoreLogOptions = storelog.Options
+	// StoreLogStats reports what crash recovery found in a log dir.
+	StoreLogStats = storelog.RecoverStats
+)
+
+// Store event kinds.
+const (
+	// StoreInsert: a tuple entered a table (or re-entered after expiry).
+	StoreInsert = core.EvInsert
+	// StoreRetract: a tuple was deleted or cascaded away; the replayed
+	// state moves it to the stale set (the paper's retraction-aware
+	// provenance keeps tombstones queryable).
+	StoreRetract = core.EvRetract
+	// StoreExpire: soft-state TTL expiry removed the tuple.
+	StoreExpire = core.EvExpire
+	// StoreProv: a duplicate derivation changed a tuple's provenance
+	// annotation without changing the table.
+	StoreProv = core.EvProv
+)
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return core.NewMemStore() }
+
+// OpenStoreLog opens (or creates) the durable store log in dir,
+// recovering state from any existing log first.
+func OpenStoreLog(dir string, opts StoreLogOptions) (*StoreLog, error) {
+	return storelog.Open(dir, opts)
+}
+
+// RecoverStoreLog replays the log in dir without opening it for writing:
+// the forensics/read-only path. It returns the materialized state and
+// recovery statistics (snapshot use, torn bytes truncated).
+func RecoverStoreLog(dir string) (*StoreState, StoreLogStats, error) {
+	return storelog.Recover(dir)
+}
+
+// Snapshot-isolated reads (the HTTP query API's data plane).
+type (
+	// ReadView is an immutable copy-on-write snapshot of every hosted
+	// node's tables, published by the Driver at quiescence points; read
+	// it with Driver.ReadView. Concurrent queries against one view are
+	// lock-free and can never observe a torn mix of two states.
+	ReadView = core.ReadView
+	// ViewRow is one tuple in a ReadView, with its condensed provenance
+	// expression when the network runs ProvCondensed.
+	ViewRow = core.ViewRow
+)
+
+// ParseTuple parses tuple text like "bestPath(n0, n2, [n0,n1,n2], 2)"
+// or "b says path(a, b)" — the textual inverse of Tuple.String.
+func ParseTuple(s string) (Tuple, error) { return core.ParseTuple(s) }

@@ -1,0 +1,82 @@
+package provnet
+
+import (
+	"testing"
+
+	"provnet/internal/auth"
+)
+
+// TestNewMatchesNewNetwork pins the functional-options constructor to
+// the legacy Config surface: the same knobs through either door build
+// networks with identical converged tables.
+func TestNewMatchesNewNetwork(t *testing.T) {
+	g := LineGraph(4)
+	store := NewMemStore()
+
+	cfg := Config{
+		Source:       BestPath,
+		Graph:        g,
+		Auth:         AuthNone,
+		Prov:         ProvDistributed,
+		Seed:         5,
+		Sequential:   true,
+		EngineShards: 2,
+	}
+	legacy, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacy.Close()
+
+	opt, err := New(BestPath,
+		WithGraph(g),
+		WithAuth(AuthNone),
+		WithProv(ProvDistributed),
+		WithSeed(5),
+		WithSequential(),
+		WithShards(2),
+		WithStore(store),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opt.Close()
+
+	if _, err := legacy.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := legacy.Driver().ReadView().Dump()
+	got := opt.Driver().ReadView().Dump()
+	if want == "" || got != want {
+		t.Fatalf("options-built network diverges from Config-built:\n--- legacy ---\n%s\n--- options ---\n%s", want, got)
+	}
+	// The attached store replayed to the same live state.
+	if dump := store.State().LiveDump(); dump != want {
+		t.Fatalf("WithStore replay diverges from tables:\n%s\nwant:\n%s", dump, want)
+	}
+}
+
+// TestOptionsCoverConfig spot-checks that each option sets exactly its
+// Config field.
+func TestOptionsCoverConfig(t *testing.T) {
+	var c Config
+	for _, o := range []Option{
+		WithLinkNoCost(), WithExtraNodes("x9"), WithKeyBits(512),
+		WithAuthProv(), WithOffline(3.5), WithSampleEvery(2),
+		WithLevels(map[string]int64{"a": 2}), WithWorkers(3),
+		WithUnbatched(), WithSessionAuth(), WithRekeyRounds(7),
+		WithPipelinedCrypto(), WithAuth(AuthHMAC),
+	} {
+		o(&c)
+	}
+	switch {
+	case !c.LinkNoCost, len(c.ExtraNodes) != 1, c.KeyBits != 512,
+		!c.AuthProv, c.Offline == nil || *c.Offline != 3.5, c.SampleEvery != 2,
+		c.Levels["a"] != 2, c.Workers != 3, !c.Unbatched, !c.SessionAuth,
+		c.RekeyRounds != 7, !c.PipelinedCrypto, c.Auth != auth.SchemeHMAC:
+		t.Fatalf("option failed to set its field: %+v", c)
+	}
+}
