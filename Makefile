@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json api-smoke fuzz examples docs ci
+.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json benchgate benchgate-record api-smoke fuzz examples docs ci
 
 all: build
 
@@ -51,6 +51,17 @@ bench-json:
 	$(GO) run ./cmd/benchjson -shard -n 8 -runs 3 -out BENCH_pr4.json
 	$(GO) run ./cmd/benchjson -queryload -out BENCH_pr6.json
 
+# Hot-path perf regression gate: rerun the fan-in and churn windows
+# and compare against the checked-in BENCH_pr7.json baseline. The
+# allocation bound is tight (allocs/op is near-deterministic); the
+# wall-clock bound is generous (hardware varies). benchgate-record
+# refreshes the baseline on the current machine.
+benchgate:
+	$(GO) run ./cmd/benchgate -baseline BENCH_pr7.json
+
+benchgate-record:
+	$(GO) run ./cmd/benchgate -record -out BENCH_pr7.json
+
 # The CI api-smoke job: serve the query API from cmd/provnet, query a
 # traceback over HTTP, diff against the committed golden fixture.
 api-smoke:
@@ -86,4 +97,4 @@ docs:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/multiprocess
 
-ci: fmt-check vet staticcheck build race fuzz examples docs bench-smoke bench-json api-smoke
+ci: fmt-check vet staticcheck build race fuzz examples docs bench-smoke bench-json benchgate api-smoke

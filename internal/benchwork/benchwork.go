@@ -53,6 +53,16 @@ func Modes() []Mode {
 // cumulative transport and crypto counters. fatal is called on any
 // error (testing.T.Fatal / testing.B.Fatal compatible).
 func BestPathChurn(fatal func(...any), cfg provnet.Config, nodes, cycles, keyBits int, seed int64) *provnet.Report {
+	return BestPathChurnStaged(fatal, cfg, nodes, cycles, keyBits, seed)()
+}
+
+// BestPathChurnStaged splits BestPathChurn into setup and measurement:
+// it builds the network (principal key generation) and runs the initial
+// convergence, then returns a one-shot closure that drives the refresh
+// cycles — the steady-state churn window cmd/benchgate times and
+// allocation-counts. The closure is one-shot because each cycle's costs
+// undercut the previous fixpoint's.
+func BestPathChurnStaged(fatal func(...any), cfg provnet.Config, nodes, cycles, keyBits int, seed int64) func() *provnet.Report {
 	g := provnet.RandomGraph(provnet.TopoOptions{N: nodes, AvgOutDegree: 3, MaxCost: 10, Seed: seed})
 	scale := int64(cycles + 1)
 	for i := range g.Links {
@@ -69,19 +79,21 @@ func BestPathChurn(fatal func(...any), cfg provnet.Config, nodes, cycles, keyBit
 	if err != nil {
 		fatal(err)
 	}
-	for cycle := 1; cycle <= cycles; cycle++ {
-		for _, l := range g.Links {
-			cost := l.Cost / scale * int64(cycles+1-cycle)
-			tu := provnet.NewTuple("link", provnet.Str(l.From), provnet.Str(l.To), provnet.Int(cost))
-			if err := net.InsertFact(l.From, tu); err != nil {
+	return func() *provnet.Report {
+		for cycle := 1; cycle <= cycles; cycle++ {
+			for _, l := range g.Links {
+				cost := l.Cost / scale * int64(cycles+1-cycle)
+				tu := provnet.NewTuple("link", provnet.Str(l.From), provnet.Str(l.To), provnet.Int(cost))
+				if err := net.InsertFact(l.From, tu); err != nil {
+					fatal(err)
+				}
+			}
+			if rep, err = net.Run(0); err != nil {
 				fatal(err)
 			}
 		}
-		if rep, err = net.Run(0); err != nil {
-			fatal(err)
-		}
+		return rep
 	}
-	return rep
 }
 
 // LiveBestPathChurn is the live-driver equivalent of BestPathChurn: the
@@ -149,6 +161,15 @@ const FanInHub = "hub"
 // returns the final report; callers vary cfg.EngineShards to measure
 // intra-node sharding (results are bit-identical across shard counts).
 func ShardedFanIn(fatal func(...any), cfg provnet.Config, spokes, vertices, degree int, seed int64) *provnet.Report {
+	return ShardedFanInStaged(fatal, cfg, spokes, vertices, degree, seed)()
+}
+
+// ShardedFanInStaged splits ShardedFanIn into setup and measurement: it
+// builds the network and enqueues the full edge set, then returns a
+// one-shot closure that runs to the distributed fixpoint — the
+// evaluation window cmd/benchgate times and allocation-counts, free of
+// topology construction and principal key generation.
+func ShardedFanInStaged(fatal func(...any), cfg provnet.Config, spokes, vertices, degree int, seed int64) func() *provnet.Report {
 	cfg.Source = ShardedFanInSource
 	cfg.Seed = seed
 	cfg.ExtraNodes = append([]string{FanInHub}, spokeNames(spokes)...)
@@ -175,11 +196,13 @@ func ShardedFanIn(fatal func(...any), cfg provnet.Config, spokes, vertices, degr
 			}
 		}
 	}
-	rep, err := net.Run(0)
-	if err != nil {
-		fatal(err)
+	return func() *provnet.Report {
+		rep, err := net.Run(0)
+		if err != nil {
+			fatal(err)
+		}
+		return rep
 	}
-	return rep
 }
 
 func spokeNames(n int) []string {

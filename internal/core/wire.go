@@ -4,11 +4,49 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"provnet/internal/auth"
 	"provnet/internal/data"
 	"provnet/internal/provenance"
 )
+
+// wireBufs pools the prefix scratch buffers used by envelope encoding
+// and verification: every Encode/Verify serializes the authenticated
+// prefix, seals or checks it, and throws it away. Sealers hash the
+// prefix without retaining it, so the buffer can be recycled; only the
+// final datagram is freshly sized, because transports retain it.
+var wireBufs = sync.Pool{New: func() any {
+	b := make([]byte, 0, 1024)
+	return &b
+}}
+
+func getWireBuf() *[]byte { return wireBufs.Get().(*[]byte) }
+
+// putWireBuf returns a (possibly regrown) prefix to the pool. Oversized
+// one-off batches are dropped so the pool cannot hoard them.
+func putWireBuf(bp *[]byte, grown []byte) {
+	if cap(grown) > 1<<20 {
+		return
+	}
+	*bp = grown[:0]
+	wireBufs.Put(bp)
+}
+
+// sealDatagram is the shared tail of every Encode: seal the prefix,
+// materialize the exact-size datagram, and recycle the scratch.
+func sealDatagram(sealer auth.Sealer, from, to string, bp *[]byte, prefix []byte, what string) ([]byte, []byte, error) {
+	sig, err := sealer.Seal(from, to, prefix)
+	if err != nil {
+		putWireBuf(bp, prefix)
+		return nil, nil, fmt.Errorf("core: sealing %s from %s: %w", what, from, err)
+	}
+	out := make([]byte, 0, len(prefix)+len(sig)+binary.MaxVarintLen64)
+	out = append(out, prefix...)
+	out = data.AppendBytes(out, sig)
+	putWireBuf(bp, prefix)
+	return out, sig, nil
+}
 
 // This file defines the wire formats, all built around auth.Sealer: every
 // datagram is a sealed payload whose tag is produced by the configured
@@ -72,8 +110,10 @@ var (
 )
 
 // signedPrefix encodes the authenticated portion of the envelope.
-func (e *Envelope) signedPrefix() []byte {
-	b := []byte{wireVersion}
+func (e *Envelope) signedPrefix() []byte { return e.appendSignedPrefix(nil) }
+
+func (e *Envelope) appendSignedPrefix(b []byte) []byte {
+	b = append(b, wireVersion)
 	b = data.AppendString(b, e.From)
 	b = data.AppendTuple(b, e.Tuple)
 	b = append(b, byte(e.ProvMode))
@@ -85,13 +125,14 @@ func (e *Envelope) signedPrefix() []byte {
 // Encode serializes the envelope, sealing it for the from→to link when
 // the scheme requires it.
 func (e *Envelope) Encode(sealer auth.Sealer, to string) ([]byte, error) {
-	prefix := e.signedPrefix()
-	sig, err := sealer.Seal(e.From, to, prefix)
+	bp := getWireBuf()
+	prefix := e.appendSignedPrefix(*bp)
+	out, sig, err := sealDatagram(sealer, e.From, to, bp, prefix, "envelope")
 	if err != nil {
-		return nil, fmt.Errorf("core: sealing envelope from %s: %w", e.From, err)
+		return nil, err
 	}
 	e.Sig = sig
-	return data.AppendBytes(prefix, sig), nil
+	return out, nil
 }
 
 // DecodeEnvelope parses an envelope without verifying it.
@@ -145,7 +186,11 @@ func DecodeEnvelope(b []byte) (*Envelope, error) {
 
 // Verify checks the envelope seal for the from→to link.
 func (e *Envelope) Verify(sealer auth.Sealer, to string) error {
-	return sealer.Open(e.From, to, e.signedPrefix(), e.Sig)
+	bp := getWireBuf()
+	prefix := e.appendSignedPrefix(*bp)
+	err := sealer.Open(e.From, to, prefix, e.Sig)
+	putWireBuf(bp, prefix)
+	return err
 }
 
 // --- batched envelopes ---
@@ -176,8 +221,10 @@ type BatchEnvelope struct {
 }
 
 // signedPrefix encodes the authenticated portion of the batch envelope.
-func (e *BatchEnvelope) signedPrefix() []byte {
-	b := []byte{wireVersionBatch}
+func (e *BatchEnvelope) signedPrefix() []byte { return e.appendSignedPrefix(nil) }
+
+func (e *BatchEnvelope) appendSignedPrefix(b []byte) []byte {
+	b = append(b, wireVersionBatch)
 	b = data.AppendString(b, e.From)
 	b = append(b, byte(e.ProvMode))
 	b = append(b, byte(e.Scheme))
@@ -192,13 +239,14 @@ func (e *BatchEnvelope) signedPrefix() []byte {
 // Encode serializes the batch, sealing it once for the from→to link when
 // the scheme requires it.
 func (e *BatchEnvelope) Encode(sealer auth.Sealer, to string) ([]byte, error) {
-	prefix := e.signedPrefix()
-	sig, err := sealer.Seal(e.From, to, prefix)
+	bp := getWireBuf()
+	prefix := e.appendSignedPrefix(*bp)
+	out, sig, err := sealDatagram(sealer, e.From, to, bp, prefix, "batch")
 	if err != nil {
-		return nil, fmt.Errorf("core: sealing batch from %s: %w", e.From, err)
+		return nil, err
 	}
 	e.Sig = sig
-	return data.AppendBytes(prefix, sig), nil
+	return out, nil
 }
 
 // decodeItems parses the shared item list layout of batch and session
@@ -274,7 +322,11 @@ func DecodeBatchEnvelope(b []byte) (*BatchEnvelope, error) {
 // Verify checks the batch seal for the from→to link. One check covers
 // every item.
 func (e *BatchEnvelope) Verify(sealer auth.Sealer, to string) error {
-	return sealer.Open(e.From, to, e.signedPrefix(), e.Sig)
+	bp := getWireBuf()
+	prefix := e.appendSignedPrefix(*bp)
+	err := sealer.Open(e.From, to, prefix, e.Sig)
+	putWireBuf(bp, prefix)
+	return err
 }
 
 // --- retraction envelopes (wire v4) ---
@@ -297,8 +349,10 @@ type RetractEnvelope struct {
 }
 
 // signedPrefix encodes the authenticated portion of the retract envelope.
-func (e *RetractEnvelope) signedPrefix() []byte {
-	b := []byte{wireVersionRetract}
+func (e *RetractEnvelope) signedPrefix() []byte { return e.appendSignedPrefix(nil) }
+
+func (e *RetractEnvelope) appendSignedPrefix(b []byte) []byte {
+	b = append(b, wireVersionRetract)
 	b = data.AppendString(b, e.From)
 	b = append(b, byte(e.Scheme))
 	b = binary.AppendUvarint(b, uint64(len(e.Tuples)))
@@ -311,13 +365,14 @@ func (e *RetractEnvelope) signedPrefix() []byte {
 // Encode serializes the envelope, sealing it for the from→to link when
 // the scheme requires it.
 func (e *RetractEnvelope) Encode(sealer auth.Sealer, to string) ([]byte, error) {
-	prefix := e.signedPrefix()
-	sig, err := sealer.Seal(e.From, to, prefix)
+	bp := getWireBuf()
+	prefix := e.appendSignedPrefix(*bp)
+	out, sig, err := sealDatagram(sealer, e.From, to, bp, prefix, "retract envelope")
 	if err != nil {
-		return nil, fmt.Errorf("core: sealing retract envelope from %s: %w", e.From, err)
+		return nil, err
 	}
 	e.Sig = sig
-	return data.AppendBytes(prefix, sig), nil
+	return out, nil
 }
 
 // DecodeRetractEnvelope parses a retract envelope without verifying it.
@@ -370,7 +425,11 @@ func DecodeRetractEnvelope(b []byte) (*RetractEnvelope, error) {
 
 // Verify checks the retract envelope seal for the from→to link.
 func (e *RetractEnvelope) Verify(sealer auth.Sealer, to string) error {
-	return sealer.Open(e.From, to, e.signedPrefix(), e.Sig)
+	bp := getWireBuf()
+	prefix := e.appendSignedPrefix(*bp)
+	err := sealer.Open(e.From, to, prefix, e.Sig)
+	putWireBuf(bp, prefix)
+	return err
 }
 
 // --- session transport (wire v3) ---
@@ -415,12 +474,14 @@ type SessionEnvelope struct {
 }
 
 // sealedPrefix encodes the authenticated portion of the session frame.
-func (e *SessionEnvelope) sealedPrefix() []byte {
+func (e *SessionEnvelope) sealedPrefix() []byte { return e.appendSealedPrefix(nil) }
+
+func (e *SessionEnvelope) appendSealedPrefix(b []byte) []byte {
 	kind := frameData
 	if e.Retract {
 		kind = frameRetract
 	}
-	b := []byte{wireVersionSession, kind}
+	b = append(b, wireVersionSession, kind)
 	b = data.AppendString(b, e.From)
 	b = append(b, byte(e.ProvMode))
 	b = binary.AppendUvarint(b, uint64(len(e.Items)))
@@ -434,13 +495,14 @@ func (e *SessionEnvelope) sealedPrefix() []byte {
 // Encode serializes the frame, sealing it for the from→to link with the
 // session sealer.
 func (e *SessionEnvelope) Encode(sealer auth.Sealer, to string) ([]byte, error) {
-	prefix := e.sealedPrefix()
-	tag, err := sealer.Seal(e.From, to, prefix)
+	bp := getWireBuf()
+	prefix := e.appendSealedPrefix(*bp)
+	out, tag, err := sealDatagram(sealer, e.From, to, bp, prefix, "session frame")
 	if err != nil {
-		return nil, fmt.Errorf("core: sealing session frame from %s: %w", e.From, err)
+		return nil, err
 	}
 	e.Tag = tag
-	return data.AppendBytes(prefix, tag), nil
+	return out, nil
 }
 
 // DecodeSessionEnvelope parses a session data or retract frame without
@@ -483,5 +545,9 @@ func DecodeSessionEnvelope(b []byte) (*SessionEnvelope, error) {
 
 // Open checks the session seal for the from→to link.
 func (e *SessionEnvelope) Open(sealer auth.Sealer, to string) error {
-	return sealer.Open(e.From, to, e.sealedPrefix(), e.Tag)
+	bp := getWireBuf()
+	prefix := e.appendSealedPrefix(*bp)
+	err := sealer.Open(e.From, to, prefix, e.Tag)
+	putWireBuf(bp, prefix)
+	return err
 }

@@ -1,0 +1,35 @@
+package data
+
+import "testing"
+
+// BenchmarkTupleKey contrasts the legacy materialized string key with the
+// allocation-free structural hash that replaced it on the hot path.
+func BenchmarkTupleKey(b *testing.B) {
+	t := NewTuple("path", Str("node-1"), Str("node-9"), Int(42),
+		Strings("node-1", "node-4", "node-9"), Float(0.25)).Says("node-1")
+	b.Run("key", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.Key()
+		}
+	})
+	b.Run("hash", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.Hash()
+		}
+	})
+	cols := []int{0, 1}
+	b.Run("valuekey", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.ValueKey(cols)
+		}
+	})
+	b.Run("hashcols", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = t.HashCols(cols)
+		}
+	})
+}

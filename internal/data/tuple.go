@@ -1,6 +1,7 @@
 package data
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -149,12 +150,17 @@ func SortTuples(ts []Tuple) {
 		}
 		return len(a.Args) < len(b.Args)
 	}
-	insertionSortTuples(ts, less)
+	if len(ts) <= 24 {
+		insertionSortTuples(ts, less)
+		return
+	}
+	sort.SliceStable(ts, func(i, j int) bool { return less(ts[i], ts[j]) })
 }
 
 func insertionSortTuples(ts []Tuple, less func(a, b Tuple) bool) {
-	// Tuple slices in tools/tests are small; a simple stable sort avoids
-	// pulling in reflection-based sorting for a hot path type.
+	// Small slices keep the branch-friendly stable insertion sort; large
+	// ones (whole-table view snapshots) would go quadratic on it, so they
+	// fall through to sort.SliceStable above.
 	for i := 1; i < len(ts); i++ {
 		for j := i; j > 0 && less(ts[j], ts[j-1]); j-- {
 			ts[j], ts[j-1] = ts[j-1], ts[j]

@@ -1,8 +1,6 @@
 package engine
 
 import (
-	"strings"
-
 	"provnet/internal/data"
 	"provnet/internal/datalog"
 )
@@ -17,16 +15,25 @@ import (
 // primary-key replacement on the group columns. Aggregates over soft-state
 // tables behave as sliding windows: Expire triggers a full recomputation so
 // counts shrink as contributing tuples age out (paper §2.1).
+//
+// Groups key on the head's structural hash over the group columns
+// (equality-checked within a bucket); contribution dedup keys on a fold
+// of the body tuples' hashes with tuple-wise equality as the fallback.
+// An insertion-ordered group list keeps recomputation diffs
+// deterministic.
 
 // aggGroupState holds one aggregate rule's groups.
 type aggGroupState struct {
 	rule   *compiledRule
-	groups map[string]*aggGroup
+	groups map[uint64][]*aggGroup
+	order  []*aggGroup
 }
 
 type aggGroup struct {
+	hash      uint64
+	asserter  string
 	groupArgs []data.Value
-	seen      map[string]bool
+	seen      map[uint64][][]AnnTuple
 	count     int64
 	sum       float64
 	sumIsInt  bool
@@ -46,7 +53,7 @@ type aggGroup struct {
 func (e *Engine) aggStateFor(r *compiledRule) *aggGroupState {
 	st, ok := e.aggState[r.label]
 	if !ok {
-		st = &aggGroupState{rule: r, groups: make(map[string]*aggGroup)}
+		st = &aggGroupState{rule: r, groups: make(map[uint64][]*aggGroup)}
 		e.aggState[r.label] = st
 		// Head tables of aggregate rules are keyed by the group columns
 		// so a changed aggregate replaces the old row.
@@ -55,37 +62,87 @@ func (e *Engine) aggStateFor(r *compiledRule) *aggGroupState {
 	return st
 }
 
+// findAggGroup locates the group matching the head's group columns in a
+// group map (nil when absent).
+func findAggGroup(m map[uint64][]*aggGroup, hash uint64, asserter string, args []data.Value, groupIdx []int) *aggGroup {
+	for _, g := range m[hash] {
+		if g.asserter != asserter {
+			continue
+		}
+		ok := true
+		for _, i := range groupIdx {
+			if !g.groupArgs[i].Equal(args[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+	return nil
+}
+
+// comboHash folds the body tuples' structural hashes (order-sensitively)
+// into one dedup key for a rule firing's contribution.
+func comboHash(body []AnnTuple) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range body {
+		h ^= b.Tuple.Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+func comboEqual(a []AnnTuple, b []AnnTuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !a[i].Tuple.Equal(b[i].Tuple) {
+			return false
+		}
+	}
+	return true
+}
+
 // aggContribute processes one firing of an aggregate rule.
 func (e *Engine) aggContribute(r *compiledRule, head data.Tuple, body []AnnTuple) {
 	st := e.aggStateFor(r)
 	spec := r.agg
 
-	gk := head.ValueKey(spec.groupIdx)
-	g, ok := st.groups[gk]
-	if !ok {
+	h := head.HashCols(spec.groupIdx)
+	g := findAggGroup(st.groups, h, head.Asserter, head.Args, spec.groupIdx)
+	if g == nil {
 		groupArgs := make([]data.Value, len(head.Args))
 		copy(groupArgs, head.Args)
-		g = &aggGroup{groupArgs: groupArgs, seen: make(map[string]bool)}
-		st.groups[gk] = g
+		g = &aggGroup{
+			hash:      h,
+			asserter:  head.Asserter,
+			groupArgs: groupArgs,
+			seen:      make(map[uint64][][]AnnTuple),
+		}
+		st.groups[h] = append(st.groups[h], g)
+		st.order = append(st.order, g)
 	}
 
-	// Deduplicate by the contributing body combination.
-	var sb strings.Builder
-	for _, b := range body {
-		sb.WriteString(b.Tuple.Key())
-		sb.WriteByte('\x00')
+	// Deduplicate by the contributing body combination. The body slice is
+	// this firing's own copy (see fire), so retaining it is safe.
+	ch := comboHash(body)
+	for _, prev := range g.seen[ch] {
+		if comboEqual(prev, body) {
+			return
+		}
 	}
-	comboKey := sb.String()
-	if g.seen[comboKey] {
-		return
-	}
-	g.seen[comboKey] = true
+	g.seen[ch] = append(g.seen[ch], body)
 
 	val := head.Args[spec.argIdx]
 	switch spec.fn {
 	case datalog.AggCount:
 		g.count++
-		g.allBodies = append(g.allBodies, body...)
+		if !e.noProv {
+			g.allBodies = append(g.allBodies, body...)
+		}
 	case datalog.AggSum:
 		if val.Kind == data.KindInt {
 			g.sumInt += val.Int
@@ -93,18 +150,24 @@ func (e *Engine) aggContribute(r *compiledRule, head data.Tuple, body []AnnTuple
 		} else {
 			g.sum += val.AsFloat()
 		}
-		g.allBodies = append(g.allBodies, body...)
+		if !e.noProv {
+			g.allBodies = append(g.allBodies, body...)
+		}
 	case datalog.AggMin:
 		if !g.hasMinMax || val.Compare(g.min) < 0 {
 			g.min = val
 			g.hasMinMax = true
-			g.witnessBodies = append([]AnnTuple{}, body...)
+			if !e.noProv {
+				g.witnessBodies = append([]AnnTuple{}, body...)
+			}
 		}
 	case datalog.AggMax:
 		if !g.hasMinMax || val.Compare(g.max) > 0 {
 			g.max = val
 			g.hasMinMax = true
-			g.witnessBodies = append([]AnnTuple{}, body...)
+			if !e.noProv {
+				g.witnessBodies = append([]AnnTuple{}, body...)
+			}
 		}
 	}
 	if !e.suppressAggEmit {
@@ -141,7 +204,10 @@ func (e *Engine) maybeEmitAgg(st *aggGroupState, g *aggGroup) {
 	}
 	g.emitted = true
 	g.current = val
-	args := make([]data.Value, len(g.groupArgs))
+	// The emitted head's argument slice escapes into the stored table, so
+	// it comes from the persistent slab of the commit-stage scratch
+	// (emission always runs on the driving goroutine).
+	args := e.scratchFor(0).allocVals(len(g.groupArgs))
 	copy(args, g.groupArgs)
 	args[st.rule.agg.argIdx] = val
 	head := data.Tuple{Pred: st.rule.headPred, Args: args}
@@ -167,15 +233,18 @@ func (e *Engine) recomputeAggregates() {
 // restricts the pass to the named rules (nil = all). Heads whose groups
 // vanished are handed to sink when set — the retraction path, which must
 // cascade their deletion through the dependency index — and deleted
-// directly otherwise (the expiry path).
+// directly otherwise (the expiry path). Both diffs walk the groups in
+// first-contribution order, so the pass is deterministic.
 func (e *Engine) recomputeAggRules(only map[string]bool, sink func(dead data.Tuple)) {
 	for _, r := range e.rules {
 		if r.agg == nil || (only != nil && !only[r.label]) {
 			continue
 		}
 		st := e.aggStateFor(r)
-		old := st.groups
-		st.groups = make(map[string]*aggGroup)
+		oldGroups := st.groups
+		oldOrder := st.order
+		st.groups = make(map[uint64][]*aggGroup)
+		st.order = nil
 
 		// Re-derive all contributions from live state. Contributions feed
 		// the fresh group map; emission is deferred until the diff below.
@@ -186,26 +255,27 @@ func (e *Engine) recomputeAggRules(only map[string]bool, sink func(dead data.Tup
 
 		tbl := e.table(r.headPred)
 		// Delete heads for groups that vanished.
-		for gk, g := range old {
-			if _, still := st.groups[gk]; !still && g.emitted {
-				args := make([]data.Value, len(g.groupArgs))
-				copy(args, g.groupArgs)
-				args[r.agg.argIdx] = g.current
-				dead := data.Tuple{Pred: r.headPred, Args: args}
-				if e.authenticated {
-					dead.Asserter = e.self
-				}
-				if sink != nil {
-					sink(dead)
-				} else if tbl.Delete(dead) {
-					e.notify(dead, UpdateRetracted)
-				}
+		for _, g := range oldOrder {
+			if findAggGroup(st.groups, g.hash, g.asserter, g.groupArgs, r.agg.groupIdx) != nil || !g.emitted {
+				continue
+			}
+			args := make([]data.Value, len(g.groupArgs))
+			copy(args, g.groupArgs)
+			args[r.agg.argIdx] = g.current
+			dead := data.Tuple{Pred: r.headPred, Args: args}
+			if e.authenticated {
+				dead.Asserter = e.self
+			}
+			if sink != nil {
+				sink(dead)
+			} else if tbl.Delete(dead) {
+				e.notify(dead, UpdateRetracted)
 			}
 		}
 		// Emit fresh or changed groups.
-		for gk, g := range st.groups {
+		for _, g := range st.order {
 			val := st.aggResult(g)
-			if prev, ok := old[gk]; ok && prev.emitted && prev.current.Equal(val) {
+			if prev := findAggGroup(oldGroups, g.hash, g.asserter, g.groupArgs, r.agg.groupIdx); prev != nil && prev.emitted && prev.current.Equal(val) {
 				g.emitted = true
 				g.current = val
 				continue

@@ -72,9 +72,96 @@ type compiledRule struct {
 	atoms []atomSpec
 	steps []step
 
+	// plans[si][skip+1] is the precompiled index probe for evaluating
+	// step si when body atom skip is the delta (-1 = full evaluation):
+	// which columns are bound at that point and where each probe value
+	// comes from (a constant or an environment slot). Computed once at
+	// compile time instead of re-derived per wave; the boundness analysis
+	// is exact because reaching a step implies every earlier step bound
+	// all of its slots.
+	plans [][]probePlan
+	// maxProbe is the widest probe across plans, sizing scratch buffers.
+	maxProbe int
+
 	nvars    int
 	varNames []string
 	varSlots map[string]int
+}
+
+// probeSrc names where one probe column's value comes from at runtime.
+type probeSrc struct {
+	isConst  bool
+	constVal data.Value
+	slot     int
+}
+
+// probePlan is one precompiled index probe: the bound columns, their
+// value sources, and the index signature (so the probe allocates
+// nothing). Empty cols means a full table scan.
+type probePlan struct {
+	sig  string
+	cols []int
+	srcs []probeSrc
+}
+
+// buildProbePlans computes cr.plans for every (step, delta-atom)
+// combination by static boundness simulation.
+func buildProbePlans(cr *compiledRule) {
+	cr.plans = make([][]probePlan, len(cr.steps))
+	for si := range cr.steps {
+		cr.plans[si] = make([]probePlan, len(cr.atoms)+1)
+	}
+	for skip := -1; skip < len(cr.atoms); skip++ {
+		bound := make([]bool, cr.nvars)
+		mark := func(slot int) {
+			if slot >= 0 {
+				bound[slot] = true
+			}
+		}
+		markAtom := func(spec *atomSpec) {
+			if spec.says != nil && !spec.says.isConst {
+				mark(spec.says.slot)
+			}
+			for _, p := range spec.args {
+				if !p.isConst {
+					mark(p.slot)
+				}
+			}
+		}
+		mark(cr.ctxSlot)
+		mark(cr.locSlot)
+		if skip >= 0 {
+			markAtom(&cr.atoms[skip])
+		}
+		for si, st := range cr.steps {
+			switch st.kind {
+			case stepAtom:
+				if st.atom == skip {
+					continue
+				}
+				spec := &cr.atoms[st.atom]
+				var plan probePlan
+				for i, p := range spec.args {
+					switch {
+					case p.isConst:
+						plan.cols = append(plan.cols, i)
+						plan.srcs = append(plan.srcs, probeSrc{isConst: true, constVal: p.constVal})
+					case p.slot >= 0 && bound[p.slot]:
+						plan.cols = append(plan.cols, i)
+						plan.srcs = append(plan.srcs, probeSrc{slot: p.slot})
+					}
+				}
+				plan.sig = colSig(plan.cols)
+				cr.plans[si][skip+1] = plan
+				if len(plan.cols) > cr.maxProbe {
+					cr.maxProbe = len(plan.cols)
+				}
+				markAtom(spec)
+			case stepAssign:
+				mark(st.assignSlot)
+			}
+		}
+	}
 }
 
 // compileRule translates a validated, localized rule into executable form.
@@ -197,6 +284,7 @@ func compileRule(r *datalog.Rule) (*compiledRule, error) {
 		}
 		cr.agg = spec
 	}
+	buildProbePlans(cr)
 	return cr, nil
 }
 

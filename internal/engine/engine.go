@@ -29,6 +29,10 @@ type Annotation any
 type AnnTuple struct {
 	Tuple data.Tuple
 	Ann   Annotation
+
+	// hash carries the tuple's cached structural hash when the AnnTuple
+	// was built from a stored entry (0 = unknown, recompute on demand).
+	hash uint64
 }
 
 // ProvHook is the provenance capture interface (paper §4). The engine
@@ -126,7 +130,11 @@ type Engine struct {
 	self          string
 	authenticated bool
 	hook          ProvHook
-	onUpdate      func(t data.Tuple, kind UpdateKind)
+	// noProv marks the null provenance hook: annotation bookkeeping that
+	// exists only to feed Derive (aggregate witness bodies, body-copy
+	// retention) is skipped on the hot path.
+	noProv   bool
+	onUpdate func(t data.Tuple, kind UpdateKind)
 
 	tables map[string]*Table
 	decls  map[string]*datalog.MaterializeDecl
@@ -148,10 +156,28 @@ type Engine struct {
 	exports []Export
 
 	// deps is the derivation dependency index driving retraction: for
-	// every non-aggregate rule firing it maps each body tuple's key to the
-	// derived heads (with their destinations), so a deleted tuple's cone
-	// of influence can be walked without re-running rules.
-	deps map[string]*depList
+	// every non-aggregate rule firing it maps each body tuple (keyed by
+	// structural hash, equality-chained) to the derived heads (with their
+	// destinations), so a deleted tuple's cone of influence can be walked
+	// without re-running rules.
+	deps  map[uint64][]*depEntry
+	ndeps int
+
+	// depEntryArena amortizes dependency-index allocation: entries come
+	// from a chunked arena instead of one malloc each.
+	depEntryArena []depEntry
+
+	// destIDs caches interned destination-symbol ids (see destID).
+	destIDs map[string]uint32
+
+	// scratches holds one reusable evalScratch per eval worker; firedBuf
+	// is the reused per-wave firing table. maxVars/maxAtoms/maxProbe are
+	// the scratch sizes required by the loaded rules.
+	scratches []*evalScratch
+	firedBuf  [][]pending
+	maxVars   int
+	maxAtoms  int
+	maxProbe  int
 
 	// pend accumulates over-deletion state between BeginRetract* and the
 	// CompleteRetract that repairs it (see retract.go).
@@ -192,23 +218,101 @@ type atomRef struct {
 	atom int // index into rule.atoms
 }
 
+// pruneSpec is one aggregate-selection declaration. Groups are keyed by
+// the structural hash of the group columns (pruneGroupState chains hold
+// the identity for the equality fallback); each group carries its
+// installed best, its shadow of rejected candidates, and its lossy flag
+// in one place instead of three parallel string-keyed maps.
 type pruneSpec struct {
+	pred    string
 	keyCols []int
 	col     int
 	min     bool
-	best    map[string]data.Value
-	// shadow retains the tuples the prune rejected, per group, so a
-	// retraction that relaxes a group's installed optimum can revive the
-	// candidates that have become competitive again. Without it, pruned
-	// alternatives would be unrecoverable after a link cut (they were
-	// dropped before storage and their senders will not re-ship them).
-	shadow map[string]map[string]shadowRow
 	// cap bounds each group's shadow (<0 = unbounded): overflow evicts
 	// the least-competitive row and marks the group lossy, so a later
 	// revival knows candidates may be missing and falls back to
 	// restricted re-derivation instead of trusting the shadow alone.
-	cap   int
-	lossy map[string]bool
+	cap    int
+	groups map[uint64][]*pruneGroupState
+}
+
+// pruneGroupState is one aggregate-selection group: identity (asserter +
+// group-column values; the predicate is the spec's), installed best, and
+// the shadow of prune-rejected candidates retained for possible revival.
+// Without the shadow, pruned alternatives would be unrecoverable after a
+// link cut (they were dropped before storage and their senders will not
+// re-ship them).
+type pruneGroupState struct {
+	hash     uint64
+	asserter string
+	vals     []data.Value
+	hasBest  bool
+	best     data.Value
+	// shadow chains rows by full-tuple hash; nshadow counts them.
+	shadow  map[uint64][]shadowRow
+	nshadow int
+	lossy   bool
+}
+
+// matches reports whether t belongs to this group (the equality fallback
+// behind the group-hash key). The predicate is implied by the spec.
+func (g *pruneGroupState) matches(t data.Tuple, keyCols []int) bool {
+	if t.Asserter != g.asserter {
+		return false
+	}
+	for i, c := range keyCols {
+		if !t.Args[c].Equal(g.vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// group finds or creates the group state for tuple t.
+func (ps *pruneSpec) group(t data.Tuple) *pruneGroupState {
+	h := t.HashCols(ps.keyCols)
+	for _, g := range ps.groups[h] {
+		if g.matches(t, ps.keyCols) {
+			return g
+		}
+	}
+	vals := make([]data.Value, len(ps.keyCols))
+	for i, c := range ps.keyCols {
+		vals[i] = t.Args[c]
+	}
+	g := &pruneGroupState{hash: h, asserter: t.Asserter, vals: vals}
+	ps.groups[h] = append(ps.groups[h], g)
+	return g
+}
+
+// findGroup returns the existing group for t, or nil.
+func (ps *pruneSpec) findGroup(t data.Tuple) *pruneGroupState {
+	for _, g := range ps.groups[t.HashCols(ps.keyCols)] {
+		if g.matches(t, ps.keyCols) {
+			return g
+		}
+	}
+	return nil
+}
+
+// maybeDrop removes an emptied group (no best, no shadow, not lossy) from
+// the spec so long-churning runs do not accumulate dead group states.
+func (ps *pruneSpec) maybeDrop(g *pruneGroupState) {
+	if g.hasBest || g.nshadow > 0 || g.lossy {
+		return
+	}
+	bucket := ps.groups[g.hash]
+	for i, c := range bucket {
+		if c == g {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(ps.groups, g.hash)
+			} else {
+				ps.groups[g.hash] = bucket
+			}
+			return
+		}
+	}
 }
 
 // shadowRow is one prune-rejected candidate kept for possible revival,
@@ -230,10 +334,12 @@ func New(cfg Config) *Engine {
 	if shards < 1 {
 		shards = 1
 	}
+	_, noProv := hook.(NoProv)
 	return &Engine{
 		self:          cfg.Self,
 		authenticated: cfg.Authenticated,
 		hook:          hook,
+		noProv:        noProv,
 		onUpdate:      cfg.OnUpdate,
 		shards:        shards,
 		shadowCap:     cfg.ShadowCap,
@@ -242,7 +348,8 @@ func New(cfg Config) *Engine {
 		prunes:        make(map[string]*pruneSpec),
 		byPred:        make(map[string][]atomRef),
 		aggState:      make(map[string]*aggGroupState),
-		deps:          make(map[string]*depList),
+		deps:          make(map[uint64][]*depEntry),
+		destIDs:       make(map[string]uint32),
 		shardCols:     make(map[string][]int),
 	}
 }
@@ -326,13 +433,12 @@ func (e *Engine) LoadProgram(prog *datalog.Program) error {
 			shadowCap = DefaultShadowCap
 		}
 		e.prunes[pr.Pred] = &pruneSpec{
+			pred:    pr.Pred,
 			keyCols: cols,
 			col:     pr.Col - 1,
 			min:     pr.Func == datalog.AggMin,
-			best:    make(map[string]data.Value),
-			shadow:  make(map[string]map[string]shadowRow),
 			cap:     shadowCap,
-			lossy:   make(map[string]bool),
+			groups:  make(map[uint64][]*pruneGroupState),
 		}
 	}
 	for _, r := range prog.Rules {
@@ -348,6 +454,15 @@ func (e *Engine) LoadProgram(prog *datalog.Program) error {
 			e.byPred[a.pred] = append(e.byPred[a.pred], atomRef{rule: cr, atom: i})
 		}
 		e.recordShardCols(cr)
+		if cr.nvars > e.maxVars {
+			e.maxVars = cr.nvars
+		}
+		if len(cr.atoms) > e.maxAtoms {
+			e.maxAtoms = len(cr.atoms)
+		}
+		if cr.maxProbe > e.maxProbe {
+			e.maxProbe = cr.maxProbe
+		}
 	}
 	return nil
 }
@@ -393,32 +508,23 @@ func (e *Engine) recordShardCols(cr *compiledRule) {
 	}
 }
 
-// shardOf maps a delta tuple to its evaluation shard: an FNV-1a hash of
-// the predicate and the values of its join-key columns (the whole tuple
-// key when the predicate has none recorded).
+// shardOf maps a delta tuple to its evaluation shard: the structural
+// hash of the join-key columns (the whole tuple when the predicate has
+// none recorded). The choice only affects locality — evaluation is
+// read-only and commits are ordered, so any partition is correct.
 func (e *Engine) shardOf(t data.Tuple) int {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	mix := func(s string) {
-		for i := 0; i < len(s); i++ {
-			h ^= uint64(s[i])
-			h *= prime64
-		}
-		h ^= 0xff
-		h *= prime64
-	}
-	mix(t.Pred)
-	cols, ok := e.shardCols[t.Pred]
-	if !ok || len(cols) == 0 {
-		mix(t.Key())
-	} else {
+	cols := e.shardCols[t.Pred]
+	h := t.Hash()
+	if len(cols) > 0 {
+		ok := true
 		for _, c := range cols {
-			if c < len(t.Args) {
-				mix(t.Args[c].Key())
+			if c >= len(t.Args) {
+				ok = false
+				break
 			}
+		}
+		if ok {
+			h = t.HashCols(cols)
 		}
 	}
 	return int(h % uint64(e.shards))
@@ -480,7 +586,7 @@ func (e *Engine) InsertImportedFrom(from string, t data.Tuple, provPayload []byt
 	if err != nil {
 		return err
 	}
-	e.insertFrom(t, ann, from)
+	e.insertFrom(t, ann, from, 0)
 	return nil
 }
 
@@ -495,7 +601,7 @@ func (e *Engine) InsertImportedAnn(t data.Tuple, ann Annotation) {
 // InsertImportedAnnFrom is InsertImportedAnn with the sender recorded as
 // support origin.
 func (e *Engine) InsertImportedAnnFrom(from string, t data.Tuple, ann Annotation) {
-	e.insertFrom(t, ann, from)
+	e.insertFrom(t, ann, from, 0)
 }
 
 // Imported pairs a received tuple with its provenance payload, for batch
@@ -526,13 +632,14 @@ func (e *Engine) InsertImportedBatchFrom(from string, items []Imported) error {
 // insert stores a locally supported tuple (base fact or rule derivation)
 // and queues it for semi-naive processing.
 func (e *Engine) insert(t data.Tuple, ann Annotation) {
-	e.insertFrom(t, ann, "")
+	e.insertFrom(t, ann, "", 0)
 }
 
 // insertFrom stores a tuple and queues it for semi-naive processing. It
 // applies the aggregate-selection prune and primary-key replacement.
-// origin names the remote sender supporting the tuple ("" = local).
-func (e *Engine) insertFrom(t data.Tuple, ann Annotation, origin string) {
+// origin names the remote sender supporting the tuple ("" = local); hash
+// is t's cached structural hash when known (0 = compute on demand).
+func (e *Engine) insertFrom(t data.Tuple, ann Annotation, origin string, hash uint64) {
 	// Aggregate selection: drop tuples that do not improve their group.
 	// A tuple identical to a stored live row bypasses the prune and takes
 	// the duplicate path below instead: shadowing a stored tuple would
@@ -541,22 +648,23 @@ func (e *Engine) insertFrom(t data.Tuple, ann Annotation, origin string) {
 	// must refresh the row's TTL and merge its support, which the shadow
 	// never did).
 	if ps, ok := e.prunes[t.Pred]; ok && !e.storedLive(t) {
-		gk := t.ValueKey(ps.keyCols)
+		g := ps.group(t)
 		val := t.Args[ps.col]
-		if best, ok := ps.best[gk]; ok {
-			c := val.Compare(best)
+		if g.hasBest {
+			c := val.Compare(g.best)
 			if (ps.min && c >= 0) || (!ps.min && c <= 0) {
 				e.Stats.TuplesDropped++
-				ps.addShadow(gk, t, ann, origin)
+				ps.addShadow(g, t, ann, origin)
 				return
 			}
 		}
-		ps.best[gk] = val
-		ps.dropShadow(gk, t)
+		g.best = val
+		g.hasBest = true
+		ps.dropShadow(g, t)
 	}
 
 	tbl := e.table(t.Pred)
-	entry, replaced, status := tbl.InsertFull(t, ann, e.now)
+	entry, replaced, status := tbl.insertHashed(t, ann, e.now, hash)
 	entry.addSupport(origin)
 	switch status {
 	case InsertNew, InsertReplaced:
@@ -579,27 +687,14 @@ func (e *Engine) insertFrom(t data.Tuple, ann Annotation, origin string) {
 
 // addShadow records a prune-rejected candidate for possible revival,
 // merging support when the same tuple is rejected repeatedly.
-func (ps *pruneSpec) addShadow(gk string, t data.Tuple, ann Annotation, origin string) {
-	rows, ok := ps.shadow[gk]
-	if !ok {
-		rows = make(map[string]shadowRow)
-		ps.shadow[gk] = rows
-	}
-	key := t.Key()
-	row, ok := rows[key]
-	if !ok {
-		row = shadowRow{tuple: t, ann: ann}
-	}
+func (ps *pruneSpec) addShadow(g *pruneGroupState, t data.Tuple, ann Annotation, origin string) {
+	row := shadowRow{tuple: t, ann: ann}
 	if origin == "" {
 		row.localSupport = true
 	} else {
-		if row.origins == nil {
-			row.origins = make(map[string]bool)
-		}
-		row.origins[origin] = true
+		row.origins = map[string]bool{origin: true}
 	}
-	rows[key] = row
-	ps.enforceCap(gk, rows)
+	ps.addShadowRow(g, row)
 }
 
 // enforceCap bounds one group's shadow: when the cap is exceeded, one
@@ -608,48 +703,74 @@ func (ps *pruneSpec) addShadow(gk string, t data.Tuple, ann Annotation, origin s
 // local support go first — the fallback can re-derive those from this
 // node's own rules, while a remote-only row (shipped by a sender that
 // believes we still hold it) is unrecoverable once dropped. Within a
-// class, worst-first (farthest from the optimum; ties broken by key)
-// keeps the rows most likely to become the next best.
-func (ps *pruneSpec) enforceCap(gk string, rows map[string]shadowRow) {
-	if ps.cap < 0 || len(rows) <= ps.cap {
+// class, worst-first (farthest from the optimum; ties broken by tuple
+// order) keeps the rows most likely to become the next best.
+func (ps *pruneSpec) enforceCap(g *pruneGroupState) {
+	if ps.cap < 0 || g.nshadow <= ps.cap {
 		return
 	}
-	var worstKey string
-	var worst data.Value
-	worstLocal := false
-	for k, row := range rows {
-		betterVictim := false
-		switch {
-		case worstKey == "":
-			betterVictim = true
-		case row.localSupport != worstLocal:
-			betterVictim = row.localSupport
-		default:
-			c := row.tuple.Args[ps.col].Compare(worst)
-			if c == 0 {
-				betterVictim = k > worstKey
-			} else if ps.min {
-				betterVictim = c > 0
-			} else {
-				betterVictim = c < 0
+	var worstHash uint64
+	var worstIdx int
+	var worstRow shadowRow
+	found := false
+	for h, rows := range g.shadow {
+		for i, row := range rows {
+			betterVictim := false
+			switch {
+			case !found:
+				betterVictim = true
+			case row.localSupport != worstRow.localSupport:
+				betterVictim = row.localSupport
+			default:
+				c := row.tuple.Args[ps.col].Compare(worstRow.tuple.Args[ps.col])
+				if c == 0 {
+					betterVictim = tupleLess(worstRow.tuple, row.tuple)
+				} else if ps.min {
+					betterVictim = c > 0
+				} else {
+					betterVictim = c < 0
+				}
+			}
+			if betterVictim {
+				worstHash, worstIdx, worstRow, found = h, i, row, true
 			}
 		}
-		if betterVictim {
-			worstKey, worst, worstLocal = k, row.tuple.Args[ps.col], row.localSupport
+	}
+	if found {
+		g.removeShadowAt(worstHash, worstIdx)
+		g.lossy = true
+	}
+}
+
+// removeShadowAt unlinks one shadow row from its bucket.
+func (g *pruneGroupState) removeShadowAt(h uint64, i int) {
+	rows := g.shadow[h]
+	rows = append(rows[:i], rows[i+1:]...)
+	if len(rows) == 0 {
+		delete(g.shadow, h)
+	} else {
+		g.shadow[h] = rows
+	}
+	g.nshadow--
+}
+
+// findShadow locates t's shadow row in group g, returning its bucket
+// hash and index (ok=false when absent).
+func (g *pruneGroupState) findShadow(t data.Tuple) (uint64, int, bool) {
+	h := t.Hash()
+	for i, row := range g.shadow[h] {
+		if row.tuple.Equal(t) {
+			return h, i, true
 		}
 	}
-	delete(rows, worstKey)
-	ps.lossy[gk] = true
+	return h, 0, false
 }
 
 // dropShadow removes a tuple from its group's shadow (it is being stored
 // for real).
-func (ps *pruneSpec) dropShadow(gk string, t data.Tuple) {
-	if rows, ok := ps.shadow[gk]; ok {
-		delete(rows, t.Key())
-		if len(rows) == 0 {
-			delete(ps.shadow, gk)
-		}
+func (ps *pruneSpec) dropShadow(g *pruneGroupState, t data.Tuple) {
+	if h, i, ok := g.findShadow(t); ok {
+		g.removeShadowAt(h, i)
 	}
 }
 
@@ -673,10 +794,15 @@ func (ps *pruneSpec) dropShadow(gk string, t data.Tuple) {
 // on queue position). Both orderings are legal semi-naive schedules;
 // the waves always pick the same one.
 func (e *Engine) RunToFixpoint() []Export {
+	// Ping-pong two queue arrays: the batch being drained and the queue
+	// the wave's commits fill. A fully-consumed batch array becomes the
+	// next wave's queue storage instead of garbage.
+	var spare []*Entry
 	for len(e.queue) > 0 {
 		batch := e.queue
-		e.queue = nil
+		e.queue = spare
 		e.runWave(batch)
+		spare = batch[:0]
 	}
 	out := e.exports
 	e.exports = nil
@@ -684,6 +810,9 @@ func (e *Engine) RunToFixpoint() []Export {
 }
 
 // runWave evaluates one delta batch and commits its firings in order.
+// Firings accumulate in per-worker pending arenas (reused across waves);
+// the fired table maps each live entry to its arena span so the commit
+// replay runs in deterministic wave order.
 func (e *Engine) runWave(batch []*Entry) {
 	live := batch[:0]
 	for _, en := range batch {
@@ -694,53 +823,76 @@ func (e *Engine) runWave(batch []*Entry) {
 	if len(live) == 0 {
 		return
 	}
-	fired := make([][]pending, len(live))
+	fired := e.firedBuf
+	if cap(fired) < len(live) {
+		fired = make([][]pending, len(live))
+	} else {
+		fired = fired[:len(live)]
+	}
 	if e.shards > 1 && len(live) > 1 {
 		e.evalWaveSharded(live, fired)
 	} else {
+		sc := e.scratchFor(0)
+		sc.pend = sc.pend[:0]
+		sc.resetWave()
 		for i, en := range live {
-			fired[i] = e.evalEntry(en)
+			s, t := e.evalEntry(en, sc)
+			fired[i] = sc.pend[s:t:t]
 		}
 	}
 	for i := range fired {
 		for _, p := range fired[i] {
-			e.emit(p.r, p.head, p.dest, p.body)
+			e.emit(p.r, p.head, p.headHash, p.dest, p.body)
 		}
+		fired[i] = nil
 	}
+	e.firedBuf = fired[:0]
 }
 
-// evalEntry collects the firings of one delta entry (read-only).
-func (e *Engine) evalEntry(en *Entry) []pending {
-	var sink []pending
+// evalEntry collects the firings of one delta entry (read-only) into the
+// scratch's pending arena, returning the appended span.
+func (e *Engine) evalEntry(en *Entry, sc *evalScratch) (int, int) {
+	start := len(sc.pend)
 	for _, ref := range e.byPred[en.Tuple.Pred] {
-		e.evalDelta(ref.rule, ref.atom, en, &sink)
+		e.evalDelta(ref.rule, ref.atom, en, &sc.pend, sc)
 	}
-	return sink
+	return start, len(sc.pend)
 }
 
 // evalWaveSharded partitions the wave by shardOf and evaluates each
 // shard on its own worker. Workers only read engine state (tables,
 // compiled rules, the clock) and write disjoint fired slots, so the
 // only synchronization needed is the tables' lazy-index lock and the
-// final barrier.
+// final barrier. Each worker appends into its own scratch arena; an
+// arena regrowth leaves earlier spans pointing at the old backing array,
+// whose contents are final — the spans stay valid.
 func (e *Engine) evalWaveSharded(live []*Entry, fired [][]pending) {
 	shards := make([][]int, e.shards)
 	for i, en := range live {
 		s := e.shardOf(en.Tuple)
 		shards[s] = append(shards[s], i)
 	}
+	// Materialize every worker's scratch before spawning: scratchFor
+	// mutates the engine's scratch list and must stay single-threaded.
+	for w := range shards {
+		e.scratchFor(w)
+	}
 	var wg sync.WaitGroup
-	for _, idxs := range shards {
+	for w, idxs := range shards {
 		if len(idxs) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(idxs []int) {
+		go func(w int, idxs []int) {
 			defer wg.Done()
+			sc := e.scratches[w]
+			sc.pend = sc.pend[:0]
+			sc.resetWave()
 			for _, i := range idxs {
-				fired[i] = e.evalEntry(live[i])
+				s, t := e.evalEntry(live[i], sc)
+				fired[i] = sc.pend[s:t:t]
 			}
-		}(idxs)
+		}(w, idxs)
 	}
 	wg.Wait()
 }
@@ -752,7 +904,9 @@ func (e *Engine) Pending() bool { return len(e.queue) > 0 }
 // become exports. Aggregate heads go through contribution accounting
 // (their provenance is derived when the aggregate value is emitted, not
 // per contribution).
-func (e *Engine) emit(r *compiledRule, head data.Tuple, dest string, body []AnnTuple) {
+// headHash is head's cached structural hash when known (0 = compute on
+// demand).
+func (e *Engine) emit(r *compiledRule, head data.Tuple, headHash uint64, dest string, body []AnnTuple) {
 	e.Stats.Derivations++
 	if e.authenticated {
 		head.Asserter = e.self
@@ -773,36 +927,43 @@ func (e *Engine) emit(r *compiledRule, head data.Tuple, dest string, body []AnnT
 		// group re-enter the insert path (and its prune), where they
 		// either install or re-shadow. Everything else is still stored
 		// or already shipped and must not re-propagate.
-		if dest != e.self || head.Pred != e.restrict.pred ||
-			head.ValueKey(e.restrict.keyCols) != e.restrict.gk {
+		rs := e.restrict
+		if dest != e.self || head.Pred != rs.ps.pred || !rs.g.matches(head, rs.ps.keyCols) {
 			return
 		}
 	}
 	// Record the dependency edges body → head for retraction cascades.
-	for _, b := range body {
-		e.recordDep(b.Tuple, head, dest)
+	// The head hash and interned destination id are shared by every edge.
+	if len(body) > 0 {
+		if headHash == 0 {
+			headHash = head.Hash()
+		}
+		sig := destTupleKey{dest: e.destID(dest), hash: headHash}
+		for i := range body {
+			e.recordDep(body[i], head, dest, sig)
+		}
 	}
 	if e.rederive != nil {
 		// DRed re-derivation: only tuples deleted by the current
 		// retraction batch are re-established, and only exports whose
 		// withdrawal already shipped are re-sent; everything else is
 		// still stored (locally or at dest) and must not re-propagate.
+		// Membership checks run on (interned dest id, structural hash)
+		// with tuple-equality fallback — no signature strings.
 		if dest == e.self {
-			if !e.rederive.deleted[head.Key()] {
+			if !e.rederive.deleted.has(head) {
 				return
 			}
 		} else {
-			sig := dest + "\x00" + head.Key()
-			if !e.rederive.shipped[sig] {
+			if !e.rederive.shipped.remove(e, dest, head) {
 				return
 			}
-			delete(e.rederive.shipped, sig)
 			// Fall through: the export re-establishes the tuple at dest.
 		}
 	}
 	ann := e.hook.Derive(r.label, e.self, head, body)
 	if dest == e.self {
-		e.insert(head, ann)
+		e.insertFrom(head, ann, "", headHash)
 		return
 	}
 	e.exports = append(e.exports, Export{Dest: dest, Tuple: head, Ann: ann})
@@ -859,16 +1020,18 @@ func (e *Engine) AnnotationOf(t data.Tuple) Annotation {
 func (e *Engine) ShadowSize() int {
 	n := 0
 	for _, ps := range e.prunes {
-		for _, rows := range ps.shadow {
-			n += len(rows)
+		for _, bucket := range ps.groups {
+			for _, g := range bucket {
+				n += g.nshadow
+			}
 		}
 	}
 	return n
 }
 
-// DepSize reports the number of body-tuple keys in the retraction
+// DepSize reports the number of body tuples in the retraction
 // dependency index — the structure Expire must purge alongside tables.
-func (e *Engine) DepSize() int { return len(e.deps) }
+func (e *Engine) DepSize() int { return e.ndeps }
 
 // Predicates returns the names of all tables with live tuples.
 func (e *Engine) Predicates() []string {
@@ -897,7 +1060,8 @@ func (e *Engine) Predicates() []string {
 func (e *Engine) Expire(now float64) {
 	e.now = now
 	expired := 0
-	var groups map[string]pruneGroup
+	var groups []pruneGroup
+	seen := make(map[*pruneGroupState]bool)
 	names := make([]string, 0, len(e.tables))
 	for name := range e.tables {
 		names = append(names, name)
@@ -910,20 +1074,14 @@ func (e *Engine) Expire(now float64) {
 		ps := e.prunes[name]
 		for _, t := range gone {
 			e.notify(t, UpdateExpired)
-			delete(e.deps, t.Key())
+			e.dropDeps(t)
 			if ps == nil {
 				continue
 			}
-			gk := t.ValueKey(ps.keyCols)
-			if groups == nil {
-				groups = make(map[string]pruneGroup)
-			}
-			if _, seen := groups[gk]; !seen {
-				vals := make([]data.Value, len(ps.keyCols))
-				for i, c := range ps.keyCols {
-					vals[i] = t.Args[c]
-				}
-				groups[gk] = pruneGroup{ps: ps, pred: name, gk: gk, vals: vals}
+			g := ps.group(t)
+			if !seen[g] {
+				seen[g] = true
+				groups = append(groups, pruneGroup{ps: ps, g: g})
 			}
 		}
 	}

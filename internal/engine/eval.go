@@ -16,50 +16,223 @@ import (
 type pending struct {
 	r    *compiledRule
 	head data.Tuple
-	dest string
-	body []AnnTuple
+	// headHash is head's cached structural hash when the firing reused a
+	// stored canonical tuple (0 = unknown).
+	headHash uint64
+	dest     string
+	body     []AnnTuple
+}
+
+// evalScratch is the reusable per-worker evaluation state: one variable
+// environment and trail sized for the largest rule, a probe-value buffer
+// sized for the widest precompiled probe, a body buffer for the longest
+// rule, and the pending arena a wave's firings append into. One scratch
+// exists per eval worker (serial engines use worker 0) and lives for the
+// engine's lifetime, so steady-state evaluation performs no per-delta
+// allocation beyond the firings themselves.
+type evalScratch struct {
+	env   env
+	trail []int
+	probe []data.Value
+	body  []AnnTuple
+	pend  []pending
+
+	// valArena / annArena are slab allocators for the head-argument and
+	// body-copy slices a firing hands to the commit stage. Those slices
+	// escape (into tables, aggregate state, provenance), so the slabs are
+	// never reset — slabbing only amortizes the allocation count: one
+	// malloc per slab instead of two per firing.
+	valArena []data.Value
+	annArena []AnnTuple
+
+	// waveVals / waveAnns are resettable arenas for slices that die once
+	// the wave's commit stage consumes them: aggregate-rule head
+	// arguments (aggContribute copies what it keeps) and, under the null
+	// provenance hook, non-aggregate body copies (the dependency index
+	// reads them by value and nothing else retains them). resetWave
+	// reclaims the space wholesale at each wave boundary; the used
+	// counters upsize the slab when a wave overflowed it, so steady state
+	// is one slab reused forever. Mid-wave overflow slabs are simply
+	// abandoned — spans already handed out keep their backing array alive
+	// until the commit stage finishes with them.
+	waveVals     []data.Value
+	waveValsUsed int
+	waveAnns     []AnnTuple
+	waveAnnsUsed int
+
+	// headBuf is the scratch head-argument buffer a firing constructs
+	// into before deciding whether a stored canonical tuple can be reused
+	// (grown on demand; sized by the widest head seen).
+	headBuf []data.Value
+}
+
+const arenaSlab = 1024
+
+// arenaSlabMax bounds geometric slab growth so a huge fixpoint cannot
+// strand arbitrarily large part-used slabs.
+const arenaSlabMax = 64 * 1024
+
+// nextSlabSize doubles the slab on each refill (bounded), so a busy
+// scratch converges to a handful of mallocs instead of one per
+// arenaSlab-worth of firings.
+func nextSlabSize(cur, n int) int {
+	sz := cur * 2
+	if sz < arenaSlab {
+		sz = arenaSlab
+	}
+	if sz > arenaSlabMax {
+		sz = arenaSlabMax
+	}
+	if n > sz {
+		sz = n
+	}
+	return sz
+}
+
+// allocVals carves an owned n-element value slice out of the slab.
+func (sc *evalScratch) allocVals(n int) []data.Value {
+	if n == 0 {
+		return nil
+	}
+	if len(sc.valArena)+n > cap(sc.valArena) {
+		sc.valArena = make([]data.Value, 0, nextSlabSize(cap(sc.valArena), n))
+	}
+	m := len(sc.valArena)
+	sc.valArena = sc.valArena[:m+n]
+	return sc.valArena[m : m+n : m+n]
+}
+
+// allocAnns carves an owned n-element AnnTuple slice out of the slab.
+func (sc *evalScratch) allocAnns(n int) []AnnTuple {
+	if n == 0 {
+		return nil
+	}
+	if len(sc.annArena)+n > cap(sc.annArena) {
+		sc.annArena = make([]AnnTuple, 0, nextSlabSize(cap(sc.annArena), n))
+	}
+	m := len(sc.annArena)
+	sc.annArena = sc.annArena[:m+n]
+	return sc.annArena[m : m+n : m+n]
+}
+
+// allocWaveVals / allocWaveAnns carve transient slices out of the wave
+// arenas (see the field comment for the lifetime contract).
+func (sc *evalScratch) allocWaveVals(n int) []data.Value {
+	if n == 0 {
+		return nil
+	}
+	sc.waveValsUsed += n
+	if len(sc.waveVals)+n > cap(sc.waveVals) {
+		sc.waveVals = make([]data.Value, 0, nextSlabSize(cap(sc.waveVals), n))
+	}
+	m := len(sc.waveVals)
+	sc.waveVals = sc.waveVals[:m+n]
+	return sc.waveVals[m : m+n : m+n]
+}
+
+func (sc *evalScratch) allocWaveAnns(n int) []AnnTuple {
+	if n == 0 {
+		return nil
+	}
+	sc.waveAnnsUsed += n
+	if len(sc.waveAnns)+n > cap(sc.waveAnns) {
+		sc.waveAnns = make([]AnnTuple, 0, nextSlabSize(cap(sc.waveAnns), n))
+	}
+	m := len(sc.waveAnns)
+	sc.waveAnns = sc.waveAnns[:m+n]
+	return sc.waveAnns[m : m+n : m+n]
+}
+
+// resetWave reclaims the wave arenas at a wave boundary, upsizing a slab
+// whose last wave overflowed it so the next wave fits in one.
+func (sc *evalScratch) resetWave() {
+	if sc.waveValsUsed > cap(sc.waveVals) {
+		sz := cap(sc.waveVals) * 2
+		if sz < arenaSlab {
+			sz = arenaSlab
+		}
+		for sz < sc.waveValsUsed {
+			sz *= 2
+		}
+		sc.waveVals = make([]data.Value, 0, sz)
+	}
+	sc.waveVals = sc.waveVals[:0]
+	sc.waveValsUsed = 0
+	if sc.waveAnnsUsed > cap(sc.waveAnns) {
+		sz := cap(sc.waveAnns) * 2
+		if sz < arenaSlab {
+			sz = arenaSlab
+		}
+		for sz < sc.waveAnnsUsed {
+			sz *= 2
+		}
+		sc.waveAnns = make([]AnnTuple, 0, sz)
+	}
+	sc.waveAnns = sc.waveAnns[:0]
+	sc.waveAnnsUsed = 0
+}
+
+// scratchFor returns worker i's scratch, (re)creating it when a program
+// load grew the required sizes.
+func (e *Engine) scratchFor(i int) *evalScratch {
+	for len(e.scratches) <= i {
+		e.scratches = append(e.scratches, nil)
+	}
+	sc := e.scratches[i]
+	if sc == nil || len(sc.env.vals) < e.maxVars || len(sc.probe) < e.maxProbe || len(sc.body) < e.maxAtoms {
+		sc = &evalScratch{
+			env:   env{vals: make([]data.Value, e.maxVars), bound: make([]bool, e.maxVars)},
+			probe: make([]data.Value, e.maxProbe),
+			body:  make([]AnnTuple, e.maxAtoms),
+		}
+		e.scratches[i] = sc
+	}
+	return sc
 }
 
 // evalDelta runs rule r with the delta entry bound at body atom atomIdx,
 // joining the remaining atoms against the stored tables (semi-naive
 // evaluation). With a non-nil sink, firings are collected instead of
 // committed (the sharded wave path); a nil sink commits through emit.
-func (e *Engine) evalDelta(r *compiledRule, atomIdx int, delta *Entry, sink *[]pending) {
+// The scratch's environment is restored (all slots unbound) on return.
+func (e *Engine) evalDelta(r *compiledRule, atomIdx int, delta *Entry, sink *[]pending, sc *evalScratch) {
 	if !e.ruleActive(r) {
 		return
 	}
-	env := newEnv(r.nvars)
-	var trail []int
-	if r.ctxSlot >= 0 && !env.bindOrCheck(r.ctxSlot, data.Str(e.self), &trail) {
-		return
+	env := &sc.env
+	if (r.ctxSlot < 0 || env.bindOrCheck(r.ctxSlot, data.Str(e.self), &sc.trail)) &&
+		(r.locSlot < 0 || env.bindOrCheck(r.locSlot, data.Str(e.self), &sc.trail)) &&
+		e.matchAtom(&r.atoms[atomIdx], delta, env, &sc.trail) {
+		body := sc.body[:len(r.atoms)]
+		for i := range body {
+			body[i] = AnnTuple{}
+		}
+		body[atomIdx] = AnnTuple{Tuple: delta.Tuple, Ann: delta.Ann, hash: delta.hash}
+		e.evalSteps(r, 0, atomIdx, env, body, &sc.trail, sink, sc)
 	}
-	if r.locSlot >= 0 && !env.bindOrCheck(r.locSlot, data.Str(e.self), &trail) {
-		return
-	}
-	if !e.matchAtom(&r.atoms[atomIdx], delta, env, &trail) {
-		return
-	}
-	body := make([]AnnTuple, len(r.atoms))
-	body[atomIdx] = AnnTuple{Tuple: delta.Tuple, Ann: delta.Ann}
-	e.evalSteps(r, 0, atomIdx, env, body, &trail, sink)
+	env.undo(&sc.trail, 0)
 }
 
 // evalFull evaluates rule r from scratch over the stored tables (used for
 // aggregate recomputation and DRed re-derivation). sink as in evalDelta.
 func (e *Engine) evalFull(r *compiledRule, sink *[]pending) {
+	e.evalFullScratch(r, sink, e.scratchFor(0))
+}
+
+func (e *Engine) evalFullScratch(r *compiledRule, sink *[]pending, sc *evalScratch) {
 	if !e.ruleActive(r) {
 		return
 	}
-	env := newEnv(r.nvars)
-	var trail []int
-	if r.ctxSlot >= 0 && !env.bindOrCheck(r.ctxSlot, data.Str(e.self), &trail) {
-		return
+	env := &sc.env
+	if (r.ctxSlot < 0 || env.bindOrCheck(r.ctxSlot, data.Str(e.self), &sc.trail)) &&
+		(r.locSlot < 0 || env.bindOrCheck(r.locSlot, data.Str(e.self), &sc.trail)) {
+		body := sc.body[:len(r.atoms)]
+		for i := range body {
+			body[i] = AnnTuple{}
+		}
+		e.evalSteps(r, 0, -1, env, body, &sc.trail, sink, sc)
 	}
-	if r.locSlot >= 0 && !env.bindOrCheck(r.locSlot, data.Str(e.self), &trail) {
-		return
-	}
-	body := make([]AnnTuple, len(r.atoms))
-	e.evalSteps(r, 0, -1, env, body, &trail, sink)
+	env.undo(&sc.trail, 0)
 }
 
 // ruleActive reports whether the rule applies at this node at all.
@@ -76,17 +249,20 @@ func (e *Engine) ruleActive(r *compiledRule) bool {
 // evalSteps walks the rule plan from step si; atom skipAtom is already
 // bound (the delta), -1 for full evaluation. It only reads engine state
 // (tables are probed, never created), so shard workers may run it
-// concurrently between commit stages.
-func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []AnnTuple, trail *[]int, sink *[]pending) {
+// concurrently between commit stages. Probes follow the rule's
+// precompiled plan: the bound columns and their value sources were
+// resolved at compile time, so a probe fills a reused value buffer and
+// hashes it — no per-probe allocation.
+func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []AnnTuple, trail *[]int, sink *[]pending, sc *evalScratch) {
 	if si == len(r.steps) {
-		e.fire(r, env, body, sink)
+		e.fire(r, env, body, sink, sc)
 		return
 	}
 	st := r.steps[si]
 	switch st.kind {
 	case stepAtom:
 		if st.atom == skipAtom {
-			e.evalSteps(r, si+1, skipAtom, env, body, trail, sink)
+			e.evalSteps(r, si+1, skipAtom, env, body, trail, sink, sc)
 			return
 		}
 		spec := &r.atoms[st.atom]
@@ -94,24 +270,26 @@ func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []A
 		if tbl == nil {
 			return // no table yet: the atom cannot match
 		}
-		// Probe the index on the columns already bound.
-		var cols []int
-		var vals []data.Value
-		for i, p := range spec.args {
-			switch {
-			case p.isConst:
-				cols = append(cols, i)
-				vals = append(vals, p.constVal)
-			case p.slot >= 0 && env.bound[p.slot]:
-				cols = append(cols, i)
-				vals = append(vals, env.vals[p.slot])
+		plan := &r.plans[si][skipAtom+1]
+		var entries []*Entry
+		if len(plan.cols) == 0 {
+			entries = tbl.Entries(e.now)
+		} else {
+			vals := sc.probe[:len(plan.cols)]
+			for i, src := range plan.srcs {
+				if src.isConst {
+					vals[i] = src.constVal
+				} else {
+					vals[i] = env.vals[src.slot]
+				}
 			}
+			entries = tbl.LookupSig(plan.sig, plan.cols, vals, data.HashValues(vals), e.now)
 		}
-		for _, en := range tbl.Lookup(cols, vals, e.now) {
+		for _, en := range entries {
 			mark := len(*trail)
 			if e.matchAtom(spec, en, env, trail) {
-				body[st.atom] = AnnTuple{Tuple: en.Tuple, Ann: en.Ann}
-				e.evalSteps(r, si+1, skipAtom, env, body, trail, sink)
+				body[st.atom] = AnnTuple{Tuple: en.Tuple, Ann: en.Ann, hash: en.hash}
+				e.evalSteps(r, si+1, skipAtom, env, body, trail, sink, sc)
 			}
 			env.undo(trail, mark)
 		}
@@ -122,7 +300,7 @@ func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []A
 		}
 		mark := len(*trail)
 		if env.bindOrCheck(st.assignSlot, v, trail) {
-			e.evalSteps(r, si+1, skipAtom, env, body, trail, sink)
+			e.evalSteps(r, si+1, skipAtom, env, body, trail, sink, sc)
 		}
 		env.undo(trail, mark)
 	case stepCond:
@@ -130,7 +308,7 @@ func (e *Engine) evalSteps(r *compiledRule, si, skipAtom int, env *env, body []A
 		if err != nil || !v.IsTrue() {
 			return
 		}
-		e.evalSteps(r, si+1, skipAtom, env, body, trail, sink)
+		e.evalSteps(r, si+1, skipAtom, env, body, trail, sink, sc)
 	}
 }
 
@@ -164,28 +342,66 @@ func (e *Engine) matchAtom(spec *atomSpec, en *Entry, env *env, trail *[]int) bo
 
 // fire constructs the head tuple from the environment and routes it:
 // straight into emit (serial contexts), or onto the sink for the wave's
-// ordered-commit stage.
-func (e *Engine) fire(r *compiledRule, env *env, body []AnnTuple, sink *[]pending) {
-	args := make([]data.Value, len(r.headArgs))
+// ordered-commit stage. The head-argument and body-copy slices come from
+// the scratch's slab arenas (they escape; the slab amortizes the
+// mallocs).
+func (e *Engine) fire(r *compiledRule, env *env, body []AnnTuple, sink *[]pending, sc *evalScratch) {
+	n := len(r.headArgs)
+	if cap(sc.headBuf) < n {
+		sc.headBuf = make([]data.Value, n)
+	}
+	hb := sc.headBuf[:n]
 	for i, p := range r.headArgs {
 		switch {
 		case p.isConst:
-			args[i] = p.constVal
+			hb[i] = p.constVal
 		case p.slot >= 0 && env.bound[p.slot]:
-			args[i] = env.vals[p.slot]
+			hb[i] = env.vals[p.slot]
 		default:
 			return // unbound head variable; Validate prevents this
 		}
 	}
-	head := data.Tuple{Pred: r.headPred, Args: args}
+	head := data.Tuple{Pred: r.headPred, Args: hb}
+	if e.authenticated {
+		head.Asserter = e.self
+	}
+	// Re-derivations of an already-stored row — the common case in a
+	// recursive fixpoint — reuse the stored canonical tuple and its
+	// cached hash instead of materializing a fresh argument slice. The
+	// lookup is a pure read, safe from concurrent shard workers.
+	// Aggregate heads skip it: their aggregate argument holds the
+	// per-contribution value, which almost never matches the stored
+	// aggregated row, and aggContribute copies what it keeps — so their
+	// argument slices can come from the transient wave arena.
+	var headHash uint64
+	reused := false
+	if r.agg == nil {
+		if tbl := e.tables[r.headPred]; tbl != nil {
+			if en := tbl.Get(head); en != nil {
+				head = en.Tuple
+				headHash = en.hash
+				reused = true
+			}
+		}
+	}
+	if !reused {
+		var args []data.Value
+		if r.agg != nil {
+			args = sc.allocWaveVals(n)
+		} else {
+			args = sc.allocVals(n)
+		}
+		copy(args, hb)
+		head.Args = args
+	}
 
 	dest := e.self
 	switch {
 	case r.headLocIdx >= 0:
-		if args[r.headLocIdx].Kind != data.KindString {
+		if head.Args[r.headLocIdx].Kind != data.KindString {
 			return
 		}
-		dest = args[r.headLocIdx].Str
+		dest = head.Args[r.headLocIdx].Str
 	case r.headDestSet:
 		var v data.Value
 		if r.headDest.isConst {
@@ -202,17 +418,34 @@ func (e *Engine) fire(r *compiledRule, env *env, body []AnnTuple, sink *[]pendin
 	}
 
 	// Copy the body annotation slice: it is reused across branches.
-	bodyCopy := make([]AnnTuple, 0, len(body))
-	for _, b := range body {
-		if b.Tuple.Pred != "" {
-			bodyCopy = append(bodyCopy, b)
+	nb := 0
+	for i := range body {
+		if body[i].Tuple.Pred != "" {
+			nb++
+		}
+	}
+	// Aggregate contributions are retained by the group's dedup state, so
+	// they need the persistent slab; under the null provenance hook,
+	// non-aggregate bodies die at commit (the dependency index reads them
+	// by value) and come from the wave arena instead.
+	var bodyCopy []AnnTuple
+	if r.agg == nil && e.noProv {
+		bodyCopy = sc.allocWaveAnns(nb)
+	} else {
+		bodyCopy = sc.allocAnns(nb)
+	}
+	nb = 0
+	for i := range body {
+		if body[i].Tuple.Pred != "" {
+			bodyCopy[nb] = body[i]
+			nb++
 		}
 	}
 	if sink != nil {
-		*sink = append(*sink, pending{r: r, head: head, dest: dest, body: bodyCopy})
+		*sink = append(*sink, pending{r: r, head: head, headHash: headHash, dest: dest, body: bodyCopy})
 		return
 	}
-	e.emit(r, head, dest, bodyCopy)
+	e.emit(r, head, headHash, dest, bodyCopy)
 }
 
 // String renders a compiled rule briefly (for debugging and error text).

@@ -1,0 +1,144 @@
+package engine
+
+import "provnet/internal/data"
+
+// Hash-keyed set primitives for the retraction machinery. Every set that
+// used to key on materialized Key() strings — the deleted set, the
+// shipped-withdrawal set, the withdrawal dedup, the dependency index —
+// keys on the tuple's 64-bit structural hash (plus an interned
+// destination id where a destination participates), with tuple equality
+// as the collision fallback inside a bucket.
+
+// tupleSet is a set of tuples keyed by structural hash with equality
+// chains.
+type tupleSet struct {
+	m map[uint64][]data.Tuple
+	n int
+}
+
+func newTupleSet() *tupleSet { return &tupleSet{m: make(map[uint64][]data.Tuple)} }
+
+func (s *tupleSet) has(t data.Tuple) bool {
+	for _, c := range s.m[t.Hash()] {
+		if c.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts t, reporting whether it was newly added.
+func (s *tupleSet) add(t data.Tuple) bool {
+	h := t.Hash()
+	for _, c := range s.m[h] {
+		if c.Equal(t) {
+			return false
+		}
+	}
+	s.m[h] = append(s.m[h], t)
+	s.n++
+	return true
+}
+
+func (s *tupleSet) len() int { return s.n }
+
+// destTupleKey keys a (destination, tuple) pair: the destination as an
+// interned symbol id, the tuple as its structural hash.
+type destTupleKey struct {
+	dest uint32
+	hash uint64
+}
+
+// destTupleSet is a set of (destination, tuple) pairs. The interned dest
+// id is exact; tuple-hash collisions chain and fall back to equality.
+type destTupleSet struct {
+	m map[destTupleKey][]data.Tuple
+	n int
+}
+
+func newDestTupleSet() *destTupleSet { return &destTupleSet{m: make(map[destTupleKey][]data.Tuple)} }
+
+func (s *destTupleSet) key(e *Engine, dest string, t data.Tuple) destTupleKey {
+	return destTupleKey{dest: e.destID(dest), hash: t.Hash()}
+}
+
+func (s *destTupleSet) has(e *Engine, dest string, t data.Tuple) bool {
+	for _, c := range s.m[s.key(e, dest, t)] {
+		if c.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// add inserts the pair, reporting whether it was newly added.
+func (s *destTupleSet) add(e *Engine, dest string, t data.Tuple) bool {
+	k := s.key(e, dest, t)
+	for _, c := range s.m[k] {
+		if c.Equal(t) {
+			return false
+		}
+	}
+	s.m[k] = append(s.m[k], t)
+	s.n++
+	return true
+}
+
+// remove deletes the pair, reporting whether it was present.
+func (s *destTupleSet) remove(e *Engine, dest string, t data.Tuple) bool {
+	k := s.key(e, dest, t)
+	bucket := s.m[k]
+	for i, c := range bucket {
+		if c.Equal(t) {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(s.m, k)
+			} else {
+				s.m[k] = bucket
+			}
+			s.n--
+			return true
+		}
+	}
+	return false
+}
+
+func (s *destTupleSet) len() int { return s.n }
+
+// destID returns the interned id for a destination symbol, cached locally
+// so the hot path never takes the global interner's lock. Only called
+// from the engine's single driving goroutine (commit and maintenance
+// phases).
+func (e *Engine) destID(dest string) uint32 {
+	if id, ok := e.destIDs[dest]; ok {
+		return id
+	}
+	id := data.InternID(dest)
+	if e.destIDs == nil {
+		e.destIDs = make(map[string]uint32, 8)
+	}
+	e.destIDs[dest] = id
+	return id
+}
+
+// tupleLess is the deterministic tuple order used for tie-breaking where
+// the old string-keyed maps compared Key() encodings: predicate,
+// asserter, then argument-wise Compare.
+func tupleLess(a, b data.Tuple) bool {
+	if a.Pred != b.Pred {
+		return a.Pred < b.Pred
+	}
+	if a.Asserter != b.Asserter {
+		return a.Asserter < b.Asserter
+	}
+	n := len(a.Args)
+	if len(b.Args) < n {
+		n = len(b.Args)
+	}
+	for i := 0; i < n; i++ {
+		if c := a.Args[i].Compare(b.Args[i]); c != 0 {
+			return c < 0
+		}
+	}
+	return len(a.Args) < len(b.Args)
+}

@@ -36,8 +36,12 @@ import (
 // compose both phases for single-engine use.
 //
 // Cross-node alternate derivations are handled by per-entry support
-// tracking (Entry.localSupport / Entry.origins): a tuple shipped by two
+// tracking (Entry.localSupport / the origin set): a tuple shipped by two
 // senders survives the retraction of one.
+//
+// All bookkeeping sets key on structural hashes (plus interned
+// destination ids) with equality chains — see hashsets.go — never on
+// materialized Key() strings.
 
 // Withdrawal is a retraction addressed to another node: a previously
 // exported derivation that no longer holds and that the destination must
@@ -48,89 +52,165 @@ type Withdrawal struct {
 }
 
 // depTarget is one derived head recorded as reachable from a body tuple.
+// sig caches the (interned dest id, head hash) pair used for dedup.
 type depTarget struct {
 	head data.Tuple
 	dest string
+	sig  destTupleKey
 }
 
-// depList is an insertion-ordered, deduplicated set of depTargets.
-// Insertion order keeps retraction cascades deterministic.
-type depList struct {
+// depEntry is the dependency list of one body tuple: an
+// insertion-ordered, deduplicated set of depTargets. Insertion order
+// keeps retraction cascades deterministic. Short lists (the common case)
+// dedup by a linear sig scan; past depSeenLinear targets a seen map
+// ((dest id, head hash) → indices into order) takes over. Either way the
+// sig match falls back to head equality.
+type depEntry struct {
+	body  data.Tuple
 	order []depTarget
-	seen  map[string]bool
+	seen  map[destTupleKey][]int32
 }
+
+// depSeenLinear is the order length beyond which a depEntry builds its
+// seen map instead of scanning linearly.
+const depSeenLinear = 8
 
 // recordDep notes the dependency edge body → (head, dest) of a rule
-// firing, the raw material of retraction cascades.
-func (e *Engine) recordDep(body, head data.Tuple, dest string) {
-	key := body.Key()
-	dl := e.deps[key]
-	if dl == nil {
-		dl = &depList{seen: make(map[string]bool)}
-		e.deps[key] = dl
+// firing, the raw material of retraction cascades. The caller hoists the
+// head hash and interned destination id out of the per-body-atom loop;
+// the body AnnTuple usually carries its entry's cached hash.
+func (e *Engine) recordDep(b AnnTuple, head data.Tuple, dest string, sig destTupleKey) {
+	body := b.Tuple
+	h := b.hash
+	if h == 0 {
+		h = body.Hash()
 	}
-	sig := dest + "\x00" + head.Key()
-	if dl.seen[sig] {
-		return
+	var de *depEntry
+	for _, c := range e.deps[h] {
+		if c.body.Equal(body) {
+			de = c
+			break
+		}
 	}
-	dl.seen[sig] = true
-	dl.order = append(dl.order, depTarget{head: head, dest: dest})
+	if de == nil {
+		// Entries come from a chunked arena: one malloc per 256 entries
+		// instead of one each. Dropped entries keep their chunk alive until
+		// every entry in it is unreferenced — the same tradeoff the table's
+		// Entry arena makes.
+		if len(e.depEntryArena) == 0 {
+			e.depEntryArena = make([]depEntry, 256)
+		}
+		de = &e.depEntryArena[0]
+		e.depEntryArena = e.depEntryArena[1:]
+		de.body = body
+		e.deps[h] = append(e.deps[h], de)
+		e.ndeps++
+	}
+	if de.seen == nil {
+		for i := range de.order {
+			if de.order[i].sig == sig && de.order[i].head.Equal(head) {
+				return
+			}
+		}
+	} else {
+		for _, i := range de.seen[sig] {
+			if de.order[i].head.Equal(head) {
+				return
+			}
+		}
+	}
+	de.order = append(de.order, depTarget{head: head, dest: dest, sig: sig})
+	if de.seen != nil {
+		de.seen[sig] = append(de.seen[sig], int32(len(de.order)-1))
+	} else if len(de.order) > depSeenLinear {
+		de.seen = make(map[destTupleKey][]int32, len(de.order))
+		for i := range de.order {
+			s := de.order[i].sig
+			de.seen[s] = append(de.seen[s], int32(i))
+		}
+	}
+}
+
+// dropDeps removes and returns body tuple t's dependency entry (nil when
+// absent).
+func (e *Engine) dropDeps(t data.Tuple) *depEntry {
+	h := t.Hash()
+	bucket := e.deps[h]
+	for i, c := range bucket {
+		if c.body.Equal(t) {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(e.deps, h)
+			} else {
+				e.deps[h] = bucket
+			}
+			e.ndeps--
+			return c
+		}
+	}
+	return nil
 }
 
 // withdrawalQueue accumulates outbound retractions in deterministic
 // order, deduplicated by (destination, tuple).
 type withdrawalQueue struct {
 	order []Withdrawal
-	seen  map[string]bool
+	seen  *destTupleSet
 }
 
 func newWithdrawalQueue() *withdrawalQueue {
-	return &withdrawalQueue{seen: make(map[string]bool)}
+	return &withdrawalQueue{seen: newDestTupleSet()}
 }
 
-func wqSig(dest string, t data.Tuple) string { return dest + "\x00" + t.Key() }
-
-func (wq *withdrawalQueue) add(dest string, t data.Tuple) {
-	sig := wqSig(dest, t)
-	if wq.seen[sig] {
+func (wq *withdrawalQueue) add(e *Engine, dest string, t data.Tuple) {
+	if !wq.seen.add(e, dest, t) {
 		return
 	}
-	wq.seen[sig] = true
 	wq.order = append(wq.order, Withdrawal{Dest: dest, Tuple: t})
 }
 
 // retractPending is the over-deletion state accumulated between
 // BeginRetract* calls and the CompleteRetract that repairs it.
 type retractPending struct {
-	// deleted keys of tuples removed from this node's tables.
-	deleted map[string]bool
+	// deleted tuples removed from this node's tables.
+	deleted *tupleSet
 	// dirty aggregate rule labels needing recomputation.
 	dirty map[string]bool
 	// groups are the aggregate-selection groups whose installed optimum
-	// may have relaxed.
-	groups map[string]pruneGroup
+	// may have relaxed, in first-touched order (groupSeen dedups).
+	groups    []pruneGroup
+	groupSeen map[*pruneGroupState]bool
 	// shipped tracks (dest, tuple) withdrawals handed to the scheduler;
 	// a re-derivation during repair re-ships those exports.
-	shipped map[string]bool
+	shipped *destTupleSet
 }
 
 func newRetractPending() *retractPending {
 	return &retractPending{
-		deleted: make(map[string]bool),
-		dirty:   make(map[string]bool),
-		groups:  make(map[string]pruneGroup),
-		shipped: make(map[string]bool),
+		deleted:   newTupleSet(),
+		dirty:     make(map[string]bool),
+		groupSeen: make(map[*pruneGroupState]bool),
+		shipped:   newDestTupleSet(),
 	}
 }
 
 func (p *retractPending) empty() bool {
-	return len(p.deleted) == 0 && len(p.dirty) == 0 && len(p.groups) == 0
+	return p.deleted.len() == 0 && len(p.dirty) == 0 && len(p.groups) == 0
+}
+
+// touchGroup records an aggregate-selection group as relaxed.
+func (p *retractPending) touchGroup(ps *pruneSpec, g *pruneGroupState) {
+	if p.groupSeen[g] {
+		return
+	}
+	p.groupSeen[g] = true
+	p.groups = append(p.groups, pruneGroup{ps: ps, g: g})
 }
 
 // rederiveState restricts emit while the DRed repair pass runs.
 type rederiveState struct {
-	deleted map[string]bool
-	shipped map[string]bool
+	deleted *tupleSet
+	shipped *destTupleSet
 }
 
 // restrictState restricts emit to local heads of one aggregate-selection
@@ -138,9 +218,8 @@ type rederiveState struct {
 // candidates a bounded shadow dropped. Mutually exclusive with
 // rederiveState: revival runs before the DRed re-derivation phase.
 type restrictState struct {
-	pred    string
-	gk      string
-	keyCols []int
+	ps *pruneSpec
+	g  *pruneGroupState
 }
 
 // retractMode distinguishes which support a retraction removes.
@@ -237,7 +316,7 @@ func (e *Engine) beginRetract(items []retractItem) []Withdrawal {
 	wq := newWithdrawalQueue()
 	e.overdelete(items, wq)
 	for _, w := range wq.order {
-		e.pend.shipped[wqSig(w.Dest, w.Tuple)] = true
+		e.pend.shipped.add(e, w.Dest, w.Tuple)
 	}
 	return wq.order
 }
@@ -260,7 +339,7 @@ func (e *Engine) CompleteRetract() []Withdrawal {
 			break
 		}
 		e.reviveShadows(p.groups)
-		if len(p.deleted) > 0 {
+		if p.deleted.len() > 0 {
 			e.rederiveDeleted(p)
 		}
 		var vanished []retractItem
@@ -275,7 +354,7 @@ func (e *Engine) CompleteRetract() []Withdrawal {
 			e.overdelete(vanished, wq)
 			if e.pend != nil {
 				for _, w := range wq.order {
-					e.pend.shipped[wqSig(w.Dest, w.Tuple)] = true
+					e.pend.shipped.add(e, w.Dest, w.Tuple)
 				}
 			}
 		}
@@ -286,13 +365,9 @@ func (e *Engine) CompleteRetract() []Withdrawal {
 	// the destination with no future withdrawal to remove it — drop any
 	// export this repair also decided to withdraw.
 	if len(wq.order) > 0 && len(e.exports) > 0 {
-		drop := make(map[string]bool, len(wq.order))
-		for _, w := range wq.order {
-			drop[wqSig(w.Dest, w.Tuple)] = true
-		}
 		kept := e.exports[:0]
 		for _, ex := range e.exports {
-			if !drop[wqSig(ex.Dest, ex.Tuple)] {
+			if !wq.seen.has(e, ex.Dest, ex.Tuple) {
 				kept = append(kept, ex)
 			}
 		}
@@ -301,19 +376,16 @@ func (e *Engine) CompleteRetract() []Withdrawal {
 	return wq.order
 }
 
-// pruneGroup identifies one aggregate-selection group touched by a
-// deletion, carrying the group-column values needed to recompute its
-// best.
+// pruneGroup pairs an aggregate-selection spec with one of its touched
+// groups during a deletion or expiry sweep.
 type pruneGroup struct {
-	ps   *pruneSpec
-	pred string
-	gk   string
-	vals []data.Value
+	ps *pruneSpec
+	g  *pruneGroupState
 }
 
 // overdelete walks the cone of influence of the retraction items,
 // deleting unsupported rows and accumulating onto e.pend: the deleted
-// tuple keys, the aggregate rules needing recomputation, and the prune
+// tuples, the aggregate rules needing recomputation, and the prune
 // groups needing a best reset. Withdrawals for exported heads go to wq.
 func (e *Engine) overdelete(items []retractItem, wq *withdrawalQueue) {
 	if e.pend == nil {
@@ -325,8 +397,7 @@ func (e *Engine) overdelete(items []retractItem, wq *withdrawalQueue) {
 		it := work[0]
 		work = work[1:]
 		t := it.t
-		key := t.Key()
-		if pend.deleted[key] {
+		if pend.deleted.has(t) {
 			continue
 		}
 		ps := e.prunes[t.Pred]
@@ -346,45 +417,37 @@ func (e *Engine) overdelete(items []retractItem, wq *withdrawalQueue) {
 		switch it.mode {
 		case retractForce:
 			en.localSupport = false
-			en.origins = nil
+			en.clearOrigins()
 		case retractDeriv:
 			en.localSupport = false
 		case retractOrigin:
-			delete(en.origins, it.origin)
+			en.dropOrigin(it.origin)
 		}
 		if en.supported() {
 			continue // other support keeps the row alive
 		}
 		tbl.Delete(t)
-		pend.deleted[key] = true
+		pend.deleted.add(t)
 		e.Stats.Retracted++
 		e.notify(t, UpdateRetracted)
 		if ps != nil {
-			// ValueKey embeds the predicate (and asserter), so group keys
-			// never collide across pruned predicates.
-			gk := t.ValueKey(ps.keyCols)
-			if _, seen := pend.groups[gk]; !seen {
-				vals := make([]data.Value, len(ps.keyCols))
-				for i, c := range ps.keyCols {
-					vals[i] = t.Args[c]
-				}
-				pend.groups[gk] = pruneGroup{ps: ps, pred: t.Pred, gk: gk, vals: vals}
-			}
+			// The group hash embeds the predicate (and asserter), so
+			// groups never collide across pruned predicates.
+			pend.touchGroup(ps, ps.group(t))
 		}
 		for _, ref := range e.byPred[t.Pred] {
 			if ref.rule.agg != nil {
 				pend.dirty[ref.rule.label] = true
 			}
 		}
-		if dl, ok := e.deps[key]; ok {
-			for _, tgt := range dl.order {
+		if de := e.dropDeps(t); de != nil {
+			for _, tgt := range de.order {
 				if tgt.dest == e.self {
 					work = append(work, retractItem{t: tgt.head, mode: retractDeriv})
 				} else {
-					wq.add(tgt.dest, tgt.head)
+					wq.add(e, tgt.dest, tgt.head)
 				}
 			}
-			delete(e.deps, key)
 		}
 	}
 }
@@ -392,16 +455,15 @@ func (e *Engine) overdelete(items []retractItem, wq *withdrawalQueue) {
 // retractShadow removes one support source from a prune-shadowed
 // candidate, dropping the row when none remains.
 func (e *Engine) retractShadow(ps *pruneSpec, t data.Tuple, it retractItem) {
-	gk := t.ValueKey(ps.keyCols)
-	rows, ok := ps.shadow[gk]
+	g := ps.findGroup(t)
+	if g == nil {
+		return
+	}
+	h, i, ok := g.findShadow(t)
 	if !ok {
 		return
 	}
-	key := t.Key()
-	row, ok := rows[key]
-	if !ok {
-		return
-	}
+	row := g.shadow[h][i]
 	switch it.mode {
 	case retractForce:
 		row.localSupport = false
@@ -412,54 +474,68 @@ func (e *Engine) retractShadow(ps *pruneSpec, t data.Tuple, it retractItem) {
 		delete(row.origins, it.origin)
 	}
 	if !row.localSupport && len(row.origins) == 0 {
-		delete(rows, key)
-		if len(rows) == 0 {
-			delete(ps.shadow, gk)
-		}
+		g.removeShadowAt(h, i)
+		ps.maybeDrop(g)
 		return
 	}
-	rows[key] = row
+	g.shadow[h][i] = row
 }
 
 // reviveShadows resets the installed best of every touched prune group
 // from the surviving rows and re-admits the group's shadow candidates,
 // which re-enter the normal insert path (and the evaluation queue) now
-// that the bar they failed against is gone.
-func (e *Engine) reviveShadows(groups map[string]pruneGroup) {
-	keys := make([]string, 0, len(groups))
-	for gk := range groups {
-		keys = append(keys, gk)
-	}
-	sort.Strings(keys)
-	for _, gk := range keys {
-		g := groups[gk]
-		ps := g.ps
+// that the bar they failed against is gone. Groups process in a
+// deterministic order (predicate, asserter, group values).
+func (e *Engine) reviveShadows(groups []pruneGroup) {
+	sorted := append([]pruneGroup(nil), groups...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.ps.pred != b.ps.pred {
+			return a.ps.pred < b.ps.pred
+		}
+		if a.g.asserter != b.g.asserter {
+			return a.g.asserter < b.g.asserter
+		}
+		n := len(a.g.vals)
+		if len(b.g.vals) < n {
+			n = len(b.g.vals)
+		}
+		for k := 0; k < n; k++ {
+			if c := a.g.vals[k].Compare(b.g.vals[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return len(a.g.vals) < len(b.g.vals)
+	})
+	for _, pg := range sorted {
+		ps, g := pg.ps, pg.g
 		// Recompute the group's best over surviving live rows. Lookup
 		// matches on the group columns only; filter to the exact group
-		// (ValueKey also covers the asserter, as insert's grouping does).
-		delete(ps.best, gk)
-		if tbl, ok := e.tables[g.pred]; ok {
+		// (the group identity also covers the asserter, as insert's
+		// grouping does).
+		g.hasBest = false
+		g.best = data.Value{}
+		if tbl, ok := e.tables[ps.pred]; ok {
 			for _, en := range tbl.Lookup(ps.keyCols, g.vals, e.now) {
-				if en.Tuple.ValueKey(ps.keyCols) != gk {
+				if !g.matches(en.Tuple, ps.keyCols) {
 					continue
 				}
 				val := en.Tuple.Args[ps.col]
-				best, has := ps.best[gk]
-				if !has || (ps.min && val.Compare(best) < 0) || (!ps.min && val.Compare(best) > 0) {
-					ps.best[gk] = val
+				if !g.hasBest || (ps.min && val.Compare(g.best) < 0) || (!ps.min && val.Compare(g.best) > 0) {
+					g.best = val
+					g.hasBest = true
 				}
 			}
 		}
-		rows := ps.shadow[gk]
-		if len(rows) > 0 {
-			revived := make([]shadowRow, 0, len(rows))
-			for _, row := range rows {
-				revived = append(revived, row)
+		if g.nshadow > 0 {
+			revived := make([]shadowRow, 0, g.nshadow)
+			for _, rows := range g.shadow {
+				revived = append(revived, rows...)
 			}
-			// Revive best-first (by the pruned column, then key for
-			// determinism): the winning candidate installs immediately and
-			// re-shadows the rest, instead of storing and re-propagating a
-			// whole improving sequence.
+			// Revive best-first (by the pruned column, then tuple order
+			// for determinism): the winning candidate installs immediately
+			// and re-shadows the rest, instead of storing and
+			// re-propagating a whole improving sequence.
 			sort.Slice(revived, func(i, j int) bool {
 				ci := revived[i].tuple.Args[ps.col].Compare(revived[j].tuple.Args[ps.col])
 				if ci != 0 {
@@ -468,21 +544,23 @@ func (e *Engine) reviveShadows(groups map[string]pruneGroup) {
 					}
 					return ci > 0
 				}
-				return revived[i].tuple.Key() < revived[j].tuple.Key()
+				return tupleLess(revived[i].tuple, revived[j].tuple)
 			})
-			delete(ps.shadow, gk)
+			g.shadow = nil
+			g.nshadow = 0
 			for _, row := range revived {
 				e.insertWithSupport(row.tuple, row.ann, row.localSupport, row.origins)
 			}
 		}
-		if ps.lossy[gk] {
+		if g.lossy {
 			// The bounded shadow evicted candidates from this group: what
 			// survives in the shadow is not the full alternative set, so
 			// re-derive the group's candidates from live state (restricted
 			// to this group) and let the prune re-rank them.
-			delete(ps.lossy, gk)
-			e.rederiveGroup(g)
+			g.lossy = false
+			e.rederiveGroup(pg)
 		}
+		ps.maybeDrop(g)
 	}
 }
 
@@ -491,10 +569,10 @@ func (e *Engine) reviveShadows(groups map[string]pruneGroup) {
 // emit restricted to local heads of group g, re-entering the insert
 // path where each candidate installs or re-shadows. It runs serially —
 // eviction-miss revivals are rare — and deterministically.
-func (e *Engine) rederiveGroup(g pruneGroup) {
-	e.restrict = &restrictState{pred: g.pred, gk: g.gk, keyCols: g.ps.keyCols}
+func (e *Engine) rederiveGroup(pg pruneGroup) {
+	e.restrict = &restrictState{ps: pg.ps, g: pg.g}
 	for _, r := range e.rules {
-		if r.agg == nil && r.headPred == g.pred {
+		if r.agg == nil && r.headPred == pg.ps.pred {
 			e.evalFull(r, nil)
 		}
 	}
@@ -506,18 +584,19 @@ func (e *Engine) rederiveGroup(g pruneGroup) {
 // insertFrom, including the stored-live bypass (see insertFrom).
 func (e *Engine) insertWithSupport(t data.Tuple, ann Annotation, localSupport bool, origins map[string]bool) {
 	if ps, ok := e.prunes[t.Pred]; ok && !e.storedLive(t) {
-		gk := t.ValueKey(ps.keyCols)
+		g := ps.group(t)
 		val := t.Args[ps.col]
-		if best, ok := ps.best[gk]; ok {
-			c := val.Compare(best)
+		if g.hasBest {
+			c := val.Compare(g.best)
 			if (ps.min && c >= 0) || (!ps.min && c <= 0) {
 				e.Stats.TuplesDropped++
-				ps.addShadowRow(gk, shadowRow{tuple: t, ann: ann, localSupport: localSupport, origins: origins})
+				ps.addShadowRow(g, shadowRow{tuple: t, ann: ann, localSupport: localSupport, origins: origins})
 				return
 			}
 		}
-		ps.best[gk] = val
-		ps.dropShadow(gk, t)
+		g.best = val
+		g.hasBest = true
+		ps.dropShadow(g, t)
 	}
 	tbl := e.table(t.Pred)
 	entry, replaced, status := tbl.InsertFull(t, ann, e.now)
@@ -548,26 +627,28 @@ func (e *Engine) insertWithSupport(t data.Tuple, ann Annotation, localSupport bo
 
 // addShadowRow merges a full shadow row (revival path) into the group's
 // shadow.
-func (ps *pruneSpec) addShadowRow(gk string, row shadowRow) {
-	rows, ok := ps.shadow[gk]
-	if !ok {
-		rows = make(map[string]shadowRow)
-		ps.shadow[gk] = rows
+func (ps *pruneSpec) addShadowRow(g *pruneGroupState, row shadowRow) {
+	if g.shadow == nil {
+		g.shadow = make(map[uint64][]shadowRow)
 	}
-	key := row.tuple.Key()
-	if old, ok := rows[key]; ok {
-		old.localSupport = old.localSupport || row.localSupport
-		for o := range row.origins {
-			if old.origins == nil {
-				old.origins = make(map[string]bool)
+	h := row.tuple.Hash()
+	rows := g.shadow[h]
+	for i, old := range rows {
+		if old.tuple.Equal(row.tuple) {
+			old.localSupport = old.localSupport || row.localSupport
+			for o := range row.origins {
+				if old.origins == nil {
+					old.origins = make(map[string]bool)
+				}
+				old.origins[o] = true
 			}
-			old.origins[o] = true
+			rows[i] = old
+			return
 		}
-		rows[key] = old
-		return
 	}
-	rows[key] = row
-	ps.enforceCap(gk, rows)
+	g.shadow[h] = append(rows, row)
+	g.nshadow++
+	ps.enforceCap(g)
 }
 
 // rederiveDeleted is DRed's re-derivation phase: every non-aggregate
@@ -582,7 +663,7 @@ func (ps *pruneSpec) addShadowRow(gk string, row shadowRow) {
 // pass), then the collected firings commit in rule order under the
 // rederive filter, so the repair is bit-identical for every shard
 // count. The over-delete walk itself stays serial: its per-entry
-// support arithmetic (localSupport / origins mutation) is
+// support arithmetic (localSupport / origin mutation) is
 // order-dependent, and the walk is index lookups, not rule evaluation —
 // there is nothing expensive to parallelize.
 func (e *Engine) rederiveDeleted(p *retractPending) {
@@ -598,13 +679,19 @@ func (e *Engine) rederiveDeleted(p *retractPending) {
 		if workers > len(rules) {
 			workers = len(rules)
 		}
+		// Materialize worker scratches before spawning (single-threaded
+		// mutation of the scratch list).
+		for w := 0; w < workers; w++ {
+			e.scratchFor(w)
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
+				sc := e.scratches[w]
 				for i := w; i < len(rules); i += workers {
-					e.evalFull(rules[i], &fired[i])
+					e.evalFullScratch(rules[i], &fired[i], sc)
 				}
 			}(w)
 		}
@@ -617,7 +704,7 @@ func (e *Engine) rederiveDeleted(p *retractPending) {
 	e.rederive = &rederiveState{deleted: p.deleted, shipped: p.shipped}
 	for i := range fired {
 		for _, pd := range fired[i] {
-			e.emit(pd.r, pd.head, pd.dest, pd.body)
+			e.emit(pd.r, pd.head, pd.headHash, pd.dest, pd.body)
 		}
 	}
 	e.rederive = nil

@@ -288,7 +288,16 @@ func FuzzShardedRetract(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 8, 0, 5, 1, 1, 2, 8, 3, 0})
 	f.Add([]byte{0, 0, 1, 0, 1, 2, 8, 2, 0, 3, 1, 0, 1, 8, 3, 7, 0, 9, 9})
 	f.Add([]byte{0, 1, 1, 0, 2, 1, 0, 1, 1, 8, 0, 3, 3, 3, 2, 2, 0, 4, 4})
+	// A 0xFF lead byte squeezes every structural hash to 3 bits, so the
+	// whole serial-vs-sharded comparison runs on collision chains — the
+	// interned fast path and the equality fallback must agree.
+	f.Add([]byte{0xFF, 0, 1, 2, 8, 0, 5, 1, 1, 2, 8, 3, 0, 0, 3, 3, 1, 1, 2})
 	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 0 && ops[0] == 0xFF {
+			restore := data.LimitHashBitsForTesting(3)
+			defer restore()
+			ops = ops[1:]
+		}
 		const fuzzProg = `
 materialize(link, 16, infinity, keys(1,2,3)).
 materialize(cost, infinity, infinity, keys(1,2,3)).

@@ -20,12 +20,21 @@ type Entry struct {
 	// cleaned lazily.
 	Dead bool
 
+	// hash caches the full structural hash of Tuple; pkHash caches the
+	// primary-key projection hash. Both are filled on insert so the hot
+	// path never rehashes a stored row.
+	hash   uint64
+	pkHash uint64
+
 	// Support bookkeeping for retraction (live-network churn). A tuple
 	// stays stored while any support remains: localSupport records that a
-	// base insert or a local rule derivation produced it; origins records
-	// the remote senders that shipped it. Retracting one support removes
-	// only that support; the row is deleted when none is left.
+	// base insert or a local rule derivation produced it; the origin set
+	// records the remote senders that shipped it. The overwhelmingly
+	// common case is a single remote origin, inlined in origin0; a second
+	// distinct origin spills to the origins map.
 	localSupport bool
+	origin0      string
+	hasOrigin0   bool
 	origins      map[string]bool
 }
 
@@ -36,15 +45,81 @@ func (en *Entry) addSupport(origin string) {
 		en.localSupport = true
 		return
 	}
-	if en.origins == nil {
-		en.origins = make(map[string]bool)
+	if en.origins != nil {
+		en.origins[origin] = true
+		return
 	}
-	en.origins[origin] = true
+	if !en.hasOrigin0 || en.origin0 == origin {
+		en.origin0 = origin
+		en.hasOrigin0 = true
+		return
+	}
+	// Second distinct origin: spill to the map.
+	en.origins = map[string]bool{en.origin0: true, origin: true}
+	en.origin0 = ""
+	en.hasOrigin0 = false
+}
+
+// dropOrigin removes one remote support, reporting whether it was present.
+func (en *Entry) dropOrigin(origin string) bool {
+	if en.origins != nil {
+		if !en.origins[origin] {
+			return false
+		}
+		delete(en.origins, origin)
+		return true
+	}
+	if en.hasOrigin0 && en.origin0 == origin {
+		en.origin0 = ""
+		en.hasOrigin0 = false
+		return true
+	}
+	return false
+}
+
+// hasOrigin reports whether origin currently supports the row.
+func (en *Entry) hasOrigin(origin string) bool {
+	if en.origins != nil {
+		return en.origins[origin]
+	}
+	return en.hasOrigin0 && en.origin0 == origin
+}
+
+// originCount returns the number of distinct remote supports.
+func (en *Entry) originCount() int {
+	if en.origins != nil {
+		return len(en.origins)
+	}
+	if en.hasOrigin0 {
+		return 1
+	}
+	return 0
+}
+
+// eachOrigin visits every remote support. Iteration order over the spill
+// map is unspecified; callers needing determinism must sort.
+func (en *Entry) eachOrigin(f func(origin string)) {
+	if en.origins != nil {
+		for o := range en.origins {
+			f(o)
+		}
+		return
+	}
+	if en.hasOrigin0 {
+		f(en.origin0)
+	}
+}
+
+// clearOrigins drops all remote supports.
+func (en *Entry) clearOrigins() {
+	en.origins = nil
+	en.origin0 = ""
+	en.hasOrigin0 = false
 }
 
 // supported reports whether any support remains.
 func (en *Entry) supported() bool {
-	return en.localSupport || len(en.origins) > 0
+	return en.localSupport || en.originCount() > 0
 }
 
 // ExpiresAt returns the expiry time, or +inf-like behaviour via ok=false
@@ -71,32 +146,57 @@ const (
 	InsertReplaced
 )
 
+// colIndex is one lazily built secondary index: buckets keyed by the
+// structural hash of the indexed columns, entries in insertion order
+// within a bucket. Collisions are resolved by comparing the indexed
+// columns against the probe values (hash + equality check).
+type colIndex struct {
+	cols    []int
+	buckets map[uint64][]*Entry
+}
+
 // Table is a materialized soft-state relation: rows keyed by a primary key
 // (a subset of columns, default all columns plus the asserter), with lazy
 // secondary hash indexes for join lookups, per-row TTLs, and an optional
 // size bound evicting the oldest rows (P2's materialize maxSize).
+//
+// All row and index maps key on 64-bit structural hashes with an equality
+// check inside the bucket, never on materialized Key() strings: probes
+// and inserts are allocation-free.
 type Table struct {
 	name    string
 	keyCols []int // nil = whole tuple (including asserter)
 	ttl     float64
 	maxSize int
 
-	rows map[string]*Entry
+	// rows buckets live entries by primary-key hash. At most one live
+	// entry per distinct primary key; hash collisions chain within the
+	// bucket slice.
+	rows  map[uint64][]*Entry
+	nlive int
 	// order tracks insertion order, for maxSize eviction and for
 	// deterministic scan/index order (join results must not depend on
 	// map iteration).
 	order []*Entry
-	// indexes: signature ("2,4") → value key → entries. With concurrent
-	// set (the owning engine shards its waves), the lazy build happens
-	// under mu: sharded evaluation probes tables from several read-only
-	// workers at once, and the build is the one mutation that can happen
-	// during a probe. All other writes occur in the serial commit and
-	// maintenance phases, separated from eval by the wave barrier. A
-	// serial engine leaves concurrent unset and skips the lock on the
-	// probe hot path.
+	// dirty counts dead entries still parked in order, so scans know
+	// whether the fast no-filter path applies.
+	dirty int
+	// indexes: signature ("2,4") → column index. With concurrent set (the
+	// owning engine shards its waves), the lazy build happens under mu:
+	// sharded evaluation probes tables from several read-only workers at
+	// once, and the build is the one mutation that can happen during a
+	// probe. All other writes occur in the serial commit and maintenance
+	// phases, separated from eval by the wave barrier. A serial engine
+	// leaves concurrent unset and skips the lock on the probe hot path.
 	concurrent bool
 	mu         sync.Mutex
-	indexes    map[string]map[string][]*Entry
+	indexes    map[string]*colIndex
+
+	// arena is the current Entry slab: entries are carved out of chunks
+	// (one malloc per chunk, not per row). Chunks are never reused or
+	// moved, so *Entry pointers into them stay valid for the table's
+	// lifetime.
+	arena []Entry
 }
 
 // NewTable creates a table. keyCols are 0-based primary key columns (nil
@@ -107,8 +207,8 @@ func NewTable(name string, keyCols []int, ttl float64, maxSize int) *Table {
 		keyCols: keyCols,
 		ttl:     ttl,
 		maxSize: maxSize,
-		rows:    make(map[string]*Entry),
-		indexes: make(map[string]map[string][]*Entry),
+		rows:    make(map[uint64][]*Entry),
+		indexes: make(map[string]*colIndex),
 	}
 }
 
@@ -118,11 +218,81 @@ func (t *Table) Name() string { return t.name }
 // TTL returns the declared soft-state lifetime (<0 = infinite).
 func (t *Table) TTL() float64 { return t.ttl }
 
-func (t *Table) pkey(tu data.Tuple) string {
-	if t.keyCols == nil {
-		return tu.Key()
+// newEntry allocates a row out of the entry arena. Chunk sizes scale
+// with the table so small relations stay small.
+func (t *Table) newEntry(tu data.Tuple, ann Annotation, now float64, pk, hash uint64) *Entry {
+	if len(t.arena) == cap(t.arena) {
+		sz := t.nlive
+		if sz < 8 {
+			sz = 8
+		} else if sz > 512 {
+			sz = 512
+		}
+		t.arena = make([]Entry, 0, sz)
 	}
-	return tu.ValueKey(t.keyCols)
+	t.arena = t.arena[:len(t.arena)+1]
+	en := &t.arena[len(t.arena)-1]
+	*en = Entry{Tuple: tu, Ann: ann, Created: now, TTL: t.ttl, hash: hash, pkHash: pk}
+	return en
+}
+
+func (t *Table) pkHash(tu data.Tuple) uint64 {
+	if t.keyCols == nil {
+		return tu.Hash()
+	}
+	return tu.HashCols(t.keyCols)
+}
+
+// samePK reports whether two tuples share a primary key — the equality
+// fallback inside a rows bucket. Mirrors Key()/ValueKey() equality.
+func (t *Table) samePK(a, b data.Tuple) bool {
+	if t.keyCols == nil {
+		return a.Equal(b)
+	}
+	if a.Pred != b.Pred || a.Asserter != b.Asserter {
+		return false
+	}
+	for _, c := range t.keyCols {
+		if !a.Args[c].Equal(b.Args[c]) {
+			return false
+		}
+	}
+	return true
+}
+
+// findRow locates the live entry sharing tu's primary key in the bucket
+// for pk, or nil.
+func (t *Table) findRow(pk uint64, tu data.Tuple) *Entry {
+	for _, en := range t.rows[pk] {
+		if !en.Dead && t.samePK(en.Tuple, tu) {
+			return en
+		}
+	}
+	return nil
+}
+
+// removeRow unlinks en from its rows bucket.
+func (t *Table) removeRow(en *Entry) {
+	bucket := t.rows[en.pkHash]
+	for i, b := range bucket {
+		if b == en {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(t.rows, en.pkHash)
+			} else {
+				t.rows[en.pkHash] = bucket
+			}
+			return
+		}
+	}
+}
+
+// kill marks an entry dead and removes it from the row map.
+func (t *Table) kill(en *Entry) {
+	en.Dead = true
+	t.removeRow(en)
+	t.nlive--
+	t.dirty++
 }
 
 // Insert stores tu. If an identical tuple exists, it returns the existing
@@ -137,22 +307,37 @@ func (t *Table) Insert(tu data.Tuple, ann Annotation, now float64) (*Entry, Inse
 // primary-key replacement (nil otherwise), so callers can report the
 // removal to table-update observers.
 func (t *Table) InsertFull(tu data.Tuple, ann Annotation, now float64) (*Entry, *Entry, InsertStatus) {
-	pk := t.pkey(tu)
-	if old, ok := t.rows[pk]; ok && !old.Dead {
+	return t.insertHashed(tu, ann, now, 0)
+}
+
+// insertHashed is InsertFull with tu's structural hash supplied when the
+// caller already knows it (0 = compute here), so a hot-path insert
+// hashes the tuple at most once.
+func (t *Table) insertHashed(tu data.Tuple, ann Annotation, now float64, hash uint64) (*Entry, *Entry, InsertStatus) {
+	if hash == 0 {
+		hash = tu.Hash()
+	}
+	pk := hash
+	if t.keyCols != nil {
+		pk = tu.HashCols(t.keyCols)
+	}
+	if old := t.findRow(pk, tu); old != nil {
 		if old.Tuple.Equal(tu) {
 			// Refresh soft state: a re-inserted tuple restarts its TTL.
 			old.Created = now
 			return old, nil, InsertDuplicate
 		}
-		old.Dead = true
-		entry := &Entry{Tuple: tu, Ann: ann, Created: now, TTL: t.ttl}
-		t.rows[pk] = entry
+		t.kill(old)
+		entry := t.newEntry(tu, ann, now, pk, hash)
+		t.rows[pk] = append(t.rows[pk], entry)
+		t.nlive++
 		t.order = append(t.order, entry)
 		t.indexInsert(entry)
 		return entry, old, InsertReplaced
 	}
-	entry := &Entry{Tuple: tu, Ann: ann, Created: now, TTL: t.ttl}
-	t.rows[pk] = entry
+	entry := t.newEntry(tu, ann, now, pk, hash)
+	t.rows[pk] = append(t.rows[pk], entry)
+	t.nlive++
 	t.order = append(t.order, entry)
 	t.indexInsert(entry)
 	t.evict()
@@ -164,26 +349,18 @@ func (t *Table) evict() {
 	if t.maxSize < 0 {
 		return
 	}
-	live := 0
-	for _, en := range t.order {
-		if !en.Dead {
-			live++
-		}
-	}
-	for i := 0; live > t.maxSize && i < len(t.order); i++ {
+	for i := 0; t.nlive > t.maxSize && i < len(t.order); i++ {
 		en := t.order[i]
 		if en.Dead {
 			continue
 		}
-		en.Dead = true
-		delete(t.rows, t.pkey(en.Tuple))
-		live--
+		t.kill(en)
 	}
 }
 
 // Get returns the entry identical to tu, or nil.
 func (t *Table) Get(tu data.Tuple) *Entry {
-	if en, ok := t.rows[t.pkey(tu)]; ok && !en.Dead && en.Tuple.Equal(tu) {
+	if en := t.findRow(t.pkHash(tu), tu); en != nil && en.Tuple.Equal(tu) {
 		return en
 	}
 	return nil
@@ -191,10 +368,8 @@ func (t *Table) Get(tu data.Tuple) *Entry {
 
 // Delete removes the row identical to tu, reporting whether it existed.
 func (t *Table) Delete(tu data.Tuple) bool {
-	pk := t.pkey(tu)
-	if en, ok := t.rows[pk]; ok && !en.Dead && en.Tuple.Equal(tu) {
-		en.Dead = true
-		delete(t.rows, pk)
+	if en := t.findRow(t.pkHash(tu), tu); en != nil && en.Tuple.Equal(tu) {
+		t.kill(en)
 		return true
 	}
 	return false
@@ -213,8 +388,22 @@ func (t *Table) Live(now float64) []data.Tuple {
 }
 
 // Entries returns the live entries in insertion order, so full-table
-// scans (and the joins built on them) are deterministic.
+// scans (and the joins built on them) are deterministic. When every
+// stored entry is live and unexpired the internal order slice is returned
+// directly — callers must treat the result as read-only.
 func (t *Table) Entries(now float64) []*Entry {
+	if t.dirty == 0 {
+		clean := true
+		for _, en := range t.order {
+			if en.expired(now) {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return t.order
+		}
+	}
 	var out []*Entry
 	for _, en := range t.order {
 		if en.Dead || en.expired(now) {
@@ -236,18 +425,16 @@ func (t *Table) Expire(now float64) int {
 }
 
 // ExpireTuples kills expired rows and returns their tuples (nil when
-// nothing expired), so callers can stream the removals to subscribers.
+// nothing expired), in insertion order, so callers can stream the
+// removals to subscribers deterministically.
 func (t *Table) ExpireTuples(now float64) []data.Tuple {
 	var out []data.Tuple
-	for pk, en := range t.rows {
-		if en.Dead {
+	for _, en := range t.order {
+		if en.Dead || !en.expired(now) {
 			continue
 		}
-		if en.expired(now) {
-			en.Dead = true
-			delete(t.rows, pk)
-			out = append(out, en.Tuple)
-		}
+		t.kill(en)
+		out = append(out, en.Tuple)
 	}
 	if len(out) > 0 {
 		t.compact()
@@ -265,6 +452,7 @@ func (t *Table) compact() {
 		}
 	}
 	t.order = liveOrder
+	t.dirty = 0
 	if t.concurrent {
 		t.mu.Lock()
 	}
@@ -285,34 +473,66 @@ func (t *Table) Lookup(cols []int, vals []data.Value, now float64) []*Entry {
 	if len(cols) == 0 {
 		return t.Entries(now)
 	}
-	sig := colSig(cols)
+	return t.LookupSig(colSig(cols), cols, vals, data.HashValues(vals), now)
+}
+
+// LookupSig is Lookup with the column signature and probe hash supplied
+// by the caller (precompiled join plans), so the probe itself performs no
+// allocation. The returned slice may alias internal index storage when no
+// filtering was required — callers must treat it as read-only and not
+// retain it across table mutations.
+func (t *Table) LookupSig(sig string, cols []int, vals []data.Value, probe uint64, now float64) []*Entry {
+	idx := t.index(sig, cols)
+	bucket := idx.buckets[probe]
+	// Fast path: the whole bucket matches — no dead, expired, or
+	// hash-colliding rows — so it can be returned as-is.
+	for i, en := range bucket {
+		if en.Dead || en.expired(now) || !matchCols(en.Tuple, cols, vals) {
+			out := make([]*Entry, i, len(bucket))
+			copy(out, bucket[:i])
+			for _, en := range bucket[i+1:] {
+				if en.Dead || en.expired(now) || !matchCols(en.Tuple, cols, vals) {
+					continue
+				}
+				out = append(out, en)
+			}
+			return out
+		}
+	}
+	return bucket
+}
+
+// index returns the lazily built column index for sig, building it on
+// first use.
+func (t *Table) index(sig string, cols []int) *colIndex {
 	if t.concurrent {
 		t.mu.Lock()
+		defer t.mu.Unlock()
 	}
 	idx, ok := t.indexes[sig]
 	if !ok {
-		idx = make(map[string][]*Entry)
+		idx = &colIndex{cols: append([]int(nil), cols...), buckets: make(map[uint64][]*Entry)}
 		for _, en := range t.order {
 			if en.Dead {
 				continue
 			}
-			idx[valKey(en.Tuple, cols)] = append(idx[valKey(en.Tuple, cols)], en)
+			h := en.Tuple.HashArgs(cols)
+			idx.buckets[h] = append(idx.buckets[h], en)
 		}
 		t.indexes[sig] = idx
 	}
-	if t.concurrent {
-		t.mu.Unlock()
-	}
-	probe := probeKey(vals)
-	bucket := idx[probe]
-	out := make([]*Entry, 0, len(bucket))
-	for _, en := range bucket {
-		if en.Dead || en.expired(now) {
-			continue
+	return idx
+}
+
+// matchCols is the collision fallback: the indexed columns must equal the
+// probe values.
+func matchCols(tu data.Tuple, cols []int, vals []data.Value) bool {
+	for i, c := range cols {
+		if !tu.Args[c].Equal(vals[i]) {
+			return false
 		}
-		out = append(out, en)
 	}
-	return out
+	return true
 }
 
 // indexInsert adds a new entry to every existing index.
@@ -320,10 +540,9 @@ func (t *Table) indexInsert(en *Entry) {
 	if t.concurrent {
 		t.mu.Lock()
 	}
-	for sig, idx := range t.indexes {
-		cols := parseSig(sig)
-		k := valKey(en.Tuple, cols)
-		idx[k] = append(idx[k], en)
+	for _, idx := range t.indexes {
+		h := en.Tuple.HashArgs(idx.cols)
+		idx.buckets[h] = append(idx.buckets[h], en)
 	}
 	if t.concurrent {
 		t.mu.Unlock()
@@ -331,15 +550,7 @@ func (t *Table) indexInsert(en *Entry) {
 }
 
 // Size returns the number of live rows.
-func (t *Table) Size() int {
-	n := 0
-	for _, en := range t.rows {
-		if !en.Dead {
-			n++
-		}
-	}
-	return n
-}
+func (t *Table) Size() int { return t.nlive }
 
 func colSig(cols []int) string {
 	var sb strings.Builder
@@ -350,37 +561,4 @@ func colSig(cols []int) string {
 		sb.WriteString(strconv.Itoa(c))
 	}
 	return sb.String()
-}
-
-func parseSig(sig string) []int {
-	parts := strings.Split(sig, ",")
-	out := make([]int, len(parts))
-	for i, p := range parts {
-		out[i], _ = strconv.Atoi(p)
-	}
-	return out
-}
-
-// valKey builds the index key from specific columns of a stored tuple.
-func valKey(tu data.Tuple, cols []int) string {
-	var b []byte
-	for _, c := range cols {
-		b = appendValueKey(b, tu.Args[c])
-	}
-	return string(b)
-}
-
-// probeKey builds the index key from probe values.
-func probeKey(vals []data.Value) string {
-	var b []byte
-	for _, v := range vals {
-		b = appendValueKey(b, v)
-	}
-	return string(b)
-}
-
-func appendValueKey(b []byte, v data.Value) []byte {
-	b = append(b, v.Key()...)
-	b = append(b, 0)
-	return b
 }

@@ -169,16 +169,14 @@ func TestTableMaxSizeEvictsOldest(t *testing.T) {
 	}
 }
 
-func TestColSigRoundTrip(t *testing.T) {
-	for _, cols := range [][]int{{0}, {1, 3}, {2, 0, 5}} {
-		got := parseSig(colSig(cols))
-		if len(got) != len(cols) {
-			t.Fatalf("sig round trip %v -> %v", cols, got)
+func TestColSigDistinct(t *testing.T) {
+	sets := [][]int{{0}, {1}, {1, 3}, {3, 1}, {2, 0, 5}, {13}, {1, 3 + 10}}
+	seen := map[string][]int{}
+	for _, cols := range sets {
+		sig := colSig(cols)
+		if prev, dup := seen[sig]; dup {
+			t.Fatalf("colSig collision: %v and %v both map to %q", prev, cols, sig)
 		}
-		for i := range cols {
-			if got[i] != cols[i] {
-				t.Fatalf("sig round trip %v -> %v", cols, got)
-			}
-		}
+		seen[sig] = cols
 	}
 }

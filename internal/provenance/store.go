@@ -13,10 +13,66 @@ import (
 // of its canonical encoding. Distributed provenance ships (node, key)
 // pointers with every tuple, so the key is fixed-size to keep the
 // paper's "no extra communication overhead" property of the mode.
+//
+// The sha256-over-Key() construction is the wire format and cannot
+// change, but recomputing it for every derivation made it the hot
+// path's single most expensive call. KeyOf therefore memoizes: lookups
+// run on the tuple's 64-bit structural hash with an equality-checked
+// chain (so forced hash collisions stay correct), and the memo resets
+// wholesale at a size cap so adversarial tuple streams cannot balloon
+// it. The memo is a pure cache — its hits and misses return identical
+// strings — so test hash masks only change hit rates, never keys.
 func KeyOf(t data.Tuple) string {
+	h := t.Hash()
+	keyMemo.mu.RLock()
+	for i := range keyMemo.m[h] {
+		e := &keyMemo.m[h][i]
+		if e.t.Equal(t) {
+			key := e.key
+			keyMemo.mu.RUnlock()
+			return key
+		}
+	}
+	keyMemo.mu.RUnlock()
+
 	sum := sha256.Sum256([]byte(t.Key()))
-	return hex.EncodeToString(sum[:12])
+	key := hex.EncodeToString(sum[:12])
+
+	keyMemo.mu.Lock()
+	if keyMemo.n >= keyMemoCap {
+		keyMemo.m = make(map[uint64][]keyMemoEntry, 1024)
+		keyMemo.n = 0
+	}
+	chain := keyMemo.m[h]
+	dup := false
+	for i := range chain {
+		if chain[i].t.Equal(t) {
+			dup = true
+			break
+		}
+	}
+	if !dup {
+		keyMemo.m[h] = append(chain, keyMemoEntry{t: t, key: key})
+		keyMemo.n++
+	}
+	keyMemo.mu.Unlock()
+	return key
 }
+
+// keyMemo caches KeyOf results process-wide (KeyOf is a pure function of
+// the tuple). Entries retain their tuples, so the cap bounds memory.
+type keyMemoEntry struct {
+	t   data.Tuple
+	key string
+}
+
+var keyMemo = struct {
+	mu sync.RWMutex
+	m  map[uint64][]keyMemoEntry
+	n  int
+}{m: make(map[uint64][]keyMemoEntry, 1024)}
+
+const keyMemoCap = 1 << 16
 
 // Ref points to a tuple's provenance at a node: the pointer of distributed
 // provenance (§4.1). Instead of shipping derivation trees, each node keeps
