@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json benchgate benchgate-record api-smoke fuzz examples docs ci
+.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json benchgate benchgate-record benchgate-record-metrics api-smoke fuzz examples docs ci
 
 all: build
 
@@ -62,19 +62,37 @@ benchgate:
 benchgate-record:
 	$(GO) run ./cmd/benchgate -record -out BENCH_pr7.json
 
-# The CI api-smoke job: serve the query API from cmd/provnet, query a
-# traceback over HTTP, diff against the committed golden fixture.
+# Same workload with -metrics: BENCH_pr8.json is the enabled-
+# instrumentation reference next to the metrics-off baseline.
+benchgate-record-metrics:
+	$(GO) run ./cmd/benchgate -metrics -record -out BENCH_pr8.json
+
+# The CI api-smoke job: serve the query API from cmd/provnet (with
+# -metrics and a store), query a traceback over HTTP, diff against the
+# committed golden fixture, then scrape /metrics and /v1/debug/rounds.
 api-smoke:
 	$(GO) build -o /tmp/provnet-smoke ./cmd/provnet
-	@/tmp/provnet-smoke -program cmd/provnet/testdata/reachable.ndl \
+	@rm -rf /tmp/provnet-smoke-store; \
+	/tmp/provnet-smoke -program cmd/provnet/testdata/reachable.ndl \
 		-topo line:3 -nocost -prov distributed -sequential \
+		-metrics -store /tmp/provnet-smoke-store \
 		-http 127.0.0.1:18080 > /tmp/provnet-smoke.log 2>&1 & \
 	pid=$$!; \
 	for i in $$(seq 1 50); do \
 		curl -sf http://127.0.0.1:18080/v1/bestpath > /dev/null && break; sleep 0.2; \
 	done; \
 	curl -sf 'http://127.0.0.1:18080/v1/traceback?node=n0&tuple=reachable%28n0%2C%20n2%29' > /tmp/provnet-smoke-got.json; \
-	status=$$?; kill $$pid 2>/dev/null; \
+	status=$$?; \
+	if [ $$status -eq 0 ]; then \
+		curl -sf http://127.0.0.1:18080/metrics > /tmp/provnet-smoke-metrics.txt && \
+		for series in provnet_scheduler_rounds_total provnet_engine_firings_total \
+			provnet_transport_messages_total provnet_store_flush_seconds_count \
+			provnet_http_requests_total; do \
+			grep -q "^$$series" /tmp/provnet-smoke-metrics.txt || { echo "missing series $$series" >&2; status=1; break; }; \
+		done; \
+		curl -sf http://127.0.0.1:18080/v1/debug/rounds | grep -q '"v": 1' || status=1; \
+	fi; \
+	kill $$pid 2>/dev/null; \
 	[ $$status -eq 0 ] && diff cmd/provnet/testdata/traceback_golden.json /tmp/provnet-smoke-got.json
 
 # Wire-decoder fuzzing (v1-v4 + handshake frames), same budget as CI.

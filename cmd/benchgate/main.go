@@ -67,6 +67,7 @@ func main() {
 	nsTol := flag.Float64("ns-tol", 2.0, "allowed ns/op ratio vs baseline (wall-clock is machine-dependent)")
 	allocsTol := flag.Float64("allocs-tol", 1.20, "allowed allocs/op ratio vs baseline")
 	note := flag.String("note", "", "free-form note stored in the recorded baseline")
+	metrics := flag.Bool("metrics", false, "attach a fresh obs registry to every run — measures the enabled-instrumentation overhead")
 	flag.Parse()
 
 	var procsList []int
@@ -78,15 +79,25 @@ func main() {
 		procsList = append(procsList, p)
 	}
 
+	// With -metrics each run gets its own fresh registry (mirroring how a
+	// deployment would wire one network to one registry); without it the
+	// Config.Metrics field stays nil, which is what the checked-in
+	// baselines measure — the disabled path must stay allocation-free.
+	withMetrics := func(cfg provnet.Config) provnet.Config {
+		if *metrics {
+			cfg.Metrics = provnet.NewMetrics()
+		}
+		return cfg
+	}
 	o := output{Workload: "hotpath-gate", Runs: *runs, Note: *note}
 	for _, procs := range procsList {
 		o.Cells = append(o.Cells,
 			measure("sharded-fanin", procs, *runs, func(i int) func() *provnet.Report {
-				cfg := provnet.Config{EngineShards: 1}
+				cfg := withMetrics(provnet.Config{EngineShards: 1})
 				return benchwork.ShardedFanInStaged(fatal, cfg, 8, 64, 6, int64(4000+i))
 			}),
 			measure("bestpath-churn", procs, *runs, func(i int) func() *provnet.Report {
-				cfg := provnet.Config{Source: provnet.BestPath}
+				cfg := withMetrics(provnet.Config{Source: provnet.BestPath})
 				return benchwork.BestPathChurnStaged(fatal, cfg, 12, 4, 512, int64(5000+i))
 			}),
 		)
@@ -181,8 +192,11 @@ func gate(base, now output, nsTol, allocsTol float64) bool {
 			verdict = "FAIL"
 			ok = false
 		}
-		fmt.Printf("%-24s %-4s ns/op %.2fx (tol %.2fx)  allocs/op %.2fx (tol %.2fx)\n",
-			key, verdict, nsRatio, nsTol, alRatio, allocsTol)
+		// Absolute baseline→current values on every cell, pass or fail:
+		// a passing 1.18x allocs drift is invisible in ratios alone but
+		// obvious as 52310→61726, and it is next PR's failure.
+		fmt.Printf("%-24s %-4s ns/op %.2fx (tol %.2fx, %d→%d)  allocs/op %.2fx (tol %.2fx, %d→%d)\n",
+			key, verdict, nsRatio, nsTol, b.NsPerOp, c.NsPerOp, alRatio, allocsTol, b.AllocsPerOp, c.AllocsPerOp)
 	}
 	return ok
 }

@@ -25,6 +25,16 @@
 //	provnet -program routing.ndl -topo line:4 -prov distributed -http 127.0.0.1:8080
 //	provnet -program routing.ndl -topo ring:5 -store /var/lib/provnet
 //
+// With -metrics the network records scheduler/engine/crypto/transport/
+// store series and a flight recorder of recent rounds; the -http server
+// then also serves GET /metrics (Prometheus text) and GET
+// /v1/debug/rounds, and -pprof additionally mounts net/http/pprof under
+// /debug/pprof/ (see docs/OBSERVABILITY.md). Without -http, -metrics
+// dumps the exposition to stderr at exit:
+//
+//	provnet -program routing.ndl -topo line:4 -prov distributed \
+//	    -metrics -pprof -http 127.0.0.1:8080
+//
 // With -listen, the process becomes one member of a multi-process
 // deployment over real TCP: it hosts only the -self node, reaches the
 // others through the -peers map, and prints its own node's tables once
@@ -44,6 +54,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
@@ -100,6 +111,9 @@ func main() {
 	if shared.Distributed() && shared.HTTP != "" {
 		fatal(fmt.Errorf("-http serves tables after the run; it does not compose with -listen (which closes the network on idle)"))
 	}
+	if shared.PProf && shared.HTTP == "" {
+		fatal(fmt.Errorf("-pprof mounts under the -http server; give -http too"))
+	}
 	if err := shared.SetupStore(&cfg); err != nil {
 		fatal(err)
 	}
@@ -128,6 +142,9 @@ func main() {
 	}
 	if rep.Handshakes > 0 {
 		fmt.Printf(", %d handshakes (%d bytes), %d session MACs", rep.Handshakes, rep.HandshakeBytes, rep.SealedMAC)
+	}
+	if rep.Reconnects > 0 || rep.Requeues > 0 || rep.Parked > 0 {
+		fmt.Printf(", %d reconnects (%d frames requeued, %d parked)", rep.Reconnects, rep.Requeues, rep.Parked)
 	}
 	fmt.Println()
 
@@ -165,10 +182,26 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		mux := http.NewServeMux()
+		// The query server also mounts /metrics and /v1/debug/rounds when
+		// the network carries a registry (-metrics).
+		mux.Handle("/", queryapi.NewServer(n).Handler())
+		if shared.PProf {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		// The readiness line carries the bound address (":0" picks a free
 		// port) so scripts can scrape it before querying.
 		fmt.Printf("serving query API on http://%s/v1\n", ln.Addr())
-		if err := http.Serve(ln, queryapi.NewServer(n).Handler()); err != nil {
+		if err := http.Serve(ln, mux); err != nil {
+			fatal(err)
+		}
+	} else if shared.Metrics {
+		// No server to scrape: dump the exposition once at exit.
+		if err := cliflags.DumpMetrics(os.Stderr, n); err != nil {
 			fatal(err)
 		}
 	}

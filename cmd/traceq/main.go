@@ -143,6 +143,11 @@ func main() {
 	for _, l := range tree.Leaves() {
 		fmt.Printf("  %s\n", l)
 	}
+	// With -metrics, the exit-time exposition goes to stderr so it never
+	// mixes with the tree/JSON output above.
+	if err := cliflags.DumpMetrics(os.Stderr, n); err != nil {
+		fatal(err)
+	}
 }
 
 // emitJSON writes one QueryResult document to stdout (one per moonwalk

@@ -51,6 +51,13 @@ type Flags struct {
 	Store string
 	HTTP  string
 
+	// Observability: Metrics attaches a registry to the network
+	// (Config.Metrics) — scraped at GET /metrics when -http serves, or
+	// dumped to stderr at exit otherwise. PProf additionally mounts
+	// net/http/pprof under the -http server (cmd/provnet only).
+	Metrics bool
+	PProf   bool
+
 	// Multi-process TCP transport: this process hosts node Self,
 	// listens on Listen, and reaches the other processes through the
 	// Peers map. Idle is the quiet window after which a distributed run
@@ -82,6 +89,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.Int64Var(&f.ChurnSeed, "churnseed", 1, "rng seed for -churn link selection")
 	fs.StringVar(&f.Store, "store", "", "durable store-log directory: append every table change, recoverable after a crash")
 	fs.StringVar(&f.HTTP, "http", "", "serve the /v1 query API (traceback, tables, bestpath, subscribe) on this address")
+	fs.BoolVar(&f.Metrics, "metrics", false, "record scheduler/engine/crypto/transport metrics; served at /metrics with -http, dumped to stderr at exit otherwise")
+	fs.BoolVar(&f.PProf, "pprof", false, "mount net/http/pprof under the -http server (cmd/provnet only; needs -http)")
 	fs.StringVar(&f.Listen, "listen", "", "host one node over TCP: listen address (turns on the nettcp transport; needs -self and -peers)")
 	fs.StringVar(&f.Self, "self", "", "node name this process hosts (TCP transport)")
 	fs.StringVar(&f.Peers, "peers", "", "comma-separated name=host:port peer map (TCP transport)")
@@ -101,10 +110,11 @@ func (f *Flags) TransportFlagsSet() bool {
 	return f.Listen != "" || f.Self != "" || f.Peers != ""
 }
 
-// ServiceFlagsSet reports whether -store or -http was given — commands
-// other than cmd/provnet use it to reject the service flags instead of
-// silently ignoring them (same pattern as TransportFlagsSet).
-func (f *Flags) ServiceFlagsSet() bool { return f.Store != "" || f.HTTP != "" }
+// ServiceFlagsSet reports whether -store, -http, or -pprof was given —
+// commands other than cmd/provnet use it to reject the service flags
+// instead of silently ignoring them (same pattern as TransportFlagsSet).
+// -metrics is not a service flag: every command honors it.
+func (f *Flags) ServiceFlagsSet() bool { return f.Store != "" || f.HTTP != "" || f.PProf }
 
 // SetupStore opens the durable store log in the -store directory (first
 // recovering any state a previous run left there) and attaches it to
@@ -200,7 +210,10 @@ func (f *Flags) RunDistributed(ctx context.Context, n *provnet.Network) (*provne
 		}
 		cur := n.Transport().Stats().Messages
 		if cur == last {
-			break // a full idle window with no traffic and no work
+			// A full idle window with no traffic and no work: terminate.
+			// The chain is a no-op without -metrics (nil registry).
+			n.Metrics().Counter("provnet_scheduler_idle_terminations_total", "").Inc()
+			break
 		}
 		last = cur
 		select {
@@ -228,7 +241,21 @@ func (f *Flags) Apply(cfg *provnet.Config) error {
 	cfg.Workers = f.Workers
 	cfg.PipelinedCrypto = f.Pipelined
 	cfg.EngineShards = f.EngineShards
+	if f.Metrics {
+		cfg.Metrics = provnet.NewMetrics()
+	}
 	return nil
+}
+
+// DumpMetrics writes the registry's Prometheus text exposition to w —
+// the exit-time metrics surface for commands that run no HTTP server.
+// No-op when the network has no registry (-metrics not given).
+func DumpMetrics(w io.Writer, n *provnet.Network) error {
+	m := n.Metrics()
+	if m == nil {
+		return nil
+	}
+	return m.WritePrometheus(w)
 }
 
 // ChurnResult summarizes one -churn scenario run.

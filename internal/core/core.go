@@ -25,6 +25,7 @@ import (
 	"provnet/internal/datalog"
 	"provnet/internal/engine"
 	"provnet/internal/netsim"
+	"provnet/internal/obs"
 	"provnet/internal/provenance"
 	"provnet/internal/semiring"
 	"provnet/internal/topo"
@@ -162,6 +163,16 @@ type Config struct {
 	// scheduler calls it concurrently from the import workers of different
 	// nodes, so stateful filters must synchronize (or set Sequential).
 	ImportFilter func(self string, t data.Tuple, p semiring.Poly) bool
+
+	// Metrics, when set, receives runtime observability: scheduler,
+	// engine, transport, and store counters/histograms plus the
+	// round/wave flight recorder (see internal/obs and
+	// docs/OBSERVABILITY.md). nil disables instrumentation entirely —
+	// the hot path pays one pointer check and allocates nothing, and
+	// evaluation order and wire bytes are identical either way.
+	// internal/queryapi serves a configured registry at /metrics and
+	// /v1/debug/rounds.
+	Metrics *obs.Metrics
 }
 
 // Node bundles one simulated node's components.
@@ -221,7 +232,10 @@ type Network struct {
 	// compares it across view builds so content-identical republishes
 	// keep their snapshot Seq.
 	mutGen atomic.Uint64
-	clock  float64
+	// nm holds the observability instruments (nil = disabled; see
+	// metrics.go).
+	nm    *netMetrics
+	clock float64
 	// Signature and rejection counters are atomic: the parallel scheduler
 	// signs and verifies from many goroutines at once.
 	signed  atomic.Int64
@@ -392,6 +406,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 			node.Engine.InsertFact(tu)
 		}
 	}
+	if cfg.Metrics != nil {
+		n.nm = newNetMetrics(cfg.Metrics, n)
+	}
 	return n, nil
 }
 
@@ -497,11 +514,18 @@ func (n *Network) sealStore() error {
 	if n.store == nil {
 		return nil
 	}
+	var start time.Time
+	if n.nm != nil {
+		start = time.Now()
+	}
 	if err := n.store.Seal(); err != nil {
 		n.storeErr.CompareAndSwap(nil, &err)
 	}
 	if err := n.store.Flush(); err != nil {
 		n.storeErr.CompareAndSwap(nil, &err)
+	}
+	if n.nm != nil {
+		n.nm.flushSec.Observe(time.Since(start).Nanoseconds())
 	}
 	return n.StoreErr()
 }
@@ -556,6 +580,13 @@ type Report struct {
 	// Retracted counts tuples withdrawn by retraction cascades across all
 	// nodes (live link churn only; zero on converge-once workloads).
 	Retracted int64
+	// Link-liveness counters from the transport (nonzero only on the TCP
+	// backend): connections re-established after a drop, frames requeued
+	// across a dropped connection, and inbound frames parked for
+	// not-yet-registered nodes.
+	Reconnects int64
+	Requeues   int64
+	Parked     int64
 }
 
 // Run drives the network to a distributed fixpoint: every node evaluates
@@ -588,6 +619,19 @@ func (n *Network) Run(maxRounds int) (*Report, error) {
 // ctx is honored mid-round: both phases abort between node tasks when it
 // is cancelled.
 func (n *Network) runRound(ctx context.Context) (bool, error) {
+	if n.nm == nil {
+		return n.runRoundInner(ctx)
+	}
+	start := time.Now()
+	n.nm.roundStart()
+	progress, err := n.runRoundInner(ctx)
+	if err == nil {
+		n.nm.roundEnd(n, "round", start)
+	}
+	return progress, err
+}
+
+func (n *Network) runRoundInner(ctx context.Context) (bool, error) {
 	if n.session != nil {
 		n.session.BeginRound()
 	}
@@ -718,6 +762,19 @@ func (n *Network) drainRetractions(ctx context.Context) (int, error) {
 // in-flight data still lands), but no node evaluates — repair and
 // re-propagation wait for the wave to quiesce.
 func (n *Network) runRetractRound(ctx context.Context) error {
+	if n.nm == nil {
+		return n.runRetractRoundInner(ctx)
+	}
+	start := time.Now()
+	n.nm.roundStart()
+	err := n.runRetractRoundInner(ctx)
+	if err == nil {
+		n.nm.roundEnd(n, "retract", start)
+	}
+	return err
+}
+
+func (n *Network) runRetractRoundInner(ctx context.Context) error {
 	if n.session != nil {
 		n.session.BeginRound()
 	}
@@ -1082,6 +1139,17 @@ func (n *Network) buildExportFrames(from string, exports []engine.Export) ([]out
 // single call, preserving per-sender send order however the crypto stage
 // is scheduled.
 func (n *Network) sealAndSend(from string, frames []outFrame) error {
+	if n.nm == nil {
+		return n.sealAndSendInner(from, frames)
+	}
+	start := time.Now()
+	n.nm.deltasOut.Add(int64(len(frames)))
+	err := n.sealAndSendInner(from, frames)
+	n.nm.sealNanos.Add(time.Since(start).Nanoseconds())
+	return err
+}
+
+func (n *Network) sealAndSendInner(from string, frames []outFrame) error {
 	for i := range frames {
 		f := &frames[i]
 		var payload []byte
@@ -1147,6 +1215,17 @@ type delivery struct {
 // delivery with nil error means the datagram was fully handled or
 // dropped.
 func (n *Network) decodeVerify(name string, msg netsim.Message) (*delivery, error) {
+	if n.nm == nil {
+		return n.decodeVerifyInner(name, msg)
+	}
+	start := time.Now()
+	n.nm.deltasIn.Inc()
+	d, err := n.decodeVerifyInner(name, msg)
+	n.nm.verifyNanos.Add(time.Since(start).Nanoseconds())
+	return d, err
+}
+
+func (n *Network) decodeVerifyInner(name string, msg netsim.Message) (*delivery, error) {
 	p := msg.Payload
 	if len(p) == 0 {
 		return nil, fmt.Errorf("%w: empty datagram", ErrBadEnvelope)
@@ -1312,6 +1391,9 @@ func (n *Network) report(start time.Time, rounds int) *Report {
 		Bytes:             stats.Bytes,
 		HandshakeMessages: stats.HandshakeMessages,
 		HandshakeBytes:    stats.HandshakeBytes,
+		Reconnects:        stats.Reconnects,
+		Requeues:          stats.Requeues,
+		Parked:            stats.Parked,
 		Signed:            n.signed.Load(),
 		Verified:          n.checked.Load(),
 		RejectedSig:       n.rejectedSig.Load(),

@@ -347,8 +347,10 @@ func (d *Driver) epochReport() *Report {
 	d.mu.Unlock()
 	d.runMu.Lock()
 	defer d.runMu.Unlock()
+	qstart := time.Now()
 	d.publishViewLocked()
 	_ = d.n.sealStore()
+	d.n.nm.observeQuiesce(d.n, qstart)
 	return d.n.report(start, rounds)
 }
 
@@ -362,8 +364,11 @@ func (d *Driver) ReadView() *ReadView { return d.view.Load() }
 func (d *Driver) quiesce() error {
 	d.runMu.Lock()
 	defer d.runMu.Unlock()
+	start := time.Now()
 	d.publishViewLocked()
-	return d.n.sealStore()
+	err := d.n.sealStore()
+	d.n.nm.observeQuiesce(d.n, start)
+	return err
 }
 
 // publishViewLocked rebuilds and publishes the read view if table content
@@ -689,6 +694,11 @@ func (d *Driver) Subscribe(node, pred string) (*Subscription, error) {
 	d.subMu.Unlock()
 	return sub, nil
 }
+
+// Subscribers reports the number of live subscriptions — the leak
+// check for transports that tie a Subscription to a connection (the
+// query API's SSE endpoint).
+func (d *Driver) Subscribers() int { return int(d.nsubs.Load()) }
 
 // publish fans a table change out to matching subscriptions. Called from
 // engine update observers on scheduler goroutines; it never blocks.

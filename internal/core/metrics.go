@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"provnet/internal/engine"
+	"provnet/internal/netsim"
+	"provnet/internal/obs"
+)
+
+// netMetrics bundles the Network's observability instruments. It is
+// nil when Config.Metrics is nil, so every instrumented path pays one
+// nil check and nothing else when observability is off — the benchgate
+// allocation bound enforces that contract. When on, hot-path updates
+// are atomic adds on pre-created instruments; everything that needs a
+// map or a sort happens at scrape time or at round granularity.
+//
+// Layering: engine and the transports do not import obs. Engine
+// activity is sampled here from cumulative engine.Stats sums at round
+// boundaries (under the driver's run lock, so the reads are race-free),
+// and transport counters are surfaced as scrape-time funcs over the
+// Transport.Stats() the transports already maintain.
+type netMetrics struct {
+	m *obs.Metrics
+
+	rounds        *obs.Counter
+	retractRounds *obs.Counter
+	quiesces      *obs.Counter
+	idleTerms     *obs.Counter
+
+	waves         *obs.Counter
+	firings       *obs.Counter
+	retracted     *obs.Counter
+	shadowEvicted *obs.Counter
+	deltasIn      *obs.Counter
+	deltasOut     *obs.Counter
+
+	roundSec  *obs.Histogram
+	sealSec   *obs.Histogram
+	verifySec *obs.Histogram
+	flushSec  *obs.Histogram
+
+	depSize    *obs.Gauge
+	shadowSize *obs.Gauge
+	arenaHW    *obs.Gauge
+
+	// sealNanos/verifyNanos accumulate crypto time within the current
+	// round. The parallel scheduler's workers add concurrently; the
+	// round boundary reads and resets them under the run lock.
+	sealNanos   atomic.Int64
+	verifyNanos atomic.Int64
+
+	// prev* snapshot the cumulative sums at the previous round boundary;
+	// per-round figures are diffs against them. Round boundaries are
+	// serialized by the run lock, so plain fields suffice.
+	prev          engine.Stats
+	prevEvictions int64
+	prevIn        int64
+	prevOut       int64
+}
+
+// queueDepther is the optional per-peer outbound-backlog surface
+// (implemented by nettcp; netsim has no per-peer queues).
+type queueDepther interface {
+	QueueDepths() map[string]int
+}
+
+// storePender is the optional writer-lag surface of a Store
+// (implemented by storelog.Log: queued + in-flight events).
+type storePender interface {
+	Pending() int
+}
+
+// newNetMetrics creates the Network's instruments in registry m and
+// registers the scrape-time funcs that read state owned elsewhere.
+func newNetMetrics(m *obs.Metrics, n *Network) *netMetrics {
+	nm := &netMetrics{
+		m:             m,
+		rounds:        m.Counter("provnet_scheduler_rounds_total", "Forward scheduler rounds executed (export+import phases)."),
+		retractRounds: m.Counter("provnet_scheduler_retract_rounds_total", "Withdrawal-only rounds executed while draining retraction waves."),
+		quiesces:      m.Counter("provnet_scheduler_quiesces_total", "Quiescence decisions: view published and durable store sealed."),
+		idleTerms:     m.Counter("provnet_scheduler_idle_terminations_total", "Distributed runs ended by the idle-window heuristic."),
+		waves:         m.Counter("provnet_engine_waves_total", "Non-empty evaluation waves across all hosted engines."),
+		firings:       m.Counter("provnet_engine_firings_total", "Rule firings (derivations) across all hosted engines."),
+		retracted:     m.Counter("provnet_engine_retracted_total", "Tuples withdrawn by retraction cascades."),
+		shadowEvicted: m.Counter("provnet_engine_shadow_evictions_total", "Prune-shadow rows evicted by the per-group cap."),
+		deltasIn:      m.Counter("provnet_scheduler_deltas_in_total", "Inbound datagrams drained and applied by import phases."),
+		deltasOut:     m.Counter("provnet_scheduler_deltas_out_total", "Outbound frames sealed and shipped by export phases."),
+		roundSec:      m.Histogram("provnet_scheduler_round_seconds", "Wall time of one scheduler round.", obs.DefLatencyNanos, 1e-9),
+		sealSec:       m.Histogram("provnet_crypto_seal_seconds", "Per-round time sealing outbound frames (signatures, MACs, handshakes).", obs.DefLatencyNanos, 1e-9),
+		verifySec:     m.Histogram("provnet_crypto_verify_seconds", "Per-round time decoding and authenticating inbound datagrams.", obs.DefLatencyNanos, 1e-9),
+		flushSec:      m.Histogram("provnet_store_flush_seconds", "Durable store seal+flush latency at quiescence points.", obs.DefLatencyNanos, 1e-9),
+		depSize:       m.Gauge("provnet_engine_dep_index_size", "Body tuples in the retraction dependency index, all engines."),
+		shadowSize:    m.Gauge("provnet_engine_shadow_size", "Prune-shadow rows retained, all engines."),
+		arenaHW:       m.Gauge("provnet_engine_arena_high_water", "High-water total capacity (elements) of the eval scratch arenas."),
+	}
+
+	// Transport counters: the transports maintain these; export them as
+	// scrape-time reads so the hot path is untouched.
+	stats := func(pick func(s netsim.Stats) int64) func() int64 {
+		return func() int64 { return pick(n.net.Stats()) }
+	}
+	m.CounterFunc("provnet_transport_messages_total", "Datagrams charged by the transport.", stats(func(s netsim.Stats) int64 { return s.Messages }))
+	m.CounterFunc("provnet_transport_bytes_total", "Bytes charged by the transport (incl. framing overhead).", stats(func(s netsim.Stats) int64 { return s.Bytes }))
+	m.CounterFunc("provnet_transport_dropped_total", "Sends to unknown nodes, dropped.", stats(func(s netsim.Stats) int64 { return s.DroppedMsg }))
+	m.CounterFunc("provnet_transport_handshake_messages_total", "Session handshake frames shipped.", stats(func(s netsim.Stats) int64 { return s.HandshakeMessages }))
+	m.CounterFunc("provnet_transport_reconnects_total", "Connections re-established after a drop (TCP transport).", stats(func(s netsim.Stats) int64 { return s.Reconnects }))
+	m.CounterFunc("provnet_transport_requeues_total", "Frames retained across a dropped connection and re-sent (TCP transport).", stats(func(s netsim.Stats) int64 { return s.Requeues }))
+	m.CounterFunc("provnet_transport_parked_frames_total", "Inbound frames parked for not-yet-registered nodes (TCP transport).", stats(func(s netsim.Stats) int64 { return s.Parked }))
+	m.GaugeFunc("provnet_transport_pending", "Undelivered inbound datagrams queued on the transport.", func() int64 {
+		return int64(n.net.PendingCount())
+	})
+	if qd, ok := n.net.(queueDepther); ok {
+		m.GaugeFunc("provnet_transport_queue_depth", "Outbound frames accepted but not yet shipped, summed over peers.", func() int64 {
+			total := 0
+			for _, d := range qd.QueueDepths() {
+				total += d
+			}
+			return int64(total)
+		})
+	}
+
+	// Crypto and admission counters (atomics on the Network).
+	m.CounterFunc("provnet_crypto_signed_total", "Asymmetric signature operations performed.", func() int64 { return n.signed.Load() })
+	m.CounterFunc("provnet_crypto_verified_total", "Signature verifications performed.", func() int64 { return n.checked.Load() })
+	m.CounterFunc("provnet_crypto_rejected_signatures_total", "Envelopes dropped for failed authentication.", func() int64 { return n.rejectedSig.Load() })
+	m.CounterFunc("provnet_import_rejected_filter_total", "Imported tuples dropped by the trust filter.", func() int64 { return n.rejectedFilter.Load() })
+
+	// Store writer lag, when the Store exposes it (storelog.Log does).
+	if sp, ok := n.store.(storePender); ok {
+		m.GaugeFunc("provnet_store_pending", "Store events queued or in flight behind the durable writer.", func() int64 {
+			return int64(sp.Pending())
+		})
+	}
+	return nm
+}
+
+// roundStart resets the per-round crypto accumulators. Called at the
+// top of each round under the run lock.
+func (nm *netMetrics) roundStart() {
+	if nm == nil {
+		return
+	}
+	nm.sealNanos.Store(0)
+	nm.verifyNanos.Store(0)
+}
+
+// roundEnd samples the engines, updates counters/histograms, and
+// appends one flight record. kind is "round" or "retract". Runs at
+// round granularity under the run lock: the map allocations in the
+// flight record are deliberate scrape-path cost, not hot-path cost.
+func (nm *netMetrics) roundEnd(n *Network, kind string, start time.Time) {
+	if nm == nil {
+		return
+	}
+	wall := time.Since(start).Nanoseconds()
+	var sum engine.Stats
+	var evictions, depSize, shadowSize, arenaHW int64
+	for _, name := range n.order {
+		e := n.nodes[name].Engine
+		sum.Waves += e.Stats.Waves
+		sum.Derivations += e.Stats.Derivations
+		sum.Retracted += e.Stats.Retracted
+		evictions += e.ShadowEvictions()
+		depSize += int64(e.DepSize())
+		shadowSize += int64(e.ShadowSize())
+		arenaHW += e.ArenaHighWater()
+	}
+	dWaves := sum.Waves - nm.prev.Waves
+	dFirings := sum.Derivations - nm.prev.Derivations
+	dRetracted := sum.Retracted - nm.prev.Retracted
+	dEvicted := evictions - nm.prevEvictions
+	nm.prev, nm.prevEvictions = sum, evictions
+
+	in, out := nm.deltasIn.Value(), nm.deltasOut.Value()
+	dIn, dOut := in-nm.prevIn, out-nm.prevOut
+	nm.prevIn, nm.prevOut = in, out
+
+	if kind == "retract" {
+		nm.retractRounds.Inc()
+	} else {
+		nm.rounds.Inc()
+	}
+	nm.waves.Add(dWaves)
+	nm.firings.Add(dFirings)
+	nm.retracted.Add(dRetracted)
+	nm.shadowEvicted.Add(dEvicted)
+	nm.roundSec.Observe(wall)
+	sealNs := nm.sealNanos.Load()
+	verifyNs := nm.verifyNanos.Load()
+	nm.sealSec.Observe(sealNs)
+	nm.verifySec.Observe(verifyNs)
+	nm.depSize.Set(depSize)
+	nm.shadowSize.Set(shadowSize)
+	nm.arenaHW.SetMax(arenaHW)
+
+	rec := obs.RoundRecord{
+		Kind:             kind,
+		StartNs:          start.UnixNano(),
+		WallNs:           wall,
+		Waves:            dWaves,
+		DeltasIn:         dIn,
+		DeltasOut:        dOut,
+		Firings:          dFirings,
+		Retracted:        dRetracted,
+		SealNs:           sealNs,
+		VerifyNs:         verifyNs,
+		TransportPending: n.net.PendingCount(),
+	}
+	if qd, ok := n.net.(queueDepther); ok {
+		rec.PeerQueues = qd.QueueDepths()
+	}
+	if sp, ok := n.store.(storePender); ok {
+		rec.StoreLag = sp.Pending()
+	}
+	nm.m.Flight.Record(rec)
+}
+
+// observeQuiesce records one quiescence decision (view publish + store
+// seal) and its wall time.
+func (nm *netMetrics) observeQuiesce(n *Network, start time.Time) {
+	if nm == nil {
+		return
+	}
+	nm.quiesces.Inc()
+	rec := obs.RoundRecord{
+		Kind:             "quiesce",
+		StartNs:          start.UnixNano(),
+		WallNs:           time.Since(start).Nanoseconds(),
+		TransportPending: n.net.PendingCount(),
+	}
+	if sp, ok := n.store.(storePender); ok {
+		rec.StoreLag = sp.Pending()
+	}
+	nm.m.Flight.Record(rec)
+}
+
+// Metrics returns the registry the network records into, or nil when
+// observability is disabled. The nil-safe obs instruments make the
+// chain n.Metrics().Counter(...).Inc() a no-op when off, which is how
+// call sites outside core (cliflags, queryapi) attach counters without
+// their own nil checks.
+func (n *Network) Metrics() *obs.Metrics {
+	if n.nm == nil {
+		return nil
+	}
+	return n.nm.m
+}

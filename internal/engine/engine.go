@@ -210,6 +210,7 @@ type Stats struct {
 	Merges        int64 // alternative derivations merged into existing tuples
 	Expired       int64
 	Retracted     int64 // tuples withdrawn by retraction cascades
+	Waves         int64 // non-empty delta waves evaluated
 }
 
 // atomRef locates a body atom within a compiled rule.
@@ -234,6 +235,10 @@ type pruneSpec struct {
 	// restricted re-derivation instead of trusting the shadow alone.
 	cap    int
 	groups map[uint64][]*pruneGroupState
+	// evictions counts rows enforceCap dropped, summed across specs by
+	// Engine.ShadowEvictions (pruneSpec methods have no engine pointer,
+	// so the count lives here rather than in Stats).
+	evictions int64
 }
 
 // pruneGroupState is one aggregate-selection group: identity (asserter +
@@ -739,6 +744,7 @@ func (ps *pruneSpec) enforceCap(g *pruneGroupState) {
 	if found {
 		g.removeShadowAt(worstHash, worstIdx)
 		g.lossy = true
+		ps.evictions++
 	}
 }
 
@@ -823,6 +829,7 @@ func (e *Engine) runWave(batch []*Entry) {
 	if len(live) == 0 {
 		return
 	}
+	e.Stats.Waves++
 	fired := e.firedBuf
 	if cap(fired) < len(live) {
 		fired = make([][]pending, len(live))
@@ -1032,6 +1039,32 @@ func (e *Engine) ShadowSize() int {
 // DepSize reports the number of body tuples in the retraction
 // dependency index — the structure Expire must purge alongside tables.
 func (e *Engine) DepSize() int { return e.ndeps }
+
+// ShadowEvictions reports the cumulative number of shadow rows dropped
+// by the per-group cap (Config.ShadowCap) since the engine started.
+func (e *Engine) ShadowEvictions() int64 {
+	var n int64
+	for _, ps := range e.prunes {
+		n += ps.evictions
+	}
+	return n
+}
+
+// ArenaHighWater reports the total capacity, in elements, of the eval
+// scratch arenas (persistent value/annotation slabs, wave arenas, and
+// the pending-firing buffers) across all eval workers — the steady-state
+// memory the hot path has grown to.
+func (e *Engine) ArenaHighWater() int64 {
+	var n int64
+	for _, sc := range e.scratches {
+		if sc == nil {
+			continue
+		}
+		n += int64(cap(sc.valArena) + cap(sc.waveVals))
+		n += int64(cap(sc.annArena) + cap(sc.waveAnns) + cap(sc.pend))
+	}
+	return n
+}
 
 // Predicates returns the names of all tables with live tuples.
 func (e *Engine) Predicates() []string {

@@ -52,6 +52,15 @@ type Stats struct {
 
 	HandshakeMessages int64
 	HandshakeBytes    int64 // includes header overhead
+
+	// Link-liveness counters, populated only by transports with real
+	// connections (nettcp): re-established connections, frames requeued
+	// after a write failure, and received frames parked because their
+	// destination node is not yet registered. Always zero on the
+	// in-memory fabric, so cross-transport Stats comparisons still hold.
+	Reconnects int64
+	Requeues   int64
+	Parked     int64
 }
 
 // endpoint is one registered node's transport state.

@@ -118,11 +118,14 @@ type Transport struct {
 	notify atomic.Pointer[func()]
 	wg     sync.WaitGroup
 
-	messages atomic.Int64
-	bytes    atomic.Int64
-	dropped  atomic.Int64
-	hsMsgs   atomic.Int64
-	hsBytes  atomic.Int64
+	messages   atomic.Int64
+	bytes      atomic.Int64
+	dropped    atomic.Int64
+	hsMsgs     atomic.Int64
+	hsBytes    atomic.Int64
+	reconnects atomic.Int64
+	requeues   atomic.Int64
+	parked     atomic.Int64
 }
 
 // inbox queues inbound datagrams for one locally hosted node.
@@ -366,6 +369,9 @@ func (t *Transport) Stats() netsim.Stats {
 		DroppedMsg:        t.dropped.Load(),
 		HandshakeMessages: t.hsMsgs.Load(),
 		HandshakeBytes:    t.hsBytes.Load(),
+		Reconnects:        t.reconnects.Load(),
+		Requeues:          t.requeues.Load(),
+		Parked:            t.parked.Load(),
 	}
 }
 
@@ -376,6 +382,28 @@ func (t *Transport) ResetStats() {
 	t.dropped.Store(0)
 	t.hsMsgs.Store(0)
 	t.hsBytes.Store(0)
+	t.reconnects.Store(0)
+	t.requeues.Store(0)
+	t.parked.Store(0)
+}
+
+// QueueDepths reports the outbound backlog per peer: frames accepted by
+// SendTagged that the peer's writer has not yet shipped. The map is
+// freshly allocated (scrape-time cost, not hot-path).
+func (t *Transport) QueueDepths() map[string]int {
+	t.mu.Lock()
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	out := make(map[string]int, len(peers))
+	for _, p := range peers {
+		p.mu.Lock()
+		out[p.name] = len(p.pending)
+		p.mu.Unlock()
+	}
+	return out
 }
 
 // Close shuts the transport down: the listener stops, writer goroutines
@@ -459,6 +487,7 @@ func (t *Transport) writerLoop(p *peer) {
 	defer t.wg.Done()
 	var conn net.Conn
 	var bw *bufio.Writer
+	connected := false // a successful dial after the first is a reconnect
 	backoff := t.cfg.RetryMin
 	defer func() {
 		if conn != nil {
@@ -486,6 +515,10 @@ func (t *Transport) writerLoop(p *peer) {
 				}
 				conn, bw = c, bufio.NewWriter(c)
 				backoff = t.cfg.RetryMin
+				if connected {
+					t.reconnects.Add(1)
+				}
+				connected = true
 			}
 			if err := writeFrame(bw, f); err == nil {
 				if err = bw.Flush(); err == nil {
@@ -496,6 +529,7 @@ func (t *Transport) writerLoop(p *peer) {
 			} else {
 				t.cfg.Logf("nettcp: write to %s: %v; reconnecting", p.name, err)
 			}
+			t.requeues.Add(1) // f survives the dropped conn; retried above
 			t.untrack(conn)
 			conn.Close()
 			conn = nil
@@ -662,6 +696,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 			// this process will never host leaks its backlog here; the
 			// log line is the operator's clue to a peer-map typo.
 			t.charge(src, dst, payload, handshake)
+			t.parked.Add(1)
 			t.orphans[dst] = append(t.orphans[dst], netsim.Message{From: src, To: dst, Payload: payload})
 			t.mu.Unlock()
 			t.cfg.Logf("nettcp: frame from %s parked for unregistered node %q", src, dst)

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRegistryIsNoOp pins the disabled-metrics contract: a nil
+// registry hands out nil instruments, and every method on them is a
+// safe no-op. Instrumented code relies on this instead of branching.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var m *Metrics
+	c := m.Counter("x_total", "h")
+	g := m.Gauge("x", "h")
+	h := m.Histogram("x_seconds", "h", DefLatencyNanos, 1e-9)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must return nil instruments, got %v %v %v", c, g, h)
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.SetMax(9)
+	g.Add(-1)
+	h.Observe(42)
+	m.CounterFunc("f_total", "h", func() int64 { return 1 })
+	m.GaugeFunc("f", "h", func() int64 { return 1 })
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if err := m.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	var f *Flight
+	f.Record(RoundRecord{})
+	if f.Snapshot() != nil {
+		t.Fatal("nil flight must snapshot nil")
+	}
+}
+
+// TestGetOrCreate pins that repeated lookups return the same
+// instrument, so call sites may re-resolve by name instead of
+// threading pointers.
+func TestGetOrCreate(t *testing.T) {
+	m := New()
+	a := m.Counter("c_total", "h")
+	b := m.Counter("c_total", "h")
+	if a != b {
+		t.Fatal("same name must return the same counter")
+	}
+	a.Add(2)
+	if b.Value() != 2 {
+		t.Fatalf("shared counter: got %d, want 2", b.Value())
+	}
+	h1 := m.LabeledHistogram("lat_seconds", "h", "endpoint", "tables", DefLatencyNanos, 1e-9)
+	h2 := m.LabeledHistogram("lat_seconds", "h", "endpoint", "tables", DefLatencyNanos, 1e-9)
+	h3 := m.LabeledHistogram("lat_seconds", "h", "endpoint", "bestpath", DefLatencyNanos, 1e-9)
+	if h1 != h2 || h1 == h3 {
+		t.Fatal("label pairs must distinguish series")
+	}
+}
+
+// TestPrometheusRendering checks the exposition text: HELP/TYPE once
+// per family, sorted series, cumulative histogram buckets ending in
+// +Inf, and correct _sum scaling.
+func TestPrometheusRendering(t *testing.T) {
+	m := New()
+	m.Counter("provnet_rounds_total", "rounds run").Add(3)
+	m.Gauge("provnet_dep_index_size", "deps").Set(17)
+	m.GaugeFunc("provnet_pending", "pending", func() int64 { return 5 })
+	h := m.Histogram("provnet_round_seconds", "round wall time", []int64{1_000_000, 10_000_000}, 1e-9)
+	h.Observe(500_000)    // ≤ 1ms bucket
+	h.Observe(5_000_000)  // ≤ 10ms bucket
+	h.Observe(50_000_000) // +Inf bucket
+	for _, ep := range []string{"tables", "bestpath"} {
+		m.LabeledCounter("provnet_http_requests_total", "reqs", "endpoint", ep).Inc()
+	}
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	for _, want := range []string{
+		"# HELP provnet_rounds_total rounds run\n# TYPE provnet_rounds_total counter\nprovnet_rounds_total 3\n",
+		"# TYPE provnet_dep_index_size gauge\nprovnet_dep_index_size 17\n",
+		"provnet_pending 5\n",
+		`provnet_round_seconds_bucket{le="0.001"} 1` + "\n",
+		`provnet_round_seconds_bucket{le="0.01"} 2` + "\n",
+		`provnet_round_seconds_bucket{le="+Inf"} 3` + "\n",
+		"provnet_round_seconds_sum 0.0555\n",
+		"provnet_round_seconds_count 3\n",
+		`provnet_http_requests_total{endpoint="bestpath"} 1` + "\n",
+		`provnet_http_requests_total{endpoint="tables"} 1` + "\n",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, got)
+		}
+	}
+	// HELP/TYPE exactly once per family even with two labeled series.
+	if n := strings.Count(got, "# TYPE provnet_http_requests_total"); n != 1 {
+		t.Errorf("TYPE emitted %d times for labeled family, want 1", n)
+	}
+	// Labeled series sorted within the family.
+	if strings.Index(got, `endpoint="bestpath"`) > strings.Index(got, `endpoint="tables"`) {
+		t.Error("series not sorted by label value")
+	}
+}
+
+// TestGaugeSetMax pins the high-water semantics used for arena sizes.
+func TestGaugeSetMax(t *testing.T) {
+	m := New()
+	g := m.Gauge("hw", "h")
+	g.SetMax(10)
+	g.SetMax(3)
+	if g.Value() != 10 {
+		t.Fatalf("SetMax lowered the gauge: %d", g.Value())
+	}
+	g.SetMax(12)
+	if g.Value() != 12 {
+		t.Fatalf("SetMax did not raise the gauge: %d", g.Value())
+	}
+}
+
+// TestFlightRing pins ring wraparound: capacity bounds retention,
+// Seq keeps counting, and Snapshot returns oldest-first.
+func TestFlightRing(t *testing.T) {
+	f := NewFlight(4)
+	for i := int64(0); i < 10; i++ {
+		f.Record(RoundRecord{Kind: "round", Firings: i})
+	}
+	recs := f.Snapshot()
+	if len(recs) != 4 {
+		t.Fatalf("ring retained %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		wantSeq := int64(7 + i) // records 7..10 survive
+		if r.Seq != wantSeq || r.Firings != wantSeq-1 {
+			t.Fatalf("record %d: seq=%d firings=%d, want seq=%d", i, r.Seq, r.Firings, wantSeq)
+		}
+	}
+}
+
+// TestConcurrentUse exercises the registry under parallel writers and
+// scrapers; run with -race this is the data-race gate for the whole
+// package.
+func TestConcurrentUse(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := m.Counter("c_total", "h")
+			g := m.Gauge("g", "h")
+			h := m.Histogram("h_seconds", "h", DefLatencyNanos, 1e-9)
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.SetMax(int64(i))
+				h.Observe(int64(i) * 1000)
+				m.Flight.Record(RoundRecord{Kind: "round"})
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			if err := m.WritePrometheus(&sb); err != nil {
+				t.Error(err)
+				return
+			}
+			m.Flight.Snapshot()
+		}
+	}()
+	wg.Wait()
+	if got := m.Counter("c_total", "h").Value(); got != 4000 {
+		t.Fatalf("lost counter increments: %d, want 4000", got)
+	}
+	if len(m.Flight.Snapshot()) != DefFlightCap {
+		t.Fatalf("flight should be full at %d", DefFlightCap)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"provnet/internal/core"
+	"provnet/internal/obs"
 	"provnet/internal/provenance"
 )
 
@@ -23,14 +25,70 @@ type Server struct {
 // NewServer mounts a query server on the network's driver.
 func NewServer(n *core.Network) *Server { return &Server{n: n, d: n.Driver()} }
 
-// Handler returns the HTTP handler serving the /v1 API.
+// Handler returns the HTTP handler serving the /v1 API. When the
+// network carries a metrics registry (Config.Metrics), the observability
+// surface mounts alongside it — GET /metrics (Prometheus text) and
+// GET /v1/debug/rounds (the flight recorder) — and every /v1 endpoint
+// is wrapped with request-count and latency instruments.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/tables/{pred}", s.handleTables)
-	mux.HandleFunc("GET /v1/bestpath", s.handleBestPath)
-	mux.HandleFunc("GET /v1/traceback", s.handleTraceback)
-	mux.HandleFunc("GET /v1/subscribe", s.handleSubscribe)
+	mux.HandleFunc("GET /v1/tables/{pred}", s.instrument("tables", s.handleTables))
+	mux.HandleFunc("GET /v1/bestpath", s.instrument("bestpath", s.handleBestPath))
+	mux.HandleFunc("GET /v1/traceback", s.instrument("traceback", s.handleTraceback))
+	mux.HandleFunc("GET /v1/subscribe", s.instrument("subscribe", s.handleSubscribe))
+	if s.n.Metrics() != nil {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+		mux.HandleFunc("GET /v1/debug/rounds", s.handleDebugRounds)
+	}
 	return mux
+}
+
+// instrument wraps one endpoint with a request counter and latency
+// histogram. With metrics disabled it returns h untouched — zero
+// overhead, same as every other disabled instrument.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	m := s.n.Metrics()
+	if m == nil {
+		return h
+	}
+	reqs := m.LabeledCounter("provnet_http_requests_total", "API requests served, by endpoint.", "endpoint", endpoint)
+	lat := m.LabeledHistogram("provnet_http_request_seconds", "API request latency, by endpoint.", "endpoint", endpoint, obs.DefLatencyNanos, 1e-9)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		lat.Observe(time.Since(start).Nanoseconds())
+		reqs.Inc()
+	}
+}
+
+// handleMetrics serves GET /metrics in the Prometheus text exposition
+// format (only mounted when a registry is configured).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.n.Metrics().WritePrometheus(w)
+}
+
+// debugRounds is the versioned JSON schema of GET /v1/debug/rounds.
+type debugRounds struct {
+	V      int               `json:"v"`
+	Rounds []obs.RoundRecord `json:"rounds"`
+}
+
+// debugRoundsVersion is the /v1/debug/rounds schema version; bump on
+// breaking changes (additive RoundRecord fields do not count).
+const debugRoundsVersion = 1
+
+// handleDebugRounds dumps the flight recorder: the last N scheduler
+// steps with per-round deltas, timings, and queue depths.
+func (s *Server) handleDebugRounds(w http.ResponseWriter, r *http.Request) {
+	recs := s.n.Metrics().Flight.Snapshot()
+	if recs == nil {
+		recs = []obs.RoundRecord{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(debugRounds{V: debugRoundsVersion, Rounds: recs})
 }
 
 // writeResult marshals the envelope (every response, success or error,
@@ -63,6 +121,25 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		nodes = []string{node}
+	}
+	// A predicate unknown everywhere is a client error, not an empty
+	// result: 404 distinguishes "no such relation" from "relation exists
+	// but holds no rows at the queried node(s)".
+	known := false
+	for _, name := range nodes {
+		for _, p := range view.Predicates(name) {
+			if p == pred {
+				known = true
+				break
+			}
+		}
+		if known {
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound, "tables", fmt.Errorf("unknown predicate %q", pred))
+		return
 	}
 	for _, name := range nodes {
 		rows := view.Rows(name, pred)
@@ -143,7 +220,15 @@ func (s *Server) handleTraceback(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	opts := provenance.QueryOpts{Offline: q.Get("offline") == "1" || q.Get("offline") == "true"}
+	var opts provenance.QueryOpts
+	switch off := q.Get("offline"); off {
+	case "", "0", "false":
+	case "1", "true":
+		opts.Offline = true
+	default:
+		writeError(w, http.StatusBadRequest, "traceback", fmt.Errorf("bad offline %q (want 0/1/true/false)", off))
+		return
+	}
 	if md := q.Get("maxdepth"); md != "" {
 		v, err := strconv.Atoi(md)
 		if err != nil || v < 0 {

@@ -5,13 +5,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"provnet/internal/core"
 	"provnet/internal/data"
+	"provnet/internal/obs"
 	"provnet/internal/provenance"
 	"provnet/internal/topo"
 )
@@ -214,6 +218,245 @@ func TestSubscribeSSE(t *testing.T) {
 	if ev.V != SchemaVersion || ev.Node != "n0" || !ev.Added || !strings.HasPrefix(ev.Tuple, "marker(") {
 		t.Errorf("unexpected event: %+v", ev)
 	}
+}
+
+// TestTablesUnknownPredicate pins the error contract of /v1/tables: a
+// predicate no node holds is a 404 wrapped in the versioned envelope,
+// not a 200 with empty tables.
+func TestTablesUnknownPredicate(t *testing.T) {
+	_, srv := testServer(t, provenance.ModeDistributed)
+	res := get(t, srv.URL+"/v1/tables/noSuchPred", http.StatusNotFound)
+	if res.Error == "" || !strings.Contains(res.Error, "noSuchPred") {
+		t.Errorf("404 envelope missing the predicate name: %+v", res)
+	}
+	// Same with a node filter.
+	res = get(t, srv.URL+"/v1/tables/noSuchPred?node=n0", http.StatusNotFound)
+	if res.Error == "" {
+		t.Error("404 without error field")
+	}
+	// Known predicates still serve.
+	get(t, srv.URL+"/v1/tables/link", http.StatusOK)
+}
+
+// TestTracebackBadParams pins the 400 paths of /v1/traceback: malformed
+// maxdepth and offline values are client errors with versioned envelopes.
+func TestTracebackBadParams(t *testing.T) {
+	n, srv := testServer(t, provenance.ModeDistributed)
+	target := queryEscape(n.Tuples("n0", "bestPath")[0].String())
+	base := srv.URL + "/v1/traceback?node=n0&tuple=" + target
+	for _, q := range []string{"&maxdepth=banana", "&maxdepth=-1", "&offline=maybe", "&offline=2"} {
+		res := get(t, base+q, http.StatusBadRequest)
+		if res.Error == "" {
+			t.Errorf("400 for %q without error field", q)
+		}
+	}
+	// The accepted spellings still serve.
+	for _, q := range []string{"", "&maxdepth=3", "&offline=0", "&offline=false", "&offline=1", "&offline=true"} {
+		get(t, base+q, http.StatusOK)
+	}
+}
+
+// TestSubscribeDisconnectReleasesSubscription pins the SSE cleanup path:
+// a client that vanishes mid-stream must not leak its driver
+// subscription.
+func TestSubscribeDisconnectReleasesSubscription(t *testing.T) {
+	cfg := core.Config{Source: core.BestPath, Graph: topo.Line(3), Prov: provenance.ModeDistributed}
+	n, err := core.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	d := n.Driver()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := d.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(n).Handler())
+	defer srv.Close()
+
+	reqCtx, disconnect := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, srv.URL+"/v1/subscribe?node=n0&pred=marker", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := d.Subscribers(); got != 1 {
+		t.Fatalf("subscribers = %d after connect, want 1", got)
+	}
+	disconnect() // client drops mid-stream
+	deadline := time.Now().Add(5 * time.Second)
+	for d.Subscribers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscription leaked: %d subscribers after disconnect", d.Subscribers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// metricsServer is testServer plus an obs registry wired through
+// Config.Metrics, with the network driven live (driver started) so the
+// observability surface sees churn.
+func metricsServer(t *testing.T) (*core.Network, *core.Driver, *httptest.Server) {
+	t.Helper()
+	cfg := core.Config{
+		Source:  core.BestPath,
+		Graph:   topo.Line(4),
+		Prov:    provenance.ModeDistributed,
+		Metrics: obs.New(),
+	}
+	n, err := core.NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	d := n.Driver()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := d.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AwaitQuiescence(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(n).Handler())
+	t.Cleanup(srv.Close)
+	return n, d, srv
+}
+
+// TestMetricsEndpoint pins the observability mounts: /metrics serves
+// Prometheus text with the core series, /v1/debug/rounds serves the
+// versioned flight-recorder dump, and the /v1 middleware counts
+// requests. Both mounts 404 when metrics are disabled.
+func TestMetricsEndpoint(t *testing.T) {
+	_, _, srv := metricsServer(t)
+
+	get(t, srv.URL+"/v1/bestpath", http.StatusOK) // feed the middleware
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	for _, series := range []string{
+		"provnet_scheduler_rounds_total",
+		"provnet_engine_firings_total",
+		"provnet_transport_messages_total",
+		"provnet_http_requests_total{endpoint=\"bestpath\"}",
+		"provnet_http_request_seconds_count{endpoint=\"bestpath\"}",
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("missing series %s in /metrics:\n%s", series, text)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/debug/rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/debug/rounds: status %d", resp.StatusCode)
+	}
+	var dump struct {
+		V      int `json:"v"`
+		Rounds []struct {
+			Seq  int64  `json:"seq"`
+			Kind string `json:"kind"`
+		} `json:"rounds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.V != 1 {
+		t.Errorf("debug/rounds v = %d, want 1", dump.V)
+	}
+	if len(dump.Rounds) == 0 {
+		t.Error("debug/rounds empty after a converged run")
+	}
+	for i, r := range dump.Rounds {
+		if r.Kind != "round" && r.Kind != "retract" && r.Kind != "quiesce" {
+			t.Errorf("round %d: bad kind %q", i, r.Kind)
+		}
+	}
+
+	// Without a registry the mounts do not exist.
+	_, plain := testServer(t, provenance.ModeDistributed)
+	for _, path := range []string{"/metrics", "/v1/debug/rounds"} {
+		resp, err := http.Get(plain.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s with metrics disabled: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestMetricsScrapeUnderChurn hammers /metrics and /v1/debug/rounds
+// while the live driver churns links — the race detector turns any
+// unsynchronized scrape path into a failure.
+func TestMetricsScrapeUnderChurn(t *testing.T) {
+	_, d, srv := metricsServer(t)
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metrics", "/v1/debug/rounds", "/v1/bestpath"} {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(srv.URL + path)
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if err := d.CutLink("n1", "n2"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.AwaitQuiescence(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SetLink("n1", "n2", 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.AwaitQuiescence(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
 }
 
 func queryEscape(s string) string {

@@ -2,6 +2,7 @@ package provnet
 
 import (
 	"provnet/internal/core"
+	"provnet/internal/obs"
 	"provnet/internal/storelog"
 )
 
@@ -110,6 +111,32 @@ func WithTransport(t Transport, localNodes ...string) Option {
 // s as an ordered event log, sealed and flushed at quiescence points.
 // The network closes s on Network.Close.
 func WithStore(s Store) Option { return func(c *Config) { c.Store = s } }
+
+// WithMetrics attaches an observability registry (Config.Metrics): the
+// network records scheduler, engine, crypto, transport, and store
+// series into it, plus a bounded flight recorder of recent rounds. Nil
+// (the default) disables instrumentation entirely; evaluation order and
+// wire bytes are identical either way. See docs/OBSERVABILITY.md.
+func WithMetrics(m *Metrics) Option { return func(c *Config) { c.Metrics = m } }
+
+// Observability (the Config.Metrics / WithMetrics seam).
+type (
+	// Metrics is the dependency-free metrics registry: atomic counters,
+	// gauges, and fixed-bucket histograms with a Prometheus text
+	// exposition (Metrics.WritePrometheus) and a flight recorder
+	// (Metrics.Flight). All instruments are nil-safe, so code holding a
+	// nil registry can still chain Counter(...).Inc() as a no-op.
+	Metrics = obs.Metrics
+	// FlightRecord is one flight-recorder entry: per-round deltas,
+	// timings, and queue depths (served as /v1/debug/rounds by the query
+	// API).
+	FlightRecord = obs.RoundRecord
+)
+
+// NewMetrics returns an empty metrics registry to pass to WithMetrics
+// (or Config.Metrics) and scrape via Metrics.WritePrometheus — the
+// query API additionally serves it at GET /metrics when present.
+func NewMetrics() *Metrics { return obs.New() }
 
 // Durable storage (the Store seam of Config.Store / WithStore).
 type (
