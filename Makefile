@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet staticcheck test race bench bench-smoke bench-json benchgate benchgate-record benchgate-record-metrics api-smoke fuzz examples docs ci
+.PHONY: all build fmt fmt-check vet staticcheck lint test race bench bench-smoke bench-json benchgate benchgate-record benchgate-record-metrics api-smoke fuzz examples docs ci
 
 all: build
 
@@ -28,11 +28,18 @@ STATICCHECK ?= $(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1
 staticcheck:
 	$(STATICCHECK) ./...
 
+# provlint: the repo's own analyzer suite (cmd/provlint). Enforces the
+# determinism, layering, and hot-path invariants documented in
+# docs/LINTING.md; suppress a finding at a contract site with
+# `//provlint:allow <check> <reason>`.
+lint:
+	$(GO) run ./cmd/provlint
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Full benchmark run (minutes-scale); see bench_test.go for the figure map.
 bench:
@@ -115,4 +122,4 @@ docs:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/multiprocess
 
-ci: fmt-check vet staticcheck build race fuzz examples docs bench-smoke bench-json benchgate api-smoke
+ci: fmt-check vet staticcheck lint build race fuzz examples docs bench-smoke bench-json benchgate api-smoke

@@ -100,7 +100,7 @@ const (
 // interleave on the same state.
 func (n *Network) Driver() *Driver {
 	n.drvOnce.Do(func() {
-		d := &Driver{n: n, subs: make(map[*Subscription]struct{}), epochStart: time.Now()}
+		d := &Driver{n: n, subs: make(map[*Subscription]struct{}), epochStart: time.Now()} //provlint:allow detpath report wall-clock epoch, never feeds evaluation
 		d.cond = sync.NewCond(&d.mu)
 		d.view.Store(&ReadView{nodes: map[string]*NodeView{}})
 		n.drv = d
@@ -133,7 +133,7 @@ func (d *Driver) Start(ctx context.Context) error {
 	}
 	d.started = true
 	d.dirty = true
-	d.epochStart = time.Now()
+	d.epochStart = time.Now() //provlint:allow detpath report wall-clock epoch, never feeds evaluation
 	d.epochRounds = 0
 	d.pumpDone = make(chan struct{})
 	// A socket transport delivers datagrams between rounds; its arrival
@@ -314,7 +314,7 @@ func (d *Driver) run(ctx context.Context, maxRounds int) (*Report, error) {
 		d.mu.Unlock()
 		return nil, ErrLive
 	}
-	d.epochStart = time.Now()
+	d.epochStart = time.Now() //provlint:allow detpath report wall-clock epoch, never feeds evaluation
 	d.epochRounds = 0
 	d.mu.Unlock()
 	if maxRounds <= 0 {
@@ -342,12 +342,12 @@ func (d *Driver) run(ctx context.Context, maxRounds int) (*Report, error) {
 func (d *Driver) epochReport() *Report {
 	d.mu.Lock()
 	start, rounds := d.epochStart, d.epochRounds
-	d.epochStart = time.Now()
+	d.epochStart = time.Now() //provlint:allow detpath report wall-clock epoch, never feeds evaluation
 	d.epochRounds = 0
 	d.mu.Unlock()
 	d.runMu.Lock()
 	defer d.runMu.Unlock()
-	qstart := time.Now()
+	qstart := time.Now() //provlint:allow detpath metrics quiesce timing, outside the deterministic state
 	d.publishViewLocked()
 	_ = d.n.sealStore()
 	d.n.nm.observeQuiesce(d.n, qstart)
@@ -364,7 +364,7 @@ func (d *Driver) ReadView() *ReadView { return d.view.Load() }
 func (d *Driver) quiesce() error {
 	d.runMu.Lock()
 	defer d.runMu.Unlock()
-	start := time.Now()
+	start := time.Now() //provlint:allow detpath metrics quiesce timing, outside the deterministic state
 	d.publishViewLocked()
 	err := d.n.sealStore()
 	d.n.nm.observeQuiesce(d.n, start)
@@ -458,7 +458,7 @@ func (d *Driver) Close() error {
 		<-done
 	}
 	d.subMu.Lock()
-	for sub := range d.subs {
+	for sub := range d.subs { //provlint:allow mapiter independent per-subscription channel closes; order unobservable
 		close(sub.ch)
 	}
 	d.subs = make(map[*Subscription]struct{})
@@ -708,7 +708,7 @@ func (d *Driver) publish(node string, t data.Tuple, added bool) {
 	}
 	u := Update{Node: node, Tuple: t, Added: added}
 	d.subMu.RLock()
-	for sub := range d.subs {
+	for sub := range d.subs { //provlint:allow mapiter independent per-subscription sends; order unobservable
 		if sub.node != "" && sub.node != node {
 			continue
 		}

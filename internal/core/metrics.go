@@ -114,7 +114,7 @@ func newNetMetrics(m *obs.Metrics, n *Network) *netMetrics {
 	if qd, ok := n.net.(queueDepther); ok {
 		m.GaugeFunc("provnet_transport_queue_depth", "Outbound frames accepted but not yet shipped, summed over peers.", func() int64 {
 			total := 0
-			for _, d := range qd.QueueDepths() {
+			for _, d := range qd.QueueDepths() { //provlint:allow mapiter commutative integer sum; order cannot escape
 				total += d
 			}
 			return int64(total)
@@ -154,7 +154,7 @@ func (nm *netMetrics) roundEnd(n *Network, kind string, start time.Time) {
 	if nm == nil {
 		return
 	}
-	wall := time.Since(start).Nanoseconds()
+	wall := time.Since(start).Nanoseconds() //provlint:allow detpath metrics round timing, outside the deterministic state
 	var sum engine.Stats
 	var evictions, depSize, shadowSize, arenaHW int64
 	for _, name := range n.order {
@@ -214,7 +214,7 @@ func (nm *netMetrics) roundEnd(n *Network, kind string, start time.Time) {
 	if sp, ok := n.store.(storePender); ok {
 		rec.StoreLag = sp.Pending()
 	}
-	nm.m.Flight.Record(rec)
+	nm.m.FlightRecorder().Record(rec)
 }
 
 // observeQuiesce records one quiescence decision (view publish + store
@@ -227,13 +227,13 @@ func (nm *netMetrics) observeQuiesce(n *Network, start time.Time) {
 	rec := obs.RoundRecord{
 		Kind:             "quiesce",
 		StartNs:          start.UnixNano(),
-		WallNs:           time.Since(start).Nanoseconds(),
+		WallNs:           time.Since(start).Nanoseconds(), //provlint:allow detpath metrics quiesce timing, outside the deterministic state
 		TransportPending: n.net.PendingCount(),
 	}
 	if sp, ok := n.store.(storePender); ok {
 		rec.StoreLag = sp.Pending()
 	}
-	nm.m.Flight.Record(rec)
+	nm.m.FlightRecorder().Record(rec)
 }
 
 // Metrics returns the registry the network records into, or nil when

@@ -140,7 +140,7 @@ func (s *StoreState) node(name string) *NodeState {
 // Apply folds one event into the state.
 func (s *StoreState) Apply(ev StoreEvent) {
 	ns := s.node(ev.Node)
-	key := ev.Tuple.Key()
+	key := ev.Tuple.Key() //provlint:allow keystring store-state rows are keyed on the canonical bytes; the replay contract storelog pins
 	switch ev.Kind {
 	case EvInsert:
 		ns.Rows[key] = StoredRow{Tuple: ev.Tuple, Prov: ev.Prov, At: ev.At}
@@ -170,7 +170,7 @@ func (s *StoreState) Apply(ev StoreEvent) {
 // the storelog determinism pin.
 func (s *StoreState) LiveDump() string {
 	var lines []string
-	for name, ns := range s.Nodes {
+	for name, ns := range s.Nodes { //provlint:allow mapiter collected lines are sorted before joining
 		for _, row := range ns.Rows {
 			lines = append(lines, name+"\t"+row.Tuple.String()+"\t"+row.Prov)
 		}
@@ -183,7 +183,7 @@ func (s *StoreState) LiveDump() string {
 // lines, for whole-state comparisons across recovery runs.
 func (s *StoreState) Dump() string {
 	var lines []string
-	for name, ns := range s.Nodes {
+	for name, ns := range s.Nodes { //provlint:allow mapiter collected lines are sorted before joining
 		for _, row := range ns.Rows {
 			lines = append(lines, "live\t"+name+"\t"+row.Tuple.String()+"\t"+row.Prov)
 		}
@@ -256,12 +256,12 @@ func (m *MemStore) State() *StoreState {
 	defer m.mu.Unlock()
 	out := NewStoreState()
 	out.Clock = m.state.Clock
-	for name, ns := range m.state.Nodes {
+	for name, ns := range m.state.Nodes { //provlint:allow mapiter map-to-map copy; order cannot escape
 		cp := &NodeState{Rows: make(map[string]StoredRow, len(ns.Rows)), Stale: make(map[string]StoredRow, len(ns.Stale))}
-		for k, v := range ns.Rows {
+		for k, v := range ns.Rows { //provlint:allow mapiter map-to-map copy; order cannot escape
 			cp.Rows[k] = v
 		}
-		for k, v := range ns.Stale {
+		for k, v := range ns.Stale { //provlint:allow mapiter map-to-map copy; order cannot escape
 			cp.Stale[k] = v
 		}
 		out.Nodes[name] = cp

@@ -86,8 +86,8 @@ func (v *ReadView) HasNode(node string) bool { return v.nodes[node] != nil }
 // determinism pin.
 func (v *ReadView) Dump() string {
 	var lines []string
-	for name, nv := range v.nodes {
-		for _, rows := range nv.tables {
+	for name, nv := range v.nodes { //provlint:allow mapiter collected lines are sorted before joining
+		for _, rows := range nv.tables { //provlint:allow mapiter collected lines are sorted before joining
 			for _, r := range rows {
 				lines = append(lines, name+"\t"+r.Tuple.String()+"\t"+r.Prov)
 			}

@@ -425,7 +425,7 @@ func (e *Engine) LoadProgram(prog *datalog.Program) error {
 	if err := datalog.Validate(prog); err != nil {
 		return err
 	}
-	for pred, d := range prog.Materialize {
+	for pred, d := range prog.Materialize { //provlint:allow mapiter map-to-map copy of declarations; order cannot escape
 		e.decls[pred] = d
 	}
 	for _, pr := range prog.Prunes {
@@ -718,7 +718,7 @@ func (ps *pruneSpec) enforceCap(g *pruneGroupState) {
 	var worstIdx int
 	var worstRow shadowRow
 	found := false
-	for h, rows := range g.shadow {
+	for h, rows := range g.shadow { //provlint:allow mapiter extremum of a total order (ties broken by tupleLess); any iteration order picks the same victim
 		for i, row := range rows {
 			betterVictim := false
 			switch {
@@ -1026,8 +1026,8 @@ func (e *Engine) AnnotationOf(t data.Tuple) Annotation {
 // cap bounds (see Config.ShadowCap).
 func (e *Engine) ShadowSize() int {
 	n := 0
-	for _, ps := range e.prunes {
-		for _, bucket := range ps.groups {
+	for _, ps := range e.prunes { //provlint:allow mapiter commutative integer sum; order cannot escape
+		for _, bucket := range ps.groups { //provlint:allow mapiter commutative integer sum; order cannot escape
 			for _, g := range bucket {
 				n += g.nshadow
 			}
@@ -1044,7 +1044,7 @@ func (e *Engine) DepSize() int { return e.ndeps }
 // by the per-group cap (Config.ShadowCap) since the engine started.
 func (e *Engine) ShadowEvictions() int64 {
 	var n int64
-	for _, ps := range e.prunes {
+	for _, ps := range e.prunes { //provlint:allow mapiter commutative integer sum; order cannot escape
 		n += ps.evictions
 	}
 	return n
@@ -1069,7 +1069,7 @@ func (e *Engine) ArenaHighWater() int64 {
 // Predicates returns the names of all tables with live tuples.
 func (e *Engine) Predicates() []string {
 	var out []string
-	for name, tbl := range e.tables {
+	for name, tbl := range e.tables { //provlint:allow mapiter collected names are sorted before returning
 		if len(tbl.Live(e.now)) > 0 {
 			out = append(out, name)
 		}

@@ -603,7 +603,7 @@ func (e *Engine) insertWithSupport(t data.Tuple, ann Annotation, localSupport bo
 	if localSupport {
 		entry.localSupport = true
 	}
-	for o := range origins {
+	for o := range origins { //provlint:allow mapiter set union into entry supports; order cannot escape
 		entry.addSupport(o)
 	}
 	switch status {
@@ -636,7 +636,7 @@ func (ps *pruneSpec) addShadowRow(g *pruneGroupState, row shadowRow) {
 	for i, old := range rows {
 		if old.tuple.Equal(row.tuple) {
 			old.localSupport = old.localSupport || row.localSupport
-			for o := range row.origins {
+			for o := range row.origins { //provlint:allow mapiter set union into the stored row; order cannot escape
 				if old.origins == nil {
 					old.origins = make(map[string]bool)
 				}

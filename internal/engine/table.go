@@ -96,20 +96,6 @@ func (en *Entry) originCount() int {
 	return 0
 }
 
-// eachOrigin visits every remote support. Iteration order over the spill
-// map is unspecified; callers needing determinism must sort.
-func (en *Entry) eachOrigin(f func(origin string)) {
-	if en.origins != nil {
-		for o := range en.origins {
-			f(o)
-		}
-		return
-	}
-	if en.hasOrigin0 {
-		f(en.origin0)
-	}
-}
-
 // clearOrigins drops all remote supports.
 func (en *Entry) clearOrigins() {
 	en.origins = nil
@@ -456,7 +442,7 @@ func (t *Table) compact() {
 	if t.concurrent {
 		t.mu.Lock()
 	}
-	for sig := range t.indexes {
+	for sig := range t.indexes { //provlint:allow mapiter clearing every index; order cannot escape
 		delete(t.indexes, sig)
 	}
 	if t.concurrent {
@@ -540,7 +526,7 @@ func (t *Table) indexInsert(en *Entry) {
 	if t.concurrent {
 		t.mu.Lock()
 	}
-	for _, idx := range t.indexes {
+	for _, idx := range t.indexes { //provlint:allow mapiter independent per-index inserts; order cannot escape
 		h := en.Tuple.HashArgs(idx.cols)
 		idx.buckets[h] = append(idx.buckets[h], en)
 	}

@@ -1,0 +1,224 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked unit handed to the analyzers.
+type Package struct {
+	Path  string // import path (rule matching keys on this)
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	fset  *token.FileSet
+}
+
+// Loader resolves and type-checks packages without any dependency
+// beyond the go toolchain itself: one `go list -export -deps` run
+// yields compiled export data for every import (stdlib included), and
+// module packages are re-parsed from source so the analyzers get
+// syntax trees with comments.
+type Loader struct {
+	Root   string // module root (directory containing go.mod)
+	Module string // module path from go.mod
+	Fset   *token.FileSet
+
+	exports map[string]string   // import path -> export data file
+	goFiles map[string][]string // module import path -> absolute GoFiles
+	dirs    map[string]string   // module import path -> directory
+	imp     types.Importer
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+}
+
+// extraStdlib is type-check support for ad-hoc directories (lint
+// testdata): packages a testdata file may import even though the
+// module proper does not depend on them.
+var extraStdlib = []string{"fmt", "math/rand", "sort", "strings", "time"}
+
+// NewLoader finds the module root at or above startDir and indexes the
+// build via `go list`. The tree must compile: lint runs after build in
+// CI, and a non-compiling tree is reported here rather than half-
+// analyzed.
+func NewLoader(startDir string) (*Loader, error) {
+	root, err := findModuleRoot(startDir)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	args := []string{"list", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module", "./..."}
+	args = append(args, extraStdlib...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export failed: %v\n%s", err, stderr.String())
+	}
+
+	l := &Loader{
+		Root:    root,
+		Module:  module,
+		Fset:    token.NewFileSet(),
+		exports: make(map[string]string),
+		goFiles: make(map[string][]string),
+		dirs:    make(map[string]string),
+	}
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil && p.Module.Path == module {
+			files := make([]string, 0, len(p.GoFiles))
+			for _, f := range p.GoFiles {
+				files = append(files, filepath.Join(p.Dir, f))
+			}
+			l.goFiles[p.ImportPath] = files
+			l.dirs[p.ImportPath] = p.Dir
+		}
+	}
+
+	l.imp = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		exp, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (not a dependency of %s)", path, module)
+		}
+		return os.Open(exp)
+	})
+	return l, nil
+}
+
+// ModulePaths returns every package path in the module, sorted.
+func (l *Loader) ModulePaths() []string {
+	paths := make([]string, 0, len(l.goFiles))
+	for p := range l.goFiles {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// LoadModulePackages parses and type-checks every package in the
+// module (non-test files; testdata directories are invisible to the
+// go tool and are loaded explicitly with LoadDir).
+func (l *Loader) LoadModulePackages() ([]*Package, error) {
+	var pkgs []*Package
+	for _, path := range l.ModulePaths() {
+		pkg, err := l.load(path, l.dirs[path], l.goFiles[path])
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses and type-checks one directory as an ad-hoc package
+// under the given import path. Used for lint's own testdata packages
+// and for explicit directory arguments to cmd/provlint.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.load(asPath, dir, files)
+}
+
+func (l *Loader) load(path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l.imp}
+	pkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info, fset: l.Fset}, nil
+}
+
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	b, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s", gomod)
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags iteration over map types inside the packages whose
+// outputs are pinned bit-identical across schedules (engine ordered
+// commit/export, core seal/send and wire encode, storelog append,
+// data codec). Go randomizes map iteration order per run, so any map
+// range on those paths is a latent determinism bug — the exact class
+// PR 4 hunted by hand before the ordered-commit stage existed.
+//
+// One shape is recognized as safe without annotation: a loop whose
+// body only appends to slices, at least one of which the enclosing
+// function also sorts (collect-then-sort). Everything else needs
+// either a refactor or a //provlint:allow mapiter <reason> stating
+// why order cannot escape.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "range over a map on an order-pinned path",
+	Run:  runMapIter,
+}
+
+func runMapIter(p *Pass) {
+	if !p.inScope(p.Config.MapIterPkgs) {
+		return
+	}
+	eachFunc(p, func(name string, body *ast.BlockStmt) {
+		sorted := sortedObjects(p, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isCollectThenSort(p, rs, sorted) {
+				return true
+			}
+			p.Reportf(rs.For, "mapiter",
+				"range over map %s: iteration order is randomized; sort keys first or annotate //provlint:allow mapiter <reason>",
+				types.TypeString(t, types.RelativeTo(p.Pkg)))
+			return true
+		})
+	})
+}
+
+// sortedObjects collects every object passed to a sort.*/slices.Sort*
+// call anywhere in the function: the candidates a collect-then-sort
+// loop may append into.
+func sortedObjects(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := p.Info.Uses[id]; obj != nil {
+			if pn, ok := obj.(*types.PkgName); !ok || (pn.Imported().Path() != "sort" && pn.Imported().Path() != "slices") {
+				return true
+			}
+		} else {
+			return true
+		}
+		for _, arg := range call.Args {
+			if obj := exprObject(p, arg); obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isCollectThenSort reports whether the range body consists solely of
+// `s = append(s, ...)` statements and at least one such s is sorted
+// somewhere in the enclosing function.
+func isCollectThenSort(p *Pass, rs *ast.RangeStmt, sorted map[types.Object]bool) bool {
+	if len(rs.Body.List) == 0 {
+		return false
+	}
+	anySorted := false
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			return false
+		}
+		if obj, isBuiltin := p.Info.Uses[fn].(*types.Builtin); !isBuiltin || obj == nil {
+			return false
+		}
+		if obj := exprObject(p, as.Lhs[0]); obj != nil && sorted[obj] {
+			anySorted = true
+		}
+	}
+	return anySorted
+}
+
+// exprObject resolves an identifier (possibly behind a selector, for
+// struct fields) to its object.
+func exprObject(p *Pass, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return p.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return p.Info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NilMetrics protects the zero-cost-when-disabled contract of the obs
+// package: a nil *obs.Counter/Gauge/Histogram/Metrics IS the no-op
+// implementation, so instrumented code must touch instruments only
+// through their nil-safe methods. Dereferencing one (*c) or reaching
+// into its fields panics the first time metrics are left disabled —
+// which is the default, so the panic ships. The check applies
+// everywhere outside the obs package itself.
+var NilMetrics = &Analyzer{
+	Name: "nilmetrics",
+	Doc:  "obs instrument used outside its nil-safe method surface",
+	Run:  runNilMetrics,
+}
+
+// obsInstruments are the nil-safe types; the registry (obs.Metrics)
+// and flight recorder carry the same contract as the leaf instruments.
+var obsInstruments = []string{"Counter", "Gauge", "Histogram", "Metrics", "Flight"}
+
+func runNilMetrics(p *Pass) {
+	cfg := p.Config
+	if p.Path == cfg.ObsPkg {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StarExpr:
+				// Distinguish a dereference from the type expression
+				// *obs.Counter: only flag when the operand is a value
+				// of pointer-to-instrument type.
+				t := p.Info.TypeOf(n.X)
+				ptr, ok := t.(*types.Pointer)
+				if !ok || !namedIn(ptr, cfg.ObsPkg, obsInstruments...) {
+					return true
+				}
+				if _, isType := p.Info.Types[n.X]; isType && p.Info.Types[n.X].IsType() {
+					return true
+				}
+				p.Reportf(n.Pos(), "nilmetrics",
+					"dereference of %s: nil is the disabled instrument; use its nil-safe methods",
+					types.TypeString(t, types.RelativeTo(p.Pkg)))
+			case *ast.SelectorExpr:
+				selInfo, ok := p.Info.Selections[n]
+				if !ok || selInfo.Kind() != types.FieldVal {
+					return true
+				}
+				if !namedIn(selInfo.Recv(), cfg.ObsPkg, obsInstruments...) {
+					return true
+				}
+				p.Reportf(n.Pos(), "nilmetrics",
+					"field access on %s bypasses the nil-safe method surface",
+					types.TypeString(selInfo.Recv(), types.RelativeTo(p.Pkg)))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,27 @@
+// Package allowtest exercises the escape-hatch semantics directly (no
+// want comments; lint_test asserts on the diagnostic list): a
+// directive suppresses exactly the finding at its site, an unused
+// directive is reported, and a directive without a reason is
+// malformed.
+package allowtest
+
+import "provnet/internal/data"
+
+// annotatedOnce has two identical violations; only the annotated one
+// is suppressed.
+func annotatedOnce(t data.Tuple) string {
+	s := t.Key() //provlint:allow keystring canonical bytes are this fixture's point
+
+	s += t.Key()
+	return s
+}
+
+//provlint:allow keystring nothing on the next line violates anything
+func cleanButAnnotated(a, b data.Tuple) bool {
+	return a.Equal(b)
+}
+
+func missingReason(t data.Tuple) string {
+	//provlint:allow keystring
+	return t.Key()
+}

@@ -1,0 +1,36 @@
+// Package detpathtest exercises the detpath analyzer: wall-clock
+// reads, math/rand imports, and map formatting are flagged.
+package detpathtest
+
+import (
+	"fmt"
+	"math/rand" // want "import of math/rand"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want "time.Since"
+}
+
+func formatMap(m map[string]int) string {
+	return fmt.Sprintf("%v", m) // want "formatting a map"
+}
+
+func printlnMap(m map[int]string) {
+	fmt.Println(m) // want "formatting a map"
+}
+
+func timeValueFine(t time.Time) int64 { return t.UnixNano() }
+
+func formatScalarFine(x int) string { return fmt.Sprintf("%d", x) }
+
+func randUseIsImportFinding() int { return rand.Intn(10) }
+
+func annotated() int64 {
+	start := time.Now() //provlint:allow detpath timing a test fixture
+	return start.UnixNano()
+}

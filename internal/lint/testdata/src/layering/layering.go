@@ -1,0 +1,15 @@
+// Package layeringtest exercises the layering analyzer: the test
+// config denies the provnet/internal/ prefix with obs excepted, so the
+// data import below is a boundary violation and the obs import is not.
+package layeringtest
+
+import (
+	"sort"
+
+	_ "provnet/internal/data" // want "must not import"
+	"provnet/internal/obs"
+)
+
+func useSort(s []string) { sort.Strings(s) }
+
+func useObs(m *obs.Metrics) { m.Counter("x", "help").Inc() }

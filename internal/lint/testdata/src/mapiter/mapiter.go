@@ -1,0 +1,53 @@
+// Package mapitertest exercises the mapiter analyzer: raw map ranges
+// are flagged, collect-then-sort is recognized, annotations suppress.
+package mapitertest
+
+import "sort"
+
+func flagged(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map"
+		total += v
+	}
+	return total
+}
+
+func nestedFlagged(mm map[string]map[string]int) {
+	for _, inner := range mm { // want "range over map"
+		for k := range inner { // want "range over map"
+			_ = k
+		}
+	}
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRangeFine(s []int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	return n
+}
+
+func annotated(m map[string]int) {
+	//provlint:allow mapiter clearing the map; order cannot escape
+	for k := range m {
+		delete(m, k)
+	}
+}

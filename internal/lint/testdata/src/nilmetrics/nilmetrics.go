@@ -1,0 +1,36 @@
+// Package nilmetricstest exercises the nilmetrics analyzer:
+// dereferencing an instrument or reaching into its fields bypasses the
+// nil-safe method surface; chained method use is the supported form.
+package nilmetricstest
+
+import "provnet/internal/obs"
+
+func derefCounter(c *obs.Counter) obs.Counter {
+	return *c // want "dereference"
+}
+
+func derefRegistry(m *obs.Metrics) {
+	_ = *m // want "dereference"
+}
+
+func fieldAccess(m *obs.Metrics) {
+	m.Flight.Record(obs.RoundRecord{}) // want "field access"
+}
+
+func chainedFine(m *obs.Metrics) {
+	m.Counter("x", "help").Inc()
+	m.Gauge("y", "help").Set(1)
+	m.FlightRecorder().Record(obs.RoundRecord{})
+}
+
+func storedInstrumentFine(m *obs.Metrics) *obs.Counter {
+	c := m.Counter("x", "help")
+	c.Add(2)
+	return c
+}
+
+func typeExprFine() {
+	var c *obs.Counter
+	c.Inc()
+	_ = c
+}

@@ -192,6 +192,16 @@ type Metrics struct {
 	Flight *Flight
 }
 
+// FlightRecorder returns the registry's flight recorder, nil on a nil
+// registry — the chained form m.FlightRecorder().Record(...) is a
+// no-op when metrics are disabled, like every other instrument path.
+func (m *Metrics) FlightRecorder() *Flight {
+	if m == nil {
+		return nil
+	}
+	return m.Flight
+}
+
 // New returns an empty registry with a flight recorder of the default
 // capacity.
 func New() *Metrics {

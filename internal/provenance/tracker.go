@@ -119,7 +119,7 @@ func principalVar(t data.Tuple, self string) string {
 	if self != "" {
 		return self
 	}
-	return t.Key()
+	return t.Key() //provlint:allow keystring the canonical bytes name the semiring variable of an unauthenticated base tuple; part of the provenance expression contract
 }
 
 // --- engine.ProvHook ---

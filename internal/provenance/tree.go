@@ -55,7 +55,7 @@ func (d *Deriv) derivSig() string {
 	sb.WriteString(d.Loc)
 	for _, c := range d.Children {
 		sb.WriteByte('|')
-		sb.WriteString(c.Tuple.Key())
+		sb.WriteString(c.Tuple.Key()) //provlint:allow keystring derivation signatures dedupe on the canonical bytes; part of the provenance tree contract
 	}
 	return sb.String()
 }
@@ -90,7 +90,7 @@ func (t *Tree) Leaves() []data.Tuple {
 	var rec func(*Tree)
 	rec = func(n *Tree) {
 		if len(n.Derivs) == 0 {
-			seen[n.Tuple.Key()] = n.Tuple
+			seen[n.Tuple.Key()] = n.Tuple //provlint:allow keystring leaf dedup keys on the canonical bytes; cold traceback path
 			return
 		}
 		for _, d := range n.Derivs {

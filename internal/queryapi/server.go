@@ -81,7 +81,7 @@ const debugRoundsVersion = 1
 // handleDebugRounds dumps the flight recorder: the last N scheduler
 // steps with per-round deltas, timings, and queue depths.
 func (s *Server) handleDebugRounds(w http.ResponseWriter, r *http.Request) {
-	recs := s.n.Metrics().Flight.Snapshot()
+	recs := s.n.Metrics().FlightRecorder().Snapshot()
 	if recs == nil {
 		recs = []obs.RoundRecord{}
 	}
@@ -208,9 +208,8 @@ func (s *Server) handleTraceback(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusNotFound, "traceback", fmt.Errorf("unknown node %q", node))
 			return
 		}
-		key := target.Key()
 		for _, row := range view.Rows(node, target.Pred) {
-			if row.Tuple.Key() == key {
+			if row.Tuple.Equal(target) {
 				res.Condensed = row.Prov
 				writeResult(w, http.StatusOK, res)
 				return

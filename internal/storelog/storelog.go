@@ -460,7 +460,7 @@ func decodeState(b []byte) (*core.StoreState, error) {
 					return nil, err
 				}
 				n += m
-				dst[row.Tuple.Key()] = row
+				dst[row.Tuple.Key()] = row //provlint:allow keystring snapshot rows replay into the store-state map, which is keyed on the canonical bytes by contract
 			}
 		}
 		s.Nodes[name] = ns
