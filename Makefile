@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt fmt-check vet staticcheck lint test race bench bench-smoke bench-json benchgate benchgate-record benchgate-record-metrics api-smoke fuzz examples docs ci
+.PHONY: all build fmt fmt-check vet staticcheck lint test race bench bench-smoke bench-json benchgate benchgate-record benchgate-record-metrics api-smoke fuzz examples docs chaos ci
 
 all: build
 
@@ -102,6 +102,19 @@ api-smoke:
 	kill $$pid 2>/dev/null; \
 	[ $$status -eq 0 ] && diff cmd/provnet/testdata/traceback_golden.json /tmp/provnet-smoke-got.json
 
+# The CI chaos job: the fault-injection convergence suite under the
+# race detector (faultnet schedules, ack/retransmit reliability,
+# termination soundness, the SIGKILL/cold-restart reconvergence pin —
+# each sweeping faultnet seeds 1-3), an ack-path fuzz burst, and the
+# chaos benchmark cell comparing the credit detector against the idle
+# heuristic under seeded frame loss (BENCH_pr10.json).
+chaos:
+	$(GO) test -race -shuffle=on ./internal/faultnet ./internal/nettcp
+	$(GO) test -race -shuffle=on -run 'TestTermination|TestIdleHeuristicFalseFixpoint|TestResupplyReplaysExports' ./internal/core
+	$(GO) test -race -timeout 15m -run 'TestCrashRestartReconverges|TestMultiprocessMatchesSingleProcess' ./cmd/provnet
+	$(GO) test -run '^$$' -fuzz FuzzAckRetransmit -fuzztime 30s ./internal/nettcp
+	$(GO) run ./cmd/benchjson -chaos -n 10 -out BENCH_pr10.json
+
 # Wire-decoder fuzzing (v1-v4 + handshake frames), same budget as CI.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeEnvelope -fuzztime 30s ./internal/core
@@ -122,4 +135,4 @@ docs:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/multiprocess
 
-ci: fmt-check vet staticcheck lint build race fuzz examples docs bench-smoke bench-json benchgate api-smoke
+ci: fmt-check vet staticcheck lint build race fuzz examples docs bench-smoke bench-json chaos benchgate api-smoke

@@ -13,6 +13,16 @@
 // bytes, withdrawn tuples) against a full restart on the cut topology:
 //
 //	go run ./cmd/benchjson -live -out BENCH_pr3.json
+//
+// With -chaos it records the distributed-termination workload: N
+// one-node networks over reliable loopback TCP under a seeded fault
+// schedule (-fault/-faultseed; delays, duplicates, and post-kernel
+// write loss), terminated by the credit/clean-wave detector and by the
+// idle-window heuristic across three seeds each — the artifact compares
+// their termination latency, reliability wire overhead (acks,
+// retransmits, suppressed duplicates), and table correctness:
+//
+//	go run ./cmd/benchjson -chaos -out BENCH_pr10.json
 package main
 
 import (
@@ -83,6 +93,27 @@ type liveResult struct {
 	BytesRatio    float64  `json:"restart_over_live_bytes"`
 }
 
+// chaosResult is one chaos termination cell (BENCH_pr10): the credit
+// detector or the idle heuristic ending a faulted distributed run.
+// AckBytes+retransmits are the reliability overhead; TablesMatch is the
+// correctness column the credit protocol wins.
+type chaosResult struct {
+	Term        string `json:"term"`
+	Seed        int64  `json:"seed"`
+	NsToTerm    int64  `json:"ns_to_terminate"`
+	Waves       uint64 `json:"waves,omitempty"`
+	Messages    int64  `json:"messages"`
+	WireBytes   int64  `json:"wire_bytes"`
+	AckMessages int64  `json:"ack_messages"`
+	AckBytes    int64  `json:"ack_bytes"`
+	Retransmits int64  `json:"retransmits"`
+	DupDropped  int64  `json:"dup_dropped"`
+	Delayed     int64  `json:"delayed_frames"`
+	Duplicated  int64  `json:"duplicated_frames"`
+	WriteLost   int64  `json:"write_lost_frames"`
+	TablesMatch bool   `json:"tables_match"`
+}
+
 type output struct {
 	Workload string           `json:"workload"`
 	Nodes    int              `json:"nodes"`
@@ -93,6 +124,7 @@ type output struct {
 	Live     []liveResult     `json:"live_results,omitempty"`
 	Shard    []shardResult    `json:"shard_results,omitempty"`
 	Query    *queryLoadResult `json:"query_results,omitempty"`
+	Chaos    []chaosResult    `json:"chaos_results,omitempty"`
 }
 
 func main() {
@@ -101,6 +133,7 @@ func main() {
 	cycles := flag.Int("cycles", benchwork.DefaultCycles, "route-refresh cycles after initial convergence")
 	runs := flag.Int("runs", 1, "averaging runs per mode")
 	live := flag.Bool("live", false, "record the live-churn workload (CutLink re-convergence vs restart)")
+	chaos := flag.Bool("chaos", false, "record the chaos termination workload (credit detector vs idle heuristic under -fault)")
 	shard := flag.Bool("shard", false, "record the intra-node sharding workload (wide fan-in, engineshards sweep)")
 	queryload := flag.Bool("queryload", false, "record the concurrent HTTP query workload (tracebacks vs churn, torn-read check)")
 	qworkers := flag.Int("qworkers", 8, "query goroutines for -queryload")
@@ -120,6 +153,13 @@ func main() {
 		fatal("benchjson fixes the transport matrix; -auth/-session/-unbatched/-pipelined/-churn/-rekey are not applicable")
 	}
 
+	if *chaos {
+		recordChaos(*out, *nodes, shared)
+		return
+	}
+	if shared.Fault != "" {
+		fatal("-fault/-faultseed configure the -chaos workload; the other cells run fault-free")
+	}
 	if *queryload {
 		recordQueryLoad(*out, *nodes, *qworkers, *minQueries, shared)
 		return
@@ -256,6 +296,63 @@ func recordQueryLoad(out string, nodes, workers, minQueries int, shared *cliflag
 	}
 	fmt.Printf("queryload n=%d workers=%d: %d queries (%d tracebacks, %d misses) over %d churns, %d snapshots, %.0f q/s, torn=%d\n",
 		r.Nodes, r.Workers, r.Queries, r.Tracebacks, r.TraceMiss, r.Churns, r.Snapshots, r.QPS, r.Torn)
+	write(out, o)
+}
+
+// recordChaos runs the BENCH_pr10 chaos termination workload: both
+// termination modes across three fault seeds, same topology and fault
+// spec, so adjacent cells isolate the detector's cost. The default
+// schedule delays 30% of frames, duplicates 5%, and loses 5% of writes
+// post-kernel; -fault/-faultseed override it.
+func recordChaos(out string, nodes int, shared *cliflags.Flags) {
+	spec := shared.Fault
+	if spec == "" {
+		spec = "delay=0.3,dup=0.05,delayops=200"
+	}
+	fc, err := cliflags.ParseFault(spec)
+	if err != nil {
+		fatal(err)
+	}
+	o := output{
+		Workload: "chaos-termination",
+		Nodes:    nodes,
+		Runs:     3,
+		KeyBits:  shared.KeyBits,
+	}
+	for _, term := range []string{"credit", "idle"} {
+		for s := int64(0); s < 3; s++ {
+			cfg := provnet.Config{
+				Sequential:   shared.Sequential,
+				Workers:      shared.Workers,
+				EngineShards: shared.EngineShards,
+			}
+			r := benchwork.ChaosTermination(fatal, cfg, benchwork.ChaosSpec{
+				Nodes:     nodes,
+				Seed:      shared.FaultSeed + s,
+				Term:      term,
+				Fault:     fc,
+				WriteLoss: 0.05,
+			})
+			o.Chaos = append(o.Chaos, chaosResult{
+				Term:        r.Term,
+				Seed:        r.Seed,
+				NsToTerm:    r.Latency.Nanoseconds(),
+				Waves:       r.Waves,
+				Messages:    r.Messages,
+				WireBytes:   r.Bytes,
+				AckMessages: r.AckMessages,
+				AckBytes:    r.AckBytes,
+				Retransmits: r.Retransmits,
+				DupDropped:  r.DupDropped,
+				Delayed:     r.Delayed,
+				Duplicated:  r.Duplicated,
+				WriteLost:   r.WriteLost,
+				TablesMatch: r.TablesMatch,
+			})
+			fmt.Printf("%-6s seed=%d %12dns %8d bytes (%d acks, %d retransmits, %d dups dropped) tables_match=%v\n",
+				term, r.Seed, r.Latency.Nanoseconds(), r.Bytes, r.AckMessages, r.Retransmits, r.DupDropped, r.TablesMatch)
+		}
+	}
 	write(out, o)
 }
 

@@ -36,11 +36,15 @@
 //	    -metrics -pprof -http 127.0.0.1:8080
 //
 // With -listen, the process becomes one member of a multi-process
-// deployment over real TCP: it hosts only the -self node, reaches the
-// others through the -peers map, and prints its own node's tables once
-// the network has been idle for the -idle window. Every process must be
-// given the same program, topology, and -seed (the principal directory
-// is derived from it). See docs/ARCHITECTURE.md and
+// deployment over real TCP: it hosts the -self node(s) (comma-separated),
+// reaches the others through the -peers map over acked, retransmitted,
+// deduplicated frames, and prints its own nodes' tables once the
+// distributed termination detector declares the fixpoint (-term credit,
+// the default; -term idle opts back into the wall-clock heuristic
+// sampled over the -idle window). A -fault drop=P,dup=P,delay=P spec
+// wraps the transport in a seeded fault schedule for chaos runs. Every
+// process must be given the same program, topology, and -seed (the
+// principal directory is derived from it). See docs/ARCHITECTURE.md and
 // examples/multiprocess:
 //
 //	provnet -program routing.ndl -topo ring:3 -auth session \
@@ -145,6 +149,9 @@ func main() {
 	}
 	if rep.Reconnects > 0 || rep.Requeues > 0 || rep.Parked > 0 {
 		fmt.Printf(", %d reconnects (%d frames requeued, %d parked)", rep.Reconnects, rep.Requeues, rep.Parked)
+	}
+	if rep.Acks > 0 || rep.Retransmits > 0 || rep.DupDropped > 0 {
+		fmt.Printf(", %d acks (%d retransmits, %d dups dropped)", rep.Acks, rep.Retransmits, rep.DupDropped)
 	}
 	fmt.Println()
 

@@ -13,6 +13,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -184,6 +185,115 @@ func TestStoreFlagPersists(t *testing.T) {
 	if strings.Join(got, "\n") != strings.Join(want, "\n") {
 		t.Errorf("recovered store diverges from printed tables\n--- store (%d) ---\n%s\n--- tables (%d) ---\n%s",
 			len(got), strings.Join(got, "\n"), len(want), strings.Join(want, "\n"))
+	}
+}
+
+// TestCrashRestartReconverges is the fault-tolerance pin for the
+// distributed runtime, driven across three fault seeds: three provnet
+// processes run the bestPath workload over loopback TCP under a seeded
+// fault schedule (delays and duplicates on every link), one non-root
+// process is SIGKILLed mid-run and restarted cold on the same address.
+// The reliability layer reconnects, the restart notification makes the
+// survivors re-announce their soft state (export-log resupply), and the
+// credit termination detector — whose ring root survives the crash —
+// must still declare only the true fixpoint: the union of the final
+// tables, condensed provenance annotations included, equals the
+// single-process reference bit for bit.
+func TestCrashRestartReconverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "bestpath.ndl")
+	if err := os.WriteFile(prog, []byte(provnet.BestPath), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A unidirectional ring has a unique path between every pair, so the
+	// full tables (not just costs) are reproducible under frame
+	// reordering and duplication.
+	nodes := []string{"n0", "n1", "n2"}
+	common := []string{
+		"-program", prog, "-topo", "ring:3",
+		"-auth", "rsa", "-keybits", "512",
+		"-prov", "condensed", "-annotate",
+	}
+
+	refCtx, refCancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer refCancel()
+	refOut, err := runProvnet(refCtx, common...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tableLines(refOut)
+	if len(want) == 0 {
+		t.Fatalf("reference run printed no tables:\n%s", refOut)
+	}
+
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+			defer cancel()
+			addrs := freeLoopbackAddrs(t, len(nodes))
+			procArgs := func(i int) []string {
+				var peers []string
+				for j, other := range nodes {
+					if j != i {
+						peers = append(peers, other+"="+addrs[j])
+					}
+				}
+				// Delay and duplicate but never drop: the fault schedule
+				// wraps the transport above the retransmit layer, so a
+				// dropped frame there would be a genuine application loss.
+				return append(append([]string{}, common...),
+					"-listen", addrs[i], "-self", nodes[i],
+					"-peers", strings.Join(peers, ","), "-idle", "1s",
+					"-fault", "delay=0.4,dup=0.05,delayops=200",
+					"-faultseed", strconv.FormatInt(seed, 10))
+			}
+
+			outs := make([]string, len(nodes))
+			errs := make([]error, len(nodes))
+			var wg sync.WaitGroup
+			for _, i := range []int{0, 2} {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					outs[i], errs[i] = runProvnet(ctx, procArgs(i)...)
+				}(i)
+			}
+
+			// The victim is n1, not n0: the ring root must survive so the
+			// wave protocol keeps a root to relaunch timed-out waves. Kill
+			// it mid-run — 512-bit keygen, RSA handshakes, and the fault
+			// delays keep the run alive well past the kill point.
+			victim := exec.CommandContext(ctx, os.Args[0])
+			victim.Env = append(os.Environ(), mainArgsEnv+"="+strings.Join(procArgs(1), argSep))
+			if err := victim.Start(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(400 * time.Millisecond)
+			victim.Process.Kill()
+			victim.Wait()
+
+			// Cold restart on the same address: no state survives in the
+			// process, everything must come back through base facts and
+			// the survivors' resupply.
+			outs[1], errs[1] = runProvnet(ctx, procArgs(1)...)
+			wg.Wait()
+
+			var got []string
+			for i := range nodes {
+				if errs[i] != nil {
+					t.Fatal(errs[i])
+				}
+				got = append(got, tableLines(outs[i])...)
+			}
+			sort.Strings(got)
+			if strings.Join(got, "\n") != strings.Join(want, "\n") {
+				t.Errorf("tables after crash+restart differ\n--- reference (%d rows) ---\n%s\n--- survivors+restart (%d rows) ---\n%s",
+					len(want), strings.Join(want, "\n"), len(got), strings.Join(got, "\n"))
+			}
+		})
 	}
 }
 

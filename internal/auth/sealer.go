@@ -188,6 +188,17 @@ func (s *SessionSealer) EnsureSession(src, dst string) (needHandshake bool, epoc
 	return true, s.epoch, nil
 }
 
+// ResetOutbound forgets every outbound session, forcing a fresh
+// handshake on each link's next export. The network calls it before a
+// soft-state resupply: a restarted peer lost its inbound session keys
+// with its tables, so data sealed under the old sessions would be
+// dropped as unopenable.
+func (s *SessionSealer) ResetOutbound() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.out = make(map[string]*outSession)
+}
+
 // SealHandshake builds the handshake frame for the src→dst link at the
 // given epoch: the session key encrypted to dst's public key, signed by
 // src. This is the per-link RSA cost the session scheme amortizes.

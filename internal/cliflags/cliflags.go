@@ -20,6 +20,8 @@ import (
 	"time"
 
 	"provnet"
+	"provnet/internal/faultnet"
+	"provnet/internal/netsim"
 	"provnet/internal/nettcp"
 )
 
@@ -58,15 +60,26 @@ type Flags struct {
 	Metrics bool
 	PProf   bool
 
-	// Multi-process TCP transport: this process hosts node Self,
-	// listens on Listen, and reaches the other processes through the
-	// Peers map. Idle is the quiet window after which a distributed run
-	// is considered converged (no global fixpoint detector exists across
-	// processes; see RunDistributed).
+	// Multi-process TCP transport: this process hosts the node(s) in
+	// Self (comma-separated), listens on Listen, and reaches the other
+	// processes through the Peers map. Term picks the termination mode:
+	// "credit" (default) runs the distributed clean-wave fixpoint
+	// detector; "idle" is the legacy wall-clock heuristic, kept as an
+	// opt-in fallback. Idle is the quiet window the heuristic samples —
+	// and, in credit mode, the base unit of the safety timeout that
+	// falls back to the heuristic if the wave protocol stalls.
 	Listen string
 	Self   string
 	Peers  string
 	Idle   time.Duration
+	Term   string
+
+	// Fault injection: Fault is a drop=P,dup=P,delay=P[,delayops=N]
+	// spec wrapping the transport in internal/faultnet under FaultSeed
+	// (see ParseFault). Works on both the in-memory fabric and the TCP
+	// transport; empty = no injection.
+	Fault     string
+	FaultSeed int64
 }
 
 // Register binds the shared flags to fs (flag.CommandLine when nil) with
@@ -91,11 +104,26 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.HTTP, "http", "", "serve the /v1 query API (traceback, tables, bestpath, subscribe) on this address")
 	fs.BoolVar(&f.Metrics, "metrics", false, "record scheduler/engine/crypto/transport metrics; served at /metrics with -http, dumped to stderr at exit otherwise")
 	fs.BoolVar(&f.PProf, "pprof", false, "mount net/http/pprof under the -http server (cmd/provnet only; needs -http)")
-	fs.StringVar(&f.Listen, "listen", "", "host one node over TCP: listen address (turns on the nettcp transport; needs -self and -peers)")
-	fs.StringVar(&f.Self, "self", "", "node name this process hosts (TCP transport)")
+	fs.StringVar(&f.Listen, "listen", "", "host nodes over TCP: listen address (turns on the nettcp transport; needs -self and -peers)")
+	fs.StringVar(&f.Self, "self", "", "comma-separated node name(s) this process hosts (TCP transport)")
 	fs.StringVar(&f.Peers, "peers", "", "comma-separated name=host:port peer map (TCP transport)")
-	fs.DurationVar(&f.Idle, "idle", 750*time.Millisecond, "quiet window after which a TCP run is considered converged")
+	fs.DurationVar(&f.Idle, "idle", 750*time.Millisecond, "quiet window of the -term idle heuristic (and the safety-fallback unit in credit mode)")
+	fs.StringVar(&f.Term, "term", "credit", "distributed termination mode: credit (clean-wave fixpoint detector) or idle (wall-clock heuristic)")
+	fs.StringVar(&f.Fault, "fault", "", "fault-injection spec drop=P,dup=P,delay=P[,delayops=N]: wrap the transport in a seeded fault schedule")
+	fs.Int64Var(&f.FaultSeed, "faultseed", 1, "rng seed for the -fault schedule")
 	return f
+}
+
+// SelfNodes returns the node names this process hosts (-self, comma
+// separated).
+func (f *Flags) SelfNodes() []string {
+	var out []string
+	for _, s := range strings.Split(f.Self, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Distributed reports whether the flags select the multi-process TCP
@@ -148,50 +176,196 @@ func ParsePeers(spec string) (map[string]string, error) {
 	return peers, nil
 }
 
-// SetupTransport wires the TCP transport into cfg when -listen is set:
-// the process hosts only -self, and traffic to every -peers entry
-// crosses sockets. The returned closer (non-nil only for TCP runs)
-// releases the listener and connections; Network.Close also closes it.
+// ParseFault parses the -fault spec: comma-separated key=value pairs
+// with keys drop, dup, delay (probabilities in [0,1)) and delayops (max
+// limbo hold in transport operations).
+func ParseFault(spec string) (faultnet.Config, error) {
+	var fc faultnet.Config
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fc, fmt.Errorf("cliflags: bad -fault entry %q (want key=value)", part)
+		}
+		switch key {
+		case "drop", "dup", "delay":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p >= 1 {
+				return fc, fmt.Errorf("cliflags: -fault %s wants a probability in [0,1), got %q", key, val)
+			}
+			switch key {
+			case "drop":
+				fc.Drop = p
+			case "dup":
+				fc.Dup = p
+			case "delay":
+				fc.Delay = p
+			}
+		case "delayops":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fc, fmt.Errorf("cliflags: -fault delayops wants a positive int, got %q", val)
+			}
+			fc.DelayOps = n
+		default:
+			return fc, fmt.Errorf("cliflags: unknown -fault key %q (want drop, dup, delay, delayops)", key)
+		}
+	}
+	return fc, nil
+}
+
+// faultAutoRelease keeps a live run's limbo draining: scripted test
+// clocks advance manually, but a CLI run needs delayed frames to
+// surface without waiting for the next send.
+const faultAutoRelease = 10 * time.Millisecond
+
+// wrapFault wraps tr in the -fault schedule when one is given.
+func (f *Flags) wrapFault(tr faultnet.Transport) (provnet.Transport, error) {
+	if f.Fault == "" {
+		return tr.(provnet.Transport), nil
+	}
+	fc, err := ParseFault(f.Fault)
+	if err != nil {
+		return nil, err
+	}
+	fc.Seed = f.FaultSeed
+	fc.AutoReleaseEvery = faultAutoRelease
+	return faultnet.New(tr, fc), nil
+}
+
+// SetupTransport wires the message substrate into cfg. With -listen the
+// process joins a multi-process deployment: it hosts the -self node(s),
+// reaches every -peers entry over reliable TCP (acked, retransmitted,
+// deduplicated frames), and re-announces its soft state when a peer
+// restarts. A -fault spec wraps whichever transport results — the TCP
+// backend, or an explicit in-memory fabric for single-process chaos
+// runs. The returned closer (non-nil only for TCP runs) releases the
+// listener and connections; Network.Close also closes it.
 func (f *Flags) SetupTransport(ctx context.Context, cfg *provnet.Config) (io.Closer, error) {
 	if !f.Distributed() {
 		if f.Self != "" || f.Peers != "" {
 			return nil, fmt.Errorf("cliflags: -self/-peers require -listen")
 		}
+		if f.Fault != "" {
+			tr, err := f.wrapFault(netsim.New())
+			if err != nil {
+				return nil, err
+			}
+			cfg.Transport = tr
+		}
 		return nil, nil
 	}
-	if f.Self == "" {
-		return nil, fmt.Errorf("cliflags: -listen requires -self (the node this process hosts)")
+	locals := f.SelfNodes()
+	if len(locals) == 0 {
+		return nil, fmt.Errorf("cliflags: -listen requires -self (the node(s) this process hosts)")
 	}
 	peers, err := ParsePeers(f.Peers)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := nettcp.New(nettcp.Config{Listen: f.Listen, Peers: peers, Context: ctx})
+	tcp, err := nettcp.New(nettcp.Config{Listen: f.Listen, Peers: peers, Context: ctx, Reliable: true})
 	if err != nil {
 		return nil, err
 	}
+	tr, err := f.wrapFault(tcp)
+	if err != nil {
+		tcp.Close()
+		return nil, err
+	}
 	cfg.Transport = tr
-	cfg.LocalNodes = []string{f.Self}
-	return tr, nil
+	cfg.LocalNodes = locals
+	cfg.Resupply = true
+	if c, ok := tr.(io.Closer); ok {
+		return c, nil
+	}
+	return tcp, nil
 }
 
 // RunDistributed drives one process of a multi-process deployment to
-// convergence: the lifecycle driver runs live (remote arrivals wake it
-// between rounds), and the run ends when the process has been locally
-// quiescent with no transport activity for the -idle window. There is no
-// global fixpoint detector across processes — the idle window is the
-// termination heuristic, so it must exceed the deployment's worst-case
-// inter-process lull (the default suits loopback; raise it for real
-// networks). The returned report spans the whole run.
+// convergence. The lifecycle driver runs live (remote arrivals wake it
+// between rounds); what ends the run is the -term mode:
+//
+//   - credit (default): the distributed clean-wave fixpoint detector —
+//     a token circulates the full node ring, carrying cumulative
+//     activity counters, and the ring root declares termination when
+//     two consecutive waves return equal sums (sound under loss, delay,
+//     and reordering; see docs/ARCHITECTURE.md). A generous safety
+//     timeout falls back to the idle heuristic if the protocol stalls
+//     (a peer that never comes up would otherwise hold the token
+//     forever).
+//   - idle: the legacy wall-clock heuristic — the run ends after the
+//     process has been locally quiescent with no transport activity for
+//     the -idle window. Unsound under delay or partition (a frame on
+//     the wire is silent); kept as an explicit opt-in.
+//
+// The returned report spans the whole run.
 func (f *Flags) RunDistributed(ctx context.Context, n *provnet.Network) (*provnet.Report, error) {
+	switch f.Term {
+	case "", "credit":
+	case "idle":
+		return f.runDistributedIdle(ctx, n)
+	default:
+		return nil, fmt.Errorf("cliflags: unknown -term mode %q (want credit or idle)", f.Term)
+	}
 	d := n.Driver()
 	if err := d.Start(ctx); err != nil {
 		return nil, err
 	}
-	window := f.Idle
-	if window <= 0 {
-		window = 750 * time.Millisecond
+	tctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	td := n.StartTermination(tctx, provnet.TermConfig{})
+	safety := 40 * f.idleWindow()
+	if safety < 30*time.Second {
+		safety = 30 * time.Second
 	}
+	select {
+	case <-td.Done():
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(safety):
+		// The wave protocol stalled — a peer is down or unreachable for
+		// good. Degrade to the heuristic rather than hang forever.
+		n.Metrics().Counter("provnet_scheduler_term_safety_fallbacks_total", "").Inc()
+		return f.idleLoop(ctx, n, d)
+	}
+	n.Metrics().Counter("provnet_scheduler_credit_terminations_total", "").Inc()
+	rep, err := d.AwaitQuiescence(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.FlushStore(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func (f *Flags) idleWindow() time.Duration {
+	if f.Idle > 0 {
+		return f.Idle
+	}
+	return 750 * time.Millisecond
+}
+
+// runDistributedIdle is the -term idle path: start the driver, then
+// sample the heuristic.
+func (f *Flags) runDistributedIdle(ctx context.Context, n *provnet.Network) (*provnet.Report, error) {
+	d := n.Driver()
+	if err := d.Start(ctx); err != nil {
+		return nil, err
+	}
+	return f.idleLoop(ctx, n, d)
+}
+
+// idleLoop is the wall-clock idle heuristic: the run ends when local
+// quiescence coincides with a full -idle window of transport silence.
+// TestIdleHeuristicFalseFixpoint (internal/core) pins why this is a
+// heuristic, not a detector: a frame delayed on the wire is silent, so
+// the loop can declare while the fixpoint is still in flight.
+func (f *Flags) idleLoop(ctx context.Context, n *provnet.Network, d *provnet.Driver) (*provnet.Report, error) {
+	window := f.idleWindow()
 	var last int64 = -1
 	rounds := 0
 	var rep *provnet.Report

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -149,6 +150,17 @@ type Config struct {
 	// Transport.
 	LocalNodes []string
 
+	// Resupply enables soft-state re-announcement: every hosted node
+	// keeps a log of its current exports per destination, and when the
+	// transport reports a peer process restarting (RestartNotifier), the
+	// driver replays the log so the restarted process — which lost its
+	// in-memory tables — is re-supplied without waiting for churn.
+	// Engines are idempotent (set semantics, per-sender support), so
+	// replayed exports are harmless to peers that never crashed. Off by
+	// default: the log costs an allocation per export, which the
+	// single-process hot path must not pay.
+	Resupply bool
+
 	// Store, when set, receives every table change at every hosted node
 	// as an ordered event stream (insert/retract/expire/annotation), and
 	// is sealed and flushed at quiescence points — the durability seam.
@@ -187,6 +199,12 @@ type Node struct {
 	// frames in the next export phase. Only this node's scheduler task
 	// touches it (mutations are applied between rounds), so no lock.
 	pendingRetract []engine.Withdrawal
+
+	// exports is the soft-state log (Config.Resupply only): the current
+	// exports per destination, replayed when a peer process restarts.
+	// Keyed dest → tuple key; owned by this node's scheduler task like
+	// pendingRetract, so no lock.
+	exports map[string]map[string]BatchItem
 }
 
 // takeRetracts drains the node's pending withdrawals.
@@ -244,6 +262,15 @@ type Network struct {
 	// filter.
 	rejectedSig    atomic.Int64
 	rejectedFilter atomic.Int64
+	// allNodes is the sorted full node list — hosted and remote — shared
+	// by every process of a deployment (all derive it from the same
+	// program and topology). The termination detector's token ring walks
+	// it in this order.
+	allNodes []string
+	// term is the active termination detector, nil unless StartTermination
+	// ran. The hot path pays one atomic load per activity mark when a
+	// detector is installed, and a nil check otherwise.
+	term atomic.Pointer[TermDetector]
 }
 
 // ErrNoFixpoint is returned when Run exceeds its round budget.
@@ -346,6 +373,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if len(names) == 0 {
 		return nil, errors.New("core: no nodes (no topology, facts, or extra nodes)")
 	}
+	n.allNodes = append([]string(nil), names...)
+	sort.Strings(n.allNodes)
 
 	for _, name := range names {
 		level := int64(1)
@@ -587,6 +616,13 @@ type Report struct {
 	Reconnects int64
 	Requeues   int64
 	Parked     int64
+	// Reliability counters from the transport (nonzero only when the TCP
+	// backend runs with acked delivery): ack frames shipped, sequenced
+	// frames re-sent after an ack timeout or reconnect, and duplicate
+	// frames suppressed by the receive window.
+	Acks        int64
+	Retransmits int64
+	DupDropped  int64
 }
 
 // Run drives the network to a distributed fixpoint: every node evaluates
@@ -1028,11 +1064,15 @@ func (n *Network) buildRetractFrames(from string, ws []engine.Withdrawal) ([]out
 	}
 	groups := make(map[string][]data.Tuple)
 	var dests []string
+	node := n.nodes[from]
 	for _, w := range ws {
 		if _, ok := groups[w.Dest]; !ok {
 			dests = append(dests, w.Dest)
 		}
 		groups[w.Dest] = append(groups[w.Dest], w.Tuple)
+		if n.cfg.Resupply && node.exports != nil {
+			delete(node.exports[w.Dest], w.Tuple.Key()) //provlint:allow keystring export-log key, resupply path only
+		}
 	}
 	var frames []outFrame
 	for _, dest := range dests {
@@ -1067,7 +1107,19 @@ func (n *Network) buildRetractFrames(from string, ws []engine.Withdrawal) ([]out
 func (n *Network) buildExportFrames(from string, exports []engine.Export) ([]outFrame, error) {
 	node := n.nodes[from]
 	item := func(ex engine.Export) BatchItem {
-		return BatchItem{Tuple: ex.Tuple, Prov: node.Tracker.Export(ex.Tuple, ex.Ann)}
+		it := BatchItem{Tuple: ex.Tuple, Prov: node.Tracker.Export(ex.Tuple, ex.Ann)}
+		if n.cfg.Resupply {
+			if node.exports == nil {
+				node.exports = make(map[string]map[string]BatchItem)
+			}
+			perDest := node.exports[ex.Dest]
+			if perDest == nil {
+				perDest = make(map[string]BatchItem)
+				node.exports[ex.Dest] = perDest
+			}
+			perDest[ex.Tuple.Key()] = it //provlint:allow keystring export-log key, resupply path only
+		}
+		return it
 	}
 	if n.session == nil && n.cfg.Unbatched {
 		// Seed behavior: one v1 envelope per tuple, in export order.
@@ -1150,6 +1202,9 @@ func (n *Network) sealAndSend(from string, frames []outFrame) error {
 }
 
 func (n *Network) sealAndSendInner(from string, frames []outFrame) error {
+	if len(frames) > 0 {
+		n.markActive(from)
+	}
 	for i := range frames {
 		f := &frames[i]
 		var payload []byte
@@ -1277,6 +1332,23 @@ func (n *Network) decodeVerifyInner(name string, msg netsim.Message) (*delivery,
 			}
 		}
 		return &delivery{from: env.From, items: env.Items, batchable: true}, nil
+	case wireVersionControl:
+		cf, err := DecodeControlFrame(p)
+		if err != nil {
+			return nil, err
+		}
+		// Control frames are always sealed with the legacy sealer (they
+		// must verify across restarts, before any session exists).
+		if n.cfg.Auth != auth.SchemeNone {
+			if err := cf.Verify(n.legacy, name); err != nil {
+				n.rejectedSig.Add(1) // a forged token could fake a fixpoint
+				return nil, nil
+			}
+		}
+		if td := n.term.Load(); td != nil {
+			td.handleControl(name, cf)
+		}
+		return nil, nil
 	case wireVersionRetract:
 		env, err := DecodeRetractEnvelope(p)
 		if err != nil {
@@ -1318,6 +1390,9 @@ func (n *Network) decodeVerifyInner(name string, msg netsim.Message) (*delivery,
 // origin-support model makes insert-vs-retract of different senders
 // commute, so deferring retractions does not change the fixpoint.
 func (n *Network) deliverAll(name string, node *Node, ds []*delivery) error {
+	if len(ds) > 0 {
+		n.markActive(name)
+	}
 	var inbound []engine.InboundRetraction
 	for _, d := range ds {
 		if d.retract {
@@ -1394,6 +1469,9 @@ func (n *Network) report(start time.Time, rounds int) *Report {
 		Reconnects:        stats.Reconnects,
 		Requeues:          stats.Requeues,
 		Parked:            stats.Parked,
+		Acks:              stats.AckMessages,
+		Retransmits:       stats.Retransmits,
+		DupDropped:        stats.DupDropped,
 		Signed:            n.signed.Load(),
 		Verified:          n.checked.Load(),
 		RejectedSig:       n.rejectedSig.Load(),
@@ -1413,6 +1491,78 @@ func (n *Network) report(start time.Time, rounds int) *Report {
 		r.Retracted += node.Engine.Stats.Retracted
 	}
 	return r
+}
+
+// markActive records activity at a node for the termination detector:
+// any export shipped or delivery applied dirties the node, forcing the
+// current detection wave to restart. One atomic load when no detector
+// is installed.
+func (n *Network) markActive(node string) {
+	if td := n.term.Load(); td != nil {
+		td.markDirty(node)
+	}
+}
+
+// resupplyAll replays every hosted node's export log (Config.Resupply):
+// the soft-state re-announcement after a peer process restart. Outbound
+// sessions are reset first so session links re-handshake — the restarted
+// peer lost its inbound session keys with its tables. Destinations and
+// tuples replay in sorted order so the resupply traffic is deterministic
+// for a given table state. Called between rounds by the driver.
+func (n *Network) resupplyAll() error {
+	if n.session != nil {
+		n.session.ResetOutbound()
+	}
+	for _, name := range n.order {
+		nd := n.nodes[name]
+		if len(nd.exports) == 0 {
+			continue
+		}
+		dests := make([]string, 0, len(nd.exports))
+		for dest := range nd.exports {
+			dests = append(dests, dest)
+		}
+		sort.Strings(dests)
+		var frames []outFrame
+		for _, dest := range dests {
+			perDest := nd.exports[dest]
+			if len(perDest) == 0 {
+				continue
+			}
+			keys := make([]string, 0, len(perDest))
+			for k := range perDest {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			if n.session != nil {
+				need, epoch, err := n.session.EnsureSession(name, dest)
+				if err != nil {
+					return err
+				}
+				if need {
+					frames = append(frames, outFrame{dst: dest, handshake: true, epoch: epoch})
+				}
+				env := &SessionEnvelope{From: name, ProvMode: n.cfg.Prov}
+				for _, k := range keys {
+					env.Items = append(env.Items, perDest[k])
+				}
+				frames = append(frames, outFrame{dst: dest, sess: env})
+				continue
+			}
+			env := &BatchEnvelope{From: name, ProvMode: n.cfg.Prov, Scheme: n.cfg.Auth}
+			for _, k := range keys {
+				env.Items = append(env.Items, perDest[k])
+			}
+			frames = append(frames, outFrame{dst: dest, batch: env})
+		}
+		if len(frames) == 0 {
+			continue
+		}
+		if err := n.sealAndSend(name, frames); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // --- runtime interaction ---

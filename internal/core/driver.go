@@ -93,6 +93,9 @@ const (
 	evRetract
 	evSetLink
 	evCutLink
+	// evResupply replays every hosted node's export log (soft-state
+	// re-announcement after a peer process restart; Config.Resupply).
+	evResupply
 )
 
 // Driver returns the network's lifecycle driver, creating it on first
@@ -150,6 +153,14 @@ func (d *Driver) Start(ctx context.Context) error {
 			}
 			d.mu.Unlock()
 		})
+	}
+	// Soft-state resupply: when the transport detects a peer process
+	// restarting (a fresh hello incarnation), replay our export log so
+	// the peer re-learns what it lost with its tables.
+	if d.n.cfg.Resupply {
+		if rn, ok := d.n.net.(RestartNotifier); ok {
+			rn.SetRestartHandler(func(string) { _ = d.Resupply() })
+		}
 	}
 	// Wake the cond when the context dies, so waiters and the pump notice.
 	stop := context.AfterFunc(ctx, func() {
@@ -542,15 +553,57 @@ func (d *Driver) CutLink(from, to string) error {
 	return d.enqueue(driverEvent{kind: evCutLink, from: from, to: to})
 }
 
+// Resupply queues a soft-state re-announcement: every hosted node
+// replays its export log (Config.Resupply) between rounds. The driver
+// enqueues it automatically when the transport reports a peer restart.
+func (d *Driver) Resupply() error {
+	return d.enqueue(driverEvent{kind: evResupply})
+}
+
+// Nudge marks a live pump dirty so it runs a drain round even though no
+// local mutation arrived. The termination detector uses it to get
+// queued control frames imported: the in-memory fabric has no Notifier,
+// so nothing else would announce them to a sleeping pump. A synchronous,
+// closed, or failed driver ignores the nudge.
+func (d *Driver) Nudge() {
+	d.mu.Lock()
+	if d.started && !d.closed && d.err == nil {
+		d.dirty = true
+		d.cond.Broadcast()
+	}
+	d.mu.Unlock()
+}
+
+// Quiet reports whether the live driver is at a quiescence point: the
+// pump has observed a no-progress round, no events are queued, and the
+// transport holds no undrained datagrams. It is the local-work half of
+// the termination detector's token-passing condition (the other half is
+// the transport's in-flight gauge). A synchronous or failed driver is
+// never quiet.
+func (d *Driver) Quiet() bool {
+	d.mu.Lock()
+	quiet := d.started && !d.dirty && !d.closed && d.err == nil && len(d.inbox) == 0
+	d.mu.Unlock()
+	return quiet && d.n.net.PendingCount() == 0
+}
+
 // applyEvents applies queued mutations to the engines (called under
 // runMu, between rounds). It reports whether anything changed.
 func (d *Driver) applyEvents(evs []driverEvent) (bool, error) {
 	mutated := false
 	for _, ev := range evs {
+		if ev.kind == evResupply {
+			if err := d.n.resupplyAll(); err != nil {
+				return mutated, err
+			}
+			mutated = true
+			continue
+		}
 		nd, ok := d.n.nodes[eventNode(ev)]
 		if !ok {
 			return mutated, fmt.Errorf("core: unknown node %q", eventNode(ev))
 		}
+		d.n.markActive(eventNode(ev))
 		switch ev.kind {
 		case evInject:
 			for _, t := range ev.tuples {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"io"
 
 	"provnet/internal/netsim"
@@ -30,7 +31,12 @@ import (
 // A transport that holds OS resources should also implement io.Closer
 // (Network.Close releases it), and one that receives datagrams
 // asynchronously should implement Notifier so the lifecycle driver wakes
-// when traffic arrives between rounds.
+// when traffic arrives between rounds. Reliable or lossy transports
+// additionally implement the optional gauges below: InFlighter is what
+// lets the termination detector distinguish "quiet" from "done" — a
+// datagram accepted by Send but not yet acknowledged (or still parked in
+// a fault injector's limbo) is in flight, and no fixpoint may be
+// declared over it.
 type Transport interface {
 	// AddNode registers a node hosted by this process. Register all local
 	// nodes before running traffic.
@@ -59,6 +65,32 @@ type Transport interface {
 // loop when a remote peer ships work between rounds.
 type Notifier interface {
 	Notify(fn func())
+}
+
+// InFlighter is implemented by transports that can say how many locally
+// originated datagrams are accepted but not yet safely delivered
+// (unacknowledged reliability windows, fault-injector limbo). The
+// termination detector refuses to pass a token while InFlight is
+// nonzero: those datagrams will surface as future work somewhere.
+type InFlighter interface {
+	InFlight() int
+}
+
+// Flusher is implemented by transports that can block until every
+// locally originated datagram is acknowledged. The termination detector
+// flushes before the terminate broadcast so no process exits with
+// undelivered frames in its window.
+type Flusher interface {
+	Flush(ctx context.Context) error
+}
+
+// RestartNotifier is implemented by transports that detect a peer
+// process restarting (a new hello incarnation on a known link). The
+// network uses it to trigger soft-state re-announcement: the restarted
+// peer lost its tables, so every neighbour re-supplies its current
+// exports.
+type RestartNotifier interface {
+	SetRestartHandler(fn func(process string))
 }
 
 // Close releases the network's resources: the lifecycle driver (pump,

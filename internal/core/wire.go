@@ -93,6 +93,11 @@ const (
 	wireVersionBatch   = 2
 	wireVersionSession = 3
 	wireVersionRetract = 4
+	// wireVersionControl carries the distributed-termination protocol:
+	// clean-wave tokens circulating the node ring and the final
+	// terminate broadcast. Control frames never carry tuples and never
+	// mark activity — they are the quiet channel the detector listens on.
+	wireVersionControl = 5
 )
 
 // v3 frame kinds (second byte of a v3 datagram).
@@ -102,6 +107,14 @@ const (
 	// frameRetract is a session-sealed withdrawal batch: the v3 carrier
 	// of the retractions that v4 envelopes ship on the legacy transport.
 	frameRetract byte = 3
+)
+
+// v5 control frame kinds (second byte of a v5 datagram).
+const (
+	// ctrlToken is a circulating termination-wave token.
+	ctrlToken byte = 1
+	// ctrlTerminate is the root's fixpoint declaration broadcast.
+	ctrlTerminate byte = 2
 )
 
 // Errors from envelope decoding and verification.
@@ -425,6 +438,118 @@ func DecodeRetractEnvelope(b []byte) (*RetractEnvelope, error) {
 
 // Verify checks the retract envelope seal for the from→to link.
 func (e *RetractEnvelope) Verify(sealer auth.Sealer, to string) error {
+	bp := getWireBuf()
+	prefix := e.appendSignedPrefix(*bp)
+	err := sealer.Open(e.From, to, prefix, e.Sig)
+	putWireBuf(bp, prefix)
+	return err
+}
+
+// --- termination control frames (wire v5) ---
+
+// ControlFrame is the v5 datagram of the distributed termination
+// protocol. A token (Terminate false) circulates the sorted node ring
+// once per wave: each node holds it until locally quiescent, adds its
+// cumulative activity counter to Acts, and forwards it. When two
+// consecutive completed waves return the same activity sum to the ring
+// root, no node did any work between its two stamps and no frame was in
+// flight — the root broadcasts a terminate frame (Terminate true) to
+// every other node. The counters are cumulative (never reset), so a
+// lost or duplicated token costs a wave restart, never a false
+// fixpoint. Control frames are sealed with the legacy (signature)
+// sealer regardless of the data-path transport: they predate session
+// establishment on restarted links and must stay verifiable across
+// incarnations.
+type ControlFrame struct {
+	// From is the node forwarding (token) or declaring (terminate).
+	From string
+	// Terminate distinguishes the fixpoint broadcast from a token.
+	Terminate bool
+	// Wave numbers the detection attempt; stale waves are discarded.
+	Wave uint64
+	// Acts is the running sum of cumulative per-node activity counters
+	// stamped by the nodes the token has visited this wave. Zero on
+	// terminate frames.
+	Acts uint64
+	// Scheme identifies the says implementation used.
+	Scheme auth.Scheme
+	// Sig authenticates everything before it, sealed by From.
+	Sig []byte
+}
+
+// signedPrefix encodes the authenticated portion of the control frame.
+func (e *ControlFrame) signedPrefix() []byte { return e.appendSignedPrefix(nil) }
+
+func (e *ControlFrame) appendSignedPrefix(b []byte) []byte {
+	kind := ctrlToken
+	if e.Terminate {
+		kind = ctrlTerminate
+	}
+	b = append(b, wireVersionControl, kind)
+	b = data.AppendString(b, e.From)
+	b = append(b, byte(e.Scheme))
+	b = binary.AppendUvarint(b, e.Wave)
+	b = binary.AppendUvarint(b, e.Acts)
+	return b
+}
+
+// Encode serializes the control frame, sealing it for the from→to link
+// when the scheme requires it.
+func (e *ControlFrame) Encode(sealer auth.Sealer, to string) ([]byte, error) {
+	bp := getWireBuf()
+	prefix := e.appendSignedPrefix(*bp)
+	out, sig, err := sealDatagram(sealer, e.From, to, bp, prefix, "control frame")
+	if err != nil {
+		return nil, err
+	}
+	e.Sig = sig
+	return out, nil
+}
+
+// DecodeControlFrame parses a control frame without verifying it.
+func DecodeControlFrame(b []byte) (*ControlFrame, error) {
+	if len(b) < 2 || b[0] != wireVersionControl || (b[1] != ctrlToken && b[1] != ctrlTerminate) {
+		return nil, fmt.Errorf("%w: control frame header", ErrBadEnvelope)
+	}
+	terminate := b[1] == ctrlTerminate
+	n := 2
+	from, m, err := data.DecodeString(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: from: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	if n >= len(b) {
+		return nil, fmt.Errorf("%w: truncated scheme", ErrBadEnvelope)
+	}
+	scheme := auth.Scheme(b[n])
+	n++
+	wave, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: wave", ErrBadEnvelope)
+	}
+	n += m
+	acts, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return nil, fmt.Errorf("%w: acts", ErrBadEnvelope)
+	}
+	n += m
+	sig, m, err := data.DecodeBytes(b[n:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: sig: %v", ErrBadEnvelope, err)
+	}
+	n += m
+	if n != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadEnvelope, len(b)-n)
+	}
+	cf := &ControlFrame{From: from, Terminate: terminate, Wave: wave, Acts: acts, Scheme: scheme}
+	if len(sig) > 0 {
+		cf.Sig = append([]byte{}, sig...)
+	}
+	return cf, nil
+}
+
+// Verify checks the control frame seal for the from→to link.
+func (e *ControlFrame) Verify(sealer auth.Sealer, to string) error {
 	bp := getWireBuf()
 	prefix := e.appendSignedPrefix(*bp)
 	err := sealer.Open(e.From, to, prefix, e.Sig)

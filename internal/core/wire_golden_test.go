@@ -116,6 +116,44 @@ var goldenFrames = []struct {
 		},
 	},
 	{
+		name: "v5 termination token",
+		hex:  "0501016101050102aabb",
+		decode: func(t *testing.T, b []byte) any {
+			e, err := DecodeControlFrame(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if e.Terminate {
+				t.Fatal("token frame decoded with Terminate=true")
+			}
+			return e
+		},
+		build: func() ([]byte, error) {
+			e := &ControlFrame{From: "a", Wave: 5, Acts: 1, Scheme: auth.SchemeHMAC,
+				Sig: []byte{0xAA, 0xBB}}
+			return data.AppendBytes(e.signedPrefix(), e.Sig), nil
+		},
+	},
+	{
+		name: "v5 terminate frame",
+		hex:  "0502016102070002dead",
+		decode: func(t *testing.T, b []byte) any {
+			e, err := DecodeControlFrame(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !e.Terminate {
+				t.Fatal("terminate frame decoded with Terminate=false")
+			}
+			return e
+		},
+		build: func() ([]byte, error) {
+			e := &ControlFrame{From: "a", Terminate: true, Wave: 7, Scheme: auth.SchemeRSA,
+				Sig: []byte{0xDE, 0xAD}}
+			return data.AppendBytes(e.signedPrefix(), e.Sig), nil
+		},
+	},
+	{
 		name: "v4 retract envelope",
 		hex:  "040161020108626573745061746800040301610301630403030161030162030163000402dead",
 		decode: func(t *testing.T, b []byte) any {
@@ -195,6 +233,14 @@ func TestWireGoldenVersionDispatch(t *testing.T) {
 		case "v4 retract envelope":
 			if b[0] != 4 {
 				t.Errorf("%s: version byte %d", g.name, b[0])
+			}
+		case "v5 termination token":
+			if b[0] != 5 || b[1] != 1 {
+				t.Errorf("%s: header % x", g.name, b[:2])
+			}
+		case "v5 terminate frame":
+			if b[0] != 5 || b[1] != 2 {
+				t.Errorf("%s: header % x", g.name, b[:2])
 			}
 		}
 	}

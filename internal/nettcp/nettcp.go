@@ -2,9 +2,9 @@
 // Send/Drain/Stats surface as internal/netsim, carried over real TCP
 // connections so N OS processes can each host one node (or a few) of a
 // provnet network. internal/core stays transport-agnostic — the wire
-// v1–v4 envelopes it seals are shipped here as opaque payloads, so the
-// signature, session-handshake, and retraction machinery work unchanged
-// across process boundaries.
+// v1–v5 datagrams it seals are shipped here as opaque payloads, so the
+// signature, session-handshake, retraction, and termination machinery
+// work unchanged across process boundaries.
 //
 // # Stream protocol
 //
@@ -12,36 +12,74 @@
 // opened lazily by the sending side and re-opened (with exponential
 // backoff) if it drops. The byte stream is:
 //
-//	preamble  "PNT1" (4 bytes: magic + stream version)
+//	preamble  "PNT2" (4 bytes: magic + stream version)
 //	hello     uvarint n, n bytes — a name identifying the sending
-//	          process (its first registered node), used only for
-//	          diagnostics
+//	          process (its first registered node), used for diagnostics
+//	          and restart detection; then uvarint incarnation — a value
+//	          strictly increasing across restarts of that process
 //	frame*    uvarint len, len bytes of body, where
-//	          body = flags (1 byte; bit0 = handshake traffic class)
+//	          body = flags (1 byte; bit0 = handshake traffic class,
+//	                 bit1 = sequenced, bit2 = ack control frame)
 //	               + uvarint s, s bytes — source node name
 //	               + uvarint d, d bytes — destination node name
-//	               + payload (one wire v1–v4 datagram, opaque here)
+//	               + uvarint seq (present iff bit1; for ack frames this
+//	                 is the cumulative acknowledged sequence number)
+//	               + payload (one wire v1–v5 datagram, opaque here;
+//	                 empty for ack frames)
 //
 // See docs/WIRE.md for the datagram formats riding inside the frames.
+//
+// # Reliability
+//
+// With Config.Reliable set, every remote frame is assigned a sequence
+// number on its directed (src,dst) node link and kept in a bounded
+// per-peer retransmit window until the receiver acknowledges it. The
+// receiver acks cumulatively (coalescing while the return writer is
+// busy), suppresses duplicates by sequence window, and the sender
+// replays the unacked window on reconnect and on ack timeout. A full
+// window blocks SendTagged — backpressure into the round scheduler —
+// until acks free space or the transport closes. Ack frames are
+// transport-internal: they are never delivered upward, and are counted
+// separately (Stats.AckMessages/AckBytes) so the reliability overhead
+// is measurable next to the data plane.
+//
+// The hello incarnation detects peer joins and restarts: when a process
+// observes a peer name for the first time, or a known name reappear
+// with a larger incarnation, the restart handler (SetRestartHandler)
+// fires so upper layers can (re-)announce soft state the peer does not
+// hold — a restarted peer lost what the dead incarnation acknowledged,
+// and a peer whose first hello arrives late may have missed traffic
+// sent while its predecessor was dead without ever being seen alive.
+// Receive dedup state is scoped by incarnation, so a restarted sender's
+// fresh sequence numbers are not mistaken for duplicates.
+//
+// Acks are transport control, below the "says" authentication layer:
+// they assert TCP-level receipt, not tuple authenticity, which is
+// still end-to-end via the sealed datagrams they acknowledge.
 //
 // # Ordering and determinism
 //
 // One connection per (sender process → receiver process) direction means
 // frames from one sender arrive in send order — the property the session
 // security stack needs (a handshake frame must precede the data frames
-// it unlocks). Interleaving *between* senders is real network
-// nondeterminism; unlike netsim there is no global deterministic drain
-// order. The distributed fixpoint still converges to the same tables and
-// provenance as the in-memory run because evaluation is confluent — see
-// docs/ARCHITECTURE.md and core.TestTCPMatchesNetsim.
+// it unlocks). Retransmission preserves it: the window is replayed in
+// order ahead of newer frames, and replayed frames the receiver already
+// delivered fall into the duplicate window. Interleaving *between*
+// senders is real network nondeterminism; unlike netsim there is no
+// global deterministic drain order. The distributed fixpoint still
+// converges to the same tables and provenance as the in-memory run
+// because evaluation is confluent — see docs/ARCHITECTURE.md and
+// core.TestTCPMatchesNetsim.
 //
 // # Accounting
 //
 // Stats counters are per process: a frame is charged once on the sending
 // side (at enqueue) and once on the receiving side (at arrival), each
 // charging the actual framed size (length prefix + flags + source +
-// destination + payload). Local deliveries between co-hosted nodes are
-// charged once, like netsim's.
+// destination + sequence number if present + payload). Local deliveries
+// between co-hosted nodes are charged once, like netsim's. Retransmitted
+// frames are not re-charged to Messages/Bytes; they increment
+// Stats.Retransmits instead.
 package nettcp
 
 import (
@@ -52,6 +90,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,14 +99,25 @@ import (
 )
 
 // magic is the stream preamble: protocol magic plus stream version.
-var magic = [4]byte{'P', 'N', 'T', '1'}
+// Version 2 added the hello incarnation and the sequenced/ack frame
+// flag bits.
+var magic = [4]byte{'P', 'N', 'T', '2'}
+
+// Frame flag bits.
+const (
+	flagHandshake = 1 << 0 // session-handshake traffic class
+	flagSequenced = 1 << 1 // frame carries a uvarint sequence number
+	flagAck       = 1 << 2 // transport ack; seq is the cumulative ack
+)
 
 // Defaults for Config's zero values.
 const (
-	DefaultDialTimeout = 5 * time.Second
-	DefaultRetryMin    = 50 * time.Millisecond
-	DefaultRetryMax    = 2 * time.Second
-	DefaultMaxFrame    = 1 << 24 // 16 MiB: far above any real envelope
+	DefaultDialTimeout       = 5 * time.Second
+	DefaultRetryMin          = 50 * time.Millisecond
+	DefaultRetryMax          = 2 * time.Second
+	DefaultMaxFrame          = 1 << 24 // 16 MiB: far above any real envelope
+	DefaultRetransmitTimeout = 500 * time.Millisecond
+	DefaultWindow            = 4096 // frames per peer before backpressure
 )
 
 // Config configures a Transport.
@@ -90,6 +140,24 @@ type Config struct {
 	// MaxFrame caps accepted frame sizes (default 16 MiB); larger frames
 	// poison the connection (it is closed and the dialer re-opens it).
 	MaxFrame int
+	// Reliable enables sequence numbers, cumulative acks, the bounded
+	// retransmit window, and duplicate suppression (see the package
+	// comment). Off, the transport has TCP's delivery guarantee only:
+	// frames accepted by a crashed peer's kernel are lost.
+	Reliable bool
+	// RetransmitTimeout is how long a sent frame may remain
+	// unacknowledged before the window is replayed (default 500ms).
+	RetransmitTimeout time.Duration
+	// Window caps each peer's outstanding frames (queued + unacked);
+	// a full window blocks SendTagged (default 4096). Reliable only.
+	Window int
+	// DropWrite, when set, is consulted before each frame write on a
+	// live connection; returning true discards the frame as if the
+	// network lost it after the kernel accepted it — the deterministic
+	// loss hook the retransmit tests script. seq is 0 for frames
+	// without a sequence number; ack marks ack control frames (their
+	// seq is the cumulative ack).
+	DropWrite func(peer string, seq uint64, ack bool) bool
 	// Logf, when set, receives connection lifecycle diagnostics (dial
 	// failures, dropped frames, protocol errors). Default: silent.
 	Logf func(format string, args ...any)
@@ -103,6 +171,7 @@ type Transport struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	ln     net.Listener
+	inc    uint64 // this process's incarnation (monotonic across restarts)
 
 	mu     sync.Mutex
 	local  map[string]*inbox
@@ -111,21 +180,41 @@ type Transport struct {
 	closed bool
 	// orphans parks inbound frames for local names not yet registered:
 	// processes of one deployment start at different times, and a frame
-	// that raced a slow process's AddNode must not be lost (there is no
-	// retransmit above this layer). AddNode adopts them.
+	// that raced a slow process's AddNode must not be lost. AddNode
+	// adopts them.
 	orphans map[string][]netsim.Message
+	// recvSeq is the receive-side duplicate window: highest delivered
+	// sequence number per (sender incarnation, src, dst) link. Scoping
+	// by incarnation keeps a restarted sender's fresh numbering apart
+	// from its dead predecessor's.
+	recvSeq map[recvKey]uint64
+	// seenInc remembers the last hello incarnation per peer process
+	// name; a larger one on a later connection is a restart.
+	seenInc map[string]uint64
 
-	notify atomic.Pointer[func()]
-	wg     sync.WaitGroup
+	notify  atomic.Pointer[func()]
+	restart atomic.Pointer[func(process string)]
+	wg      sync.WaitGroup
 
-	messages   atomic.Int64
-	bytes      atomic.Int64
-	dropped    atomic.Int64
-	hsMsgs     atomic.Int64
-	hsBytes    atomic.Int64
-	reconnects atomic.Int64
-	requeues   atomic.Int64
-	parked     atomic.Int64
+	messages      atomic.Int64
+	bytes         atomic.Int64
+	dropped       atomic.Int64
+	hsMsgs        atomic.Int64
+	hsBytes       atomic.Int64
+	reconnects    atomic.Int64
+	requeues      atomic.Int64
+	parked        atomic.Int64
+	acks          atomic.Int64
+	ackBytes      atomic.Int64
+	retransmits   atomic.Int64
+	dupDropped    atomic.Int64
+	backpressured atomic.Int64
+}
+
+// recvKey scopes the duplicate window by sender incarnation and link.
+type recvKey struct {
+	inc      uint64
+	src, dst string
 }
 
 // inbox queues inbound datagrams for one locally hosted node.
@@ -138,18 +227,34 @@ type inbox struct {
 type frame struct {
 	src, dst  string
 	payload   []byte
+	seq       uint64 // link sequence number; cumulative ack when ack
 	handshake bool
+	ack       bool
+	sentAt    time.Time // last write time (retransmit window)
 }
 
 // peer is one remote process: a pending queue drained by a dedicated
-// reconnecting writer goroutine.
+// reconnecting writer goroutine, plus the reliability window.
 type peer struct {
-	name, addr string
+	name string
 
 	mu      sync.Mutex
 	cond    *sync.Cond
+	addr    string
 	pending []frame
 	closed  bool
+
+	// Reliability state (Config.Reliable). seqs assigns per-(src,dst)
+	// link sequence numbers at enqueue; unacked holds written frames
+	// until the cumulative ack covers them (send order); ackDue holds
+	// coalesced outbound acks keyed by local acking node; writing is
+	// the frame the writer holds between queues (0 or 1); resendDue
+	// asks the writer to replay the window (ack timeout).
+	seqs      map[string]uint64
+	unacked   []frame
+	ackDue    map[string]uint64
+	writing   int
+	resendDue bool
 }
 
 // New creates a Transport listening on cfg.Listen and starts one writer
@@ -169,6 +274,12 @@ func New(cfg Config) (*Transport, error) {
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = DefaultMaxFrame
 	}
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = DefaultRetransmitTimeout
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultWindow
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -186,10 +297,13 @@ func New(cfg Config) (*Transport, error) {
 		ctx:     ctx,
 		cancel:  cancel,
 		ln:      ln,
+		inc:     uint64(time.Now().UnixNano()),
 		local:   make(map[string]*inbox),
 		peers:   make(map[string]*peer),
 		conns:   make(map[net.Conn]struct{}),
 		orphans: make(map[string][]netsim.Message),
+		recvSeq: make(map[recvKey]uint64),
+		seenInc: make(map[string]uint64),
 	}
 	for name, addr := range cfg.Peers {
 		t.AddPeer(name, addr)
@@ -245,16 +359,30 @@ func (t *Transport) AddPeer(name, addr string) {
 		p.mu.Unlock()
 		return
 	}
-	p := &peer{name: name, addr: addr}
+	p := &peer{name: name, addr: addr, seqs: make(map[string]uint64)}
 	p.cond = sync.NewCond(&p.mu)
 	t.peers[name] = p
 	t.wg.Add(1)
 	go t.writerLoop(p)
+	if t.cfg.Reliable {
+		t.wg.Add(1)
+		go t.retransmitLoop(p)
+	}
 }
 
 // Notify registers fn to run after every inbound enqueue (core.Notifier:
 // the lifecycle driver's wake-up for datagrams arriving between rounds).
 func (t *Transport) Notify(fn func()) { t.notify.Store(&fn) }
+
+// SetRestartHandler registers fn to run when a peer process joins
+// (first hello) or reappears with a larger hello incarnation — the
+// join/leave hook: upper layers re-announce soft state the peer does
+// not hold. Firing on first sight as well as on restart closes a
+// detection gap: a peer killed before its hello ever reached this
+// process looks like a fresh join when its replacement comes up, yet
+// still needs the re-announcement. fn receives the peer's hello process
+// name and runs on its own goroutine.
+func (t *Transport) SetRestartHandler(fn func(process string)) { t.restart.Store(&fn) }
 
 // Send enqueues a datagram, charging its bytes.
 func (t *Transport) Send(from, to string, payload []byte) error {
@@ -264,7 +392,10 @@ func (t *Transport) Send(from, to string, payload []byte) error {
 // SendTagged is Send with the handshake traffic-class tag. Local
 // destinations deliver in process; remote ones are handed to the peer's
 // writer (charged now, shipped as the connection allows — TCP delivery
-// is asynchronous, unlike netsim's synchronous enqueue).
+// is asynchronous, unlike netsim's synchronous enqueue). In reliable
+// mode a full peer window blocks here until acknowledgements free space
+// — the backpressure that keeps a fast sender from burying a slow or
+// crashed peer.
 func (t *Transport) SendTagged(from, to string, payload []byte, handshake bool) error {
 	t.mu.Lock()
 	if t.closed {
@@ -283,17 +414,34 @@ func (t *Transport) SendTagged(from, to string, payload []byte, handshake bool) 
 		t.dropped.Add(1)
 		return fmt.Errorf("nettcp: send to unknown node %q (not local, no peer address)", to)
 	}
-	t.charge(from, to, payload, handshake)
+	f := frame{src: from, dst: to, payload: payload, handshake: handshake}
 	p.mu.Lock()
-	p.pending = append(p.pending, frame{src: from, dst: to, payload: payload, handshake: handshake})
-	p.cond.Signal()
+	if t.cfg.Reliable {
+		waited := false
+		for len(p.pending)+len(p.unacked)+p.writing >= t.cfg.Window && !p.closed {
+			if !waited {
+				waited = true
+				t.backpressured.Add(1)
+			}
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return errors.New("nettcp: transport closed")
+		}
+		p.seqs[from]++
+		f.seq = p.seqs[from]
+	}
+	p.pending = append(p.pending, f)
+	p.cond.Broadcast()
 	p.mu.Unlock()
+	t.charge(from, to, payload, f.seq, handshake)
 	return nil
 }
 
 // charge records one frame in the stats counters.
-func (t *Transport) charge(src, dst string, payload []byte, handshake bool) {
-	size := int64(frameWireSize(src, dst, payload))
+func (t *Transport) charge(src, dst string, payload []byte, seq uint64, handshake bool) {
+	size := int64(frameWireSize(src, dst, payload, seq))
 	t.messages.Add(1)
 	t.bytes.Add(size)
 	if handshake {
@@ -305,7 +453,7 @@ func (t *Transport) charge(src, dst string, payload []byte, handshake bool) {
 // enqueue delivers one datagram into a local inbox and fires the arrival
 // notifier.
 func (t *Transport) enqueue(box *inbox, from, to string, payload []byte, handshake bool) {
-	t.charge(from, to, payload, handshake)
+	t.charge(from, to, payload, 0, handshake)
 	box.mu.Lock()
 	box.queue = append(box.queue, netsim.Message{From: from, To: to, Payload: payload})
 	box.mu.Unlock()
@@ -316,7 +464,8 @@ func (t *Transport) enqueue(box *inbox, from, to string, payload []byte, handsha
 
 // Drain removes and returns all datagrams queued for a local node, in
 // arrival order (per-sender send order is preserved by the per-direction
-// connections; interleaving between senders is arrival order).
+// connections and the in-order retransmit replay; interleaving between
+// senders is arrival order).
 func (t *Transport) Drain(to string) []netsim.Message {
 	t.mu.Lock()
 	box := t.local[to]
@@ -361,6 +510,52 @@ func (t *Transport) PendingCount() int {
 	return total
 }
 
+// InFlight reports the outbound frames this process has accepted but
+// cannot yet prove delivered: queued behind writers, held by writers,
+// or written and awaiting acknowledgement. Ack control frames are
+// excluded — the data they acknowledge already arrived. This is the
+// transport's contribution to the distributed termination gauge
+// (core.InFlighter): zero here plus empty inboxes everywhere means no
+// datagram is in flight anywhere in the deployment.
+func (t *Transport) InFlight() int {
+	t.mu.Lock()
+	peers := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		peers = append(peers, p)
+	}
+	t.mu.Unlock()
+	total := 0
+	for _, p := range peers {
+		p.mu.Lock()
+		total += p.writing + len(p.unacked)
+		for _, f := range p.pending {
+			if !f.ack {
+				total++
+			}
+		}
+		p.mu.Unlock()
+	}
+	return total
+}
+
+// Flush blocks until every outbound frame has been shipped — and, in
+// reliable mode, acknowledged — or ctx ends. Callers flush before Close
+// when the last frames matter (a root broadcasting TERMINATE).
+func (t *Transport) Flush(ctx context.Context) error {
+	for {
+		if t.InFlight() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.ctx.Done():
+			return errors.New("nettcp: transport closed")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
 // Stats returns a copy of this process's transport counters.
 func (t *Transport) Stats() netsim.Stats {
 	return netsim.Stats{
@@ -372,6 +567,11 @@ func (t *Transport) Stats() netsim.Stats {
 		Reconnects:        t.reconnects.Load(),
 		Requeues:          t.requeues.Load(),
 		Parked:            t.parked.Load(),
+		AckMessages:       t.acks.Load(),
+		AckBytes:          t.ackBytes.Load(),
+		Retransmits:       t.retransmits.Load(),
+		DupDropped:        t.dupDropped.Load(),
+		Backpressured:     t.backpressured.Load(),
 	}
 }
 
@@ -385,6 +585,11 @@ func (t *Transport) ResetStats() {
 	t.reconnects.Store(0)
 	t.requeues.Store(0)
 	t.parked.Store(0)
+	t.acks.Store(0)
+	t.ackBytes.Store(0)
+	t.retransmits.Store(0)
+	t.dupDropped.Store(0)
+	t.backpressured.Store(0)
 }
 
 // QueueDepths reports the outbound backlog per peer: frames accepted by
@@ -407,8 +612,9 @@ func (t *Transport) QueueDepths() map[string]int {
 }
 
 // Close shuts the transport down: the listener stops, writer goroutines
-// exit (undelivered frames are discarded), and open connections close.
-// Idempotent; also triggered by Config.Context cancellation.
+// exit (undelivered frames are discarded — Flush first if they matter),
+// and open connections close. Idempotent; also triggered by
+// Config.Context cancellation.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -457,36 +663,123 @@ func (t *Transport) untrack(c net.Conn) {
 
 // --- outbound path ---
 
-// next blocks until a frame is pending or the peer is closed.
-func (p *peer) next() (frame, bool) {
+// next blocks until work is available or the peer is closed. Due acks go
+// out first (freshly synthesized from the coalesced cumulative state),
+// then queued frames; a due window replay is folded back into the queue
+// ahead of newer frames so per-link order survives retransmission.
+func (p *peer) next(t *Transport) (frame, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for len(p.pending) == 0 && !p.closed {
+	for {
+		if p.closed {
+			return frame{}, false
+		}
+		if p.resendDue {
+			p.resendDue = false
+			p.requeueWindowLocked(t)
+		}
+		if len(p.ackDue) > 0 {
+			names := make([]string, 0, len(p.ackDue))
+			for name := range p.ackDue {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			src := names[0]
+			cum := p.ackDue[src]
+			delete(p.ackDue, src)
+			return frame{src: src, dst: p.name, seq: cum, ack: true}, true
+		}
+		if len(p.pending) > 0 {
+			f := p.pending[0]
+			p.pending = p.pending[1:]
+			p.writing = 1
+			return f, true
+		}
 		p.cond.Wait()
 	}
-	if p.closed {
-		return frame{}, false
+}
+
+// requeueWindowLocked replays the unacked window: the frames move back
+// to the front of the queue in send order (all of them predate anything
+// queued). Caller holds p.mu.
+func (p *peer) requeueWindowLocked(t *Transport) {
+	n := len(p.unacked)
+	if n == 0 {
+		return
 	}
-	f := p.pending[0]
-	p.pending = p.pending[1:]
-	return f, true
+	merged := make([]frame, 0, n+len(p.pending))
+	merged = append(merged, p.unacked...)
+	merged = append(merged, p.pending...)
+	p.pending = merged
+	p.unacked = nil
+	t.retransmits.Add(int64(n))
+}
+
+// shipped records a successful (or loss-injected) write: sequenced data
+// frames enter the unacked window stamped with the write time; acks and
+// unsequenced frames are done.
+func (p *peer) shipped(f frame) {
+	p.mu.Lock()
+	p.writing = 0
+	if f.seq > 0 && !f.ack {
+		f.sentAt = time.Now()
+		p.unacked = append(p.unacked, f)
+	}
+	p.mu.Unlock()
+}
+
+// redeliver hands the writer-held frame back and replays the unacked
+// window ahead of it: a fresh connection must repeat everything the dead
+// one may have swallowed before anything newer (per-link order).
+func (p *peer) redeliver(t *Transport, f frame) {
+	p.mu.Lock()
+	n := len(p.unacked)
+	merged := make([]frame, 0, n+1+len(p.pending))
+	merged = append(merged, p.unacked...)
+	merged = append(merged, f)
+	merged = append(merged, p.pending...)
+	p.pending = merged
+	p.unacked = nil
+	p.writing = 0
+	t.retransmits.Add(int64(n))
+	p.mu.Unlock()
+}
+
+// retransmitLoop watches one peer's unacked window and asks the writer
+// to replay it when the oldest frame times out. The writer owns all
+// queue surgery; this goroutine only raises the flag.
+func (t *Transport) retransmitLoop(p *peer) {
+	defer t.wg.Done()
+	for {
+		if !t.sleep(t.cfg.RetransmitTimeout / 2) {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		if len(p.unacked) > 0 && time.Since(p.unacked[0].sentAt) >= t.cfg.RetransmitTimeout {
+			p.resendDue = true
+			p.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
 }
 
 // writerLoop ships one peer's frames over a lazily dialed, reconnecting
 // connection. A failed write keeps the frame, drops the connection, and
-// retries with exponential backoff. Frames go out in send order. The
-// delivery guarantee is TCP's, no more: a frame whose write failure is
-// detected after the peer already consumed it is re-sent on reconnect
-// (duplicates are idempotent at the receiving engine — set semantics,
-// per-sender support merging), but frames the kernel accepted that the
-// peer never read (peer crash, or a frame the receiver rejects for
-// exceeding MaxFrame) are lost — there is no application-level ack or
-// retransmit yet (ROADMAP open item). Soft-state refresh re-supplies
-// lost tuples on the sender's next re-propagation.
+// retries with exponential backoff; in reliable mode every reconnect and
+// every ack timeout replays the unacked window in order, so the delivery
+// guarantee is exactly-once into the receiving inbox (duplicates are
+// suppressed by the receive window). Without Reliable the guarantee is
+// TCP's, no more: frames the kernel accepted that the peer never read
+// (peer crash) are lost, and only soft-state refresh re-supplies them.
 func (t *Transport) writerLoop(p *peer) {
 	defer t.wg.Done()
 	var conn net.Conn
 	var bw *bufio.Writer
+	var cur *frame
 	connected := false // a successful dial after the first is a reconnect
 	backoff := t.cfg.RetryMin
 	defer func() {
@@ -495,49 +788,82 @@ func (t *Transport) writerLoop(p *peer) {
 		}
 	}()
 	for {
-		f, ok := p.next()
-		if !ok {
+		if cur == nil {
+			f, ok := p.next(t)
+			if !ok {
+				return
+			}
+			cur = &f
+		}
+		if conn == nil {
+			c, err := t.dial(p)
+			if err != nil {
+				if t.ctx.Err() != nil {
+					return
+				}
+				t.cfg.Logf("nettcp: dial %s: %v; retrying in %v", p.name, err, backoff)
+				if !t.sleep(backoff) {
+					return
+				}
+				backoff = min(backoff*2, t.cfg.RetryMax)
+				continue
+			}
+			conn, bw = c, bufio.NewWriter(c)
+			backoff = t.cfg.RetryMin
+			if connected {
+				t.reconnects.Add(1)
+			}
+			connected = true
+			if t.cfg.Reliable {
+				// The dead connection may have swallowed the window;
+				// replay it ahead of the held frame and re-pop in order.
+				p.redeliver(t, *cur)
+				cur = nil
+				continue
+			}
+		}
+		if t.cfg.DropWrite != nil && t.cfg.DropWrite(p.name, cur.seq, cur.ack) {
+			// Scripted loss: the frame vanishes after "the kernel took
+			// it". For sequenced frames that is only possible when the
+			// connection dies, so model exactly that — the frame enters
+			// the unacked window and the poisoned connection's successor
+			// replays the window in order (selective per-frame loss
+			// would put gaps on the wire that go-back-N cannot see).
+			// Acks and unsequenced frames just vanish.
+			p.shipped(*cur)
+			if cur.seq > 0 && !cur.ack {
+				t.untrack(conn)
+				conn.Close()
+				conn = nil
+			}
+			cur = nil
+			continue
+		}
+		err := writeFrame(bw, *cur)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err == nil {
+			if cur.ack {
+				t.acks.Add(1)
+				t.ackBytes.Add(int64(frameWireSize(cur.src, cur.dst, nil, cur.seq)))
+			}
+			p.shipped(*cur)
+			cur = nil
+			continue
+		}
+		if t.ctx.Err() != nil {
 			return
 		}
-		for {
-			if conn == nil {
-				c, err := t.dial(p)
-				if err != nil {
-					if t.ctx.Err() != nil {
-						return
-					}
-					t.cfg.Logf("nettcp: dial %s: %v; retrying in %v", p.name, err, backoff)
-					if !t.sleep(backoff) {
-						return
-					}
-					backoff = min(backoff*2, t.cfg.RetryMax)
-					continue
-				}
-				conn, bw = c, bufio.NewWriter(c)
-				backoff = t.cfg.RetryMin
-				if connected {
-					t.reconnects.Add(1)
-				}
-				connected = true
-			}
-			if err := writeFrame(bw, f); err == nil {
-				if err = bw.Flush(); err == nil {
-					break
-				}
-			} else if t.ctx.Err() != nil {
-				return
-			} else {
-				t.cfg.Logf("nettcp: write to %s: %v; reconnecting", p.name, err)
-			}
-			t.requeues.Add(1) // f survives the dropped conn; retried above
-			t.untrack(conn)
-			conn.Close()
-			conn = nil
-			if !t.sleep(backoff) {
-				return
-			}
-			backoff = min(backoff*2, t.cfg.RetryMax)
+		t.cfg.Logf("nettcp: write to %s: %v; reconnecting", p.name, err)
+		t.requeues.Add(1) // cur survives the dropped conn; retried above
+		t.untrack(conn)
+		conn.Close()
+		conn = nil
+		if !t.sleep(backoff) {
+			return
 		}
+		backoff = min(backoff*2, t.cfg.RetryMax)
 	}
 }
 
@@ -557,9 +883,11 @@ func (t *Transport) dial(p *peer) (net.Conn, error) {
 	}
 	hello := append([]byte{}, magic[:]...)
 	// The hello names the sending *process*; each frame names its own
-	// sending node, so one process can host several.
+	// sending node, so one process can host several. The incarnation
+	// lets receivers spot a restart of the same process.
 	hello = binary.AppendUvarint(hello, uint64(len(t.helloName())))
 	hello = append(hello, t.helloName()...)
+	hello = binary.AppendUvarint(hello, t.inc)
 	if _, err := conn.Write(hello); err != nil {
 		t.untrack(conn)
 		conn.Close()
@@ -590,10 +918,13 @@ func (t *Transport) sleep(d time.Duration) bool {
 }
 
 // frameWireSize is the framed size of one datagram: length prefix,
-// flags byte, source, destination, payload.
-func frameWireSize(src, dst string, payload []byte) int {
+// flags byte, source, destination, optional sequence number, payload.
+func frameWireSize(src, dst string, payload []byte, seq uint64) int {
 	body := 1 + uvarintLen(uint64(len(src))) + len(src) +
 		uvarintLen(uint64(len(dst))) + len(dst) + len(payload)
+	if seq > 0 {
+		body += uvarintLen(seq)
+	}
 	return uvarintLen(uint64(body)) + body
 }
 
@@ -614,13 +945,22 @@ func writeFrame(w *bufio.Writer, f frame) error {
 	var hdr [binary.MaxVarintLen64]byte
 	body := 1 + uvarintLen(uint64(len(f.src))) + len(f.src) +
 		uvarintLen(uint64(len(f.dst))) + len(f.dst) + len(f.payload)
+	if f.seq > 0 {
+		body += uvarintLen(f.seq)
+	}
 	n := binary.PutUvarint(hdr[:], uint64(body))
 	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	flags := byte(0)
 	if f.handshake {
-		flags |= 1
+		flags |= flagHandshake
+	}
+	if f.seq > 0 {
+		flags |= flagSequenced
+	}
+	if f.ack {
+		flags |= flagAck
 	}
 	if err := w.WriteByte(flags); err != nil {
 		return err
@@ -631,6 +971,12 @@ func writeFrame(w *bufio.Writer, f frame) error {
 			return err
 		}
 		if _, err := w.WriteString(s); err != nil {
+			return err
+		}
+	}
+	if f.seq > 0 {
+		n = binary.PutUvarint(hdr[:], f.seq)
+		if _, err := w.Write(hdr[:n]); err != nil {
 			return err
 		}
 	}
@@ -657,9 +1003,11 @@ func (t *Transport) acceptLoop() {
 	}
 }
 
-// readLoop consumes one inbound connection: preamble, hello, then frames
-// delivered to local inboxes. Protocol errors poison only this
-// connection; the peer's dialer re-opens it.
+// readLoop consumes one inbound connection: preamble, hello (with
+// restart detection), then frames — acks are absorbed into the sender
+// window, duplicates dropped, fresh data delivered to local inboxes and
+// acknowledged. Protocol errors poison only this connection; the peer's
+// dialer re-opens it.
 func (t *Transport) readLoop(conn net.Conn) {
 	defer t.wg.Done()
 	defer t.untrack(conn)
@@ -676,6 +1024,12 @@ func (t *Transport) readLoop(conn net.Conn) {
 		return
 	}
 	from := string(hello)
+	inc, err := binary.ReadUvarint(br)
+	if err != nil {
+		t.cfg.Logf("nettcp: bad hello incarnation from %s: %v", from, err)
+		return
+	}
+	t.observeIncarnation(from, inc)
 	for {
 		body, err := readLengthPrefixed(br, t.cfg.MaxFrame)
 		if err != nil {
@@ -684,10 +1038,25 @@ func (t *Transport) readLoop(conn net.Conn) {
 			}
 			return
 		}
-		handshake, src, dst, payload, err := parseFrame(body)
+		flags, src, dst, seq, payload, err := parseFrame(body)
 		if err != nil {
 			t.cfg.Logf("nettcp: corrupt frame from %s: %v", from, err)
 			return
+		}
+		handshake := flags&flagHandshake != 0
+		if flags&flagAck != 0 {
+			t.acks.Add(1)
+			t.ackBytes.Add(int64(frameWireSize(src, dst, nil, seq)))
+			t.handleAck(src, dst, seq)
+			continue
+		}
+		if seq > 0 {
+			cum, fresh := t.admit(inc, src, dst, seq)
+			t.queueAck(dst, src, cum)
+			if !fresh {
+				t.dupDropped.Add(1)
+				continue
+			}
 		}
 		t.mu.Lock()
 		box := t.local[dst]
@@ -695,7 +1064,7 @@ func (t *Transport) readLoop(conn net.Conn) {
 			// Not registered (yet): park the frame for AddNode. A name
 			// this process will never host leaks its backlog here; the
 			// log line is the operator's clue to a peer-map typo.
-			t.charge(src, dst, payload, handshake)
+			t.charge(src, dst, payload, seq, handshake)
 			t.parked.Add(1)
 			t.orphans[dst] = append(t.orphans[dst], netsim.Message{From: src, To: dst, Payload: payload})
 			t.mu.Unlock()
@@ -705,6 +1074,103 @@ func (t *Transport) readLoop(conn net.Conn) {
 		t.mu.Unlock()
 		t.enqueue(box, src, dst, payload, handshake)
 	}
+}
+
+// observeIncarnation records a peer process's hello incarnation and
+// fires the restart handler when a name first appears (join) or a known
+// name reappears newer (restart). Re-hellos of the live incarnation —
+// plain reconnects — fire nothing.
+func (t *Transport) observeIncarnation(process string, inc uint64) {
+	t.mu.Lock()
+	prev, seen := t.seenInc[process]
+	if !seen || inc > prev {
+		t.seenInc[process] = inc
+	}
+	t.mu.Unlock()
+	if seen && inc <= prev {
+		return
+	}
+	if seen {
+		t.cfg.Logf("nettcp: peer process %s restarted (incarnation %d -> %d)", process, prev, inc)
+	} else {
+		t.cfg.Logf("nettcp: peer process %s joined (incarnation %d)", process, inc)
+	}
+	if fn := t.restart.Load(); fn != nil {
+		go (*fn)(process)
+	}
+}
+
+// admit runs the receive-side duplicate window for one sequenced frame:
+// it reports the cumulative sequence to acknowledge and whether the
+// frame is fresh (deliverable). A gap on a link with no window state
+// means this receiver lost the state (it restarted): the stream
+// resynchronizes at the frame in hand, and the content of the missed
+// prefix comes back through soft-state re-announcement, not the
+// transport. A gap on a link *with* state should be impossible under
+// go-back-N replay; the frame is rejected unacknowledged so the
+// sender's in-order window replay re-delivers it in sequence.
+func (t *Transport) admit(inc uint64, src, dst string, seq uint64) (cum uint64, fresh bool) {
+	k := recvKey{inc: inc, src: src, dst: dst}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	last := t.recvSeq[k]
+	switch {
+	case seq <= last:
+		return last, false
+	case seq > last+1 && last != 0:
+		t.cfg.Logf("nettcp: link %s->%s seq %d jumps past %d; awaiting in-order replay", src, dst, seq, last)
+		return last, false
+	}
+	t.recvSeq[k] = seq
+	return seq, true
+}
+
+// handleAck clears the acknowledged prefix of the (ackDst -> ackSrc)
+// link from the sender window and releases any blocked senders.
+func (t *Transport) handleAck(ackSrc, ackDst string, cum uint64) {
+	t.mu.Lock()
+	p := t.peers[ackSrc]
+	t.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	kept := p.unacked[:0]
+	removed := false
+	for _, f := range p.unacked {
+		if f.src == ackDst && f.seq <= cum {
+			removed = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	p.unacked = kept
+	if removed {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// queueAck coalesces an outbound cumulative ack for the (sender ->
+// localDst) link onto the sender's peer writer. Duplicate arrivals
+// re-ack so a sender that missed the first ack still clears its window.
+func (t *Transport) queueAck(localDst, sender string, cum uint64) {
+	t.mu.Lock()
+	p := t.peers[sender]
+	t.mu.Unlock()
+	if p == nil {
+		t.cfg.Logf("nettcp: no return path to %s to ack frames for %s", sender, localDst)
+		return
+	}
+	p.mu.Lock()
+	if p.ackDue == nil {
+		p.ackDue = make(map[string]uint64)
+	}
+	if cum > p.ackDue[localDst] {
+		p.ackDue[localDst] = cum
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
 }
 
 // readLengthPrefixed reads one uvarint-length-prefixed block.
@@ -723,22 +1189,30 @@ func readLengthPrefixed(br *bufio.Reader, max int) ([]byte, error) {
 	return buf, nil
 }
 
-// parseFrame splits a frame body into traffic class, source,
-// destination, and payload.
-func parseFrame(body []byte) (handshake bool, src, dst string, payload []byte, err error) {
+// parseFrame splits a frame body into flags, source, destination,
+// sequence number (0 when absent), and payload.
+func parseFrame(body []byte) (flags byte, src, dst string, seq uint64, payload []byte, err error) {
 	if len(body) < 1 {
-		return false, "", "", nil, errors.New("empty frame")
+		return 0, "", "", 0, nil, errors.New("empty frame")
 	}
-	handshake = body[0]&1 != 0
+	flags = body[0]
 	rest := body[1:]
 	names := [2]string{}
 	for i := range names {
 		l, n := binary.Uvarint(rest)
 		if n <= 0 || uint64(len(rest)-n) < l {
-			return false, "", "", nil, errors.New("bad name length")
+			return 0, "", "", 0, nil, errors.New("bad name length")
 		}
 		names[i] = string(rest[n : n+int(l)])
 		rest = rest[n+int(l):]
 	}
-	return handshake, names[0], names[1], rest, nil
+	if flags&flagSequenced != 0 {
+		var n int
+		seq, n = binary.Uvarint(rest)
+		if n <= 0 || seq == 0 {
+			return 0, "", "", 0, nil, errors.New("bad sequence number")
+		}
+		rest = rest[n:]
+	}
+	return flags, names[0], names[1], seq, rest, nil
 }

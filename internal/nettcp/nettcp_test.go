@@ -42,6 +42,9 @@ func TestFrameRoundTrip(t *testing.T) {
 		{src: "a", dst: "b", payload: []byte{1, 2, 3}},
 		{src: "", dst: "b", payload: nil, handshake: true},
 		{src: "node-with-a-long-name", dst: "x", payload: bytes.Repeat([]byte{0xAB}, 300)},
+		{src: "a", dst: "b", payload: []byte{9}, seq: 7},
+		{src: "a", dst: "b", payload: []byte("hs"), seq: 300, handshake: true},
+		{src: "b", dst: "a", seq: 42, ack: true},
 	}
 	var buf bytes.Buffer
 	bw := bufio.NewWriter(&buf)
@@ -59,23 +62,56 @@ func TestFrameRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if got := len(body) + uvarintLen(uint64(len(body))); got != frameWireSize(want.src, want.dst, want.payload) {
-			t.Errorf("frame %d: wire size %d, frameWireSize %d", i, got, frameWireSize(want.src, want.dst, want.payload))
+		if got := len(body) + uvarintLen(uint64(len(body))); got != frameWireSize(want.src, want.dst, want.payload, want.seq) {
+			t.Errorf("frame %d: wire size %d, frameWireSize %d", i, got, frameWireSize(want.src, want.dst, want.payload, want.seq))
 		}
-		hs, src, dst, payload, err := parseFrame(body)
+		flags, src, dst, seq, payload, err := parseFrame(body)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if hs != want.handshake || src != want.src || dst != want.dst || !bytes.Equal(payload, want.payload) {
-			t.Errorf("frame %d: got (%v,%q,%q,%x), want (%v,%q,%q,%x)",
-				i, hs, src, dst, payload, want.handshake, want.src, want.dst, want.payload)
+		hs, ack := flags&flagHandshake != 0, flags&flagAck != 0
+		if hs != want.handshake || ack != want.ack || src != want.src || dst != want.dst || seq != want.seq || !bytes.Equal(payload, want.payload) {
+			t.Errorf("frame %d: got (%v,%v,%q,%q,%d,%x), want (%v,%v,%q,%q,%d,%x)",
+				i, hs, ack, src, dst, seq, payload, want.handshake, want.ack, want.src, want.dst, want.seq, want.payload)
 		}
 	}
 }
 
+// TestAckFrameGolden pins the exact bytes of an ack control frame — the
+// layout documented in docs/WIRE.md ("TCP stream framing"). An ack from
+// node "b" acknowledging frames 1..5 on the a→b link:
+//
+//	06        flags: bit1 sequenced + bit2 ack
+//	01 62     src "b" (the acking node)
+//	01 61     dst "a" (the original sender)
+//	05        cumulative acknowledged sequence number
+//
+// prefixed by the body length (06).
+func TestAckFrameGolden(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeFrame(bw, frame{src: "b", dst: "a", seq: 5, ack: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0x06, 0x06, 0x01, 0x62, 0x01, 0x61, 0x05}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("ack frame bytes = % x, want % x", buf.Bytes(), want)
+	}
+}
+
 func TestParseFrameCorrupt(t *testing.T) {
-	for _, body := range [][]byte{nil, {0}, {0, 5}, {0, 200, 1}} {
-		if _, _, _, _, err := parseFrame(body); err == nil {
+	for _, body := range [][]byte{
+		nil,
+		{0},
+		{0, 5},
+		{0, 200, 1},
+		{flagSequenced, 1, 'a', 1, 'b'},    // sequenced but no seq bytes
+		{flagSequenced, 1, 'a', 1, 'b', 0}, // sequence number zero
+	} {
+		if _, _, _, _, _, err := parseFrame(body); err == nil {
 			t.Errorf("parseFrame(%x): expected error", body)
 		}
 	}

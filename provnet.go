@@ -107,6 +107,14 @@ type (
 	// OS processes each host one node of the same network (see
 	// docs/ARCHITECTURE.md and the -listen/-self/-peers CLI flags).
 	Transport = core.Transport
+
+	// TermConfig configures the distributed termination detector; zero
+	// values pick production defaults.
+	TermConfig = core.TermConfig
+	// TermDetector runs the credit/clean-wave termination protocol over
+	// the network's node ring: obtain one with Network.StartTermination,
+	// wait on Done. See docs/ARCHITECTURE.md (termination detection).
+	TermDetector = core.TermDetector
 )
 
 // Lifecycle errors.
